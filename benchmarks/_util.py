@@ -1,0 +1,130 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Each benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md §3).  Besides pytest-benchmark timing, every benchmark
+writes its reproduced rows to ``benchmarks/results/<id>.txt`` so the
+numbers quoted in EXPERIMENTS.md can be re-derived with one command.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Any
+
+from repro.sim import DuplexLink, LinkConfig, Simulator
+from repro.transport import (
+    MonolithicTcpHost,
+    Rfc793Shim,
+    SublayeredTcpHost,
+    TcpConfig,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, lines: list[str]) -> None:
+    """Persist a reproduced table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+def table(rows: list[dict[str, Any]]) -> list[str]:
+    """Fixed-width text table from uniform dict rows."""
+    if not rows:
+        return ["(no rows)"]
+    headers = list(rows[0])
+    widths = {
+        h: max(len(str(h)), *(len(str(r[h])) for r in rows)) for h in headers
+    }
+    lines = ["  ".join(str(h).ljust(widths[h]) for h in headers)]
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for row in rows:
+        lines.append("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Transport run helpers (mirrors tests/transport/helpers.py)
+# ----------------------------------------------------------------------
+def make_pair(
+    kind_a: str = "sub",
+    kind_b: str = "sub",
+    seed: int = 1,
+    config: TcpConfig | None = None,
+    link: LinkConfig | None = None,
+    **host_kwargs: Any,
+):
+    sim = Simulator()
+    config = config or TcpConfig(mss=1000)
+
+    def build(kind: str, name: str):
+        if kind == "mono":
+            return MonolithicTcpHost(name, sim.clock(), config)
+        if kind == "sub":
+            return SublayeredTcpHost(name, sim.clock(), config, **host_kwargs)
+        if kind == "sub+shim":
+            return SublayeredTcpHost(
+                name, sim.clock(), config, shim=Rfc793Shim(), **host_kwargs
+            )
+        raise ValueError(kind)
+
+    a = build(kind_a, "a")
+    b = build(kind_b, "b")
+    duplex = DuplexLink(
+        sim,
+        link or LinkConfig(delay=0.02, rate_bps=8_000_000),
+        rng_forward=random.Random(seed),
+        rng_reverse=random.Random(seed + 1),
+    )
+    duplex.attach(a, b)
+    return sim, a, b
+
+
+def run_transfer(
+    sim: Simulator,
+    a: Any,
+    b: Any,
+    nbytes: int = 50_000,
+    until: float = 300.0,
+) -> dict[str, Any]:
+    """One-way transfer with completion timing; returns measurements."""
+    b.listen(80)
+    data = bytes(i % 251 for i in range(nbytes))
+    timing: dict[str, float] = {}
+
+    # completion = the receiver has the whole stream (uniform across
+    # both TCPs; their close-callback semantics differ)
+    def accept(peer_sock) -> None:
+        def on_data(_chunk) -> None:
+            if len(peer_sock.bytes_received()) >= nbytes:
+                timing.setdefault("done", sim.now)
+
+        peer_sock.on_data = on_data
+
+    b.on_accept = accept
+    sock = a.connect(12345, 80)
+
+    def go() -> None:
+        timing["start"] = sim.now
+        sock.send(data)
+        sock.close()
+
+    sock.on_connect = go
+    sim.run(until=until)
+    peer = b.socket_for(80, 12345)
+    received = peer.bytes_received() if peer is not None else b""
+    elapsed = timing.get("done", sim.now) - timing.get("start", 0.0)
+    return {
+        "intact": received == data,
+        "bytes": len(received),
+        "virtual_seconds": round(elapsed, 3),
+        "goodput_mbps": (
+            round(8 * nbytes / elapsed / 1e6, 3) if elapsed > 0 else 0.0
+        ),
+        "sock": sock,
+        "peer": peer,
+    }

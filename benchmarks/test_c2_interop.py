@@ -1,0 +1,61 @@
+"""C2 — Challenge 2 (Interoperate): "Show that the refactored
+implementation can interoperate with a standard (monolithic)
+implementation, possibly adding a shim layer to translate from the
+sublayered header to the standard header."
+
+Reproduced: the full stack-pair matrix over the same impaired link —
+both directions of sublayered+shim <-> monolithic, plus both
+homogeneous pairs as controls, and sub+shim <-> sub+shim (native
+internals, standard wire format end to end)."""
+
+from _util import make_pair, run_transfer, table, write_result
+
+from repro.sim import LinkConfig
+
+PAIRS = [
+    ("mono", "mono", "control: standard <-> standard"),
+    ("sub", "sub", "control: native sublayered both ends"),
+    ("sub+shim", "mono", "sublayered client -> standard server"),
+    ("mono", "sub+shim", "standard client -> sublayered server"),
+    ("sub+shim", "sub+shim", "sublayered both ends over standard wire"),
+]
+
+
+def run_pair(kind_a, kind_b, loss):
+    sim, a, b = make_pair(
+        kind_a, kind_b,
+        link=LinkConfig(delay=0.02, rate_bps=8_000_000, loss=loss),
+        seed=9,
+    )
+    return run_transfer(sim, a, b, nbytes=50_000)
+
+
+def test_c2_interop(benchmark):
+    first = benchmark.pedantic(
+        lambda: run_pair("sub+shim", "mono", 0.05), rounds=1, iterations=1
+    )
+    rows = []
+    for loss in (0.0, 0.05, 0.10):
+        for kind_a, kind_b, label in PAIRS:
+            outcome = (
+                first
+                if (kind_a, kind_b, loss) == ("sub+shim", "mono", 0.05)
+                else run_pair(kind_a, kind_b, loss)
+            )
+            rows.append({
+                "pair": label,
+                "loss": f"{loss:.0%}",
+                "intact": outcome["intact"],
+                "virtual_s": outcome["virtual_seconds"],
+            })
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        "every mixed pair completes the transfer intact under every loss "
+        "level: the shim sublayer alone buys wire compatibility "
+        "(challenge 2 discharged).  No sublayer other than the shim "
+        "differs between the native and interop configurations."
+    )
+    write_result("c2_interop", lines)
+    for row in rows:
+        assert row["intact"], row

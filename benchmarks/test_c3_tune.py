@@ -1,0 +1,90 @@
+"""C3 — Challenge 3 (Tune): "Use standard tricks to make the
+sublayered implementation perform close to the best monolithic one."
+
+Section 3.1 frames the objection: "Most performance issues in
+networking are due to protection, control overhead, and copying.  We
+have already learned to finesse those for layer crossings, so why not
+for sublayer crossings?"
+
+Reproduced, in this substrate's terms: the *protocol* behaviour is
+identical (same virtual-time completion on the same seeded link), so
+the entire sublayering cost is per-crossing host work.  We measure
+wall-clock per transfer for the monolithic TCP, the untuned sublayered
+TCP (every crossing logged and instrumented), and the tuned sublayered
+TCP (crossing/state bookkeeping disabled — the "finesse the crossings"
+trick available to this implementation), plus the crossings-per-
+segment count that any tuning must amortize."""
+
+import time
+
+from _util import make_pair, run_transfer, table, write_result
+
+from repro.sim import LinkConfig
+
+NBYTES = 200_000
+LINK = dict(delay=0.02, rate_bps=16_000_000, loss=0.02)
+
+
+def run_config(kind: str, tuned: bool = False):
+    sim, a, b = make_pair(kind, kind, link=LinkConfig(**LINK), seed=6)
+    if tuned:
+        for host in (a, b):
+            host.access_log.enabled = False
+            host.interface_log.enabled = False
+    start = time.perf_counter()
+    outcome = run_transfer(sim, a, b, nbytes=NBYTES)
+    wall = time.perf_counter() - start
+    assert outcome["intact"]
+    crossings = None
+    if kind == "sub" and not tuned:
+        data_segments = a.stack.sublayer("osr").state.snapshot()[
+            "segments_released"
+        ]
+        crossings = round(a.interface_log.crossings() / max(1, data_segments), 1)
+    return {
+        "implementation": (
+            f"{'sublayered' if kind == 'sub' else 'monolithic'}"
+            f"{' (tuned)' if tuned else ''}"
+        ),
+        "virtual_s": outcome["virtual_seconds"],
+        "wall_ms": round(wall * 1e3, 1),
+        "crossings_per_segment": crossings if crossings is not None else "-",
+    }
+
+
+def median_of(fn, runs: int = 5):
+    samples = [fn() for _ in range(runs)]
+    samples.sort(key=lambda r: r["wall_ms"])
+    return samples[len(samples) // 2]
+
+
+def test_c3_tune(benchmark):
+    mono = benchmark.pedantic(
+        lambda: median_of(lambda: run_config("mono")), rounds=1, iterations=1
+    )
+    untuned = median_of(lambda: run_config("sub"))
+    tuned = median_of(lambda: run_config("sub", tuned=True))
+
+    rows = [mono, untuned, tuned]
+    lines = table(rows)
+    lines.append("")
+    overhead_untuned = untuned["wall_ms"] / mono["wall_ms"]
+    overhead_tuned = tuned["wall_ms"] / mono["wall_ms"]
+    lines.append(
+        f"wall-clock vs monolithic: untuned {overhead_untuned:.2f}x, "
+        f"tuned {overhead_tuned:.2f}x"
+    )
+    lines.append(
+        "tuning does not change the protocol: untuned and tuned sublayered "
+        "runs complete at the same virtual time; only per-crossing host "
+        "work shrinks (challenge 3's shape).  The virtual-time difference "
+        "vs the monolithic run reflects algorithmic differences (RD's "
+        "SACK-assisted recovery vs the baseline's dupack-only Reno), not "
+        "the architecture."
+    )
+    write_result("c3_tune", lines)
+
+    # same protocol behaviour on the same seeded link
+    assert untuned["virtual_s"] == tuned["virtual_s"]
+    # tuning must close a real part of the gap
+    assert tuned["wall_ms"] <= untuned["wall_ms"]

@@ -1,0 +1,125 @@
+"""C5 — Challenge 5 (Replace): "Replace some sublayers with
+alternatives and investigate the difficulty of doing so."
+
+Reproduced as the full swap matrix: three congestion controllers
+(inside OSR) x three ISN schemes (inside CM), nine configurations of
+the same transfer over the same impaired link.  Every configuration
+delivers intact, and the isolation is verified mechanically: swapping
+OSR's controller or CM's ISN scheme leaves every *other* sublayer's
+state-field vocabulary byte-for-byte identical."""
+
+from _util import make_pair, run_transfer, table, write_result
+
+from repro.sim import LinkConfig
+from repro.transport import TcpConfig
+from repro.transport.isn import ClockIsn, CryptoIsn, TimerIsn
+from repro.transport.sublayered import AimdCc, FixedWindowCc, RateBasedCc
+
+CC_CHOICES = {
+    "aimd": lambda mss: AimdCc(mss),
+    "rate-based": lambda mss: RateBasedCc(mss),
+    "fixed-window": lambda mss: FixedWindowCc(mss, segments=12),
+}
+ISN_CHOICES = {
+    "clock (RFC793)": ClockIsn(),
+    "crypto (RFC1948)": CryptoIsn(),
+    "timer (Watson)": TimerIsn(),
+}
+
+
+def run_config(cc_name: str, isn_name: str):
+    config = TcpConfig(mss=1000, isn_scheme=ISN_CHOICES[isn_name])
+    sim, a, b = make_pair(
+        "sub", "sub",
+        config=config,
+        cc_factory=CC_CHOICES[cc_name],
+        link=LinkConfig(delay=0.02, rate_bps=8_000_000, loss=0.04),
+        seed=8,
+    )
+    outcome = run_transfer(sim, a, b, nbytes=60_000)
+    vocab = {
+        name: frozenset(a.stack.sublayer(name).state.field_names())
+        for name in ("rd", "dm")  # the sublayers neither swap touches
+    }
+    return outcome, vocab
+
+
+def test_c5_replace_matrix(benchmark):
+    first, first_vocab = benchmark.pedantic(
+        lambda: run_config("aimd", "clock (RFC793)"), rounds=1, iterations=1
+    )
+    rows = []
+    vocabularies = []
+    for cc_name in CC_CHOICES:
+        for isn_name in ISN_CHOICES:
+            if (cc_name, isn_name) == ("aimd", "clock (RFC793)"):
+                outcome, vocab = first, first_vocab
+            else:
+                outcome, vocab = run_config(cc_name, isn_name)
+            vocabularies.append(vocab)
+            rows.append({
+                "congestion control (OSR)": cc_name,
+                "isn scheme (CM)": isn_name,
+                "intact": outcome["intact"],
+                "virtual_s": outcome["virtual_seconds"],
+                "goodput_mbps": outcome["goodput_mbps"],
+            })
+
+    # the whole-CM replacement: Watson timer-based connection management
+    # (0-RTT, no handshake packets) in place of the SYN/FIN machine
+    from repro.transport import TimerCmSublayer
+
+    def timer_cm(cfg):
+        return TimerCmSublayer("cm", handshake_timeout=cfg.rto_initial)
+
+    sim, a, b = make_pair(
+        "sub", "sub",
+        cm_factory=timer_cm,
+        link=LinkConfig(delay=0.02, rate_bps=8_000_000, loss=0.04),
+        seed=8,
+    )
+    # timer CM is 0-RTT: established synchronously inside connect(), so
+    # data is sent directly rather than from an on_connect callback
+    b.listen(80)
+    data = bytes(i % 251 for i in range(60_000))
+    done: dict[str, float] = {}
+
+    def accept(peer_sock):
+        peer_sock.on_data = lambda _c: (
+            done.setdefault("t", sim.now)
+            if len(peer_sock.bytes_received()) >= len(data) else None
+        )
+
+    b.on_accept = accept
+    sock = a.connect(12345, 80)
+    sock.send(data)
+    sock.close()
+    sim.run(until=300)
+    peer = b.socket_for(80, 12345)
+    elapsed = done.get("t", sim.now)
+    vocabularies.append({
+        name: frozenset(a.stack.sublayer(name).state.field_names())
+        for name in ("rd", "dm")
+    })
+    rows.append({
+        "congestion control (OSR)": "aimd",
+        "isn scheme (CM)": "whole-CM swap: timer-based (Watson), 0-RTT",
+        "intact": peer is not None and peer.bytes_received() == data,
+        "virtual_s": round(elapsed, 3),
+        "goodput_mbps": round(8 * len(data) / elapsed / 1e6, 3) if elapsed else 0,
+    })
+
+    untouched_identical = all(v == vocabularies[0] for v in vocabularies)
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        f"RD and DM state vocabularies identical across all "
+        f"{len(vocabularies)} configurations (including the whole-CM "
+        f"swap): {untouched_identical} — the swaps are sublayer-local "
+        f"(T3), so 'replacing a sublayer' is a constructor argument."
+    )
+    write_result("c5_replace", lines)
+
+    assert untouched_identical
+    for row in rows:
+        assert row["intact"], row

@@ -1,0 +1,69 @@
+"""E1 — Section 4.1: the verified bit-stuffing artifact.
+
+Paper: "Our proof had 57 lemmas and 1800 lines of code", per-sublayer
+lemma structure, main specification
+Unstuff(RemoveFlags(AddFlags(Stuff(D)))) = D.
+
+Reproduced: the lemma library proves the same specification with the
+same modular structure (bounded-exhaustive tactic + exact automaton
+product decision); the table reports lemma counts per sublayer and the
+case volumes, next to the paper's Coq figures.
+"""
+
+from _util import table, write_result
+
+from repro.datalink.framing import (
+    HDLC_RULE,
+    LOW_OVERHEAD_RULE,
+    build_framing_library,
+)
+
+MAX_LEN = 10
+
+
+def prove(rule):
+    library = build_framing_library(rule, max_len=MAX_LEN)
+    report = library.prove_all()
+    return library, report
+
+
+def test_e1_bitstuff_verification(benchmark):
+    library, report = benchmark.pedantic(
+        lambda: prove(HDLC_RULE), rounds=1, iterations=1
+    )
+    assert report.proved, report.summary()
+
+    _, low_report = prove(LOW_OVERHEAD_RULE)
+    assert low_report.proved
+
+    modularity = library.modularity_report()
+    rows = [
+        {
+            "lemma": r.lemma,
+            "sublayer": library.lemma(r.lemma).sublayer,
+            "cases": r.cases_checked,
+            "proved": r.proved,
+        }
+        for r in report.results
+    ]
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        f"lemmas: {modularity['lemmas']} "
+        f"(paper's Coq proof: 57 lemmas / 1800 LoC)"
+    )
+    lines.append(f"per-sublayer: {modularity['per_sublayer']}")
+    lines.append(
+        f"modular fraction (lemmas local to one sublayer): "
+        f"{modularity['modular_fraction']:.0%} — the paper's lesson 1"
+    )
+    lines.append(f"total cases checked (bound {MAX_LEN} bits): {report.total_cases}")
+    lines.append(
+        "low-overhead rule library also fully proved: "
+        f"{low_report.proved}"
+    )
+    write_result("e1_bitstuff_verify", lines)
+
+    # shape assertions
+    assert modularity["modular_fraction"] > 0.5
+    assert modularity["per_sublayer"]["stuffing"] >= 4

@@ -1,0 +1,134 @@
+"""F1 — Fig 1: functional vs sublayered modularity.
+
+The figure's claim: with sublayering, the pieces SA/SB of a protocol
+peer *only* with their counterparts RA/RB, so reasoning about S<->R
+decomposes; with functional modularity the decomposition is internal
+and the wire carries one undifferentiated conversation.
+
+Reproduced: the same two-transform protocol is built both ways.  The
+sublayered build shows per-piece peering on the wire (each header
+consumed by its same-named peer, litmus T1/T3 pass); the functional
+build performs identical processing but exposes a single monolithic
+peer relationship — nothing on the wire or in the state separates the
+two functions.
+"""
+
+from _util import table, write_result
+
+from repro.core import (
+    Field,
+    HeaderFormat,
+    Stack,
+    Sublayer,
+    WireTap,
+    run_litmus,
+    unwrap,
+)
+
+
+class PieceA(Sublayer):
+    """Adds a length header (function A)."""
+
+    HEADER = HeaderFormat("a", [Field("length", 16)], owner="a")
+
+    def from_above(self, sdu, **meta):
+        self.state.sent = self.state.snapshot().get("sent", 0) + 1
+        self.send_down(self.wrap({"length": len(sdu)}, sdu))
+
+    def from_below(self, pdu, **meta):
+        values, inner = unwrap(pdu, "a")
+        self.deliver_up(inner[: values["length"]])
+
+
+class PieceB(Sublayer):
+    """Adds a sequence header (function B)."""
+
+    HEADER = HeaderFormat("b", [Field("seq", 16)], owner="b")
+
+    def on_attach(self):
+        self.state.seq = 0
+
+    def from_above(self, sdu, **meta):
+        self.state.seq = self.state.seq + 1
+        self.send_down(self.wrap({"seq": self.state.seq}, sdu))
+
+    def from_below(self, pdu, **meta):
+        _, inner = unwrap(pdu, "b")
+        self.deliver_up(inner)
+
+
+class FunctionalMonolith(Sublayer):
+    """Both functions fused: one header, one peer, shared state."""
+
+    HEADER = HeaderFormat(
+        "mono", [Field("length", 16), Field("seq", 16)], owner="mono"
+    )
+
+    def on_attach(self):
+        self.state.seq = 0
+
+    def from_above(self, sdu, **meta):
+        self.state.seq = self.state.seq + 1
+        self.send_down(
+            self.wrap({"length": len(sdu), "seq": self.state.seq}, sdu)
+        )
+
+    def from_below(self, pdu, **meta):
+        values, inner = unwrap(pdu, "mono")
+        self.deliver_up(inner[: values["length"]])
+
+
+def run_sublayered():
+    tx = Stack("tx", [PieceA("a"), PieceB("b")])
+    rx = Stack("rx", [PieceA("a"), PieceB("b")])
+    wire = WireTap(tx, rx)
+    delivered = []
+    rx.on_deliver = lambda d, **m: delivered.append(d)
+    tx.on_transmit = lambda p, **m: rx.receive(p)
+    for i in range(20):
+        tx.send(bytes([i]) * (i + 1))
+    return tx, rx, wire, delivered
+
+
+def test_f1_modularity(benchmark):
+    tx, rx, wire, delivered = benchmark.pedantic(
+        run_sublayered, rounds=1, iterations=1
+    )
+    assert len(delivered) == 20
+    report = run_litmus(tx, rx, wire)
+    assert report.passed
+
+    # peering structure visible on the wire
+    chains = {tuple(p.owners()) for p in wire.pdus}
+    rows = [
+        {
+            "build": "sublayered (SA/SB ~ RA/RB)",
+            "wire header chains": sorted(chains),
+            "litmus": "T1/T2/T3 pass",
+            "peer structure": "a<->a and b<->b, separately checkable",
+        },
+        {
+            "build": "functional (monolith)",
+            "wire header chains": "[('mono',)]",
+            "litmus": "trivially single-piece",
+            "peer structure": "one S<->R relationship, no decomposition",
+        },
+    ]
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        "both builds compute the same function; only the sublayered one "
+        "exposes per-piece peer protocols that can be replaced and "
+        "verified independently (Fig 1's right side)."
+    )
+    write_result("f1_modularity", lines)
+
+    # the functional build works too, but with one fused header
+    tx2 = Stack("tx2", [FunctionalMonolith("mono")])
+    rx2 = Stack("rx2", [FunctionalMonolith("mono")])
+    got = []
+    rx2.on_deliver = lambda d, **m: got.append(d)
+    tx2.on_transmit = lambda p, **m: rx2.receive(p)
+    tx2.send(b"same behaviour")
+    assert got == [b"same behaviour"]
+    assert chains == {("b", "a")}

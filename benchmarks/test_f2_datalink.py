@@ -1,0 +1,88 @@
+"""F2 — Fig 2: the four data-link sublayers compose and swap freely.
+
+The figure's claims: encoding/decoding at the bottom, framing above
+it, error detection above that, and error recovery (or MAC) on top;
+"the sublayer can be changed (to go from say CRC-32 to CRC-64) without
+changing other sublayers".
+
+Reproduced: a 5-sublayer HDLC-style stack runs over a link with bit
+errors, loss and duplication; then every sublayer is swapped in turn —
+line code, stuffing rule, detection code, ARQ scheme — and the same
+workload still arrives intact, with litmus T1/T2/T3 passing each time.
+"""
+
+from _util import table, write_result
+
+from repro.core.litmus import WireTap, run_litmus
+from repro.datalink import (
+    CRC16_CCITT,
+    CRC64_ECMA,
+    CrcCode,
+    collect_bytes,
+    connect_hdlc_pair,
+    send_bytes,
+)
+from repro.datalink.framing import LOW_OVERHEAD_RULE
+from repro.phys import FourBFiveB, Manchester
+from repro.sim import LinkConfig, Simulator
+
+LINK = dict(delay=0.01, loss=0.08, bit_error_rate=0.0008, duplicate=0.04)
+FRAMES = [f"frame-{i:02d}-payload".encode() for i in range(25)]
+
+
+def run_variant(**kwargs):
+    sim = Simulator()
+    a, b, _ = connect_hdlc_pair(
+        sim, LinkConfig(**LINK), retransmit_timeout=0.1, **kwargs
+    )
+    wire = WireTap(a, b)
+    received = collect_bytes(b)
+    for frame in FRAMES:
+        send_bytes(a, frame)
+    sim.run(until=120)
+    litmus = run_litmus(a, b, wire)
+    return {
+        "delivered": len(received),
+        "intact": received == FRAMES,
+        "crc_catches": b.sublayer("errordetect").state.snapshot()[
+            "detected_errors"
+        ],
+        "retransmits": a.sublayer("recovery").state.snapshot()[
+            "data_retransmitted"
+        ],
+        "litmus": "pass" if litmus.passed else "FAIL",
+    }
+
+
+VARIANTS = [
+    ("baseline (GBN, CRC-32, HDLC rule, NRZ)", {}),
+    ("swap recovery -> selective repeat", {"arq": "selective-repeat"}),
+    ("swap recovery -> stop-and-wait", {"arq": "stop-and-wait"}),
+    ("swap detection -> CRC-64", {"code": CrcCode(CRC64_ECMA)}),
+    ("swap detection -> CRC-16", {"code": CrcCode(CRC16_CCITT)}),
+    ("swap framing rule -> paper's low-overhead", {"rule": LOW_OVERHEAD_RULE}),
+    ("swap encoding -> Manchester", {"line_code": Manchester()}),
+    ("swap encoding -> 4B/5B", {"line_code": FourBFiveB()}),
+]
+
+
+def test_f2_datalink_sublayer_swaps(benchmark):
+    baseline = benchmark.pedantic(run_variant, rounds=1, iterations=1)
+    rows = [{"variant": VARIANTS[0][0], **baseline}]
+    for name, kwargs in VARIANTS[1:]:
+        rows.append({"variant": name, **run_variant(**kwargs)})
+
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        "every swap touches exactly one sublayer's constructor argument; "
+        "all eight variants deliver the full workload in order over the "
+        "same impaired link and pass T1/T2/T3."
+    )
+    write_result("f2_datalink", lines)
+
+    for row in rows:
+        assert row["intact"], row
+        assert row["litmus"] == "pass", row
+    # error detection earns its keep under bit errors
+    assert sum(row["crc_catches"] for row in rows) > 0

@@ -1,0 +1,93 @@
+"""F6 — Fig 6: the sublayered header is isomorphic to RFC 793.
+
+Paper: "we claim that the two headers are isomorphic.  Our intent is
+that all information in the standard TCP header appear in Figure 6 and
+vice versa."
+
+Reproduced: (a) a complete field-correspondence audit — every field of
+both formats classified; (b) behavioural round trips through the shim
+across randomized header populations; (c) the size accounting of the
+native header (the ISN redundancy the paper concedes)."""
+
+import random
+
+from _util import table, write_result
+
+from repro.analysis.headers import (
+    ISOMORPHISM_TABLE,
+    check_data_segment_roundtrip,
+    native_fields_covered,
+    rfc793_fields_covered,
+)
+from repro.transport.rfc793 import TCP_HEADER
+from repro.transport.sublayered.headers import (
+    CM_HEADER,
+    DM_HEADER,
+    NATIVE_HEADER_BITS,
+    OSR_HEADER,
+    RD_HEADER,
+)
+
+
+def randomized_roundtrips(count: int = 200, seed: int = 0) -> int:
+    rng = random.Random(seed)
+    failures = 0
+    for _ in range(count):
+        outcome = check_data_segment_roundtrip(
+            sport=rng.randrange(1, 65536),
+            dport=rng.randrange(1, 65536),
+            isn=rng.randrange(2**32),
+            ack_isn=rng.randrange(2**32),
+            offset=rng.randrange(2**20),
+            ack=rng.randrange(2**20),
+            wnd=rng.randrange(2**16),
+            payload=bytes(rng.randrange(256) for _ in range(rng.randrange(1, 64))),
+        )
+        if not all(outcome.values()):
+            failures += 1
+    return failures
+
+
+def test_f6_header_isomorphism(benchmark):
+    failures = benchmark.pedantic(randomized_roundtrips, rounds=1, iterations=1)
+    assert failures == 0
+
+    rows = [
+        {
+            "native field": m.native,
+            "rfc793 field": m.rfc793 or "-",
+            "relation": m.relation,
+            "note": m.note[:54],
+        }
+        for m in ISOMORPHISM_TABLE
+    ]
+    lines = table(rows)
+    lines.append("")
+    native_cover = native_fields_covered()
+    rfc_cover = rfc793_fields_covered()
+    lines.append(
+        f"audit: {sum(native_cover.values())}/{len(native_cover)} native "
+        f"fields and {sum(rfc_cover.values())}/{len(rfc_cover)} RFC 793 "
+        f"fields accounted for"
+    )
+    lines.append(
+        f"behavioural: 200 randomized data-segment round trips through the "
+        f"shim, {failures} failures"
+    )
+    subheaders = {
+        "dm": DM_HEADER.bit_width,
+        "cm": CM_HEADER.bit_width,
+        "rd": RD_HEADER.bit_width,
+        "osr": OSR_HEADER.bit_width,
+    }
+    lines.append(
+        f"native header: {subheaders} = {NATIVE_HEADER_BITS} bits vs "
+        f"RFC 793's {TCP_HEADER.bit_width}; the difference is dominated by "
+        f"the static CM echo ('the ISN header is redundant [but] static "
+        f"after the initial handshake' — Section 3.1) and the always-"
+        f"present SACK range"
+    )
+    write_result("f6_header_iso", lines)
+
+    assert all(native_cover.values())
+    assert all(rfc_cover.values())

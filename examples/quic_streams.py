@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Mini-QUIC: the paper's Section 5 sublayering, running.
+
+Stream > connection > record > DM.  The demo fetches three "resources"
+on three independent streams over a lossy link, shows that everything
+on the wire is sealed ciphertext, and that a loss stalls only the
+stream it hit (no head-of-line blocking across streams).
+
+Run:  python examples/quic_streams.py
+"""
+
+import random
+
+from repro.sim import DuplexLink, LinkConfig, Simulator
+from repro.transport.quic import QuicHost
+
+RESOURCES = {
+    1: b"<html>the index page</html>" * 40,
+    2: b"body { color: teal }" * 60,
+    3: b"\x89PNG fake image bytes" * 80,
+}
+
+
+def main() -> None:
+    sim = Simulator()
+    client = QuicHost("client", sim.clock())
+    server = QuicHost("server", sim.clock())
+    link = DuplexLink(
+        sim,
+        LinkConfig(delay=0.025, rate_bps=4_000_000, loss=0.08),
+        rng_forward=random.Random(5),
+        rng_reverse=random.Random(6),
+    )
+    link.attach(client, server)
+
+    # watch the wire for plaintext leaks
+    leaks = []
+    forward = client.on_transmit
+
+    def tap(unit, **meta):
+        record = unit.find("record")
+        if record is not None:
+            sealed = bytes(record.payload())
+            if any(body[:16] in sealed for body in RESOURCES.values()):
+                leaks.append(unit)
+        forward(unit, **meta)
+
+    client.on_transmit = tap
+
+    server.listen(443)
+
+    def accept(conn):
+        def on_data(stream_id, _chunk):
+            # serve the request on the same stream
+            if conn.stream_bytes(stream_id) == b"GET":
+                conn.send(stream_id, RESOURCES[stream_id], fin=True)
+
+        conn.on_stream_data = on_data
+
+    server.on_accept = accept
+
+    done_at = {}
+    conn = client.connect(40000, 443)
+    conn.on_stream_fin = lambda sid: done_at.setdefault(sid, sim.now)
+    conn.on_connect = lambda: [
+        conn.send(sid, b"GET", fin=False) for sid in RESOURCES
+    ]
+    sim.run(until=60)
+
+    print("fetched over three independent streams (8% loss link):")
+    for sid, body in RESOURCES.items():
+        got = conn.stream_bytes(sid)
+        print(f"  stream {sid}: {len(got):>5} bytes "
+              f"({'intact' if got == body else 'CORRUPT'}), "
+              f"finished at t={done_at.get(sid, float('nan')):.3f}s")
+    stats = client.stack.sublayer("connection").state.snapshot()
+    print(f"\nloss recovery: {stats['packets_declared_lost']} packets "
+          f"declared lost, {stats['frames_retransmitted']} frames "
+          f"retransmitted (in new packets, QUIC-style)")
+    record = server.stack.sublayer("record").state.snapshot()
+    print(f"record sublayer: {record['opened']} packets opened, "
+          f"{record['auth_failures']} auth failures")
+    print(f"plaintext leaks on the wire: {len(leaks)} "
+          f"(the record sublayer seals everything above it)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The network-layer sublayers of Figs 3/4: neighbor determination,
+route computation, forwarding — with the routing algorithm swapped
+live between runs and a link failure healed by reconvergence.
+
+Run:  python examples/routed_network.py
+"""
+
+from repro.network import DistanceVector, LinkState, Topology
+from repro.sim import Simulator
+
+#          1 --- 2 --- 5
+#          |     |     |
+#          4 --- 3 --- 6
+EDGES = [(1, 2), (2, 5), (5, 6), (6, 3), (3, 2), (3, 4), (4, 1)]
+
+
+def run(routing_cls) -> None:
+    print(f"--- route computation: {routing_cls.name} ---")
+    sim = Simulator()
+    topo = Topology.build(sim, EDGES, routing_cls=routing_cls)
+    topo.start()
+    when = topo.converge(timeout=60)
+    print(f"converged at t={when:.2f}s "
+          f"(all FIBs match the shortest-path oracle)")
+
+    topo.send_data(1, 6, b"across the mesh")
+    sim.run(until=sim.now + 1)
+    print(f"1 -> 6 delivered: {topo.delivered[-1].payload!r} "
+          f"via FIB next-hop {topo.routers[1].forwarding.fib()[6]}")
+
+    print("failing link 2-5 ...")
+    topo.fail_link(2, 5)
+    before = sim.now
+    when = topo.converge(timeout=120)
+    print(f"reconverged {when - before:.2f}s after the failure "
+          f"(hello dead-interval + recomputation)")
+    topo.send_data(1, 5, b"rerouted")
+    sim.run(until=sim.now + 1)
+    print(f"1 -> 5 now travels via next-hop "
+          f"{topo.routers[1].forwarding.fib()[5]} "
+          f"(delivered: {topo.delivered[-1].payload!r})")
+
+    control = topo.routers[1].routing.state.snapshot()["updates_received"]
+    print(f"router 1 consumed {control} {routing_cls.CONTROL_KINDS[0]} "
+          f"control packets; its forwarding sublayer never saw one (T3)\n")
+
+
+def main() -> None:
+    run(LinkState)
+    run(DistanceVector)
+    print("the forwarding sublayer code was identical in both runs —")
+    print("route computation swapped without touching it (Fig 3's claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Verified bit stuffing (the paper's Section 4.1 experiment).
+
+1. Proves the per-sublayer lemma library for the HDLC rule — the
+   Python analogue of the paper's 57-lemma Coq proof, with the same
+   modular structure (stuffing lemmas, flag lemmas, interface lemmas).
+2. Shows bug localization: a deliberately broken rule fails exactly
+   the stuffing/flags *interface* lemma, with a machine-found
+   counterexample, while both sublayers' local lemmas keep holding.
+3. Searches the rule space for valid alternatives (the paper found 66)
+   and ranks them by exact overhead — then actually *uses* the
+   discovered low-overhead rule in a running HDLC-style data link over
+   a noisy channel.
+
+Run:  python examples/verified_framing.py
+"""
+
+from repro.core.bits import Bits
+from repro.datalink import collect_bytes, connect_hdlc_pair, send_bytes
+from repro.datalink.framing import (
+    HDLC_RULE,
+    LOW_OVERHEAD_RULE,
+    StuffingRule,
+    build_framing_library,
+    exact_overhead,
+    find_valid_rules,
+    prefix_rule_space,
+)
+from repro.sim import LinkConfig, Simulator
+
+
+def prove_hdlc() -> None:
+    print("=== 1. proving the framing lemma library for HDLC ===")
+    library = build_framing_library(HDLC_RULE, max_len=9)
+    report = library.prove_all()
+    print(report.summary())
+    modularity = library.modularity_report()
+    print(f"\nmodularity: {modularity['per_sublayer']} — "
+          f"{modularity['modular_fraction']:.0%} of lemmas are local to "
+          f"one sublayer (the paper's lesson 1)\n")
+
+
+def localize_broken_rule() -> None:
+    print("=== 2. bug localization on an invalid rule ===")
+    bad = StuffingRule(
+        flag=Bits.from_string("01111110"),
+        trigger=Bits.from_string("1111110"),
+        stuff_bit=1,
+    )
+    print(f"rule under test: {bad.label()}")
+    library = build_framing_library(bad, max_len=8, include_stream=False)
+    report = library.prove_all()
+    for result in report.results:
+        status = "proved" if result.proved else "FAILED"
+        print(f"  {result.lemma:<32} {status}")
+        if not result.proved and result.counterexample:
+            (data,) = result.counterexample
+            print(f"      counterexample: D = {data.to_string() or 'ε'}")
+    print("the failures name the stuffing/flags interface — the bug is in\n"
+          "the rule's relationship between the sublayers, not in either\n"
+          "sublayer's mechanism\n")
+
+
+def search_rules() -> StuffingRule:
+    print("=== 3. searching for valid stuffing rules ===")
+    result = find_valid_rules(prefix_rule_space(flag_bits=8), semantics="stream")
+    print(f"candidates: {result.candidates}, valid: {result.valid_count} "
+          f"(paper's Coq search found 66)")
+    better = result.better_than(HDLC_RULE)
+    print(f"rules with lower exact overhead than HDLC (1/62): {len(better)}")
+    best, best_cost = result.ranked_by_overhead()[0]
+    print(f"best discovered: {best.label()} — overhead "
+          f"1/{round(1 / best_cost)} vs paper's 1/128 claim for "
+          f"{LOW_OVERHEAD_RULE.label()}")
+    return best
+
+
+def use_rule(rule: StuffingRule) -> None:
+    print(f"\n=== 4. running a data link with the discovered rule ===")
+    sim = Simulator()
+    a, b, _ = connect_hdlc_pair(
+        sim,
+        LinkConfig(delay=0.01, bit_error_rate=0.001, loss=0.05),
+        rule=rule,
+        retransmit_timeout=0.1,
+    )
+    received = collect_bytes(b)
+    frames = [f"frame number {i}".encode() for i in range(20)]
+    for frame in frames:
+        send_bytes(a, frame)
+    sim.run(until=60)
+    ok = received == frames
+    errors = b.sublayer("errordetect").state.snapshot()["detected_errors"]
+    print(f"delivered {len(received)}/{len(frames)} frames "
+          f"({'in order, intact' if ok else 'MISMATCH'}); "
+          f"CRC caught {errors} corrupted frames on the way")
+
+
+def main() -> None:
+    prove_hdlc()
+    localize_broken_rule()
+    best = search_rules()
+    use_rule(best)
+
+
+if __name__ == "__main__":
+    main()

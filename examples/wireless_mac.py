@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The broadcast branch of Fig 2: MAC replaces error recovery.
+
+Four stations share one medium; each MAC scheme (pure ALOHA vs
+1-persistent CSMA) arbitrates the same offered load.  Collisions are
+physical events on the shared channel; carrier sensing visibly reduces
+them.  Everything below the MAC — error detection, the verified
+bit-stuffing framing, line coding — is byte-for-byte the same stack as
+the wired HDLC example: only the top sublayer changed.
+
+Run:  python examples/wireless_mac.py
+"""
+
+import random
+
+from repro.datalink import build_wireless_station, collect_bytes, send_bytes
+from repro.sim import BroadcastMedium, Simulator
+
+
+def run(mac: str, stations: int = 4, frames_each: int = 5) -> None:
+    sim = Simulator()
+    medium = BroadcastMedium(sim, rate_bps=200_000.0)
+    stacks = [
+        build_wireless_station(
+            sim, medium, address=i, mac=mac, rng=random.Random(100 + i)
+        )
+        for i in range(stations)
+    ]
+    inboxes = [collect_bytes(stack) for stack in stacks]
+
+    # everyone talks at once: worst-case contention
+    for i, stack in enumerate(stacks):
+        for k in range(frames_each):
+            send_bytes(stack, f"station-{i} frame-{k}".encode())
+    sim.run(until=300)
+
+    expected_per_station = (stations - 1) * frames_each
+    received = [len(set(inbox)) for inbox in inboxes]
+    print(f"--- {mac} ---")
+    print(f"  transmissions: {medium.stats.transmissions}, "
+          f"collisions: {medium.stats.collisions}")
+    print(f"  frames heard per station: {received} "
+          f"(expected {expected_per_station} each)")
+    complete = all(r == expected_per_station for r in received)
+    print(f"  everyone eventually heard everything: {complete}")
+
+
+def main() -> None:
+    run("aloha")
+    run("csma")
+    print("\ncarrier sensing (CSMA) resolves the same load with fewer")
+    print("collisions — a MAC-sublayer-local improvement.")
+
+
+if __name__ == "__main__":
+    main()

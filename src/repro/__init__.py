@@ -1,0 +1,27 @@
+"""repro — a reproduction of "If Layering is useful, why not Sublayering?"
+
+(Singha et al., HotNets 2024.)
+
+The library implements the paper's *sublayering* proposal end to end:
+
+* :mod:`repro.core` — the sublayering framework: sublayers, stacks,
+  bit-owned headers, narrow interfaces, contracts, and the automated
+  T1/T2/T3 litmus tests;
+* :mod:`repro.sim` — a discrete-event network simulator substrate;
+* :mod:`repro.phys` — physical-layer encodings;
+* :mod:`repro.datalink` — the four data-link sublayers of Fig 2,
+  including the verified bit-stuffing framing of Section 4.1;
+* :mod:`repro.network` — the network-layer sublayers of Figs 3/4;
+* :mod:`repro.transport` — the sublayered TCP of Fig 5 plus an
+  lwIP-style monolithic TCP baseline and an interop shim;
+* :mod:`repro.verify` — lemma framework, explicit-state model checker,
+  and ownership/interference analysis (the Coq/Dafny substitute);
+* :mod:`repro.analysis` — entanglement metrics, offload cost model,
+  and the Fig 6 header-isomorphism checker.
+"""
+
+__version__ = "0.1.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

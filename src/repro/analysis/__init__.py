@@ -1,0 +1,48 @@
+"""Analyses over instrumented runs: entanglement (A1), hardware-offload
+partitions (C6), and the Fig 6 header isomorphism (F6)."""
+
+from .entanglement import (
+    ActorFootprint,
+    coupling_matrix,
+    entanglement_rows,
+    entanglement_score,
+    footprints,
+)
+from .headers import (
+    ISOMORPHISM_TABLE,
+    FieldMapping,
+    check_data_segment_roundtrip,
+    isomorphism_report,
+    native_fields_covered,
+    rfc793_fields_covered,
+    roundtrip_native,
+)
+from .offload import (
+    MONOLITHIC_PARTITIONS,
+    SUBLAYER_PARTITIONS,
+    OffloadReport,
+    Partition,
+    evaluate_partition,
+    evaluate_partitions,
+)
+
+__all__ = [
+    "ActorFootprint",
+    "FieldMapping",
+    "ISOMORPHISM_TABLE",
+    "MONOLITHIC_PARTITIONS",
+    "OffloadReport",
+    "Partition",
+    "SUBLAYER_PARTITIONS",
+    "check_data_segment_roundtrip",
+    "coupling_matrix",
+    "entanglement_rows",
+    "entanglement_score",
+    "evaluate_partition",
+    "evaluate_partitions",
+    "footprints",
+    "isomorphism_report",
+    "native_fields_covered",
+    "rfc793_fields_covered",
+    "roundtrip_native",
+]

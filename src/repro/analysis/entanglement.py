@@ -1,0 +1,122 @@
+"""Entanglement metrics — quantifying Section 2.3's diagnosis.
+
+"Transports like TCP or QUIC have natural subfunctions ... [but] the
+state maintained by the transport layer is shared by all of these
+subfunctions, which leads to non-modular code that is challenging to
+reason about."
+
+Building on :mod:`repro.verify.ownership`, this module produces the A1
+benchmark's tables: per-subfunction state footprints, the pairwise
+coupling matrix (how much state two subfunctions share), and a single
+entanglement score for comparing the monolithic PCB against the
+sublayered stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instrument import AccessLog
+
+
+@dataclass
+class ActorFootprint:
+    """One subfunction's view of the state."""
+
+    actor: str
+    reads: set[tuple[str, str]]
+    writes: set[tuple[str, str]]
+
+    @property
+    def touched(self) -> set[tuple[str, str]]:
+        return self.reads | self.writes
+
+
+def footprints(
+    log: AccessLog, targets: set[str] | None = None
+) -> dict[str, ActorFootprint]:
+    """Per-actor read/write field sets."""
+    out: dict[str, ActorFootprint] = {}
+    for record in log.records:
+        if record.actor is None:
+            continue
+        if targets is not None and record.target not in targets:
+            continue
+        footprint = out.setdefault(
+            record.actor, ActorFootprint(record.actor, set(), set())
+        )
+        key = (record.target, record.field)
+        if record.kind == "read":
+            footprint.reads.add(key)
+        else:
+            footprint.writes.add(key)
+    return out
+
+
+def coupling_matrix(
+    log: AccessLog, targets: set[str] | None = None
+) -> dict[tuple[str, str], int]:
+    """For each actor pair: how many state fields both touch.
+
+    A nonzero entry is a reasoning dependency — to verify one actor you
+    must consider the other's writes.  The paper's O(N^2) worry is this
+    matrix filling in.
+    """
+    prints = footprints(log, targets)
+    actors = sorted(prints)
+    matrix: dict[tuple[str, str], int] = {}
+    for i, a in enumerate(actors):
+        for b in actors[i + 1 :]:
+            overlap = prints[a].touched & prints[b].touched
+            matrix[(a, b)] = len(overlap)
+    return matrix
+
+
+def entanglement_score(
+    log: AccessLog, targets: set[str] | None = None
+) -> float:
+    """Mean pairwise Jaccard overlap of actor state footprints.
+
+    0.0 = perfectly disjoint (sublayered ideal); 1.0 = everyone touches
+    everything (one big PCB).
+    """
+    prints = footprints(log, targets)
+    actors = sorted(prints)
+    if len(actors) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i, a in enumerate(actors):
+        for b in actors[i + 1 :]:
+            union = prints[a].touched | prints[b].touched
+            if union:
+                total += len(prints[a].touched & prints[b].touched) / len(union)
+            pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+def entanglement_rows(
+    log: AccessLog, targets: set[str] | None = None
+) -> list[dict[str, object]]:
+    """The A1 table: one row per subfunction."""
+    prints = footprints(log, targets)
+    all_touched: dict[tuple[str, str], set[str]] = {}
+    for footprint in prints.values():
+        for key in footprint.touched:
+            all_touched.setdefault(key, set()).add(footprint.actor)
+    rows = []
+    for actor in sorted(prints):
+        footprint = prints[actor]
+        shared = {
+            key for key in footprint.touched if len(all_touched[key]) > 1
+        }
+        rows.append({
+            "subfunction": actor,
+            "fields_read": len(footprint.reads),
+            "fields_written": len(footprint.writes),
+            "fields_shared_with_others": len(shared),
+            "shared_fraction": (
+                len(shared) / len(footprint.touched) if footprint.touched else 0.0
+            ),
+        })
+    return rows

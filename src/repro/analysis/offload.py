@@ -1,0 +1,164 @@
+"""Hardware-offload cost model — experiment C6.
+
+Section 3.1: "Figure 5 offers a principled way to offload parts of TCP
+processing to hardware.  For example, OSR, which appears complex and
+likely to evolve, is best relegated to software.  A simple
+decomposition places RD, CM, and DM in hardware; with more finagling
+and a modest duplication of state, only RD can be placed in hardware."
+Section 6 contrasts this with functional-modularity offloads
+(AccelTCP moves connection management to the NIC; TAS splits a fast
+path from a slow path).
+
+The model (DESIGN.md §1 substitution for an FPGA): given an executed,
+instrumented run, a *partition* assigns each component (sublayer or
+monolithic subfunction) to hardware or software, and costs out:
+
+* **boundary crossings** — consecutive state accesses by components on
+  opposite sides (each is a PCIe-round-trip-shaped event);
+* **duplicated state** — fields touched from both sides, which an
+  implementation must mirror and keep coherent (the paper's "modest
+  duplication of state", measured);
+* **software touches** — accesses remaining on the slow side.
+
+Who wins is a property of where the decomposition's seams fall, which
+is exactly what the sublayering argument is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.instrument import AccessLog
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A hardware/software assignment of components."""
+
+    name: str
+    hardware: frozenset[str]
+    description: str = ""
+
+    @classmethod
+    def of(cls, name: str, hardware: set[str], description: str = "") -> "Partition":
+        return cls(name, frozenset(hardware), description)
+
+    def side(self, component: str) -> str:
+        return "hw" if component in self.hardware else "sw"
+
+
+#: The paper's sublayer cuts (Fig 5 components).
+SUBLAYER_PARTITIONS = [
+    Partition.of(
+        "all-software", set(),
+        "baseline: nothing offloaded",
+    ),
+    Partition.of(
+        "rd-cm-dm-in-hw", {"rd", "cm", "dm"},
+        'the paper\'s "simple decomposition": OSR stays in software',
+    ),
+    Partition.of(
+        "rd-only-in-hw", {"rd"},
+        'the paper\'s "more finagling" cut: only reliable delivery offloads',
+    ),
+    Partition.of(
+        "dm-only-in-hw", {"dm"},
+        "demux offload (RSS-style)",
+    ),
+]
+
+#: Functional-modularity cuts over the monolithic subfunctions.
+MONOLITHIC_PARTITIONS = [
+    Partition.of(
+        "all-software", set(),
+        "baseline: nothing offloaded",
+    ),
+    Partition.of(
+        "accel-tcp-style", {"cm", "demux"},
+        "AccelTCP: connection management (and demux) on the NIC",
+    ),
+    Partition.of(
+        "fast-path-style", {"demux", "rd", "cc", "flow"},
+        "TAS: the established-connection fast path in hardware, "
+        "connection management in software",
+    ),
+    Partition.of(
+        "rd-subfunction-in-hw", {"rd", "demux"},
+        "reliable delivery alone — the nearest analogue of the "
+        "sublayered rd-only cut, to expose the state it drags along",
+    ),
+]
+
+
+@dataclass
+class OffloadReport:
+    """The cost of one partition over one execution."""
+
+    partition: Partition
+    boundary_crossings: int
+    duplicated_fields: list[tuple[str, str]]
+    hw_touches: int
+    sw_touches: int
+
+    @property
+    def duplicated_state(self) -> int:
+        return len(self.duplicated_fields)
+
+    @property
+    def offload_fraction(self) -> float:
+        total = self.hw_touches + self.sw_touches
+        return self.hw_touches / total if total else 0.0
+
+    def row(self) -> dict[str, object]:
+        return {
+            "partition": self.partition.name,
+            "crossings": self.boundary_crossings,
+            "duplicated_state_fields": self.duplicated_state,
+            "offload_fraction": round(self.offload_fraction, 3),
+        }
+
+
+def evaluate_partition(
+    log: AccessLog,
+    partition: Partition,
+    targets: set[str] | None = None,
+) -> OffloadReport:
+    """Cost a partition against an instrumented run's access log."""
+    records = [
+        r
+        for r in log.records
+        if r.actor is not None and (targets is None or r.target in targets)
+    ]
+    crossings = 0
+    previous_side: str | None = None
+    touched_by_side: dict[tuple[str, str], set[str]] = {}
+    hw_touches = 0
+    sw_touches = 0
+    for r in records:
+        side = partition.side(r.actor)
+        if previous_side is not None and side != previous_side:
+            crossings += 1
+        previous_side = side
+        touched_by_side.setdefault((r.target, r.field), set()).add(side)
+        if side == "hw":
+            hw_touches += 1
+        else:
+            sw_touches += 1
+    duplicated = sorted(
+        key for key, sides in touched_by_side.items() if len(sides) == 2
+    )
+    return OffloadReport(
+        partition=partition,
+        boundary_crossings=crossings,
+        duplicated_fields=duplicated,
+        hw_touches=hw_touches,
+        sw_touches=sw_touches,
+    )
+
+
+def evaluate_partitions(
+    log: AccessLog,
+    partitions: list[Partition],
+    targets: set[str] | None = None,
+) -> list[OffloadReport]:
+    return [evaluate_partition(log, p, targets) for p in partitions]

@@ -1,0 +1,123 @@
+"""Core sublayering framework — the paper's primary contribution.
+
+This package provides the vocabulary everything else is written in:
+
+* :class:`~repro.core.sublayer.Sublayer` — one slice of a layer;
+* :class:`~repro.core.stack.Stack` — an ordered sublayer composition;
+* :class:`~repro.core.header.HeaderFormat` — bit-owned header layouts;
+* :class:`~repro.core.pdu.Pdu` — per-sublayer headers wrapping SDUs;
+* :class:`~repro.core.interface.ServiceInterface` — narrow control
+  interfaces between adjacent sublayers;
+* :mod:`~repro.core.contracts` — per-sublayer service contracts;
+* :mod:`~repro.core.litmus` — automated T1/T2/T3 litmus tests;
+* :mod:`~repro.core.instrument` — actor-tracked state instrumentation.
+"""
+
+from .bits import Bits, all_bitstrings, all_bitstrings_up_to
+from .clock import Clock, ManualClock, TimerHandle
+from .contracts import (
+    ByteStreamIntegrity,
+    Contract,
+    ContractMonitor,
+    ExactlyOnceDelivery,
+    InOrderDelivery,
+    LocalizationReport,
+    NoCorruption,
+    Observation,
+    evaluate_contracts,
+)
+from .errors import (
+    ChecksumError,
+    ConfigurationError,
+    ContractViolation,
+    FramingError,
+    HeaderError,
+    LitmusFailure,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    VerificationError,
+)
+from .header import Field, HeaderFormat, concat_formats
+from .instrument import Access, AccessLog, InstrumentedState, acting_as, current_actor
+from .interface import (
+    BoundPort,
+    InterfaceCall,
+    InterfaceLog,
+    Notification,
+    Primitive,
+    ServiceInterface,
+)
+from .litmus import (
+    DEFAULT_MAX_INTERFACE_WIDTH,
+    LitmusReport,
+    TestResult,
+    WireTap,
+    check_t1_ordering,
+    check_t2_interfaces,
+    check_t3_separation,
+    run_litmus,
+)
+from .pdu import Pdu, unwrap
+from .shim import IdentityShim, ShimSublayer
+from .stack import APP, WIRE, Stack
+from .sublayer import PassthroughSublayer, Sublayer
+
+__all__ = [
+    "APP",
+    "WIRE",
+    "Access",
+    "AccessLog",
+    "Bits",
+    "BoundPort",
+    "ByteStreamIntegrity",
+    "ChecksumError",
+    "Clock",
+    "ConfigurationError",
+    "Contract",
+    "ContractMonitor",
+    "ContractViolation",
+    "DEFAULT_MAX_INTERFACE_WIDTH",
+    "ExactlyOnceDelivery",
+    "Field",
+    "FramingError",
+    "HeaderError",
+    "HeaderFormat",
+    "IdentityShim",
+    "InOrderDelivery",
+    "InstrumentedState",
+    "InterfaceCall",
+    "InterfaceLog",
+    "LitmusFailure",
+    "LitmusReport",
+    "LocalizationReport",
+    "ManualClock",
+    "NoCorruption",
+    "Notification",
+    "Observation",
+    "PassthroughSublayer",
+    "Pdu",
+    "Primitive",
+    "ReproError",
+    "RoutingError",
+    "ServiceInterface",
+    "ShimSublayer",
+    "SimulationError",
+    "Stack",
+    "Sublayer",
+    "TestResult",
+    "TimerHandle",
+    "VerificationError",
+    "WireTap",
+    "acting_as",
+    "all_bitstrings",
+    "all_bitstrings_up_to",
+    "check_t1_ordering",
+    "check_t2_interfaces",
+    "check_t3_separation",
+    "concat_formats",
+    "current_actor",
+    "evaluate_contracts",
+    "run_litmus",
+    "unwrap",
+]

@@ -1,0 +1,190 @@
+"""Immutable bit strings.
+
+The data-link sublayers of the paper (Section 2.1 and the verified
+bit-stuffing experiment of Section 4.1) operate on *bit* sequences, not
+bytes: stuffing inserts single bits, flags are 8-bit patterns that need
+not be byte aligned after stuffing.  :class:`Bits` is a small immutable
+sequence-of-{0,1} type with the handful of operations those sublayers
+need: concatenation, slicing, pattern search, and byte conversion.
+
+The representation is a ``tuple`` of ints, chosen for hashability (bit
+strings are dictionary keys in the stuffing-rule search and model
+checker) and for simplicity over raw speed; the benchmark workloads are
+kilobits, not gigabits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+
+class Bits(Sequence[int]):
+    """An immutable sequence of bits (each 0 or 1)."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[int] = ()):
+        as_tuple = tuple(int(b) for b in bits)
+        for b in as_tuple:
+            if b not in (0, 1):
+                raise ValueError(f"bit values must be 0 or 1, got {b}")
+        self._bits = as_tuple
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "Bits":
+        """Parse a bit string like ``"01111110"`` (spaces/underscores ignored)."""
+        cleaned = text.replace(" ", "").replace("_", "")
+        if not set(cleaned) <= {"0", "1"}:
+            raise ValueError(f"not a bit string: {text!r}")
+        return cls(int(c) for c in cleaned)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bits":
+        """Expand bytes to bits, most-significant bit first."""
+        out = []
+        for byte in data:
+            for shift in range(7, -1, -1):
+                out.append((byte >> shift) & 1)
+        return cls(out)
+
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "Bits":
+        """Encode ``value`` as a fixed-width big-endian bit string."""
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        return cls((value >> shift) & 1 for shift in range(width - 1, -1, -1))
+
+    @classmethod
+    def zeros(cls, count: int) -> "Bits":
+        return cls([0] * count)
+
+    @classmethod
+    def ones(cls, count: int) -> "Bits":
+        return cls([1] * count)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._bits)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Bits(self._bits[index])
+        return self._bits[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Bits):
+            return self._bits == other._bits
+        if isinstance(other, (tuple, list)):
+            return self._bits == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __add__(self, other: "Bits | Iterable[int]") -> "Bits":
+        if isinstance(other, Bits):
+            return Bits(self._bits + other._bits)
+        return Bits(self._bits + tuple(int(b) for b in other))
+
+    def __radd__(self, other: Iterable[int]) -> "Bits":
+        return Bits(tuple(int(b) for b in other) + self._bits)
+
+    def __mul__(self, count: int) -> "Bits":
+        return Bits(self._bits * count)
+
+    def __repr__(self) -> str:
+        return f"Bits('{self.to_string()}')"
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        return "".join(str(b) for b in self._bits)
+
+    def to_int(self) -> int:
+        """Interpret the bits as a big-endian unsigned integer."""
+        value = 0
+        for bit in self._bits:
+            value = (value << 1) | bit
+        return value
+
+    def to_bytes(self) -> bytes:
+        """Pack to bytes, MSB first.  Length must be a multiple of 8."""
+        if len(self._bits) % 8 != 0:
+            raise ValueError(
+                f"bit length {len(self._bits)} is not a whole number of bytes"
+            )
+        out = bytearray()
+        for i in range(0, len(self._bits), 8):
+            byte = 0
+            for bit in self._bits[i : i + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Pattern operations (used by framing)
+    # ------------------------------------------------------------------
+    def find(self, pattern: "Bits", start: int = 0) -> int:
+        """Index of the first occurrence of ``pattern`` at or after ``start``.
+
+        Returns -1 if the pattern does not occur.
+        """
+        if len(pattern) == 0:
+            return start if start <= len(self) else -1
+        limit = len(self) - len(pattern)
+        probe = pattern._bits
+        for i in range(start, limit + 1):
+            if self._bits[i : i + len(probe)] == probe:
+                return i
+        return -1
+
+    def count_overlapping(self, pattern: "Bits") -> int:
+        """Number of (possibly overlapping) occurrences of ``pattern``."""
+        count = 0
+        index = self.find(pattern)
+        while index != -1:
+            count += 1
+            index = self.find(pattern, index + 1)
+        return count
+
+    def contains(self, pattern: "Bits") -> bool:
+        return self.find(pattern) != -1
+
+    def startswith(self, pattern: "Bits") -> bool:
+        return self._bits[: len(pattern)] == pattern._bits
+
+    def endswith(self, pattern: "Bits") -> bool:
+        if len(pattern) == 0:
+            return True
+        return self._bits[-len(pattern) :] == pattern._bits
+
+
+def all_bitstrings(length: int) -> Iterator[Bits]:
+    """Yield every bit string of exactly ``length`` bits.
+
+    The bounded-exhaustive proof tactic (:mod:`repro.verify.lemma`)
+    iterates this for every length up to its bound.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    for value in range(1 << length):
+        yield Bits.from_int(value, length)
+
+
+def all_bitstrings_up_to(max_length: int) -> Iterator[Bits]:
+    """Yield every bit string of length 0..``max_length`` inclusive."""
+    for length in range(max_length + 1):
+        yield from all_bitstrings(length)

@@ -1,0 +1,97 @@
+"""Clock and timer abstraction shared by stacks and the simulator.
+
+Sublayers that retransmit (error recovery, CM, RD) need timers, but the
+core framework must not depend on the discrete-event engine — data-link
+framing, for one, is a pure function of its input.  :class:`Clock` is
+the minimal protocol both worlds implement:
+
+* :class:`ManualClock` — a standalone clock advanced explicitly by
+  tests and examples that do not need a full simulation;
+* :class:`repro.sim.engine.SimClock` — the same interface backed by the
+  event queue of a :class:`~repro.sim.engine.Simulator`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What a sublayer may assume about time."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> "TimerHandle":
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        ...
+
+
+class TimerHandle:
+    """Cancelable handle for a scheduled callback."""
+
+    __slots__ = ("_cancelled", "when", "callback")
+
+    def __init__(self, when: float, callback: Callable[[], None]):
+        self.when = when
+        self.callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class ManualClock:
+    """A clock driven by explicit :meth:`advance` calls.
+
+    Callbacks scheduled with :meth:`call_later` fire, in timestamp
+    order, as :meth:`advance` moves time past them.  Ties break in
+    scheduling order, like the simulator.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: list[tuple[float, int, TimerHandle]] = []
+        self._counter = itertools.count()
+
+    def now(self) -> float:
+        return self._now
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        handle = TimerHandle(self._now + delay, callback)
+        heapq.heappush(self._queue, (handle.when, next(self._counter), handle))
+        return handle
+
+    def advance(self, duration: float) -> None:
+        """Move time forward, firing due callbacks in order."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        deadline = self._now + duration
+        while self._queue and self._queue[0][0] <= deadline:
+            when, _seq, handle = heapq.heappop(self._queue)
+            self._now = when
+            if not handle.cancelled:
+                handle.callback()
+        self._now = deadline
+
+    def run_until_idle(self, max_time: float = float("inf")) -> None:
+        """Fire all pending callbacks up to ``max_time``."""
+        while self._queue and self._queue[0][0] <= max_time:
+            when, _seq, handle = heapq.heappop(self._queue)
+            self._now = when
+            if not handle.cancelled:
+                handle.callback()
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for _, _, h in self._queue if not h.cancelled)

@@ -1,0 +1,239 @@
+"""Per-sublayer service contracts and the bug-localization machinery.
+
+The paper's debugging claim (Section 1): with sublayering "we can
+localize bugs to sublayers (by examining which sublayer fails its
+contract) compared to a monolithic implementation".  This module makes
+that operational.  A :class:`Contract` states, over an observed
+execution, what one sublayer's service promises its user; a
+:class:`ContractMonitor` taps the data path of a sender/receiver stack
+pair at a given sublayer boundary and evaluates the contract.  When a
+bug is injected into sublayer X, the expectation — checked by the F5
+benchmark — is that exactly the contracts at or above X's boundary
+fail, naming X's stack position, while the contracts below X keep
+passing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from .errors import ConfigurationError, ContractViolation
+from .stack import APP, Stack
+
+
+@dataclass
+class Observation:
+    """Everything a contract may look at: SDUs crossing one boundary."""
+
+    sent: list[Any] = field(default_factory=list)      # entered sender-side boundary (downward)
+    delivered: list[Any] = field(default_factory=list)  # exited receiver-side boundary (upward)
+
+
+class Contract:
+    """A named property of one sublayer's service.
+
+    Subclasses implement :meth:`evaluate`, returning a list of
+    human-readable violation strings (empty when the contract holds).
+    """
+
+    def __init__(self, name: str, sublayer: str):
+        self.name = name
+        self.sublayer = sublayer
+
+    def evaluate(self, obs: Observation) -> list[str]:
+        raise NotImplementedError
+
+    def enforce(self, obs: Observation) -> None:
+        violations = self.evaluate(obs)
+        if violations:
+            raise ContractViolation(self.sublayer, self.name, "; ".join(violations))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r} on {self.sublayer!r})"
+
+
+class ExactlyOnceDelivery(Contract):
+    """Each sent item is delivered exactly once (RD's promise).
+
+    ``key`` extracts a hashable identity from an SDU (defaults to the
+    SDU itself).  Requires the observation to be *quiescent*: all
+    retransmissions done.
+    """
+
+    def __init__(self, sublayer: str, key: Callable[[Any], Hashable] | None = None):
+        super().__init__("exactly-once delivery", sublayer)
+        self._key = key or (lambda sdu: sdu)
+
+    def evaluate(self, obs: Observation) -> list[str]:
+        violations: list[str] = []
+        sent_keys = [self._key(s) for s in obs.sent]
+        delivered_keys = [self._key(d) for d in obs.delivered]
+        sent_set = set(sent_keys)
+        counts: dict[Hashable, int] = {}
+        for k in delivered_keys:
+            counts[k] = counts.get(k, 0) + 1
+        for k, n in counts.items():
+            if k not in sent_set:
+                violations.append(f"delivered item {k!r} that was never sent")
+            elif n > 1:
+                violations.append(f"item {k!r} delivered {n} times")
+        for k in sent_set:
+            if counts.get(k, 0) == 0:
+                violations.append(f"item {k!r} sent but never delivered")
+        return violations
+
+
+class InOrderDelivery(Contract):
+    """Items are delivered in the order they were sent (OSR's promise)."""
+
+    def __init__(self, sublayer: str, key: Callable[[Any], Hashable] | None = None):
+        super().__init__("in-order delivery", sublayer)
+        self._key = key or (lambda sdu: sdu)
+
+    def evaluate(self, obs: Observation) -> list[str]:
+        sent_keys = [self._key(s) for s in obs.sent]
+        delivered_keys = [self._key(d) for d in obs.delivered]
+        positions = {k: i for i, k in enumerate(sent_keys)}
+        last = -1
+        violations: list[str] = []
+        for k in delivered_keys:
+            if k not in positions:
+                violations.append(f"delivered unknown item {k!r}")
+                continue
+            if positions[k] < last:
+                violations.append(f"item {k!r} delivered out of order")
+            last = max(last, positions[k])
+        return violations
+
+
+class ByteStreamIntegrity(Contract):
+    """Delivered bytes form a prefix of (or equal) the sent byte stream.
+
+    The paper calls this "the main property of TCP — that the byte
+    stream received is the same as the sent byte stream"; it is OSR's
+    contract.
+    """
+
+    def __init__(self, sublayer: str, require_complete: bool = True):
+        super().__init__("byte-stream integrity", sublayer)
+        self.require_complete = require_complete
+
+    def evaluate(self, obs: Observation) -> list[str]:
+        sent = b"".join(bytes(s) for s in obs.sent)
+        delivered = b"".join(bytes(d) for d in obs.delivered)
+        violations: list[str] = []
+        if not sent.startswith(delivered):
+            prefix = _common_prefix_len(sent, delivered)
+            violations.append(
+                f"delivered stream diverges from sent stream at byte {prefix} "
+                f"(sent {len(sent)}B, delivered {len(delivered)}B)"
+            )
+        elif self.require_complete and len(delivered) != len(sent):
+            violations.append(
+                f"delivered only {len(delivered)} of {len(sent)} bytes"
+            )
+        return violations
+
+
+class NoCorruption(Contract):
+    """Every delivered item equals some sent item (error detection's promise)."""
+
+    def __init__(self, sublayer: str):
+        super().__init__("no corrupt delivery", sublayer)
+
+    def evaluate(self, obs: Observation) -> list[str]:
+        sent = {bytes(s) if isinstance(s, (bytes, bytearray)) else s for s in obs.sent}
+        violations: list[str] = []
+        for d in obs.delivered:
+            item = bytes(d) if isinstance(d, (bytes, bytearray)) else d
+            if item not in sent:
+                violations.append(f"delivered corrupted item {item!r}")
+        return violations
+
+
+def _common_prefix_len(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+class ContractMonitor:
+    """Observes one sublayer boundary across a sender/receiver stack pair.
+
+    ``boundary`` names a sublayer; the monitor records SDUs entering
+    that sublayer from above on the sender stack and SDUs that sublayer
+    delivers upward on the receiver stack — i.e. the service the
+    sublayer (plus everything beneath it) provides.  ``boundary=APP``
+    observes the whole-stack service.
+    """
+
+    def __init__(self, tx: Stack, rx: Stack, boundary: str):
+        if boundary != APP:
+            tx.sublayer(boundary)  # validates existence
+            rx.sublayer(boundary)
+        self.boundary = boundary
+        self.observation = Observation()
+        tx.taps.append(self._tx_tap)
+        rx.taps.append(self._rx_tap)
+
+    def _tx_tap(self, direction: str, caller: str, provider: str, sdu: Any, meta: dict) -> None:
+        if self.boundary == APP:
+            if direction == "down" and caller == APP:
+                self.observation.sent.append(sdu)
+        elif direction == "down" and provider == self.boundary:
+            self.observation.sent.append(sdu)
+
+    def _rx_tap(self, direction: str, caller: str, provider: str, sdu: Any, meta: dict) -> None:
+        if self.boundary == APP:
+            if direction == "up" and provider == APP:
+                self.observation.delivered.append(sdu)
+        elif direction == "up" and caller == self.boundary:
+            self.observation.delivered.append(sdu)
+
+
+@dataclass
+class LocalizationReport:
+    """Outcome of evaluating a set of contracts after a run."""
+
+    passed: list[Contract] = field(default_factory=list)
+    failed: list[tuple[Contract, list[str]]] = field(default_factory=list)
+
+    @property
+    def implicated_sublayers(self) -> list[str]:
+        """Sublayers whose contract failed — where to look for the bug."""
+        return sorted({c.sublayer for c, _ in self.failed})
+
+    def localize(self, order_top_to_bottom: list[str]) -> str | None:
+        """The *lowest* failing sublayer in stack order.
+
+        With sublayering, the lowest sublayer whose contract fails is
+        the prime suspect: everything beneath it met its contract, so
+        the failure originates at or inside the suspect.
+        """
+        failing = set(self.implicated_sublayers)
+        for name in reversed(order_top_to_bottom):
+            if name in failing:
+                return name
+        return None
+
+
+def evaluate_contracts(
+    contracts: list[Contract], observations: dict[str, Observation]
+) -> LocalizationReport:
+    """Evaluate each contract against the observation for its sublayer."""
+    report = LocalizationReport()
+    for contract in contracts:
+        obs = observations.get(contract.sublayer)
+        if obs is None:
+            raise ConfigurationError(
+                f"no observation recorded for sublayer {contract.sublayer!r}"
+            )
+        violations = contract.evaluate(obs)
+        if violations:
+            report.failed.append((contract, violations))
+        else:
+            report.passed.append(contract)
+    return report

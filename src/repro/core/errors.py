@@ -1,0 +1,78 @@
+"""Exception hierarchy for the sublayering library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause.
+Contract violations get their own branch because the paper's debugging
+claim — bugs localize to the sublayer that failed its contract — depends
+on being able to tell *which* sublayer's contract broke.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A stack, sublayer, or simulation object was assembled incorrectly."""
+
+
+class HeaderError(ReproError):
+    """A header could not be encoded or decoded."""
+
+
+class FramingError(ReproError):
+    """A frame could not be delimited or was malformed on the wire."""
+
+
+class ChecksumError(ReproError):
+    """An error-detection code rejected a frame or segment."""
+
+
+class ContractViolation(ReproError):
+    """A sublayer violated its service contract.
+
+    Attributes
+    ----------
+    sublayer:
+        Name of the sublayer whose contract failed.  This is the
+        localization signal: with sublayering, a contract violation
+        names the faulty component directly.
+    contract:
+        Name of the violated contract clause.
+    """
+
+    def __init__(self, sublayer: str, contract: str, detail: str = ""):
+        self.sublayer = sublayer
+        self.contract = contract
+        self.detail = detail
+        message = f"sublayer {sublayer!r} violated contract {contract!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class LitmusFailure(ReproError):
+    """A stack failed one of the paper's three sublayering litmus tests."""
+
+    def __init__(self, test: str, detail: str):
+        self.test = test
+        self.detail = detail
+        super().__init__(f"litmus test {test} failed: {detail}")
+
+
+class VerificationError(ReproError):
+    """A lemma, property, or model-checking run failed."""
+
+
+class ConnectionError_(ReproError):
+    """A transport connection could not be established or was reset."""
+
+
+class RoutingError(ReproError):
+    """The network layer could not compute or use a route."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine detected an internal fault."""

@@ -1,0 +1,228 @@
+"""Narrow, typed service interfaces between adjacent sublayers.
+
+Test **T2** of the paper: "sublayers communicate with adjacent
+sublayers via a narrow interface".  Here an interface is a declared set
+of :class:`Primitive` operations; at stack-assembly time each
+declaration is bound to the providing sublayer as a :class:`BoundPort`,
+and every call through the port is logged.  That gives the litmus
+checker two measurable properties:
+
+* **width** — the number of distinct primitives actually exercised (a
+  "narrow" interface is one with few primitives carrying small values);
+* **adjacency** — a sublayer may only hold ports to its immediate
+  neighbours; the stack never hands out a port that skips a sublayer.
+
+Calls through a port switch the instrumentation actor to the provider,
+so state mutations performed while servicing a request are attributed
+to the provider sublayer (its state, its responsibility), matching how
+the paper reasons about contracts.
+
+Every port call is also counted as a *sublayer crossing*, the quantity
+the tuning challenge (Section 5, challenge 3) says must be made cheap;
+the C3 benchmark reads these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .errors import ConfigurationError
+from .instrument import acting_as
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One operation in a service interface."""
+
+    name: str
+    doc: str = ""
+
+
+class ServiceInterface:
+    """A named set of primitives a sublayer offers to the sublayer above."""
+
+    def __init__(self, name: str, primitives: list[Primitive]):
+        names = [p.name for p in primitives]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"duplicate primitives in interface {name!r}")
+        self.name = name
+        self.primitives: tuple[Primitive, ...] = tuple(primitives)
+        self._names = frozenset(names)
+
+    @property
+    def width(self) -> int:
+        """Number of declared primitives — the static interface width."""
+        return len(self.primitives)
+
+    def has(self, primitive: str) -> bool:
+        return primitive in self._names
+
+    def __repr__(self) -> str:
+        return f"ServiceInterface({self.name!r}, width={self.width})"
+
+
+@dataclass(frozen=True)
+class InterfaceCall:
+    """One logged crossing of a sublayer interface."""
+
+    interface: str
+    primitive: str
+    caller: str
+    provider: str
+    arg_count: int
+
+
+@dataclass
+class InterfaceLog:
+    """Append-only log of interface crossings.
+
+    ``enabled=False`` turns recording off — the C3 tuning benchmark's
+    knob for removing per-crossing bookkeeping cost while leaving the
+    architecture untouched.
+    """
+
+    records: list[InterfaceCall] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, call: InterfaceCall) -> None:
+        if self.enabled:
+            self.records.append(call)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def crossings(self) -> int:
+        """Total number of interface crossings (the C3 tuning metric)."""
+        return len(self.records)
+
+    def crossings_between(self, caller: str, provider: str) -> int:
+        return sum(
+            1 for r in self.records if r.caller == caller and r.provider == provider
+        )
+
+    def used_width(self, interface: str) -> int:
+        """Number of distinct primitives actually exercised on an interface."""
+        return len({r.primitive for r in self.records if r.interface == interface})
+
+    def pairs(self) -> set[tuple[str, str]]:
+        """All (caller, provider) pairs observed — the adjacency graph."""
+        return {(r.caller, r.provider) for r in self.records}
+
+
+class BoundPort:
+    """A caller's handle on a provider's service interface.
+
+    Primitive ``p`` is invoked as ``port.p(*args, **kwargs)`` and
+    dispatches to the provider method ``srv_p``.  The call runs with the
+    provider as the instrumentation actor and is recorded in the
+    interface log.
+    """
+
+    def __init__(
+        self,
+        interface: ServiceInterface,
+        provider: Any,
+        provider_name: str,
+        caller_name: str,
+        log: InterfaceLog,
+    ):
+        self._interface = interface
+        self._provider = provider
+        self._provider_name = provider_name
+        self._caller_name = caller_name
+        self._log = log
+        for primitive in interface.primitives:
+            if not callable(getattr(provider, f"srv_{primitive.name}", None)):
+                raise ConfigurationError(
+                    f"{provider_name!r} declares primitive {primitive.name!r} "
+                    f"but does not implement srv_{primitive.name}"
+                )
+
+    @property
+    def interface(self) -> ServiceInterface:
+        return self._interface
+
+    @property
+    def provider_name(self) -> str:
+        return self._provider_name
+
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        if not self._interface.has(name):
+            raise ConfigurationError(
+                f"interface {self._interface.name!r} has no primitive {name!r} "
+                f"(caller {self._caller_name!r})"
+            )
+        handler = getattr(self._provider, f"srv_{name}")
+
+        def invoke(*args: Any, **kwargs: Any) -> Any:
+            self._log.record(
+                InterfaceCall(
+                    interface=self._interface.name,
+                    primitive=name,
+                    caller=self._caller_name,
+                    provider=self._provider_name,
+                    arg_count=len(args) + len(kwargs),
+                )
+            )
+            with acting_as(self._provider_name):
+                return handler(*args, **kwargs)
+
+        invoke.__name__ = name
+        return invoke
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundPort({self._caller_name!r} -> {self._provider_name!r} "
+            f"via {self._interface.name!r})"
+        )
+
+
+class Notification:
+    """An upward callback channel from a provider to its user.
+
+    Data and events flow *up* as well as down (acks arriving at RD must
+    reach OSR).  A provider sublayer fires notifications; the user
+    sublayer registers a handler at wiring time.  Calls are logged like
+    port calls, with the roles reversed, and run with the *user* as the
+    instrumentation actor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        provider_name: str,
+        log: InterfaceLog,
+    ):
+        self.name = name
+        self._provider_name = provider_name
+        self._log = log
+        self._handler: Callable[..., Any] | None = None
+        self._user_name: str | None = None
+
+    def connect(self, user_name: str, handler: Callable[..., Any]) -> None:
+        if self._handler is not None:
+            raise ConfigurationError(
+                f"notification {self.name!r} already connected to {self._user_name!r}"
+            )
+        self._user_name = user_name
+        self._handler = handler
+
+    @property
+    def connected(self) -> bool:
+        return self._handler is not None
+
+    def fire(self, *args: Any, **kwargs: Any) -> Any:
+        if self._handler is None:
+            return None
+        self._log.record(
+            InterfaceCall(
+                interface=f"notify:{self.name}",
+                primitive=self.name,
+                caller=self._provider_name,
+                provider=self._user_name or "?",
+                arg_count=len(args) + len(kwargs),
+            )
+        )
+        with acting_as(self._user_name or "?"):
+            return self._handler(*args, **kwargs)

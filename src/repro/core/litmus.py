@@ -1,0 +1,214 @@
+"""Automated checking of the paper's three sublayering litmus tests.
+
+Section 1 of the paper proposes three tests a decomposition must pass
+to count as sublayering.  This module turns each into a measurement
+over an instrumented execution:
+
+**T1 — ordered, peer-wise improvement.**  Both endpoints must run the
+same sublayers in the same order, and every header observed on the wire
+must carry the sender sublayers' headers nested in stack order, each
+consumed by the same-named peer sublayer (evidenced by the PDU owner
+chain).
+
+**T2 — narrow interfaces between adjacent sublayers.**  Every control
+or data interaction recorded in the interface log must be between
+adjacent sublayers (or the app/top and bottom/wire endpoints), and each
+service interface must stay narrow (few primitives).
+
+**T3 — separate bits, mechanisms, and state.**  Every access in the
+state log must have the acting sublayer equal to the state's owner, and
+every header field observed on the wire must be owned by the sublayer
+whose header carries it.
+
+The functions return a :class:`LitmusReport`; callers that want
+fail-fast behaviour use :meth:`LitmusReport.require`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import LitmusFailure
+from .instrument import AccessLog
+from .pdu import Pdu
+from .stack import APP, WIRE, Stack
+
+#: Interfaces wider than this are flagged as "not narrow" by T2.  The
+#: paper gives no number; we use the width of its own widest example
+#: (OSR->RD: release-segment, acked/loss feedback, window queries).
+DEFAULT_MAX_INTERFACE_WIDTH = 6
+
+
+@dataclass
+class TestResult:
+    test: str
+    passed: bool
+    details: list[str] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LitmusReport:
+    results: list[TestResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def result(self, test: str) -> TestResult:
+        for r in self.results:
+            if r.test == test:
+                return r
+        raise KeyError(test)
+
+    def require(self) -> None:
+        for r in self.results:
+            if not r.passed:
+                raise LitmusFailure(r.test, "; ".join(r.details) or "failed")
+
+    def summary(self) -> str:
+        lines = []
+        for r in self.results:
+            status = "PASS" if r.passed else "FAIL"
+            lines.append(f"{r.test}: {status}")
+            for d in r.details:
+                lines.append(f"  - {d}")
+        return "\n".join(lines)
+
+
+class WireTap:
+    """Collects PDUs as they leave a stack's bottom sublayer."""
+
+    def __init__(self, *stacks: Stack):
+        self.pdus: list[Any] = []
+        for stack in stacks:
+            stack.taps.append(self._tap)
+
+    def _tap(self, direction: str, caller: str, provider: str, sdu: Any, meta: dict) -> None:
+        if direction == "down" and provider == WIRE:
+            self.pdus.append(sdu)
+
+
+def check_t1_ordering(tx: Stack, rx: Stack, wire: WireTap) -> TestResult:
+    """T1: same ordered sublayers at both ends; headers nest in stack order."""
+    details: list[str] = []
+    if tx.order() != rx.order():
+        details.append(
+            f"endpoint sublayer orders differ: {tx.order()} vs {rx.order()}"
+        )
+    order = tx.order()
+    position = {name: i for i, name in enumerate(order)}
+    seen_owner_chains: set[tuple[str, ...]] = set()
+    for pdu in wire.pdus:
+        if not isinstance(pdu, Pdu):
+            continue
+        owners = [o for o in pdu.owners() if o in position]
+        seen_owner_chains.add(tuple(owners))
+        # Outermost header belongs to the lowest sublayer: positions must
+        # be strictly decreasing stack-depth, i.e. increasing index order
+        # reversed — outermost first means highest index first.
+        indices = [position[o] for o in owners]
+        if indices != sorted(indices, reverse=True):
+            details.append(
+                f"header nesting {owners} violates stack order {order}"
+            )
+            break
+    metrics = {
+        "order": order,
+        "wire_pdus": len(wire.pdus),
+        "owner_chains": sorted(seen_owner_chains),
+    }
+    return TestResult("T1", not details, details, metrics)
+
+
+def check_t2_interfaces(
+    tx: Stack,
+    rx: Stack,
+    max_width: int = DEFAULT_MAX_INTERFACE_WIDTH,
+) -> TestResult:
+    """T2: all interactions adjacent; all interfaces narrow."""
+    details: list[str] = []
+    widths: dict[str, int] = {}
+    for stack in (tx, rx):
+        order = [APP] + stack.order() + [WIRE]
+        index = {name: i for i, name in enumerate(order)}
+        for caller, provider in stack.interface_log.pairs():
+            if caller not in index or provider not in index:
+                details.append(
+                    f"{stack.name}: interaction with unknown party "
+                    f"{caller!r} -> {provider!r}"
+                )
+                continue
+            if abs(index[caller] - index[provider]) != 1:
+                details.append(
+                    f"{stack.name}: non-adjacent interaction "
+                    f"{caller!r} -> {provider!r} (skips sublayers)"
+                )
+        for record in stack.interface_log.records:
+            widths.setdefault(record.interface, 0)
+        for interface in list(widths):
+            widths[interface] = max(
+                widths[interface], stack.interface_log.used_width(interface)
+            )
+    for interface, width in widths.items():
+        if interface.startswith("data:"):
+            continue  # data path is always exactly send/deliver
+        if width > max_width:
+            details.append(
+                f"interface {interface!r} uses {width} primitives "
+                f"(> {max_width}): not narrow"
+            )
+    metrics = {"interface_widths": widths}
+    return TestResult("T2", not details, details, metrics)
+
+
+def check_t3_separation(
+    tx: Stack, rx: Stack, wire: WireTap
+) -> TestResult:
+    """T3: private state touched only by its owner; header bits owned."""
+    details: list[str] = []
+    foreign_touches = 0
+    for stack in (tx, rx):
+        log: AccessLog = stack.access_log
+        for record in log.records:
+            if record.actor is None:
+                continue
+            if record.actor != record.target:
+                foreign_touches += 1
+                detail = (
+                    f"{stack.name}: sublayer {record.actor!r} "
+                    f"{record.kind} state {record.target}.{record.field}"
+                )
+                if detail not in details:
+                    details.append(detail)
+    for pdu in wire.pdus:
+        if not isinstance(pdu, Pdu):
+            continue
+        for node in pdu.header_chain():
+            if node.format is None:
+                continue
+            for fld in node.format.fields:
+                if fld.owner is not None and fld.owner != node.owner:
+                    details.append(
+                        f"header field {fld.name!r} owned by {fld.owner!r} "
+                        f"but carried in {node.owner!r}'s header"
+                    )
+    metrics = {"foreign_state_touches": foreign_touches}
+    return TestResult("T3", not details, details, metrics)
+
+
+def run_litmus(
+    tx: Stack,
+    rx: Stack,
+    wire: WireTap,
+    max_interface_width: int = DEFAULT_MAX_INTERFACE_WIDTH,
+) -> LitmusReport:
+    """Run all three litmus tests over a completed instrumented run."""
+    return LitmusReport(
+        results=[
+            check_t1_ordering(tx, rx, wire),
+            check_t2_interfaces(tx, rx, max_interface_width),
+            check_t3_separation(tx, rx, wire),
+        ]
+    )

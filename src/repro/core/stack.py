@@ -1,0 +1,258 @@
+"""Sublayer composition: assembling an ordered stack and wiring it.
+
+A :class:`Stack` takes sublayers listed *top to bottom* (the T1 order)
+and wires each to exactly its neighbours:
+
+* downward data path: each sublayer's ``send_down`` reaches the next
+  lower sublayer's ``from_above``; the bottom sublayer's output goes to
+  the stack's ``on_transmit`` callback (typically a simulated link);
+* upward data path: ``deliver_up`` reaches the next higher sublayer's
+  ``from_below``; the top sublayer's output goes to ``on_deliver``
+  (the application);
+* control: each sublayer gets one :class:`BoundPort` onto the service
+  interface of the sublayer directly below (T2), and the stack
+  auto-connects a lower sublayer's notifications to ``nf_<channel>``
+  methods on the sublayer immediately above.
+
+Every callback runs under :func:`repro.core.instrument.acting_as` for
+the sublayer's own name, and every data-path hop is logged as a
+crossing, which is what makes the T2/T3 litmus tests and the C3 tuning
+benchmark measurements rather than assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .clock import Clock, ManualClock
+from .errors import ConfigurationError
+from .instrument import AccessLog, InstrumentedState, acting_as
+from .interface import BoundPort, InterfaceCall, InterfaceLog, Notification
+from .sublayer import Sublayer
+
+APP = "_app"
+WIRE = "_wire"
+
+
+class Stack:
+    """An ordered composition of sublayers forming one protocol layer."""
+
+    def __init__(
+        self,
+        name: str,
+        sublayers: list[Sublayer],
+        clock: Clock | None = None,
+        access_log: AccessLog | None = None,
+        interface_log: InterfaceLog | None = None,
+    ):
+        if not sublayers:
+            raise ConfigurationError("a stack needs at least one sublayer")
+        names = [s.name for s in sublayers]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"duplicate sublayer names in stack {name!r}")
+        self.name = name
+        self.sublayers: list[Sublayer] = list(sublayers)  # top -> bottom
+        self.clock: Clock = clock if clock is not None else ManualClock()
+        self.access_log = access_log if access_log is not None else AccessLog()
+        self.interface_log = (
+            interface_log if interface_log is not None else InterfaceLog()
+        )
+        self.on_deliver: Callable[..., None] | None = None
+        self.on_transmit: Callable[..., None] | None = None
+        # Observers of every data-path hop: fn(direction, caller, provider, sdu, meta).
+        # Contract monitors and the litmus checker attach here.
+        self.taps: list[Callable[[str, str, str, Any, dict], None]] = []
+        self._wire()
+
+    def _tap(self, direction: str, caller: str, provider: str, sdu: Any, meta: dict) -> None:
+        for tap in self.taps:
+            tap(direction, caller, provider, sdu, meta)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _wire(self) -> None:
+        for sublayer in self.sublayers:
+            sublayer.stack_name = self.name
+            sublayer.clock = self.clock
+            sublayer.state = InstrumentedState(sublayer.name, log=self.access_log)
+            sublayer.notifications = {
+                channel: Notification(channel, sublayer.name, self.interface_log)
+                for channel in sublayer.NOTIFICATIONS
+            }
+
+        for index, sublayer in enumerate(self.sublayers):
+            above = self.sublayers[index - 1] if index > 0 else None
+            below = (
+                self.sublayers[index + 1]
+                if index + 1 < len(self.sublayers)
+                else None
+            )
+            sublayer._send_down = self._make_down_hop(sublayer, below)
+            sublayer._deliver_up = self._make_up_hop(sublayer, above)
+            if below is not None and below.SERVICE is not None:
+                sublayer.below = BoundPort(
+                    below.SERVICE,
+                    below,
+                    below.name,
+                    sublayer.name,
+                    self.interface_log,
+                )
+            if below is not None:
+                self._connect_notifications(user=sublayer, provider=below)
+
+        for sublayer in self.sublayers:
+            with acting_as(sublayer.name):
+                sublayer.on_attach()
+
+    def _connect_notifications(self, user: Sublayer, provider: Sublayer) -> None:
+        for channel, notification in provider.notifications.items():
+            handler = getattr(user, f"nf_{channel}", None)
+            if callable(handler):
+                notification.connect(user.name, handler)
+
+    def _make_down_hop(
+        self, sender: Sublayer, below: Sublayer | None
+    ) -> Callable[..., None]:
+        def hop(sdu: Any, **meta: Any) -> None:
+            if below is not None:
+                self.interface_log.record(
+                    InterfaceCall(
+                        interface=f"data:{self.name}",
+                        primitive="send",
+                        caller=sender.name,
+                        provider=below.name,
+                        arg_count=1,
+                    )
+                )
+                self._tap("down", sender.name, below.name, sdu, meta)
+                with acting_as(below.name):
+                    below.from_above(sdu, **meta)
+            else:
+                self.interface_log.record(
+                    InterfaceCall(
+                        interface=f"data:{self.name}",
+                        primitive="send",
+                        caller=sender.name,
+                        provider=WIRE,
+                        arg_count=1,
+                    )
+                )
+                self._tap("down", sender.name, WIRE, sdu, meta)
+                if self.on_transmit is None:
+                    raise ConfigurationError(
+                        f"stack {self.name!r} has no on_transmit sink"
+                    )
+                self.on_transmit(sdu, **meta)
+
+        return hop
+
+    def _make_up_hop(
+        self, sender: Sublayer, above: Sublayer | None
+    ) -> Callable[..., None]:
+        def hop(sdu: Any, **meta: Any) -> None:
+            if above is not None:
+                self.interface_log.record(
+                    InterfaceCall(
+                        interface=f"data:{self.name}",
+                        primitive="deliver",
+                        caller=sender.name,
+                        provider=above.name,
+                        arg_count=1,
+                    )
+                )
+                self._tap("up", sender.name, above.name, sdu, meta)
+                with acting_as(above.name):
+                    above.from_below(sdu, **meta)
+            else:
+                self.interface_log.record(
+                    InterfaceCall(
+                        interface=f"data:{self.name}",
+                        primitive="deliver",
+                        caller=sender.name,
+                        provider=APP,
+                        arg_count=1,
+                    )
+                )
+                self._tap("up", sender.name, APP, sdu, meta)
+                if self.on_deliver is not None:
+                    self.on_deliver(sdu, **meta)
+
+        return hop
+
+    # ------------------------------------------------------------------
+    # Application / wire endpoints
+    # ------------------------------------------------------------------
+    @property
+    def top(self) -> Sublayer:
+        return self.sublayers[0]
+
+    @property
+    def bottom(self) -> Sublayer:
+        return self.sublayers[-1]
+
+    def sublayer(self, name: str) -> Sublayer:
+        for sublayer in self.sublayers:
+            if sublayer.name == name:
+                return sublayer
+        raise ConfigurationError(f"no sublayer {name!r} in stack {self.name!r}")
+
+    def send(self, data: Any, **meta: Any) -> None:
+        """Application hands data to the top sublayer."""
+        self.interface_log.record(
+            InterfaceCall(
+                interface=f"data:{self.name}",
+                primitive="send",
+                caller=APP,
+                provider=self.top.name,
+                arg_count=1,
+            )
+        )
+        self._tap("down", APP, self.top.name, data, meta)
+        with acting_as(self.top.name):
+            self.top.from_above(data, **meta)
+
+    def receive(self, pdu: Any, **meta: Any) -> None:
+        """The wire hands a PDU to the bottom sublayer."""
+        self.interface_log.record(
+            InterfaceCall(
+                interface=f"data:{self.name}",
+                primitive="deliver",
+                caller=WIRE,
+                provider=self.bottom.name,
+                arg_count=1,
+            )
+        )
+        self._tap("up", WIRE, self.bottom.name, pdu, meta)
+        with acting_as(self.bottom.name):
+            self.bottom.from_below(pdu, **meta)
+
+    # ------------------------------------------------------------------
+    def order(self) -> list[str]:
+        """Sublayer names, top to bottom (the T1 ordering)."""
+        return [s.name for s in self.sublayers]
+
+    def replace(self, old_name: str, new_sublayer: Sublayer) -> "Stack":
+        """A new stack with one sublayer swapped out.
+
+        This is the paper's *fungibility* operation (challenge 5): any
+        sublayer can be replaced by an implementation honouring the same
+        service interface and header contract, without touching the
+        others.  The original stack is left untouched.
+        """
+        replaced = False
+        new_layers: list[Sublayer] = []
+        for sublayer in self.sublayers:
+            if sublayer.name == old_name:
+                new_layers.append(new_sublayer)
+                replaced = True
+            else:
+                new_layers.append(sublayer.clone_fresh())
+        if not replaced:
+            raise ConfigurationError(
+                f"no sublayer {old_name!r} to replace in stack {self.name!r}"
+            )
+        return Stack(self.name, new_layers, clock=self.clock)
+
+    def __repr__(self) -> str:
+        return f"Stack({self.name!r}, {' > '.join(self.order())})"

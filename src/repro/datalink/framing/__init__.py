@@ -1,0 +1,74 @@
+"""Bit-stuffing framing: the verified nested sublayering of Section 4.1.
+
+Exports the rule type and classic rules, the stuff/unstuff and
+add/remove-flags mechanisms, the nested framing sublayers, the exact
+validity decision procedure, the rule-space search, the overhead
+models, and the per-sublayer lemma library.
+"""
+
+from .automaton import MatchAutomaton
+from .cobs import CobsFramingSublayer, cobs_decode, cobs_encode
+from .decide import (
+    Verdict,
+    check_roundtrip_bounded,
+    check_spec_bounded,
+    check_stream_bounded,
+    decide_no_false_flag,
+    decide_no_false_flag_stream,
+    decide_valid,
+    decide_valid_stream,
+)
+from .flags import FrameAssembler, add_flags, frame_stream, remove_flags
+from .lemmas import build_framing_library
+from .overhead import (
+    approx_overhead,
+    empirical_overhead,
+    exact_overhead,
+    overhead_report,
+)
+from .rules import HDLC_RULE, LOW_OVERHEAD_RULE, StuffingRule, prefix_rule
+from .search import (
+    SearchResult,
+    find_valid_rules,
+    prefix_rule_space,
+    substring_rule_space,
+)
+from .stuffing import stuff, stuffed_overhead_bits, unstuff
+from .sublayers import FlagSublayer, StuffingSublayer
+
+__all__ = [
+    "CobsFramingSublayer",
+    "FlagSublayer",
+    "cobs_decode",
+    "cobs_encode",
+    "FrameAssembler",
+    "HDLC_RULE",
+    "LOW_OVERHEAD_RULE",
+    "MatchAutomaton",
+    "SearchResult",
+    "StuffingRule",
+    "StuffingSublayer",
+    "Verdict",
+    "add_flags",
+    "approx_overhead",
+    "build_framing_library",
+    "check_roundtrip_bounded",
+    "check_spec_bounded",
+    "check_stream_bounded",
+    "decide_no_false_flag",
+    "decide_no_false_flag_stream",
+    "decide_valid",
+    "decide_valid_stream",
+    "empirical_overhead",
+    "exact_overhead",
+    "find_valid_rules",
+    "frame_stream",
+    "overhead_report",
+    "prefix_rule",
+    "prefix_rule_space",
+    "remove_flags",
+    "stuff",
+    "stuffed_overhead_bits",
+    "substring_rule_space",
+    "unstuff",
+]

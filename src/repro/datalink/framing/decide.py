@@ -1,0 +1,212 @@
+"""An exact decision procedure for stuffing-rule validity.
+
+Bounded exhaustive checking (the :mod:`repro.verify.lemma` tactic) is
+how the per-sublayer lemmas are stated and checked, but for *searching*
+a space of thousands of candidate rules (the paper's "library of
+stuffing protocols that our proof deems valid", 66 rules) we want an
+exact, fast answer.  Both properties of a valid rule are statements
+about finite-state transductions, so both are decidable by automaton
+construction — no enumeration of data strings at all:
+
+**Round trip** (``unstuff(stuff(D)) == D`` for all D) holds for every
+*progressive* rule: sender and receiver run the same trigger automaton
+over the same stuffed stream, so the receiver removes exactly the bits
+the sender inserted.  Progressivity is a one-line syntactic check.
+
+**No false flag** (``flag · stuff(D) · flag`` contains the flag only
+as the two delimiters, for all D) is decided by breadth-first search
+over the product of the trigger automaton (which *generates* all
+stuffed streams) and the flag automaton (which *recognizes* flag
+occurrences): if no reachable product state completes a flag match
+mid-body, or early inside the closing flag, no data string can produce
+a false flag.  The search space is at most ``len(trigger) ×
+len(flag)`` states.
+
+The test suite cross-validates this procedure against bounded
+exhaustive checking on every rule in the 8-bit search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .automaton import MatchAutomaton
+from .rules import StuffingRule
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of deciding one rule."""
+
+    valid: bool
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def _decide_no_false_flag(rule: StuffingRule, opening_flag_state: int) -> Verdict:
+    """Core BFS: no flag occurrence inside ``stuff(D)`` or spanning the
+    body/closing-flag boundary, for any data ``D``.
+
+    ``opening_flag_state`` is the flag-automaton state at the start of
+    the body — 0 for a receiver that rescans from the body start
+    (frame mode), or the flag's overlap state for a continuous-scan
+    receiver whose match window can straddle the opening flag
+    (stream mode).
+    """
+    if not rule.progressive:
+        return Verdict(False, "not progressive (stuffing would diverge)")
+    trig = MatchAutomaton(rule.trigger)
+    flag = MatchAutomaton(rule.flag)
+
+    start = (0, opening_flag_state)  # (trigger state over body, flag state)
+    reachable: set[tuple[int, int]] = {start}
+    frontier = [start]
+    while frontier:
+        s, f = frontier.pop()
+        for bit in (0, 1):
+            s2, completed = trig.step(s, bit)
+            f2, flagged = flag.step(f, bit)
+            if flagged:
+                return Verdict(
+                    False,
+                    f"data bit can complete a false flag "
+                    f"(trigger state {s}, flag state {f}, bit {bit})",
+                )
+            if completed:
+                f3, flagged2 = flag.step(f2, rule.stuff_bit)
+                if flagged2:
+                    return Verdict(
+                        False,
+                        f"stuffed bit can complete a false flag "
+                        f"(trigger state {s}, flag state {f}, bit {bit})",
+                    )
+                s3, again = trig.step(s2, rule.stuff_bit)
+                if again:
+                    return Verdict(False, "stuff bit re-completes trigger")
+                state = (s3, f3)
+            else:
+                state = (s2, f2)
+            if state not in reachable:
+                reachable.add(state)
+                frontier.append(state)
+
+    # Closing-flag boundary: from every reachable end-of-body flag
+    # state, feeding the closing flag must not complete a match before
+    # its final bit (the final-bit completion is the legit delimiter).
+    for _s, f in reachable:
+        state = f
+        for i, bit in enumerate(rule.flag):
+            state, flagged = flag.step(state, bit)
+            if flagged and i < len(rule.flag) - 1:
+                return Verdict(
+                    False,
+                    f"body suffix plus closing-flag prefix forms a false "
+                    f"flag (flag state {f}, at closing bit {i})",
+                )
+    return Verdict(True, "no reachable false-flag completion")
+
+
+def decide_no_false_flag(rule: StuffingRule) -> Verdict:
+    """Frame-mode variant: the receiver rescans from the body start.
+
+    Matches the semantics of
+    :func:`~repro.datalink.framing.flags.remove_flags`, whose search
+    starts at the body, so occurrences overlapping the *opening* flag
+    are invisible to it and therefore harmless.
+    """
+    return _decide_no_false_flag(rule, opening_flag_state=0)
+
+
+def decide_no_false_flag_stream(rule: StuffingRule) -> Verdict:
+    """Stream-mode variant: a continuous-scan receiver.
+
+    Matches :class:`~repro.datalink.framing.flags.FrameAssembler`,
+    whose flag automaton runs without reset across delimiters, so a
+    false flag may also be completed by bits straddling the opening
+    flag.  This is the stricter, real-HDLC-receiver semantics; the E2
+    benchmark reports rule counts under both.
+    """
+    flag = MatchAutomaton(rule.flag)
+    return _decide_no_false_flag(rule, opening_flag_state=flag._overlap_state())
+
+
+def decide_valid(rule: StuffingRule) -> Verdict:
+    """Frame-mode validity: progressive (round trip) and no false flag."""
+    return decide_no_false_flag(rule)
+
+
+def decide_valid_stream(rule: StuffingRule) -> Verdict:
+    """Stream-mode validity (continuous-scan receiver semantics)."""
+    return decide_no_false_flag_stream(rule)
+
+
+def check_roundtrip_bounded(rule: StuffingRule, max_len: int) -> tuple | None:
+    """Bounded exhaustive cross-check of the round-trip property.
+
+    Returns the first counterexample ``(data,)`` or None.  Used by the
+    test suite to validate :func:`decide_valid` against brute force.
+    """
+    from ...core.bits import all_bitstrings_up_to
+    from .stuffing import stuff, unstuff
+
+    for data in all_bitstrings_up_to(max_len):
+        if unstuff(stuff(data, rule), rule) != data:
+            return (data,)
+    return None
+
+
+def check_spec_bounded(rule: StuffingRule, max_len: int) -> tuple | None:
+    """Bounded exhaustive check of the paper's top-level specification:
+
+    ``Unstuff(RemoveFlags(AddFlags(Stuff(D)))) = D`` for all D up to
+    ``max_len`` bits.  Returns the first counterexample or None.
+    """
+    from ...core.bits import all_bitstrings_up_to
+    from ...core.errors import FramingError
+    from .flags import add_flags, remove_flags
+    from .stuffing import stuff, unstuff
+
+    for data in all_bitstrings_up_to(max_len):
+        try:
+            result = unstuff(
+                remove_flags(add_flags(stuff(data, rule), rule), rule), rule
+            )
+        except FramingError:
+            return (data,)
+        if result != data:
+            return (data,)
+    return None
+
+
+def check_stream_bounded(
+    rule: StuffingRule, max_len: int, frames: int = 2
+) -> tuple | None:
+    """Bounded exhaustive check of *stream* reception.
+
+    Sends ``frames`` copies of each stuffed body back-to-back through a
+    :class:`~repro.datalink.framing.flags.FrameAssembler` and requires
+    every body to come back intact and in order.  Cross-validates
+    :func:`decide_valid_stream`.
+    """
+    from ...core.bits import all_bitstrings_up_to
+    from ...core.errors import FramingError
+    from .flags import FrameAssembler, frame_stream
+    from .stuffing import stuff, unstuff
+
+    for data in all_bitstrings_up_to(max_len):
+        if len(data) == 0:
+            continue  # empty bodies are idle fill by definition
+        body = stuff(data, rule)
+        stream = frame_stream([body] * frames, rule)
+        assembler = FrameAssembler(rule)
+        got = assembler.push(stream)
+        if len(got) != frames:
+            return (data,)
+        try:
+            if any(unstuff(b, rule) != data for b in got):
+                return (data,)
+        except FramingError:
+            return (data,)
+    return None

@@ -1,0 +1,111 @@
+"""The flag sublayer's mechanisms: add and remove frame delimiters.
+
+This is the *lower* half of the paper's nested framing sublayering:
+"the lower sublayer adds flags (at the sender) and removes flags (at
+the receiver)".  :func:`remove_flags` behaves like a real receiver —
+hunt for the first flag, then take everything up to the *earliest*
+subsequent flag occurrence — rather than trusting the frame to be
+well formed.  That behavioural fidelity is what lets the exhaustive
+lemma checks catch the paper's subtle failure modes ("some flags can
+cause a false flag to occur using the data and a prefix of the end
+flag"): an invalid rule produces an early false flag and the
+round-trip theorem breaks.
+
+:class:`FrameAssembler` extends the same logic to continuous bit
+streams carrying many frames separated by idle fill.
+"""
+
+from __future__ import annotations
+
+from ...core.bits import Bits
+from ...core.errors import FramingError
+from .automaton import MatchAutomaton
+from .rules import StuffingRule
+
+
+def add_flags(body: Bits, rule: StuffingRule) -> Bits:
+    """Delimit a (stuffed) frame body with opening and closing flags."""
+    return rule.flag + body + rule.flag
+
+
+def remove_flags(framed: Bits, rule: StuffingRule) -> Bits:
+    """Recover the frame body between the first flag and the next one.
+
+    The search for the closing flag starts after the opening flag and
+    accepts the *earliest* occurrence — the honest receiver behaviour.
+    Raises :class:`FramingError` when no opening or closing flag is
+    found.
+    """
+    flag = rule.flag
+    start = framed.find(flag)
+    if start == -1:
+        raise FramingError(f"no opening flag {flag.to_string()} found")
+    body_start = start + len(flag)
+    end = framed.find(flag, body_start)
+    if end == -1:
+        raise FramingError(f"no closing flag {flag.to_string()} found")
+    return framed[body_start:end]
+
+
+class FrameAssembler:
+    """Incremental frame extraction from a continuous bit stream.
+
+    Feed arriving bits with :meth:`push`; complete frame bodies come
+    back.  The assembler is in *hunt* state until it sees a flag, then
+    collects body bits until the next flag.  Back-to-back frames
+    (``flag body flag body flag``) share their inner delimiter: a
+    closing flag immediately opens the next frame, as in HDLC.  Empty
+    bodies (idle flag fill) are discarded.
+    """
+
+    def __init__(self, rule: StuffingRule):
+        self.rule = rule
+        self._auto = MatchAutomaton(rule.flag)
+        self._state = 0
+        self._in_frame = False
+        self._body: list[int] = []
+        self.frames_emitted = 0
+
+    def push(self, bits: Bits) -> list[Bits]:
+        """Process arriving bits; return any completed frame bodies."""
+        completed_frames: list[Bits] = []
+        for bit in bits:
+            if self._in_frame:
+                self._body.append(bit)
+            self._state, matched = self._auto.step(self._state, bit)
+            if matched:
+                if self._in_frame:
+                    # Strip the flag bits that were collected into body.
+                    body = Bits(self._body[: -len(self.rule.flag)])
+                    if len(body) > 0:
+                        completed_frames.append(body)
+                        self.frames_emitted += 1
+                # A flag both closes one frame and opens the next.  The
+                # automaton continues from its overlap state (a real
+                # continuous-scan receiver does not forget flag-border
+                # bits), which is the *stream* validity semantics of
+                # :func:`repro.datalink.framing.decide.decide_valid_stream`.
+                self._body = []
+                self._in_frame = True
+        return completed_frames
+
+    def reset(self) -> None:
+        self._state = 0
+        self._in_frame = False
+        self._body = []
+
+
+def frame_stream(bodies: list[Bits], rule: StuffingRule, idle_flags: int = 0) -> Bits:
+    """Concatenate framed bodies into one wire stream.
+
+    ``idle_flags`` extra flags are inserted between frames (links idle
+    by repeating the flag, as HDLC does).
+    """
+    stream = Bits()
+    for body in bodies:
+        stream = stream + rule.flag + body
+        for _ in range(idle_flags):
+            stream = stream + rule.flag
+    if bodies:
+        stream = stream + rule.flag
+    return stream

@@ -1,0 +1,121 @@
+"""Stuffing rules: the (flag, trigger, stuff-bit) triples of Section 4.1.
+
+A bit-stuffing protocol is parameterized by a *flag* pattern that
+delimits frames, a *trigger* string, and a *stuff bit*: whenever the
+sender has emitted the trigger, it inserts the stuff bit, which
+guarantees (for a *valid* rule) that the flag never appears inside
+stuffed data.  HDLC is the rule (flag ``01111110``, trigger ``11111``,
+stuff ``0``); the paper's discovered low-overhead alternative is
+(flag ``00000010``, trigger ``0000001``, stuff ``1``).
+
+This module defines the rule type and its *well-formedness* conditions
+(cheap syntactic checks).  Semantic *validity* — the round-trip and
+no-false-flag theorems — is established by the verification harness in
+:mod:`repro.datalink.framing.lemmas` and searched over in
+:mod:`repro.datalink.framing.search`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.bits import Bits
+from ...core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StuffingRule:
+    """One bit-stuffing protocol: flag delimiter, trigger, stuff bit."""
+
+    flag: Bits
+    trigger: Bits
+    stuff_bit: int
+
+    def __post_init__(self) -> None:
+        if self.stuff_bit not in (0, 1):
+            raise ConfigurationError(f"stuff_bit must be 0 or 1, got {self.stuff_bit}")
+        if len(self.flag) == 0:
+            raise ConfigurationError("flag must be non-empty")
+        if len(self.trigger) == 0:
+            raise ConfigurationError("trigger must be non-empty")
+
+    # ------------------------------------------------------------------
+    # Well-formedness (syntactic sanity; validity proper is proved)
+    # ------------------------------------------------------------------
+    @property
+    def progressive(self) -> bool:
+        """Appending the stuff bit must break the trigger match.
+
+        If ``trigger[1:] + stuff_bit == trigger`` the sender would stuff
+        forever (each stuffed bit immediately re-completes the trigger).
+        Rules violating this are rejected before any semantic checking.
+        """
+        return (self.trigger[1:] + Bits([self.stuff_bit])) != self.trigger
+
+    def well_formed(self) -> bool:
+        """Cheap syntactic sanity; semantic validity is *proved*, not assumed.
+
+        The paper warns that "subtleties make certain bit-stuffing
+        rules fail" — e.g. the stuffed bit forming a flag with
+        subsequent data, or data plus a prefix of the end flag forming
+        a false flag.  Those hazards are deliberately NOT filtered here
+        by heuristics; they are caught by the exhaustive lemma checks
+        in :mod:`repro.datalink.framing.lemmas`.
+        """
+        return self.progressive
+
+    # ------------------------------------------------------------------
+    @property
+    def approx_overhead(self) -> float:
+        """The paper's back-of-envelope overhead model: 2^-len(trigger).
+
+        "an overhead (using a random model) of 1 in 128 compared to
+        1 in 32 for the HDLC rule" — i.e. one stuffed bit for every
+        2^k data bits, where k is the trigger length.  The exact
+        Markov-chain value lives in
+        :mod:`repro.datalink.framing.overhead`.
+        """
+        return 2.0 ** (-len(self.trigger))
+
+    def label(self) -> str:
+        return (
+            f"flag={self.flag.to_string()} "
+            f"trigger={self.trigger.to_string()} stuff={self.stuff_bit}"
+        )
+
+    def __repr__(self) -> str:
+        return f"StuffingRule({self.label()})"
+
+
+def prefix_rule(flag: Bits, trigger_len: int) -> StuffingRule:
+    """The canonical rule family: trigger = flag prefix, stuff = complement.
+
+    For a flag ``F`` and trigger length ``k`` (1 <= k < len(F)), stuff
+    the complement of ``F[k]`` after seeing ``F[:k]``: the stuffed
+    stream then never contains ``F[:k+1]``, hence never contains ``F``.
+    Both the HDLC-for-its-flag rule and the paper's low-overhead rule
+    are members of this family.
+    """
+    if not 1 <= trigger_len < len(flag):
+        raise ConfigurationError(
+            f"trigger_len must be in [1, {len(flag) - 1}], got {trigger_len}"
+        )
+    trigger = flag[:trigger_len]
+    stuff_bit = 1 - flag[trigger_len]
+    return StuffingRule(flag=flag, trigger=trigger, stuff_bit=stuff_bit)
+
+
+#: The HDLC rule: flag 01111110, stuff a 0 after five consecutive 1s.
+HDLC_RULE = StuffingRule(
+    flag=Bits.from_string("01111110"),
+    trigger=Bits.from_string("11111"),
+    stuff_bit=0,
+)
+
+#: The paper's discovered low-overhead rule (Section 4.1, lesson 2):
+#: flag 00000010, stuff a 1 after seeing 0000001.
+LOW_OVERHEAD_RULE = StuffingRule(
+    flag=Bits.from_string("00000010"),
+    trigger=Bits.from_string("0000001"),
+    stuff_bit=1,
+)

@@ -1,0 +1,95 @@
+"""The stuffing sublayer's mechanisms: stuff and unstuff.
+
+This is the *upper* half of the paper's nested framing sublayering
+(Section 4.1): "the upper sublayer is a stuffing sublayer that does
+stuffing (at the sender) and unstuffing (at the receiver)".  Both
+directions scan the *stuffed* stream with the trigger's KMP automaton,
+so sender and receiver make identical decisions at identical stream
+positions — the invariant the round-trip lemma rests on.
+"""
+
+from __future__ import annotations
+
+from ...core.bits import Bits
+from ...core.errors import FramingError
+from .automaton import MatchAutomaton
+from .rules import StuffingRule
+
+_AUTOMATON_CACHE: dict[Bits, MatchAutomaton] = {}
+
+
+def _automaton(pattern: Bits) -> MatchAutomaton:
+    if pattern not in _AUTOMATON_CACHE:
+        _AUTOMATON_CACHE[pattern] = MatchAutomaton(pattern)
+    return _AUTOMATON_CACHE[pattern]
+
+
+def stuff(data: Bits, rule: StuffingRule) -> Bits:
+    """Insert ``rule.stuff_bit`` after every trigger occurrence.
+
+    The automaton runs over the *output* stream (data plus stuffed
+    bits), so a stuffed bit can participate in later trigger matches —
+    exactly mirroring what the receiver sees.  Requires a progressive
+    rule (otherwise a stuffed bit would immediately re-complete the
+    trigger and stuffing would diverge).
+    """
+    if not rule.progressive:
+        raise FramingError(f"rule is not progressive: {rule.label()}")
+    auto = _automaton(rule.trigger)
+    out: list[int] = []
+    state = 0
+    for bit in data:
+        out.append(bit)
+        state, completed = auto.step(state, bit)
+        if completed:
+            out.append(rule.stuff_bit)
+            state, again = auto.step(state, rule.stuff_bit)
+            if again:
+                raise FramingError(
+                    f"stuff bit re-completed trigger: {rule.label()}"
+                )
+    return Bits(out)
+
+
+def unstuff(stuffed: Bits, rule: StuffingRule) -> Bits:
+    """Remove stuffed bits, the exact inverse of :func:`stuff`.
+
+    Raises :class:`FramingError` if the input is not a valid stuffed
+    stream for this rule — a trigger occurrence not followed by the
+    stuff bit, or a stream ending where a stuff bit was mandatory.
+    These are the receive-side errors a real data link surfaces as
+    aborts.
+    """
+    auto = _automaton(rule.trigger)
+    out: list[int] = []
+    state = 0
+    expecting_stuff = False
+    for position, bit in enumerate(stuffed):
+        if expecting_stuff:
+            if bit != rule.stuff_bit:
+                raise FramingError(
+                    f"expected stuff bit {rule.stuff_bit} at position "
+                    f"{position}, got {bit} ({rule.label()})"
+                )
+            state, again = auto.step(state, bit)
+            if again:
+                raise FramingError(
+                    f"stuff bit completed trigger at position {position}"
+                )
+            expecting_stuff = False
+            continue
+        out.append(bit)
+        state, completed = auto.step(state, bit)
+        if completed:
+            expecting_stuff = True
+    if expecting_stuff:
+        raise FramingError(
+            f"stuffed stream ended where a stuff bit was mandatory "
+            f"({rule.label()})"
+        )
+    return Bits(out)
+
+
+def stuffed_overhead_bits(data: Bits, rule: StuffingRule) -> int:
+    """How many bits stuffing added for this particular data."""
+    return len(stuff(data, rule)) - len(data)

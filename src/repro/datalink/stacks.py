@@ -1,0 +1,158 @@
+"""Preassembled data-link stacks (the two branches of Fig 2).
+
+:func:`build_hdlc_stack` is the reliable point-to-point branch:
+error recovery over error detection over framing (stuffing over flags)
+over encoding.  :func:`build_wireless_station` is the broadcast
+branch, which "dispenses with error recovery and does Media Access
+Control": MAC over error detection over framing over encoding, bound
+to a shared :class:`~repro.sim.medium.BroadcastMedium`.
+
+Every knob is a sublayer-local swap: the ARQ scheme, the detection
+code, the stuffing rule, the line code, and the MAC scheme can each be
+replaced without touching any other sublayer — the F2 benchmark
+exercises exactly these swaps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..core.bits import Bits
+from ..core.errors import ConfigurationError
+from ..core.stack import Stack
+from ..phys.encodings import LineCode, NRZ
+from ..phys.sublayer import EncodingSublayer
+from ..sim.engine import Simulator
+from ..sim.link import DuplexLink, LinkConfig
+from ..sim.medium import BroadcastMedium
+from .arq import ARQ_SCHEMES
+from .errordetect import CrcCode, DetectionCode, ErrorDetectSublayer
+from .framing.cobs import CobsFramingSublayer
+from .framing.rules import HDLC_RULE, StuffingRule
+from .framing.sublayers import FlagSublayer, StuffingSublayer
+from .mac import MAC_SCHEMES, ChannelView
+
+
+def build_hdlc_stack(
+    name: str,
+    clock: Any,
+    rule: StuffingRule = HDLC_RULE,
+    code: DetectionCode | None = None,
+    arq: str = "go-back-n",
+    line_code: LineCode | None = None,
+    retransmit_timeout: float = 0.2,
+    window: int = 8,
+    framing: str = "bitstuff",
+) -> Stack:
+    """A reliable point-to-point data link (HDLC-like).
+
+    ``framing`` selects the framing decomposition: ``"bitstuff"`` is
+    the paper's nested pair (stuffing over flags); ``"cobs"`` replaces
+    the pair with a single COBS sublayer — the re-partitioning swap.
+    """
+    if arq not in ARQ_SCHEMES:
+        raise ConfigurationError(
+            f"unknown ARQ scheme {arq!r}; choose from {sorted(ARQ_SCHEMES)}"
+        )
+    scheme = ARQ_SCHEMES[arq]
+    if arq == "stop-and-wait":
+        recovery = scheme("recovery", retransmit_timeout=retransmit_timeout)
+    else:
+        recovery = scheme(
+            "recovery", retransmit_timeout=retransmit_timeout, window=window
+        )
+    if framing == "bitstuff":
+        framing_sublayers = [
+            StuffingSublayer("stuffing", rule),
+            FlagSublayer("flags", rule),
+        ]
+    elif framing == "cobs":
+        framing_sublayers = [CobsFramingSublayer("framing")]
+    else:
+        raise ConfigurationError(
+            f"unknown framing {framing!r}; choose 'bitstuff' or 'cobs'"
+        )
+    return Stack(
+        name,
+        [
+            recovery,
+            ErrorDetectSublayer("errordetect", code or CrcCode()),
+            *framing_sublayers,
+            EncodingSublayer("encoding", line_code or NRZ()),
+        ],
+        clock=clock,
+    )
+
+
+def connect_hdlc_pair(
+    sim: Simulator,
+    link_config: LinkConfig | None = None,
+    rng_seed: int = 0,
+    **stack_kwargs: Any,
+) -> tuple[Stack, Stack, DuplexLink]:
+    """Two HDLC stacks joined by an (optionally impaired) duplex link."""
+    a = build_hdlc_stack("dl-a", sim.clock(), **stack_kwargs)
+    b = build_hdlc_stack("dl-b", sim.clock(), **stack_kwargs)
+    duplex = DuplexLink(
+        sim,
+        link_config,
+        rng_forward=random.Random(rng_seed),
+        rng_reverse=random.Random(rng_seed + 1),
+        name="hdlc",
+    )
+    duplex.attach(a, b)
+    return a, b, duplex
+
+
+def build_wireless_station(
+    sim: Simulator,
+    medium: BroadcastMedium,
+    address: int,
+    mac: str = "csma",
+    rule: StuffingRule = HDLC_RULE,
+    code: DetectionCode | None = None,
+    line_code: LineCode | None = None,
+    rng: random.Random | None = None,
+) -> Stack:
+    """One station of the broadcast branch, attached to a shared medium."""
+    if mac not in MAC_SCHEMES:
+        raise ConfigurationError(
+            f"unknown MAC scheme {mac!r}; choose from {sorted(MAC_SCHEMES)}"
+        )
+    port = medium.attach(f"station-{address}")
+    channel = ChannelView(port.carrier_sense)
+    mac_sublayer = MAC_SCHEMES[mac](
+        "mac", address=address, channel=channel, rng=rng or random.Random(address)
+    )
+    stack = Stack(
+        f"wl-{address}",
+        [
+            mac_sublayer,
+            ErrorDetectSublayer("errordetect", code or CrcCode()),
+            StuffingSublayer("stuffing", rule),
+            FlagSublayer("flags", rule),
+            EncodingSublayer("encoding", line_code or NRZ()),
+        ],
+        clock=sim.clock(),
+    )
+    stack.on_transmit = lambda bits, **meta: port.transmit(bits, len(bits))
+    port.on_receive = lambda frame: stack.receive(frame)
+    port.on_transmit_done = channel._transmit_done
+    return stack
+
+
+def send_bytes(stack: Stack, payload: bytes, **meta: Any) -> None:
+    """Convenience: push application bytes into a data-link stack."""
+    stack.send(Bits.from_bytes(payload), **meta)
+
+
+def collect_bytes(stack: Stack) -> list[bytes]:
+    """Attach a byte-collecting sink to a stack; returns the live list."""
+    received: list[bytes] = []
+
+    def on_deliver(bits: Bits, **meta: Any) -> None:
+        received.append(bits.to_bytes())
+
+    stack.on_deliver = on_deliver
+    return received

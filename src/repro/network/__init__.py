@@ -1,0 +1,46 @@
+"""Network-layer sublayers (Figs 3/4): neighbor determination, route
+computation (distance-vector or link-state, swappable), forwarding."""
+
+from .attach import PROTO_TCP, TransportAttachment, attach_transport
+from .forwarding import ForwardingSublayer
+from .neighbor import NeighborEntry, NeighborSublayer
+from .packets import (
+    Address,
+    ControlPacket,
+    DataPacket,
+    DvUpdate,
+    DV_INFINITY,
+    Hello,
+    IP_HEADER,
+    Lsp,
+    Packet,
+)
+from .router import Interface, Router
+from .routing import ROUTING_ALGORITHMS, DistanceVector, LinkState, RouteComputation
+from .topology import ManagedLink, Topology
+
+__all__ = [
+    "Address",
+    "PROTO_TCP",
+    "TransportAttachment",
+    "attach_transport",
+    "ControlPacket",
+    "DV_INFINITY",
+    "DataPacket",
+    "DistanceVector",
+    "DvUpdate",
+    "ForwardingSublayer",
+    "Hello",
+    "IP_HEADER",
+    "Interface",
+    "LinkState",
+    "Lsp",
+    "ManagedLink",
+    "NeighborEntry",
+    "NeighborSublayer",
+    "Packet",
+    "ROUTING_ALGORITHMS",
+    "RouteComputation",
+    "Router",
+    "Topology",
+]

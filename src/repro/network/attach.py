@@ -1,0 +1,106 @@
+"""Attaching transport hosts to routed networks.
+
+The transport experiments mostly run over a single simulated link, but
+the layers compose: a :class:`TransportAttachment` binds one transport
+endpoint (sublayered or monolithic — anything with ``on_transmit`` /
+``receive``) to a router, tunneling its wire units as the payload of
+:class:`~repro.network.packets.DataPacket` datagrams to a fixed peer
+address.  TCP then rides the Fig 3/4 sublayers end to end: hellos
+discover neighbors, route computation builds FIBs, forwarding moves
+the segments hop by hop — and a link failure mid-transfer stalls the
+byte stream only until the routing sublayer reconverges, after which
+RD's retransmissions repair the gap.
+
+One attachment speaks to one peer address (the host-pair tunnel model:
+transport connection identity stays (port, port), with the address
+pair fixed per attachment).  Multiple attachments can share a router,
+dispatched by the datagram's source address.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.errors import ConfigurationError
+from .packets import Address, DataPacket
+from .router import Router
+
+#: Conventional protocol number for TCP payloads in datagrams.
+PROTO_TCP = 6
+
+
+class TransportAttachment:
+    """Binds a transport host to a router for one peer address."""
+
+    def __init__(
+        self,
+        host: Any,
+        router: Router,
+        peer: Address,
+        proto: int = PROTO_TCP,
+    ):
+        self.host = host
+        self.router = router
+        self.peer = peer
+        self.proto = proto
+        self.sent = 0
+        self.received = 0
+        host.on_transmit = self._transmit
+        _dispatcher_for(router).register(peer, proto, self._deliver)
+
+    def _transmit(self, unit: Any, **meta: Any) -> None:
+        self.sent += 1
+        self.router.send_data(self.peer, unit, proto=self.proto)
+
+    def _deliver(self, packet: DataPacket) -> None:
+        self.received += 1
+        self.host.receive(packet.payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransportAttachment({self.router.address} <-> {self.peer}, "
+            f"proto={self.proto})"
+        )
+
+
+class _Dispatcher:
+    """Per-router demux of delivered datagrams to attachments."""
+
+    def __init__(self, router: Router):
+        self.router = router
+        self._handlers: dict[tuple[Address, int], Callable[[DataPacket], None]] = {}
+        self._fallback = router.on_deliver
+        router.on_deliver = self._dispatch
+
+    def register(
+        self, peer: Address, proto: int, handler: Callable[[DataPacket], None]
+    ) -> None:
+        key = (peer, proto)
+        if key in self._handlers:
+            raise ConfigurationError(
+                f"router {self.router.address} already has an attachment "
+                f"for peer {peer} proto {proto}"
+            )
+        self._handlers[key] = handler
+
+    def _dispatch(self, packet: DataPacket) -> None:
+        handler = self._handlers.get((packet.src, packet.header["proto"]))
+        if handler is not None:
+            handler(packet)
+        elif self._fallback is not None:
+            self._fallback(packet)
+
+
+def _dispatcher_for(router: Router) -> _Dispatcher:
+    dispatcher = getattr(router, "_transport_dispatcher", None)
+    if dispatcher is None:
+        dispatcher = _Dispatcher(router)
+        router._transport_dispatcher = dispatcher  # type: ignore[attr-defined]
+    return dispatcher
+
+
+def attach_transport(
+    host: Any, router: Router, peer: Address, proto: int = PROTO_TCP
+) -> TransportAttachment:
+    """Convenience wrapper: tunnel ``host``'s wire units to ``peer``."""
+    return TransportAttachment(host, router, peer, proto)

@@ -1,0 +1,117 @@
+"""Neighbor determination — the lowest network sublayer (Fig 4).
+
+"Neighbor determination is the lowest sublayer because route
+computation needs a list of neighbors that is determined by handshake
+messages sent directly on the data link."
+
+Each router interface periodically emits a :class:`Hello`; hearing a
+hello binds the peer's address to that interface, and silence past the
+dead interval expires the binding.  Route computation consumes the
+result through one narrow interface — :meth:`NeighborTable.neighbors`
+plus up/down callbacks — and never sees a hello packet itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.clock import Clock
+from ..core.instrument import AccessLog, InstrumentedState
+from .packets import Address, Hello
+
+
+@dataclass
+class NeighborEntry:
+    address: Address
+    interface: int
+    last_heard: float
+    cost: int = 1
+
+
+class NeighborSublayer:
+    """Per-router neighbor discovery and liveness tracking."""
+
+    def __init__(
+        self,
+        address: Address,
+        clock: Clock,
+        send_on_interface: Callable[[int, Hello], None],
+        interface_count: int,
+        hello_interval: float = 1.0,
+        dead_interval: float = 3.5,
+        access_log: AccessLog | None = None,
+    ):
+        self.address = address
+        self.clock = clock
+        self._send = send_on_interface
+        self.interface_count = interface_count
+        self.hello_interval = hello_interval
+        self.dead_interval = dead_interval
+        self.state = InstrumentedState(
+            "neighbor",
+            log=access_log,
+            entries={},        # address -> NeighborEntry
+            hellos_sent=0,
+            hellos_heard=0,
+        )
+        self.on_neighbor_up: Callable[[Address, int, int], None] | None = None
+        self.on_neighbor_down: Callable[[Address], None] | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the hello/expiry duty cycle."""
+        if self._started:
+            return
+        self._started = True
+        self._tick()
+
+    def _tick(self) -> None:
+        for interface in range(self.interface_count):
+            self.state.hellos_sent = self.state.hellos_sent + 1
+            self._send(interface, Hello(src=self.address))
+        self._expire()
+        self.clock.call_later(self.hello_interval, self._tick)
+
+    def _expire(self) -> None:
+        now = self.clock.now()
+        entries = dict(self.state.entries)
+        expired = [
+            addr
+            for addr, entry in entries.items()
+            if now - entry.last_heard > self.dead_interval
+        ]
+        for addr in expired:
+            del entries[addr]
+        if expired:
+            self.state.entries = entries
+            for addr in expired:
+                if self.on_neighbor_down is not None:
+                    self.on_neighbor_down(addr)
+
+    # ------------------------------------------------------------------
+    def on_hello(self, interface: int, hello: Hello) -> None:
+        """A hello arrived on ``interface``."""
+        self.state.hellos_heard = self.state.hellos_heard + 1
+        entries = dict(self.state.entries)
+        fresh = hello.src not in entries
+        entries[hello.src] = NeighborEntry(
+            address=hello.src,
+            interface=interface,
+            last_heard=self.clock.now(),
+        )
+        self.state.entries = entries
+        if fresh and self.on_neighbor_up is not None:
+            self.on_neighbor_up(hello.src, interface, 1)
+
+    # ------------------------------------------------------------------
+    # The narrow interface route computation consumes (T2).
+    # ------------------------------------------------------------------
+    def neighbors(self) -> dict[Address, int]:
+        """Live neighbors as {address: cost}."""
+        return {addr: e.cost for addr, e in self.state.entries.items()}
+
+    def interface_for(self, neighbor: Address) -> int | None:
+        entry = self.state.entries.get(neighbor)
+        return entry.interface if entry is not None else None

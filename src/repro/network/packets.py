@@ -1,0 +1,118 @@
+"""Network-layer packet types.
+
+Test T3 for the network layer is met "because the sublayers use
+completely different packets (e.g., LSPs versus IP packets), not
+merely different headers in the same packet" (Section 2.2).  We make
+that literal: each sublayer has its own packet class —
+
+* :class:`Hello` — neighbor determination only;
+* :class:`DvUpdate` and :class:`Lsp` — route computation only;
+* :class:`DataPacket` — the forwarding data plane only.
+
+Routers dispatch on the packet's type, and the F3 benchmark checks
+from traces that no sublayer ever touches another sublayer's packet
+kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.header import Field, HeaderFormat
+
+#: Addresses are small integers; 0 is reserved as "unassigned".
+Address = int
+
+#: Infinity for distance-vector (RIP's 16: counts-to-infinity bound).
+DV_INFINITY = 16
+
+IP_HEADER = HeaderFormat(
+    "ip",
+    [
+        Field("src", 16),
+        Field("dst", 16),
+        Field("ttl", 8, default=32),
+        Field("proto", 8),
+        Field("ident", 16),
+    ],
+    owner="forwarding",
+)
+
+
+@dataclass
+class Hello:
+    """Neighbor-determination handshake, sent per-interface."""
+
+    src: Address
+    kind: str = field(default="hello", init=False)
+
+
+@dataclass
+class DvUpdate:
+    """A distance-vector advertisement: the sender's distance table."""
+
+    src: Address
+    distances: dict[Address, int]
+    kind: str = field(default="dv", init=False)
+
+
+@dataclass
+class Lsp:
+    """A link-state packet: origin's current neighbor set, sequence-numbered."""
+
+    origin: Address
+    seq: int
+    neighbors: dict[Address, int]  # neighbor -> cost
+    kind: str = field(default="lsp", init=False)
+
+
+@dataclass
+class DataPacket:
+    """A data-plane datagram (the "IP packet" of Fig 3)."""
+
+    header: dict[str, int]
+    payload: Any
+    kind: str = field(default="data", init=False)
+
+    @classmethod
+    def make(
+        cls,
+        src: Address,
+        dst: Address,
+        payload: Any,
+        ttl: int = 32,
+        proto: int = 0,
+        ident: int = 0,
+    ) -> "DataPacket":
+        return cls(
+            header={
+                "src": src, "dst": dst, "ttl": ttl, "proto": proto, "ident": ident
+            },
+            payload=payload,
+        )
+
+    @property
+    def src(self) -> Address:
+        return self.header["src"]
+
+    @property
+    def dst(self) -> Address:
+        return self.header["dst"]
+
+    @property
+    def ttl(self) -> int:
+        return self.header["ttl"]
+
+    def decremented(self) -> "DataPacket":
+        """A copy with TTL reduced by one."""
+        new_header = dict(self.header)
+        new_header["ttl"] = self.ttl - 1
+        return DataPacket(header=new_header, payload=self.payload)
+
+    def header_bits(self) -> int:
+        return IP_HEADER.bit_width
+
+
+ControlPacket = Hello | DvUpdate | Lsp
+Packet = ControlPacket | DataPacket

@@ -1,0 +1,13 @@
+"""Route-computation sublayer: swappable algorithms behind one shape."""
+
+from .base import RouteComputation
+from .distance_vector import DistanceVector
+from .link_state import LinkState
+
+#: Registry for the F3 swap benchmark.
+ROUTING_ALGORITHMS: dict[str, type[RouteComputation]] = {
+    DistanceVector.name: DistanceVector,
+    LinkState.name: LinkState,
+}
+
+__all__ = ["DistanceVector", "LinkState", "ROUTING_ALGORITHMS", "RouteComputation"]

@@ -1,0 +1,79 @@
+"""Route computation — the middle network sublayer (Fig 4).
+
+"Route computation is below forwarding because route computation
+builds the forwarding database", and "one can change say route
+computation from distance vector to Link State without changing
+forwarding" (Section 2.2).  :class:`RouteComputation` is the shape
+both algorithms implement; its entire surface toward the rest of the
+router is:
+
+* downward: neighbor up/down events in, control packets out/in on the
+  data link;
+* upward: :attr:`install_routes` — push ``{destination: next_hop}``
+  into the forwarding database.
+
+The F3 swap benchmark replaces one subclass with the other and checks
+the forwarding sublayer is bit-for-bit untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...core.clock import Clock
+from ...core.instrument import AccessLog, InstrumentedState
+from ..packets import Address, ControlPacket
+
+
+class RouteComputation:
+    """Base class for routing algorithms."""
+
+    #: Which control-packet kinds this algorithm consumes (T3 check).
+    CONTROL_KINDS: tuple[str, ...] = ()
+    name = "abstract"
+
+    def __init__(
+        self,
+        address: Address,
+        clock: Clock,
+        send_to_neighbor: Callable[[Address, ControlPacket], None],
+        access_log: AccessLog | None = None,
+    ):
+        self.address = address
+        self.clock = clock
+        self._send_to_neighbor = send_to_neighbor
+        self.state = InstrumentedState(
+            "routing", log=access_log, routes={}, updates_sent=0, updates_received=0
+        )
+        #: The narrow upward interface: forwarding registers a callback
+        #: that receives the full {dst: next_hop} map on every change.
+        self.install_routes: Callable[[dict[Address, Address]], None] | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic duties (advertisements, refreshes)."""
+        self._started = True
+
+    def neighbor_up(self, neighbor: Address, interface: int, cost: int) -> None:
+        raise NotImplementedError
+
+    def neighbor_down(self, neighbor: Address) -> None:
+        raise NotImplementedError
+
+    def on_control(self, packet: ControlPacket, from_neighbor: Address) -> None:
+        """A control packet of one of our CONTROL_KINDS arrived."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def routes(self) -> dict[Address, Address]:
+        """Current {destination: next_hop} (self excluded)."""
+        return dict(self.state.routes)
+
+    def _publish(self, routes: dict[Address, Address]) -> None:
+        """Store and push routes up to forwarding (if changed)."""
+        if routes == self.state.routes:
+            return
+        self.state.routes = routes
+        if self.install_routes is not None:
+            self.install_routes(dict(routes))

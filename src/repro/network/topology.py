@@ -1,0 +1,192 @@
+"""Topology assembly and convergence measurement for routed networks.
+
+Builds routers, joins them with impairable simulated links, injects
+failures/repairs, and checks route correctness against an independent
+Dijkstra oracle over the *currently-alive* topology — which is how the
+F3 benchmark measures convergence time after a failure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any
+
+from ..core.errors import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.link import Link, LinkConfig
+from .packets import Address, DataPacket
+from .router import Router
+from .routing.base import RouteComputation
+from .routing.link_state import LinkState
+
+
+class ManagedLink:
+    """A bidirectional router-to-router link that can fail and recover."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Router,
+        b: Router,
+        config: LinkConfig,
+        seed: int,
+    ):
+        self.a, self.b = a, b
+        self.alive = True
+        self.forward = Link(sim, config, random.Random(seed), f"{a.address}->{b.address}")
+        self.reverse = Link(sim, config, random.Random(seed + 1), f"{b.address}->{a.address}")
+        ifa = a.add_interface()
+        ifb = b.add_interface()
+        ifa.send = lambda pkt: self.alive and self.forward.send(pkt)
+        ifb.send = lambda pkt: self.alive and self.reverse.send(pkt)
+        self.forward.connect(lambda pkt, **m: b.receive(pkt, ifb.index))
+        self.reverse.connect(lambda pkt, **m: a.receive(pkt, ifa.index))
+
+    def fail(self) -> None:
+        self.alive = False
+
+    def restore(self) -> None:
+        self.alive = True
+
+
+class Topology:
+    """A collection of routers plus the links joining them."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        routing_cls: type[RouteComputation] = LinkState,
+        link_config: LinkConfig | None = None,
+        seed: int = 0,
+        **router_kwargs: Any,
+    ):
+        self.sim = sim
+        self.routing_cls = routing_cls
+        self.link_config = link_config or LinkConfig(delay=0.005)
+        self.seed = seed
+        self.routers: dict[Address, Router] = {}
+        self.links: dict[tuple[Address, Address], ManagedLink] = {}
+        self.delivered: list[DataPacket] = []
+        self._router_kwargs = router_kwargs
+
+    # ------------------------------------------------------------------
+    def add_router(self, address: Address) -> Router:
+        if address in self.routers:
+            raise ConfigurationError(f"duplicate router address {address}")
+        router = Router(
+            address,
+            self.sim.clock(),
+            routing_cls=self.routing_cls,
+            **self._router_kwargs,
+        )
+        router.on_deliver = self.delivered.append
+        self.routers[address] = router
+        return router
+
+    def connect(self, a: Address, b: Address) -> ManagedLink:
+        key = (min(a, b), max(a, b))
+        if key in self.links:
+            raise ConfigurationError(f"link {key} already exists")
+        link = ManagedLink(
+            self.sim,
+            self.routers[a],
+            self.routers[b],
+            self.link_config,
+            seed=self.seed + 101 * a + b,
+        )
+        self.links[key] = link
+        return link
+
+    @classmethod
+    def build(
+        cls,
+        sim: Simulator,
+        edges: list[tuple[Address, Address]],
+        **kwargs: Any,
+    ) -> "Topology":
+        topo = cls(sim, **kwargs)
+        for a, b in edges:
+            for address in (a, b):
+                if address not in topo.routers:
+                    topo.add_router(address)
+            topo.connect(a, b)
+        return topo
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for router in self.routers.values():
+            router.start()
+
+    def fail_link(self, a: Address, b: Address) -> None:
+        self.links[(min(a, b), max(a, b))].fail()
+
+    def restore_link(self, a: Address, b: Address) -> None:
+        self.links[(min(a, b), max(a, b))].restore()
+
+    # ------------------------------------------------------------------
+    # Oracle: shortest-path first hops over the live topology.
+    # ------------------------------------------------------------------
+    def alive_edges(self) -> list[tuple[Address, Address]]:
+        return [key for key, link in self.links.items() if link.alive]
+
+    def _adjacency(self) -> dict[Address, set[Address]]:
+        adj: dict[Address, set[Address]] = {a: set() for a in self.routers}
+        for a, b in self.alive_edges():
+            adj[a].add(b)
+            adj[b].add(a)
+        return adj
+
+    def oracle_distances(self, source: Address) -> dict[Address, int]:
+        adj = self._adjacency()
+        dist = {source: 0}
+        heap = [(0, source)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist.get(node, float("inf")):
+                continue
+            for peer in adj[node]:
+                if d + 1 < dist.get(peer, float("inf")):
+                    dist[peer] = d + 1
+                    heapq.heappush(heap, (d + 1, peer))
+        return dist
+
+    def routes_correct(self, source: Address) -> bool:
+        """Does ``source``'s FIB reach every reachable node along
+        shortest paths?  Checked hop-by-hop against the oracle."""
+        oracle = self.oracle_distances(source)
+        reachable = {a for a, d in oracle.items() if a != source}
+        router = self.routers[source]
+        fib = router.forwarding.fib()
+        for dst in reachable:
+            hop = fib.get(dst)
+            if hop is None:
+                return False
+            hop_oracle = self.oracle_distances(hop)
+            if hop_oracle.get(dst, float("inf")) != oracle[dst] - 1:
+                return False
+        # No routes to unreachable destinations.
+        for dst in fib:
+            if dst not in reachable:
+                return False
+        return True
+
+    def converged(self) -> bool:
+        return all(self.routes_correct(a) for a in self.routers)
+
+    def converge(
+        self,
+        timeout: float = 60.0,
+        check_interval: float = 0.25,
+    ) -> float | None:
+        """Run until converged; return the virtual time, or None."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            self.sim.run(until=min(self.sim.now + check_interval, deadline))
+            if self.converged():
+                return self.sim.now
+        return None
+
+    # ------------------------------------------------------------------
+    def send_data(self, src: Address, dst: Address, payload: Any) -> None:
+        self.routers[src].send_data(dst, payload)

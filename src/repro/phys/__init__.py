@@ -1,0 +1,14 @@
+"""Physical-layer line codes and the encoding/decoding sublayer."""
+
+from .encodings import LINE_CODES, FourBFiveB, LineCode, Manchester, NRZ, NRZI
+from .sublayer import EncodingSublayer
+
+__all__ = [
+    "EncodingSublayer",
+    "FourBFiveB",
+    "LINE_CODES",
+    "LineCode",
+    "Manchester",
+    "NRZ",
+    "NRZI",
+]

@@ -1,0 +1,182 @@
+"""Line codes: the encoding/decoding sublayer's mechanisms.
+
+Section 2.1 of the paper makes encoding/decoding "the natural candidate
+for the lowest sublayer" of the data link: the sender encodes digital
+data into physical-layer symbols and the receiver decodes them back.
+Four classic line codes are provided — NRZ, NRZI, Manchester, and
+4B/5B — all behind one :class:`LineCode` interface, so the encoding
+sublayer can swap any of them without the framing sublayer above
+noticing (the T3 fungibility property, exercised by the F2 benchmark).
+
+Symbols are represented as :class:`~repro.core.bits.Bits` of signal
+levels (0 = low, 1 = high); a real PHY would map these to voltages.
+"""
+
+from __future__ import annotations
+
+from ..core.bits import Bits
+from ..core.errors import FramingError
+
+
+class LineCode:
+    """Interface for bit-to-symbol line codes."""
+
+    #: Human-readable code name.
+    name: str = "abstract"
+    #: Symbols emitted per data bit (used for overhead accounting).
+    symbols_per_bit: float = 1.0
+
+    def encode(self, data: Bits) -> Bits:
+        """Data bits -> line symbols."""
+        raise NotImplementedError
+
+    def decode(self, symbols: Bits) -> Bits:
+        """Line symbols -> data bits.  Raises FramingError on invalid input."""
+        raise NotImplementedError
+
+
+class NRZ(LineCode):
+    """Non-return-to-zero: the level *is* the bit."""
+
+    name = "nrz"
+    symbols_per_bit = 1.0
+
+    def encode(self, data: Bits) -> Bits:
+        return data
+
+    def decode(self, symbols: Bits) -> Bits:
+        return symbols
+
+
+class NRZI(LineCode):
+    """NRZ-inverted: a 1 toggles the level, a 0 holds it.
+
+    Both sides assume the line idles low (level 0) before the first
+    symbol, which stands in for the real PHY's preamble.
+    """
+
+    name = "nrzi"
+    symbols_per_bit = 1.0
+
+    def encode(self, data: Bits) -> Bits:
+        level = 0
+        out = []
+        for bit in data:
+            if bit:
+                level ^= 1
+            out.append(level)
+        return Bits(out)
+
+    def decode(self, symbols: Bits) -> Bits:
+        level = 0
+        out = []
+        for symbol in symbols:
+            out.append(1 if symbol != level else 0)
+            level = symbol
+        return Bits(out)
+
+
+class Manchester(LineCode):
+    """IEEE 802.3 Manchester: 0 -> low-high (01), 1 -> high-low (10).
+
+    Self-clocking at the price of doubling the symbol rate.
+    """
+
+    name = "manchester"
+    symbols_per_bit = 2.0
+
+    _ENCODE = {0: (0, 1), 1: (1, 0)}
+    _DECODE = {(0, 1): 0, (1, 0): 1}
+
+    def encode(self, data: Bits) -> Bits:
+        out: list[int] = []
+        for bit in data:
+            out.extend(self._ENCODE[bit])
+        return Bits(out)
+
+    def decode(self, symbols: Bits) -> Bits:
+        if len(symbols) % 2 != 0:
+            raise FramingError(
+                f"manchester symbol stream has odd length {len(symbols)}"
+            )
+        out = []
+        for i in range(0, len(symbols), 2):
+            pair = (symbols[i], symbols[i + 1])
+            try:
+                out.append(self._DECODE[pair])
+            except KeyError:
+                raise FramingError(
+                    f"invalid manchester symbol pair {pair} at offset {i}"
+                ) from None
+        return Bits(out)
+
+
+class FourBFiveB(LineCode):
+    """The FDDI 4B/5B block code: each nibble maps to a 5-bit symbol.
+
+    The code words are chosen so no valid stream contains more than
+    three consecutive zeros, preserving clock recovery when combined
+    with NRZI.
+
+    The block code needs nibble alignment, but the framing sublayer
+    above produces arbitrary bit lengths (stuffing inserts single
+    bits), so :meth:`encode` prepends a 3-bit pad-length field and
+    zero-pads to alignment — a mechanism entirely internal to this
+    sublayer, invisible above (T3).  Use :meth:`encode_aligned` /
+    :meth:`decode_aligned` for the raw block code.
+    """
+
+    name = "4b5b"
+    symbols_per_bit = 1.25
+
+    _TABLE = {
+        0x0: "11110", 0x1: "01001", 0x2: "10100", 0x3: "10101",
+        0x4: "01010", 0x5: "01011", 0x6: "01110", 0x7: "01111",
+        0x8: "10010", 0x9: "10011", 0xA: "10110", 0xB: "10111",
+        0xC: "11010", 0xD: "11011", 0xE: "11100", 0xF: "11101",
+    }
+    _REVERSE = {v: k for k, v in _TABLE.items()}
+
+    def encode_aligned(self, data: Bits) -> Bits:
+        if len(data) % 4 != 0:
+            raise FramingError(
+                f"4b5b needs a multiple of 4 data bits, got {len(data)}"
+            )
+        out = Bits()
+        for i in range(0, len(data), 4):
+            nibble = data[i : i + 4].to_int()
+            out = out + Bits.from_string(self._TABLE[nibble])
+        return out
+
+    def decode_aligned(self, symbols: Bits) -> Bits:
+        if len(symbols) % 5 != 0:
+            raise FramingError(
+                f"4b5b needs a multiple of 5 symbols, got {len(symbols)}"
+            )
+        out = Bits()
+        for i in range(0, len(symbols), 5):
+            word = symbols[i : i + 5].to_string()
+            if word not in self._REVERSE:
+                raise FramingError(f"invalid 4b5b code word {word} at offset {i}")
+            out = out + Bits.from_int(self._REVERSE[word], 4)
+        return out
+
+    def encode(self, data: Bits) -> Bits:
+        pad = (-(len(data) + 3)) % 4
+        framed = Bits.from_int(pad, 3) + data + Bits.zeros(pad)
+        return self.encode_aligned(framed)
+
+    def decode(self, symbols: Bits) -> Bits:
+        framed = self.decode_aligned(symbols)
+        if len(framed) < 3:
+            raise FramingError("4b5b stream shorter than its pad field")
+        pad = framed[:3].to_int()
+        if pad > len(framed) - 3:
+            raise FramingError(f"4b5b pad length {pad} exceeds stream")
+        return framed[3 : len(framed) - pad]
+
+
+#: Registry used by stacks and the F2 swap benchmark.
+LINE_CODES: dict[str, type[LineCode]] = {
+    cls.name: cls for cls in (NRZ, NRZI, Manchester, FourBFiveB)
+}

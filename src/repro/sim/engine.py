@@ -1,0 +1,120 @@
+"""Discrete-event simulation engine.
+
+All protocol experiments in this repository run on this engine instead
+of a real network (see DESIGN.md §1: substitution for the authors'
+testbed).  It is a classic calendar-queue design: events are
+``(time, sequence, callback)`` triples in a heap; :meth:`Simulator.run`
+pops them in order, advancing virtual time.  Determinism is absolute —
+ties break by scheduling order and all randomness flows from seeded
+generators (:mod:`repro.sim.rng`) — so every benchmark number in
+EXPERIMENTS.md is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..core.clock import TimerHandle
+from ..core.errors import SimulationError
+
+
+class Simulator:
+    """The event loop: schedule callbacks in virtual time and run them."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, TimerHandle]] = []
+        self._counter = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for _, _, h in self._queue if not h.cancelled)
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        handle = TimerHandle(self._now + delay, callback)
+        heapq.heappush(self._queue, (handle.when, next(self._counter), handle))
+        return handle
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` at absolute virtual time ``when``."""
+        return self.schedule(when - self._now, callback)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: float = float("inf"),
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Process events until the queue empties or ``until`` is reached.
+
+        Returns the virtual time at which the run stopped.  ``max_events``
+        is a runaway guard; exceeding it raises :class:`SimulationError`
+        (a protocol that never quiesces is a bug worth failing loudly on).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue and self._queue[0][0] <= until:
+                when, _seq, handle = heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
+                self._now = when
+                handle.callback()
+                self._events_processed += 1
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events without quiescing"
+                    )
+            if until != float("inf") and (
+                not self._queue or self._queue[0][0] > until
+            ):
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run to quiescence (no pending events)."""
+        return self.run(max_events=max_events)
+
+    def clock(self) -> "SimClock":
+        """A :class:`~repro.core.clock.Clock` view of this simulator."""
+        return SimClock(self)
+
+
+class SimClock:
+    """Adapter giving stacks the core Clock protocol over a Simulator."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+
+    def now(self) -> float:
+        return self._sim.now
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        return self._sim.schedule(delay, callback)
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._sim

@@ -1,0 +1,125 @@
+"""A shared broadcast medium with collisions, for MAC sublayers.
+
+The 802.11 branch of the paper's Fig 2 replaces error recovery with
+Media Access Control, whose job is "to guarantee that one sender at a
+time, eventually and fairly, gets access to the shared physical
+channel".  :class:`BroadcastMedium` provides the physical substrate MAC
+sublayers contend on: any station may transmit at any moment; frames
+whose airtime overlaps *collide* and arrive corrupted at every
+receiver; stations can carrier-sense whether the channel is busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.errors import ConfigurationError
+from .engine import Simulator
+
+
+@dataclass
+class Transmission:
+    station: "StationPort"
+    frame: Any
+    start: float
+    end: float
+    collided: bool = False
+
+
+@dataclass
+class MediumStats:
+    transmissions: int = 0
+    collisions: int = 0
+    delivered: int = 0
+
+
+class BroadcastMedium:
+    """Half-duplex shared channel: overlapping transmissions collide."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float = 1_000_000.0,
+        prop_delay: float = 0.0,
+    ):
+        if rate_bps <= 0:
+            raise ConfigurationError("rate_bps must be positive")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.stations: list[StationPort] = []
+        self.stats = MediumStats()
+        self._active: list[Transmission] = []
+
+    def attach(self, name: str) -> "StationPort":
+        port = StationPort(self, name)
+        self.stations.append(port)
+        return port
+
+    # ------------------------------------------------------------------
+    def busy(self) -> bool:
+        """Carrier sense: is anything on the air right now?"""
+        now = self.sim.now
+        return any(t.start <= now < t.end for t in self._active)
+
+    def _transmit(self, port: "StationPort", frame: Any, size_bits: int) -> None:
+        now = self.sim.now
+        end = now + size_bits / self.rate_bps
+        tx = Transmission(port, frame, now, end)
+        self.stats.transmissions += 1
+        # Any currently-active transmission overlaps with this one.
+        for other in self._active:
+            if other.end > now:
+                if not other.collided:
+                    other.collided = True
+                    self.stats.collisions += 1
+                if not tx.collided:
+                    tx.collided = True
+                    self.stats.collisions += 1
+        self._active.append(tx)
+        self.sim.schedule_at(end + self.prop_delay, lambda: self._complete(tx))
+
+    def _complete(self, tx: Transmission) -> None:
+        self._active.remove(tx)
+        for station in self.stations:
+            if station is tx.station:
+                continue
+            if tx.collided:
+                station._on_collision()
+            else:
+                self.stats.delivered += 1
+                station._on_receive(tx.frame)
+        tx.station._on_transmit_done(collided=tx.collided)
+
+
+class StationPort:
+    """One station's handle on the medium."""
+
+    def __init__(self, medium: BroadcastMedium, name: str):
+        self.medium = medium
+        self.name = name
+        self.on_receive: Callable[[Any], None] | None = None
+        self.on_collision: Callable[[], None] | None = None
+        self.on_transmit_done: Callable[[bool], None] | None = None
+
+    def carrier_sense(self) -> bool:
+        return self.medium.busy()
+
+    def transmit(self, frame: Any, size_bits: int) -> None:
+        self.medium._transmit(self, frame, size_bits)
+
+    def _on_receive(self, frame: Any) -> None:
+        if self.on_receive is not None:
+            self.on_receive(frame)
+
+    def _on_collision(self) -> None:
+        if self.on_collision is not None:
+            self.on_collision()
+
+    def _on_transmit_done(self, collided: bool) -> None:
+        if self.on_transmit_done is not None:
+            self.on_transmit_done(collided)
+
+    def __repr__(self) -> str:
+        return f"StationPort({self.name!r})"

@@ -1,0 +1,89 @@
+"""Small statistics helpers used by benchmarks and examples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class Counter:
+    """A named monotonic counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, by: int = 1) -> None:
+        self.value += by
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+@dataclass
+class ThroughputMeter:
+    """Bytes delivered over a window of virtual time."""
+
+    bytes_delivered: int = 0
+    first_time: float | None = None
+    last_time: float | None = None
+
+    def record(self, nbytes: int, time: float) -> None:
+        self.bytes_delivered += nbytes
+        if self.first_time is None:
+            self.first_time = time
+        self.last_time = time
+
+    @property
+    def duration(self) -> float:
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        return self.last_time - self.first_time
+
+    def throughput_bps(self, end_time: float | None = None) -> float:
+        """Bits per second from first delivery to ``end_time`` (or last)."""
+        if self.first_time is None:
+            return 0.0
+        end = end_time if end_time is not None else self.last_time
+        assert end is not None
+        span = end - self.first_time
+        if span <= 0:
+            return 0.0
+        return 8.0 * self.bytes_delivered / span

@@ -1,0 +1,78 @@
+"""Timestamped event traces for simulation runs.
+
+A :class:`Trace` is the simulator-wide flight recorder: components call
+:meth:`Trace.log` with a category and free-form fields, and analyses
+filter the result.  The offload cost model (C6) and the tuning
+benchmark (C3) both work from traces rather than instrumenting the
+protocols a second time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    category: str
+    fields: tuple[tuple[str, Any], ...]
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+
+class Trace:
+    """An append-only, filterable event log bound to a simulator clock."""
+
+    def __init__(self, sim: Simulator | None = None):
+        self._sim = sim
+        self.events: list[TraceEvent] = []
+
+    def log(self, category: str, **fields: Any) -> None:
+        time = self._sim.now if self._sim is not None else 0.0
+        self.events.append(TraceEvent(time, category, tuple(fields.items())))
+
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        category: str | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        out = []
+        for event in self.events:
+            if category is not None and event.category != category:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def count(self, category: str) -> int:
+        return sum(1 for e in self.events if e.category == category)
+
+    def categories(self) -> set[str]:
+        return {e.category for e in self.events}
+
+    def between(self, start: float, end: float) -> Iterator[TraceEvent]:
+        for event in self.events:
+            if start <= event.time < end:
+                yield event
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

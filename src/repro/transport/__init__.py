@@ -1,0 +1,33 @@
+"""Transport layer: the sublayered TCP (Fig 5), the lwIP-style
+monolithic baseline (Section 4.2), ISN schemes, and the RFC 793 wire
+format shared by the baseline and the interop shim."""
+
+from .config import TcpConfig
+from .isn import ClockIsn, CryptoIsn, ISN_SCHEMES, IsnScheme, TimerIsn
+from .monolithic import MonolithicTcpHost, MonoTcpSocket
+from .rfc793 import TCP_HEADER, TcpSegment
+from .seqspace import SEQ_MOD, fold, seq_between, unfold
+from .sublayered import Rfc793Shim, SublayeredTcpHost, SubTcpSocket, TimerCmSublayer
+from . import quic
+
+__all__ = [
+    "ClockIsn",
+    "quic",
+    "CryptoIsn",
+    "ISN_SCHEMES",
+    "IsnScheme",
+    "MonoTcpSocket",
+    "MonolithicTcpHost",
+    "Rfc793Shim",
+    "SEQ_MOD",
+    "SubTcpSocket",
+    "SublayeredTcpHost",
+    "TCP_HEADER",
+    "TcpConfig",
+    "TcpSegment",
+    "TimerCmSublayer",
+    "TimerIsn",
+    "fold",
+    "seq_between",
+    "unfold",
+]

@@ -1,0 +1,39 @@
+"""Shared transport configuration for both TCP implementations.
+
+Keeping one config type means the C3 performance comparison and the C2
+interop runs are parameterized identically on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+from .isn import ClockIsn, IsnScheme
+
+
+@dataclass
+class TcpConfig:
+    """Tunables common to the monolithic and sublayered TCPs."""
+
+    mss: int = 1000                    # max segment payload, bytes
+    rto_initial: float = 0.2
+    rto_min: float = 0.05
+    rto_max: float = 10.0
+    recv_buffer: int = 65535           # advertised-window ceiling
+    initial_cwnd_segments: int = 2
+    dupack_threshold: int = 3
+    max_syn_retries: int = 8
+    isn_scheme: IsnScheme = field(default_factory=ClockIsn)
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ConfigurationError("mss must be positive")
+        if self.recv_buffer < self.mss:
+            raise ConfigurationError("recv_buffer must hold at least one segment")
+        if self.rto_initial <= 0:
+            raise ConfigurationError("rto_initial must be positive")
+
+    @property
+    def initial_cwnd(self) -> int:
+        return self.initial_cwnd_segments * self.mss

@@ -1,0 +1,86 @@
+"""Initial-sequence-number schemes — CM's encapsulated mechanism.
+
+Section 3: "RFC793 ... suggested choosing the initial sequence number
+to be unique in time using the low-order bits of a clock ...  RFC1948
+then proposed using a cryptographic hash of ports, addresses, and a
+secret key ...  Regardless of the mechanism encapsulated, the main
+function of CM is to choose ISNs that are unique and hard to predict."
+
+Three schemes behind one interface, so the CM sublayer (and the
+monolithic TCP) can swap them freely — the C5 replace experiment:
+
+* :class:`ClockIsn` — RFC 793: a 32-bit clock ticking every 4 µs;
+* :class:`CryptoIsn` — RFC 1948: clock + SHA-256(4-tuple, secret);
+* :class:`TimerIsn` — Watson-style timer-based: a coarser clock whose
+  tick exceeds the maximum segment lifetime, so sequence uniqueness
+  follows from time alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..core.clock import Clock
+from .seqspace import SEQ_MOD
+
+FourTuple = tuple[int, int, int, int]  # (laddr, lport, raddr, rport)
+
+
+class IsnScheme:
+    """Interface: pick an ISN for a connection attempt."""
+
+    name = "abstract"
+
+    def choose(self, clock: Clock, four_tuple: FourTuple) -> int:
+        raise NotImplementedError
+
+
+class ClockIsn(IsnScheme):
+    """RFC 793: the low 32 bits of a clock incrementing every 4 µs."""
+
+    name = "clock"
+
+    def choose(self, clock: Clock, four_tuple: FourTuple) -> int:
+        return int(clock.now() / 4e-6) % SEQ_MOD
+
+
+class CryptoIsn(IsnScheme):
+    """RFC 1948: clock component plus a keyed hash of the 4-tuple.
+
+    The hash makes the per-connection offset unpredictable without the
+    secret, defeating sequence-guessing attacks.
+    """
+
+    name = "crypto"
+
+    def __init__(self, secret: bytes = b"repro-secret"):
+        self.secret = secret
+
+    def choose(self, clock: Clock, four_tuple: FourTuple) -> int:
+        material = ",".join(str(x) for x in four_tuple).encode() + self.secret
+        digest = hashlib.sha256(material).digest()
+        offset = int.from_bytes(digest[:4], "big")
+        base = int(clock.now() / 4e-6)
+        return (base + offset) % SEQ_MOD
+
+
+class TimerIsn(IsnScheme):
+    """Watson-style: a coarse clock whose tick exceeds the maximum
+    segment lifetime, so no two connection incarnations can reuse a
+    sequence number while old segments survive in the network."""
+
+    name = "timer"
+
+    def __init__(self, max_segment_lifetime: float = 1.0):
+        self.msl = max_segment_lifetime
+
+    def choose(self, clock: Clock, four_tuple: FourTuple) -> int:
+        epoch = int(clock.now() / self.msl)
+        # spread incarnations across the space: one epoch = 2^16 seqs
+        return (epoch << 16) % SEQ_MOD
+
+
+#: Registry for the C5 replace benchmark.
+ISN_SCHEMES: dict[str, type[IsnScheme]] = {
+    cls.name: cls for cls in (ClockIsn, CryptoIsn, TimerIsn)
+}

@@ -1,0 +1,36 @@
+"""The lwIP-style monolithic TCP baseline (Section 4.2's subject)."""
+
+from .pcb import (
+    CLOSED,
+    CLOSE_WAIT,
+    CLOSING,
+    ESTABLISHED,
+    FIN_WAIT_1,
+    FIN_WAIT_2,
+    LAST_ACK,
+    LISTEN,
+    SUBFUNCTIONS,
+    SYN_RCVD,
+    SYN_SENT,
+    TIME_WAIT,
+    make_pcb,
+)
+from .tcp import MonolithicTcpHost, MonoTcpSocket
+
+__all__ = [
+    "CLOSED",
+    "CLOSE_WAIT",
+    "CLOSING",
+    "ESTABLISHED",
+    "FIN_WAIT_1",
+    "FIN_WAIT_2",
+    "LAST_ACK",
+    "LISTEN",
+    "MonoTcpSocket",
+    "MonolithicTcpHost",
+    "SUBFUNCTIONS",
+    "SYN_RCVD",
+    "SYN_SENT",
+    "TIME_WAIT",
+    "make_pcb",
+]

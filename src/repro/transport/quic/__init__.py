@@ -1,0 +1,42 @@
+"""Mini-QUIC: the Section 5 sublayering — stream > connection > record > DM.
+
+A compact QUIC-shaped transport demonstrating that the paper's
+decomposition discipline extends beyond TCP: the security (record)
+sublayer and the transport sublayers (connection, stream) are cleanly
+separated, streams are head-of-line independent, and congestion
+control plugs in through the same interface as the sublayered TCP's.
+Simplifications vs RFC 9000 are documented in
+:mod:`repro.transport.quic.frames` and :mod:`.record`.
+"""
+
+from .connection import ConnectionSublayer
+from .frames import (
+    AckFrame,
+    CloseFrame,
+    Frame,
+    HandshakeFrame,
+    StreamFrame,
+    decode_frames,
+    encode_frames,
+)
+from .host import QuicConnection, QuicHost
+from .keys import derive_traffic_key
+from .record import INITIAL_KEY, RecordSublayer
+from .stream import StreamSublayer
+
+__all__ = [
+    "AckFrame",
+    "CloseFrame",
+    "ConnectionSublayer",
+    "Frame",
+    "HandshakeFrame",
+    "INITIAL_KEY",
+    "QuicConnection",
+    "QuicHost",
+    "RecordSublayer",
+    "StreamFrame",
+    "StreamSublayer",
+    "decode_frames",
+    "derive_traffic_key",
+    "encode_frames",
+]

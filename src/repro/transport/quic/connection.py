@@ -1,0 +1,479 @@
+"""The connection sublayer of mini-QUIC.
+
+Per Section 5's suggested decomposition, the connection sublayer owns
+everything that is per-connection and stream-agnostic:
+
+* the handshake (CHLO/SHLO frames carrying key material) and the
+  provisioning of the record sublayer's epoch-1 keys through its
+  ``install_key`` service primitive;
+* packet numbers, acknowledgements, loss detection (packet-threshold
+  and timer based), and *frame* retransmission — QUIC retransmits
+  data in new packets rather than re-sending old ones;
+* congestion control, reusing the same pluggable
+  :class:`~repro.transport.sublayered.congestion.CongestionControl`
+  family as the sublayered TCP's OSR (another fungibility point).
+
+What it explicitly does not know: stream identities, ordering, or
+reassembly — frames from the stream sublayer are opaque cargo with a
+size and an acked-callback.  That boundary is what makes the stream
+sublayer's head-of-line-freedom possible (the E5 ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Any
+
+from ...core.clock import TimerHandle
+from ...core.errors import ConnectionError_
+from ...core.interface import Primitive, ServiceInterface
+from ...core.sublayer import Sublayer
+from ..sublayered.congestion import AimdCc, CongestionControl
+from .frames import (
+    AckFrame,
+    CloseFrame,
+    Frame,
+    HandshakeFrame,
+    HS_CHLO,
+    HS_SHLO,
+    StreamFrame,
+    decode_frames,
+    encode_frames,
+)
+from .keys import derive_traffic_key
+
+ConnId = tuple[int, int]
+
+PN_PREFIX = struct.Struct("!I")
+PACKET_THRESHOLD = 3  # QUIC's reordering threshold for loss declaration
+
+
+class ConnectionSublayer(Sublayer):
+    """Handshake, packet numbers, acks, loss recovery, congestion."""
+
+    SERVICE = ServiceInterface(
+        "quic-connection-service",
+        [
+            Primitive("open", "actively open a connection (sends CHLO)"),
+            Primitive("listen", "accept CHLOs on a local port"),
+            Primitive("send_frames", "queue stream frames for packetization"),
+            Primitive("close", "send CONNECTION_CLOSE"),
+        ],
+    )
+    NOTIFICATIONS = ("established", "frame_acked", "peer_closed", "failed")
+
+    def __init__(
+        self,
+        name: str = "connection",
+        mtu: int = 1200,
+        rto_initial: float = 0.3,
+        rto_max: float = 8.0,
+        max_handshake_retries: int = 8,
+        cc_factory: Any | None = None,
+        rng: random.Random | None = None,
+    ):
+        super().__init__(name)
+        self.mtu = mtu
+        self.rto_initial = rto_initial
+        self.rto_max = rto_max
+        self.max_handshake_retries = max_handshake_retries
+        self.cc_factory = cc_factory or (lambda mtu_: AimdCc(mtu_))
+        self.rng = rng or random.Random(0x9C1C)
+        self._ccs: dict[ConnId, CongestionControl] = {}
+        self._rto_timers: dict[ConnId, TimerHandle] = {}
+        self._hs_timers: dict[ConnId, TimerHandle] = {}
+
+    def clone_fresh(self) -> "ConnectionSublayer":
+        return ConnectionSublayer(
+            self.name, self.mtu, self.rto_initial, self.rto_max,
+            self.max_handshake_retries, self.cc_factory, self.rng,
+        )
+
+    def on_attach(self) -> None:
+        self.state.conns = {}
+        self.state.listening = set()
+        self.state.packets_sent = 0
+        self.state.packets_received = 0
+        self.state.frames_retransmitted = 0
+        self.state.packets_declared_lost = 0
+
+    # ------------------------------------------------------------------
+    def _get(self, conn: ConnId) -> dict | None:
+        return self.state.conns.get(conn)
+
+    def _put(self, conn: ConnId, record: dict) -> None:
+        conns = dict(self.state.conns)
+        conns[conn] = record
+        self.state.conns = conns
+
+    def _new_record(self, role: str) -> dict:
+        return {
+            "role": role,
+            "established": False,
+            "local_random": bytes(self.rng.randrange(256) for _ in range(32)),
+            "peer_random": None,
+            "hs_retries": 0,
+            "pn_next": 0,
+            "sent": {},            # pn -> (frames tuple, size, send_time)
+            "largest_acked": -1,
+            "bytes_in_flight": 0,
+            "queue": (),           # frames awaiting congestion window
+            "srtt": None,
+            "rttvar": 0.0,
+            "rto": self.rto_initial,
+            # receive side
+            "received": set(),     # pns seen (pruned below the run)
+            "rcv_floor": -1,       # every pn <= floor has been received
+            "ack_owed": False,
+            "peer_closed": False,
+        }
+
+    def cc_for(self, conn: ConnId) -> CongestionControl:
+        if conn not in self._ccs:
+            self._ccs[conn] = self.cc_factory(self.mtu)
+        return self._ccs[conn]
+
+    # ------------------------------------------------------------------
+    # Service primitives (the stream sublayer calls these)
+    # ------------------------------------------------------------------
+    def srv_open(self, conn: ConnId) -> None:
+        if self._get(conn) is not None:
+            raise ConnectionError_(f"connection {conn} already exists")
+        assert self.below is not None
+        self.below.bind(conn)
+        self._put(conn, self._new_record("client"))
+        self._send_chlo(conn)
+
+    def srv_listen(self, port: int) -> None:
+        listening = set(self.state.listening)
+        listening.add(port)
+        self.state.listening = listening
+        assert self.below is not None
+        self.below.listen(port)
+
+    def srv_send_frames(self, conn: ConnId, frames: list[StreamFrame]) -> None:
+        record = self._get(conn)
+        if record is None:
+            raise ConnectionError_(f"no connection {conn}")
+        record = dict(record)
+        record["queue"] = record["queue"] + tuple(frames)
+        self._put(conn, record)
+        self._pump(conn)
+
+    def srv_close(self, conn: ConnId, code: int = 0) -> None:
+        record = self._get(conn)
+        if record is None or not record["established"]:
+            return
+        self._emit_packet(conn, [CloseFrame(code=code)], tracked=False)
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def _send_chlo(self, conn: ConnId) -> None:
+        record = self._get(conn)
+        if record is None or record["established"]:
+            return
+        if record["hs_retries"] > self.max_handshake_retries:
+            self.notify("failed", conn, "handshake timed out")
+            return
+        frame = HandshakeFrame(hs_kind=HS_CHLO, random=record["local_random"])
+        self._emit_packet(conn, [frame], epoch=0, tracked=False)
+        record = dict(self._get(conn))
+        record["hs_retries"] += 1
+        self._put(conn, record)
+        self._hs_timers[conn] = self.clock.call_later(
+            self.rto_initial * (2 ** (record["hs_retries"] - 1)),
+            lambda: self._send_chlo(conn),
+        )
+
+    def _establish(self, conn: ConnId, peer_random: bytes) -> None:
+        record = dict(self._get(conn))
+        if record["established"]:
+            return
+        record["peer_random"] = peer_random
+        record["established"] = True
+        self._put(conn, record)
+        timer = self._hs_timers.pop(conn, None)
+        if timer is not None:
+            timer.cancel()
+        if record["role"] == "client":
+            key = derive_traffic_key(record["local_random"], peer_random, conn)
+        else:
+            key = derive_traffic_key(peer_random, record["local_random"], conn)
+        assert self.below is not None
+        self.below.install_key(conn, 1, key)
+        self.notify("established", conn)
+        self._pump(conn)
+
+    def _on_handshake_frame(
+        self, conn: ConnId, frame: HandshakeFrame
+    ) -> None:
+        record = self._get(conn)
+        if frame.hs_kind == HS_CHLO:
+            if record is None:
+                if conn[0] not in self.state.listening:
+                    return
+                assert self.below is not None
+                self.below.bind(conn)
+                self._put(conn, self._new_record("server"))
+                record = self._get(conn)
+            # (re)answer with SHLO; duplicates get the same answer
+            shlo = HandshakeFrame(
+                hs_kind=HS_SHLO, random=record["local_random"]
+            )
+            self._emit_packet(conn, [shlo], epoch=0, tracked=False)
+            if not record["established"]:
+                self._establish(conn, frame.random)
+        elif frame.hs_kind == HS_SHLO and record is not None:
+            if record["role"] == "client":
+                self._establish(conn, frame.random)
+
+    # ------------------------------------------------------------------
+    # Packetization and the congestion window
+    # ------------------------------------------------------------------
+    def _pump(self, conn: ConnId) -> None:
+        record = self._get(conn)
+        if record is None or not record["established"]:
+            return
+        cc = self.cc_for(conn)
+        while True:
+            record = self._get(conn)
+            queue = record["queue"]
+            if not queue:
+                break
+            budget = cc.window() - record["bytes_in_flight"]
+            if budget < queue[0].wire_bytes:
+                break
+            batch: list[StreamFrame] = []
+            size = 0
+            remaining = list(queue)
+            while remaining and size + remaining[0].wire_bytes <= min(
+                self.mtu, budget
+            ):
+                frame = remaining.pop(0)
+                batch.append(frame)
+                size += frame.wire_bytes
+            if not batch:
+                break
+            record = dict(record)
+            record["queue"] = tuple(remaining)
+            self._put(conn, record)
+            self._emit_packet(conn, batch, tracked=True)
+        self._maybe_send_ack(conn)
+
+    def _emit_packet(
+        self,
+        conn: ConnId,
+        frames: list[Frame],
+        epoch: int = 1,
+        tracked: bool = True,
+    ) -> None:
+        record = dict(self._get(conn))
+        pn = record["pn_next"]
+        record["pn_next"] = pn + 1
+        # piggyback an ack on every 1-RTT packet
+        if epoch == 1 and (record["rcv_floor"] >= 0 or record["received"]):
+            frames = list(frames) + [self._ack_frame(record)]
+            record["ack_owed"] = False
+        payload = PN_PREFIX.pack(pn) + encode_frames(frames)
+        size = len(payload)
+        if tracked:
+            stream_frames = tuple(
+                f for f in frames if isinstance(f, StreamFrame)
+            )
+            sent = dict(record["sent"])
+            sent[pn] = (stream_frames, size, self.clock.now())
+            record["sent"] = sent
+            record["bytes_in_flight"] = record["bytes_in_flight"] + size
+        self._put(conn, record)
+        self.state.packets_sent = self.state.packets_sent + 1
+        self.send_down(payload, conn=conn, epoch=epoch)
+        if tracked:
+            self._arm_rto(conn)
+
+    def _ack_frame(self, record: dict) -> AckFrame:
+        floor = record["rcv_floor"]
+        received = record["received"]
+        largest = max(received) if received else floor
+        # contiguous run ending at largest
+        run = 0
+        while largest - run - 1 in received or largest - run - 1 <= floor:
+            if largest - run - 1 <= floor:
+                run = largest - floor - 1
+                break
+            run += 1
+        return AckFrame(largest=largest, first_range=max(run, 0))
+
+    def _maybe_send_ack(self, conn: ConnId) -> None:
+        record = self._get(conn)
+        if record is None or not record["ack_owed"] or not record["established"]:
+            return
+        self._emit_packet(conn, [], tracked=False)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def from_below(
+        self, plaintext: Any, conn: ConnId | None = None, epoch: int = 0,
+        **meta: Any,
+    ) -> None:
+        if conn is None or not isinstance(plaintext, (bytes, bytearray)):
+            return
+        if len(plaintext) < PN_PREFIX.size:
+            return
+        (pn,) = PN_PREFIX.unpack_from(plaintext)
+        try:
+            frames = decode_frames(bytes(plaintext[PN_PREFIX.size :]))
+        except Exception:
+            return  # post-MAC parse failure: drop the packet
+        self.state.packets_received = self.state.packets_received + 1
+
+        # handshake frames may create the connection record
+        for frame in frames:
+            if isinstance(frame, HandshakeFrame):
+                self._on_handshake_frame(conn, frame)
+
+        record = self._get(conn)
+        if record is None:
+            return
+
+        if epoch == 1:
+            record = dict(record)
+            received = set(record["received"])
+            received.add(pn)
+            floor = record["rcv_floor"]
+            while floor + 1 in received:
+                floor += 1
+                received.discard(floor)
+            record["rcv_floor"] = floor
+            record["received"] = received
+            if any(isinstance(f, StreamFrame) for f in frames):
+                record["ack_owed"] = True
+            self._put(conn, record)
+
+        for frame in frames:
+            if isinstance(frame, StreamFrame):
+                self.deliver_up(frame, conn=conn)
+            elif isinstance(frame, AckFrame):
+                self._on_ack(conn, frame)
+            elif isinstance(frame, CloseFrame):
+                record = dict(self._get(conn))
+                if not record["peer_closed"]:
+                    record["peer_closed"] = True
+                    self._put(conn, record)
+                    self.notify("peer_closed", conn, frame.code)
+
+        self._maybe_send_ack(conn)
+
+    # ------------------------------------------------------------------
+    # Ack processing and loss detection
+    # ------------------------------------------------------------------
+    def _on_ack(self, conn: ConnId, ack: AckFrame) -> None:
+        record = self._get(conn)
+        if record is None:
+            return
+        low = ack.largest - ack.first_range
+        record = dict(record)
+        sent = dict(record["sent"])
+        cc = self.cc_for(conn)
+        newly_acked: list[tuple[int, tuple, int, float]] = []
+        for pn in sorted(sent):
+            if low <= pn <= ack.largest:
+                frames, size, when = sent.pop(pn)
+                newly_acked.append((pn, frames, size, when))
+        if not newly_acked:
+            return
+        record["sent"] = sent
+        record["largest_acked"] = max(record["largest_acked"], ack.largest)
+        for pn, frames, size, when in newly_acked:
+            record["bytes_in_flight"] = max(
+                0, record["bytes_in_flight"] - size
+            )
+            rtt = self.clock.now() - when
+            self._rtt_sample(record, rtt)
+            cc.on_ack(size, rtt)
+        self._put(conn, record)
+        for _pn, frames, _size, _when in newly_acked:
+            for frame in frames:
+                self.notify("frame_acked", conn, frame)
+        self._detect_losses(conn)
+        self._rearm_rto(conn)
+        self._pump(conn)
+
+    def _detect_losses(self, conn: ConnId) -> None:
+        """Packet-threshold loss: unacked pns well below largest_acked."""
+        record = self._get(conn)
+        threshold = record["largest_acked"] - PACKET_THRESHOLD
+        lost = [pn for pn in record["sent"] if pn <= threshold]
+        if lost:
+            self._declare_lost(conn, lost, "dupack")
+
+    def _declare_lost(self, conn: ConnId, pns: list[int], kind: str) -> None:
+        record = dict(self._get(conn))
+        sent = dict(record["sent"])
+        requeued: list[StreamFrame] = []
+        for pn in pns:
+            frames, size, _when = sent.pop(pn)
+            record["bytes_in_flight"] = max(0, record["bytes_in_flight"] - size)
+            requeued.extend(frames)
+            self.state.packets_declared_lost = (
+                self.state.packets_declared_lost + 1
+            )
+        self.state.frames_retransmitted = (
+            self.state.frames_retransmitted + len(requeued)
+        )
+        # Frame retransmission: lost frames go to the FRONT of the queue.
+        record["sent"] = sent
+        record["queue"] = tuple(requeued) + record["queue"]
+        self._put(conn, record)
+        self.cc_for(conn).on_loss(kind)
+        self._pump(conn)
+
+    # ------------------------------------------------------------------
+    # RTO
+    # ------------------------------------------------------------------
+    def _arm_rto(self, conn: ConnId) -> None:
+        existing = self._rto_timers.get(conn)
+        if existing is not None and not existing.cancelled:
+            return
+        record = self._get(conn)
+        self._rto_timers[conn] = self.clock.call_later(
+            record["rto"], lambda: self._on_rto(conn)
+        )
+
+    def _rearm_rto(self, conn: ConnId) -> None:
+        timer = self._rto_timers.pop(conn, None)
+        if timer is not None:
+            timer.cancel()
+        record = self._get(conn)
+        if record is not None and record["sent"]:
+            self._rto_timers[conn] = self.clock.call_later(
+                record["rto"], lambda: self._on_rto(conn)
+            )
+
+    def _on_rto(self, conn: ConnId) -> None:
+        self._rto_timers.pop(conn, None)
+        record = self._get(conn)
+        if record is None or not record["sent"]:
+            return
+        record = dict(record)
+        record["rto"] = min(record["rto"] * 2, self.rto_max)
+        self._put(conn, record)
+        oldest = min(record["sent"])
+        self._declare_lost(conn, [oldest], "timeout")
+        self._arm_rto(conn)
+
+    def _rtt_sample(self, record: dict, sample: float) -> None:
+        if record["srtt"] is None:
+            record["srtt"] = sample
+            record["rttvar"] = sample / 2
+        else:
+            record["rttvar"] = 0.75 * record["rttvar"] + 0.25 * abs(
+                record["srtt"] - sample
+            )
+            record["srtt"] = 0.875 * record["srtt"] + 0.125 * sample
+        record["rto"] = min(
+            max(record["srtt"] + 4 * record["rttvar"], self.rto_initial / 4),
+            self.rto_max,
+        )

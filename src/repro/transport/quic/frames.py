@@ -1,0 +1,163 @@
+"""Mini-QUIC frames and their binary codec.
+
+The paper's Section 5 points at QUIC as the next sublayering target:
+"QUIC ... has a clean sub-layering between networking (the transport
+layer) and security (the record layer).  The transport layer can
+likely be further sublayered into a stream layer and a connection
+layer."  The :mod:`repro.transport.quic` package builds exactly that
+decomposition; this module is its frame vocabulary.
+
+Frames are the connection sublayer's payload unit (several frames ride
+in one packet) and the currency between the stream and connection
+sublayers.  The binary codec matters because the record sublayer
+encrypts *bytes*: everything above it must serialize.
+
+Simplifications vs RFC 9000, documented here once: fixed-width fields
+instead of varints, a single ACK range per ACK frame, and no flow
+control or connection-ID rotation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ...core.errors import HeaderError
+
+FRAME_STREAM = 1
+FRAME_ACK = 2
+FRAME_HANDSHAKE = 3
+FRAME_CLOSE = 4
+
+HS_CHLO = 1  # client hello (carries client random)
+HS_SHLO = 2  # server hello (carries server random)
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    """Bytes of one stream at one offset (QUIC's STREAM frame)."""
+
+    stream_id: int
+    offset: int
+    data: bytes
+    fin: bool = False
+    kind: int = FRAME_STREAM
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            "!BHIB H", FRAME_STREAM, self.stream_id, self.offset,
+            int(self.fin), len(self.data),
+        ) + self.data
+
+    @property
+    def wire_bytes(self) -> int:
+        return 10 + len(self.data)
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Cumulative ack of packet numbers: [largest-first_range, largest]."""
+
+    largest: int
+    first_range: int = 0
+    kind: int = FRAME_ACK
+
+    def encode(self) -> bytes:
+        return struct.pack("!BII", FRAME_ACK, self.largest, self.first_range)
+
+    @property
+    def wire_bytes(self) -> int:
+        return 9
+
+
+@dataclass(frozen=True)
+class HandshakeFrame:
+    """CHLO/SHLO carrying 32 bytes of key material (the TLS stand-in)."""
+
+    hs_kind: int
+    random: bytes
+    kind: int = FRAME_HANDSHAKE
+
+    def __post_init__(self) -> None:
+        if len(self.random) != 32:
+            raise HeaderError("handshake random must be 32 bytes")
+
+    def encode(self) -> bytes:
+        return struct.pack("!BB", FRAME_HANDSHAKE, self.hs_kind) + self.random
+
+    @property
+    def wire_bytes(self) -> int:
+        return 34
+
+
+@dataclass(frozen=True)
+class CloseFrame:
+    """Connection close with an error code."""
+
+    code: int
+    kind: int = FRAME_CLOSE
+
+    def encode(self) -> bytes:
+        return struct.pack("!BH", FRAME_CLOSE, self.code)
+
+    @property
+    def wire_bytes(self) -> int:
+        return 3
+
+
+Frame = StreamFrame | AckFrame | HandshakeFrame | CloseFrame
+
+
+def encode_frames(frames: list[Frame]) -> bytes:
+    return b"".join(f.encode() for f in frames)
+
+
+def decode_frames(data: bytes) -> list[Frame]:
+    """Parse a packet payload back into frames.
+
+    Raises :class:`HeaderError` on any malformed input — the record
+    sublayer's MAC should make that unreachable except for bugs, so
+    the connection sublayer treats it as fatal for the packet.
+    """
+    frames: list[Frame] = []
+    view = memoryview(data)
+    pos = 0
+    while pos < len(view):
+        kind = view[pos]
+        if kind == FRAME_STREAM:
+            if pos + 10 > len(view):
+                raise HeaderError("truncated STREAM frame header")
+            _, stream_id, offset, fin, length = struct.unpack_from(
+                "!BHIB H", view, pos
+            )
+            pos += 10
+            if pos + length > len(view):
+                raise HeaderError("truncated STREAM frame data")
+            frames.append(StreamFrame(
+                stream_id=stream_id, offset=offset,
+                data=bytes(view[pos : pos + length]), fin=bool(fin),
+            ))
+            pos += length
+        elif kind == FRAME_ACK:
+            if pos + 9 > len(view):
+                raise HeaderError("truncated ACK frame")
+            _, largest, first_range = struct.unpack_from("!BII", view, pos)
+            frames.append(AckFrame(largest=largest, first_range=first_range))
+            pos += 9
+        elif kind == FRAME_HANDSHAKE:
+            if pos + 34 > len(view):
+                raise HeaderError("truncated HANDSHAKE frame")
+            hs_kind = view[pos + 1]
+            frames.append(HandshakeFrame(
+                hs_kind=hs_kind, random=bytes(view[pos + 2 : pos + 34])
+            ))
+            pos += 34
+        elif kind == FRAME_CLOSE:
+            if pos + 3 > len(view):
+                raise HeaderError("truncated CLOSE frame")
+            _, code = struct.unpack_from("!BH", view, pos)
+            frames.append(CloseFrame(code=code))
+            pos += 3
+        else:
+            raise HeaderError(f"unknown frame kind {kind}")
+    return frames

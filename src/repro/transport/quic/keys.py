@@ -1,0 +1,25 @@
+"""Key derivation for mini-QUIC — the TLS key-schedule stand-in.
+
+Both sides derive the same epoch-1 traffic key from the two handshake
+randoms and the connection identity; only holders of both randoms can
+compute it.  (A real deployment would run a TLS handshake here; the
+*architectural* point — the connection sublayer derives keys and
+installs them into the record sublayer through a narrow service
+primitive — is unchanged.  DESIGN.md §1.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def derive_traffic_key(
+    client_random: bytes, server_random: bytes, conn: tuple[int, int]
+) -> bytes:
+    material = (
+        b"repro-quic-1rtt"
+        + client_random
+        + server_random
+        + str(sorted(conn)).encode()
+    )
+    return hashlib.sha256(material).digest()

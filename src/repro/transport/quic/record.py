@@ -1,0 +1,148 @@
+"""The record (security) sublayer of mini-QUIC.
+
+"QUIC ... has a clean sub-layering between networking (the transport
+layer) and security (the record layer)" — Section 5.  Everything the
+connection sublayer emits is, to this sublayer, opaque plaintext
+bytes; everything on the wire below is an authenticated ciphertext.
+The interface upward is exactly two things: the data path, and the
+``install_key`` service primitive through which the connection
+sublayer's handshake provisions each epoch's key.  Neither sublayer
+sees the other's mechanisms (T3): the connection sublayer never
+touches nonces or MACs; the record sublayer never parses a frame.
+
+Cryptography is simulated but structurally faithful (DESIGN.md §1:
+no real crypto requirement in a protocol-architecture reproduction):
+a SHA-256-keystream XOR cipher with a truncated SHA-256 MAC, a fixed
+public key for epoch 0 (QUIC's "initial secrets"), and handshake-
+derived keys for epoch 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from ...core.errors import ConnectionError_
+from ...core.header import Field, HeaderFormat
+from ...core.interface import Primitive, ServiceInterface
+from ...core.pdu import unwrap
+from ...core.sublayer import Sublayer
+from .frames import Frame  # noqa: F401  (documentation cross-reference)
+
+RECORD_HEADER = HeaderFormat(
+    "record",
+    [
+        Field("epoch", 8),
+        Field("nonce", 64),
+    ],
+    owner="record",
+)
+
+MAC_BYTES = 8
+
+#: QUIC's initial secret analogue: public, version-fixed.
+INITIAL_KEY = hashlib.sha256(b"repro-quic-initial").digest()
+
+
+def _keystream(key: bytes, nonce: int, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + nonce.to_bytes(8, "big") + counter.to_bytes(4, "big")
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def _mac(key: bytes, nonce: int, ciphertext: bytes) -> bytes:
+    return hashlib.sha256(
+        b"mac" + key + nonce.to_bytes(8, "big") + ciphertext
+    ).digest()[:MAC_BYTES]
+
+
+class RecordSublayer(Sublayer):
+    """Authenticated encryption of everything above it."""
+
+    HEADER = RECORD_HEADER
+    SERVICE = ServiceInterface(
+        "record-service",
+        [
+            Primitive("install_key", "provision one epoch's traffic key"),
+            # Pass-through port management: T2 allows a sublayer to talk
+            # only to its immediate neighbours, so the record sublayer
+            # re-exposes (and forwards) DM's binding primitives to the
+            # connection sublayer above.
+            Primitive("bind", "forwarded to DM"),
+            Primitive("listen", "forwarded to DM"),
+        ],
+    )
+
+    def on_attach(self) -> None:
+        self.state.keys = {}          # (conn, epoch) -> key bytes
+        self.state.nonce_counter = 0
+        self.state.sealed = 0
+        self.state.opened = 0
+        self.state.auth_failures = 0
+
+    # ------------------------------------------------------------------
+    def srv_install_key(self, conn: Any, epoch: int, key: bytes) -> None:
+        keys = dict(self.state.keys)
+        keys[(conn, epoch)] = key
+        self.state.keys = keys
+
+    def srv_bind(self, conn: Any) -> None:
+        assert self.below is not None
+        self.below.bind(conn)
+
+    def srv_listen(self, port: int) -> None:
+        assert self.below is not None
+        self.below.listen(port)
+
+    def _key_for(self, conn: Any, epoch: int) -> bytes | None:
+        if epoch == 0:
+            return INITIAL_KEY
+        return self.state.keys.get((conn, epoch))
+
+    # ------------------------------------------------------------------
+    def from_above(
+        self, plaintext: Any, conn: Any = None, epoch: int = 0, **meta: Any
+    ) -> None:
+        if not isinstance(plaintext, (bytes, bytearray)):
+            raise ConnectionError_("record sublayer seals bytes")
+        key = self._key_for(conn, epoch)
+        if key is None:
+            raise ConnectionError_(
+                f"no key installed for {conn} epoch {epoch}"
+            )
+        nonce = self.state.nonce_counter
+        self.state.nonce_counter = nonce + 1
+        stream = _keystream(key, nonce, len(plaintext))
+        ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+        sealed = ciphertext + _mac(key, nonce, ciphertext)
+        self.state.sealed = self.state.sealed + 1
+        self.send_down(
+            self.wrap({"epoch": epoch, "nonce": nonce}, sealed), conn=conn
+        )
+
+    def from_below(self, pdu: Any, conn: Any = None, **meta: Any) -> None:
+        if not hasattr(pdu, "owner") or pdu.owner != self.name:
+            return
+        values, sealed = unwrap(pdu, self.name)
+        epoch, nonce = values["epoch"], values["nonce"]
+        key = self._key_for(conn, epoch)
+        if key is None or not isinstance(sealed, (bytes, bytearray)) or (
+            len(sealed) < MAC_BYTES
+        ):
+            self.state.auth_failures = self.state.auth_failures + 1
+            return
+        ciphertext, tag = sealed[:-MAC_BYTES], sealed[-MAC_BYTES:]
+        if _mac(key, nonce, ciphertext) != tag:
+            # Forged or corrupted: drop silently, as AEAD demands.
+            self.state.auth_failures = self.state.auth_failures + 1
+            return
+        stream = _keystream(key, nonce, len(ciphertext))
+        plaintext = bytes(a ^ b for a, b in zip(ciphertext, stream))
+        self.state.opened = self.state.opened + 1
+        self.deliver_up(plaintext, conn=conn, epoch=epoch)

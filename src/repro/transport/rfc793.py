@@ -1,0 +1,125 @@
+"""The standard TCP header (RFC 793) and wire segments.
+
+This is the monolithic TCP's native wire format and the target of the
+sublayered TCP's interoperability shim.  The header is declared with
+the same :class:`~repro.core.header.HeaderFormat` machinery as the
+Fig 6 sublayered header, which is what lets
+:mod:`repro.analysis.headers` check field-level isomorphism between
+the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.header import Field, HeaderFormat
+
+TCP_HEADER = HeaderFormat(
+    "tcp",
+    [
+        Field("sport", 16),
+        Field("dport", 16),
+        Field("seq", 32),
+        Field("ack", 32),
+        Field("data_offset", 4, default=5),
+        Field("reserved", 4),
+        Field("cwr", 1),
+        Field("ece", 1),
+        Field("urg", 1),
+        Field("ack_flag", 1),
+        Field("psh", 1),
+        Field("rst", 1),
+        Field("syn", 1),
+        Field("fin", 1),
+        Field("window", 16),
+        Field("checksum", 16),
+        Field("urgent", 16),
+    ],
+    owner="tcp",
+)
+
+assert TCP_HEADER.bit_width == 160  # the canonical 20-byte header
+
+
+@dataclass
+class TcpSegment:
+    """One TCP segment on the (simulated) wire."""
+
+    header: dict[str, int]
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        full = {name: 0 for name in TCP_HEADER.field_names()}
+        full["data_offset"] = 5
+        full.update(self.header)
+        self.header = full
+
+    # Convenience accessors --------------------------------------------
+    @property
+    def sport(self) -> int:
+        return self.header["sport"]
+
+    @property
+    def dport(self) -> int:
+        return self.header["dport"]
+
+    @property
+    def seq(self) -> int:
+        return self.header["seq"]
+
+    @property
+    def ack(self) -> int:
+        return self.header["ack"]
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.header["syn"])
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.header["fin"])
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.header["rst"])
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.header["ack_flag"])
+
+    @property
+    def window(self) -> int:
+        return self.header["window"]
+
+    @property
+    def wire_bytes(self) -> int:
+        return TCP_HEADER.byte_width + len(self.payload)
+
+    def seg_len(self) -> int:
+        """Sequence space the segment occupies (SYN and FIN count one)."""
+        return len(self.payload) + int(self.syn) + int(self.fin)
+
+    def flag_names(self) -> str:
+        names = [
+            f.upper()
+            for f in ("syn", "fin", "rst", "psh")
+            if self.header[f]
+        ]
+        if self.has_ack:
+            names.append("ACK")
+        return "|".join(names) or "-"
+
+    def to_bytes(self) -> bytes:
+        return TCP_HEADER.pack_bytes(self.header) + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TcpSegment":
+        values = TCP_HEADER.unpack_bytes(data)
+        return cls(header=values, payload=data[TCP_HEADER.byte_width :])
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpSegment({self.sport}->{self.dport} {self.flag_names()} "
+            f"seq={self.seq} ack={self.ack} win={self.window} "
+            f"len={len(self.payload)})"
+        )

@@ -1,0 +1,34 @@
+"""32-bit sequence-number arithmetic shared by both TCPs.
+
+Internally both implementations track *unbounded* byte offsets (Python
+ints anchored at the ISN), which makes window logic trivially correct;
+sequence numbers are folded to 32 bits at the wire and unfolded
+relative to a nearby reference on receive.  The unfold window is
++/- 2^31, the standard serial-number-arithmetic convention (RFC 1982).
+"""
+
+from __future__ import annotations
+
+SEQ_MOD = 1 << 32
+_HALF = 1 << 31
+
+
+def fold(seq: int) -> int:
+    """Unbounded sequence -> 32-bit wire value."""
+    return seq % SEQ_MOD
+
+
+def unfold(reference: int, wire_seq: int) -> int:
+    """Wire value -> the unbounded sequence nearest ``reference``.
+
+    The result is within 2^31 of the reference in either direction.
+    """
+    delta = (wire_seq - fold(reference)) % SEQ_MOD
+    if delta >= _HALF:
+        delta -= SEQ_MOD
+    return reference + delta
+
+
+def seq_between(low: int, value: int, high: int) -> bool:
+    """low <= value < high on unbounded sequences."""
+    return low <= value < high

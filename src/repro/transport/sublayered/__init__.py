@@ -1,0 +1,64 @@
+"""The sublayered TCP of Fig 5: OSR > RD > CM > DM (+ optional shim)."""
+
+from .cm import CmSublayer
+from .cm_timer import TimerCmSublayer
+from .congestion import (
+    AimdCc,
+    CC_SCHEMES,
+    CongestionControl,
+    FixedWindowCc,
+    RateBasedCc,
+)
+from .dm import ConnId, DmSublayer
+from .headers import (
+    CM_FIN,
+    CM_FINACK,
+    CM_HEADER,
+    CM_HSACK,
+    CM_NONE,
+    CM_SYN,
+    CM_SYNACK,
+    DM_HEADER,
+    NATIVE_HEADER_BITS,
+    OSR_CTL_DATA,
+    OSR_CTL_PROBE,
+    OSR_CTL_UPDATE,
+    OSR_HEADER,
+    RD_HEADER,
+)
+from .host import SublayeredTcpHost, SubTcpSocket
+from .osr import OsrSublayer
+from .rd import RdSublayer, segment_length
+from .shim import Rfc793Shim
+
+__all__ = [
+    "AimdCc",
+    "CC_SCHEMES",
+    "CM_FIN",
+    "CM_FINACK",
+    "CM_HEADER",
+    "CM_HSACK",
+    "CM_NONE",
+    "CM_SYN",
+    "CM_SYNACK",
+    "CmSublayer",
+    "CongestionControl",
+    "ConnId",
+    "DM_HEADER",
+    "DmSublayer",
+    "FixedWindowCc",
+    "NATIVE_HEADER_BITS",
+    "OSR_CTL_DATA",
+    "OSR_CTL_PROBE",
+    "OSR_CTL_UPDATE",
+    "OSR_HEADER",
+    "OsrSublayer",
+    "RD_HEADER",
+    "RateBasedCc",
+    "RdSublayer",
+    "Rfc793Shim",
+    "SubTcpSocket",
+    "SublayeredTcpHost",
+    "TimerCmSublayer",
+    "segment_length",
+]

@@ -1,0 +1,113 @@
+"""Pluggable congestion control for OSR.
+
+Section 3: "rate control is hidden within OSR" and "if each sublayer
+adheres to its API, one could in principle seamlessly replace
+congestion control (by say a rate-based protocol)".  The C5 benchmark
+does exactly that swap; these classes are the choices.
+
+A controller sees only what the paper says OSR sees: ack summaries and
+loss summaries from RD (via OSR), and answers one question — how many
+bytes may be in flight.
+"""
+
+from __future__ import annotations
+
+from ...core.errors import ConfigurationError
+
+
+class CongestionControl:
+    """Interface: a bytes-in-flight budget driven by ack/loss events."""
+
+    name = "abstract"
+
+    def __init__(self, mss: int):
+        self.mss = mss
+
+    def window(self) -> int:
+        """Current allowance, in bytes."""
+        raise NotImplementedError
+
+    def on_ack(self, acked_bytes: int, rtt: float | None = None) -> None:
+        """Data left the network successfully."""
+
+    def on_loss(self, kind: str) -> None:
+        """RD's loss summary: ``"dupack"`` or ``"timeout"``."""
+
+
+class AimdCc(CongestionControl):
+    """Reno-style slow start / congestion avoidance / halving.
+
+    Mirrors the monolithic TCP's congestion behaviour so the C3
+    performance comparison isolates the architecture, not the
+    algorithm.
+    """
+
+    name = "aimd"
+
+    def __init__(self, mss: int, initial_segments: int = 2):
+        super().__init__(mss)
+        self.cwnd = initial_segments * mss
+        self.ssthresh = 64 * 1024
+
+    def window(self) -> int:
+        return self.cwnd
+
+    def on_ack(self, acked_bytes: int, rtt: float | None = None) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(acked_bytes, self.mss)          # slow start
+        else:
+            self.cwnd += max(1, self.mss * self.mss // self.cwnd)  # CA
+
+    def on_loss(self, kind: str) -> None:
+        self.ssthresh = max(self.cwnd // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh if kind == "dupack" else self.mss
+
+
+class RateBasedCc(CongestionControl):
+    """A rate-based controller: flight budget = rate x smoothed RTT.
+
+    Additive rate increase on acks, multiplicative decrease on loss —
+    the "rate-based protocol" replacement the paper floats.
+    """
+
+    name = "rate"
+
+    def __init__(self, mss: int, initial_rate: float | None = None):
+        super().__init__(mss)
+        self.rate = initial_rate if initial_rate is not None else 20.0 * mss
+        self.srtt = 0.2
+
+    def window(self) -> int:
+        return max(self.mss, int(self.rate * self.srtt))
+
+    def on_ack(self, acked_bytes: int, rtt: float | None = None) -> None:
+        if rtt is not None and rtt > 0:
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        # += one mss per smoothed RTT, apportioned per acked byte
+        window = max(self.mss, self.rate * self.srtt)
+        self.rate += self.mss * acked_bytes / window / self.srtt
+
+    def on_loss(self, kind: str) -> None:
+        factor = 0.7 if kind == "dupack" else 0.5
+        self.rate = max(self.mss / 1.0, self.rate * factor)
+
+
+class FixedWindowCc(CongestionControl):
+    """A constant window — the ablation baseline (no congestion control)."""
+
+    name = "fixed"
+
+    def __init__(self, mss: int, segments: int = 8):
+        super().__init__(mss)
+        if segments < 1:
+            raise ConfigurationError("fixed window needs at least one segment")
+        self._window = segments * mss
+
+    def window(self) -> int:
+        return self._window
+
+
+#: Registry for the C5 replace benchmark.
+CC_SCHEMES: dict[str, type[CongestionControl]] = {
+    cls.name: cls for cls in (AimdCc, RateBasedCc, FixedWindowCc)
+}

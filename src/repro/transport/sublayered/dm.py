@@ -1,0 +1,86 @@
+"""DM — the demultiplexing sublayer at the bottom of Fig 5.
+
+"The lowest demultiplexing (DM) sublayer is essentially UDP; it allows
+demultiplexing via standard destination and source port numbers.  No
+sublayer can do its work without DM; so we place DM at the bottom.
+DM encapsulates details of binding IP addresses to ports and reusing
+ports.  To pass test T3, DM only uses the destination and source port
+numbers."
+
+Its service interface to CM is exactly port management: bind a
+connection's port pair, register a listening port, release a binding.
+On the data path it wraps/strips the two-port DM header and drops
+anything addressed to an unbound, non-listening port.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.errors import ConnectionError_
+from ...core.interface import Primitive, ServiceInterface
+from ...core.pdu import unwrap
+from ...core.sublayer import Sublayer
+from .headers import DM_HEADER
+
+ConnId = tuple[int, int]  # (local_port, remote_port)
+
+
+class DmSublayer(Sublayer):
+    """Port binding and per-connection demultiplexing."""
+
+    HEADER = DM_HEADER
+    SERVICE = ServiceInterface(
+        "dm-service",
+        [
+            Primitive("bind", "register a (local, remote) port pair"),
+            Primitive("listen", "accept new peers on a local port"),
+            Primitive("unbind", "release a port pair"),
+        ],
+    )
+
+    def on_attach(self) -> None:
+        self.state.bound = set()       # of ConnId
+        self.state.listening = set()   # of local port
+        self.state.demuxed = 0
+        self.state.dropped_unbound = 0
+
+    # ------------------------------------------------------------------
+    # Service primitives (called by CM through its port)
+    # ------------------------------------------------------------------
+    def srv_bind(self, conn: ConnId) -> None:
+        bound = set(self.state.bound)
+        if conn in bound:
+            raise ConnectionError_(f"port pair {conn} already bound")
+        bound.add(conn)
+        self.state.bound = bound
+
+    def srv_listen(self, port: int) -> None:
+        listening = set(self.state.listening)
+        listening.add(port)
+        self.state.listening = listening
+
+    def srv_unbind(self, conn: ConnId) -> None:
+        bound = set(self.state.bound)
+        bound.discard(conn)
+        self.state.bound = bound
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def from_above(self, sdu: Any, conn: ConnId | None = None, **meta: Any) -> None:
+        if conn is None:
+            raise ConnectionError_("DM needs a conn=(lport, rport) tag")
+        lport, rport = conn
+        self.send_down(self.wrap({"sport": lport, "dport": rport}, sdu))
+
+    def from_below(self, pdu: Any, **meta: Any) -> None:
+        if not hasattr(pdu, "owner") or pdu.owner != self.name:
+            return  # not a native sublayered unit: drop
+        values, inner = unwrap(pdu, self.name)
+        conn: ConnId = (values["dport"], values["sport"])  # local view
+        if conn in self.state.bound or conn[0] in self.state.listening:
+            self.state.demuxed = self.state.demuxed + 1
+            self.deliver_up(inner, conn=conn)
+        else:
+            self.state.dropped_unbound = self.state.dropped_unbound + 1

@@ -1,0 +1,104 @@
+"""The Fig 6 sublayered TCP header: one subheader per sublayer.
+
+"The header as shown bears no resemblance to the standard TCP header
+in order to clearly separate sublayers" — each sublayer owns its own
+fields (T3), and the full native header is the concatenation
+DM | CM | RD | OSR.  The isomorphism with RFC 793 that Section 3.1
+argues for is implemented by the shim
+(:mod:`repro.transport.sublayered.shim`) and checked field-by-field by
+:mod:`repro.analysis.headers`.
+
+Deviations from the figure, both documented in DESIGN.md:
+
+* pure RD acknowledgements carry no OSR subheader (flow-control
+  signals ride only on OSR-originated segments), so "the ISN header is
+  redundant [but] static" applies to CM's subheader only;
+* the CM subheader carries an explicit ``offset`` used by FIN/FINACK —
+  standard TCP's FIN consumes a sequence number, and the shim needs
+  the FIN's stream position to translate losslessly.
+"""
+
+from __future__ import annotations
+
+from ...core.header import Field, HeaderFormat
+
+# ----------------------------------------------------------------------
+# DM — demultiplexing ("essentially UDP"): ports only.
+# ----------------------------------------------------------------------
+DM_HEADER = HeaderFormat(
+    "dm",
+    [Field("sport", 16), Field("dport", 16)],
+    owner="dm",
+)
+
+# ----------------------------------------------------------------------
+# CM — connection management: handshake kind, the ISNs, FIN position.
+# ----------------------------------------------------------------------
+CM_NONE = 0      # a data-path segment; CM fields are static ISN echo
+CM_SYN = 1
+CM_SYNACK = 2
+CM_HSACK = 3     # final handshake ack
+CM_FIN = 4
+CM_FINACK = 5
+
+CM_KIND_NAMES = {
+    CM_NONE: "none", CM_SYN: "syn", CM_SYNACK: "synack",
+    CM_HSACK: "hsack", CM_FIN: "fin", CM_FINACK: "finack",
+}
+
+CM_HEADER = HeaderFormat(
+    "cm",
+    [
+        Field("kind", 3),
+        Field("pad", 5),
+        Field("isn", 32),       # sender's ISN (static after handshake)
+        Field("ack_isn", 32),   # peer's ISN as understood by the sender
+        Field("offset", 32),    # FIN/FINACK: byte-stream position of the FIN
+    ],
+    owner="cm",
+)
+
+# ----------------------------------------------------------------------
+# RD — reliable delivery: sequence numbers, cumulative ack, one SACK
+# range.  seq/ack are absolute (ISN-anchored) like TCP's.
+# ----------------------------------------------------------------------
+RD_HEADER = HeaderFormat(
+    "rd",
+    [
+        Field("seq", 32),
+        Field("ack", 32),
+        Field("has_data", 1),
+        Field("is_ack", 1),
+        Field("pad", 6),
+        Field("sack_left", 32),   # 0/0 = no SACK range
+        Field("sack_right", 32),
+    ],
+    owner="rd",
+)
+
+# ----------------------------------------------------------------------
+# OSR — ordering/segmenting/rate control: the congestion and flow
+# control signals the paper places in the OSR subheader.
+# ----------------------------------------------------------------------
+OSR_CTL_DATA = 0
+OSR_CTL_UPDATE = 1   # window update (answer to nothing; informational)
+OSR_CTL_PROBE = 2    # zero-window probe (peer answers with an update)
+
+OSR_HEADER = HeaderFormat(
+    "osr",
+    [
+        Field("wnd", 16),   # receiver window (flow control)
+        Field("ecn", 2),    # explicit congestion bits (carried, unused by sim)
+        Field("ctl", 2),    # data / window-update / zero-window-probe
+        Field("pad", 4),
+    ],
+    owner="osr",
+)
+
+#: Total native header when all four subheaders are present.
+NATIVE_HEADER_BITS = (
+    DM_HEADER.bit_width
+    + CM_HEADER.bit_width
+    + RD_HEADER.bit_width
+    + OSR_HEADER.bit_width
+)

@@ -1,0 +1,278 @@
+"""Lemmas and machine-checked proofs — the Coq-substitute (DESIGN.md §1).
+
+The paper's Coq artifact proves ``Unstuff(RemoveFlags(AddFlags(
+Stuff(D)))) = D`` with "57 lemmas and 1800 lines", organized so that
+"the proof uses separate independent correctness lemmas for each
+sublayer".  We reproduce the *structure* of that artifact in Python:
+
+* a :class:`Lemma` is a named, universally-quantified property,
+  attributed to one sublayer (or to an interface between two), with
+  explicit dependencies on other lemmas;
+* a proof *tactic* decides it: :func:`exhaustive` enumerates a bounded
+  domain completely (a sound decision procedure for the finite-state
+  transductions involved — see :mod:`repro.datalink.framing.decide`
+  for the exact automaton-product alternative), and
+  :func:`sampled` draws seeded random cases for domains too big to
+  enumerate;
+* a :class:`LemmaLibrary` proves lemmas in dependency order and
+  reports the *modularity metrics* the paper's lesson 1 is about:
+  how many lemmas belong to each sublayer, and how many cross
+  sublayer boundaries.
+
+A lemma failing produces the counterexample, which is how the E2
+search exhibits the paper's "subtle" invalid stuffing rules.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from ..core.errors import VerificationError
+
+
+@dataclass
+class ProofResult:
+    """Outcome of checking one lemma."""
+
+    lemma: str
+    proved: bool
+    cases_checked: int
+    counterexample: tuple | None = None
+    detail: str = ""
+    elapsed: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.proved
+
+
+CaseSource = Callable[[], Iterable[tuple]]
+Property = Callable[..., bool]
+
+
+class Lemma:
+    """A universally-quantified property with provenance and dependencies.
+
+    Parameters
+    ----------
+    name:
+        Unique lemma name, e.g. ``"stuff_roundtrip"``.
+    statement:
+        Human-readable statement (what would be the Coq ``Theorem``).
+    prop:
+        Predicate over one case tuple's elements; must return True for
+        every case the source yields.
+    cases:
+        Zero-argument callable yielding case tuples (the quantified
+        domain, already bounded).
+    sublayer:
+        The component this lemma reasons about — ``"stuffing"``,
+        ``"flags"`` — or an interface like ``"stuffing/flags"`` when it
+        necessarily spans two (the modularity metric counts these).
+    depends_on:
+        Names of lemmas this proof uses.  The library checks the
+        graph is acyclic and proves dependencies first.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        statement: str,
+        prop: Property,
+        cases: CaseSource,
+        sublayer: str,
+        depends_on: Iterable[str] = (),
+    ):
+        self.name = name
+        self.statement = statement
+        self.prop = prop
+        self.cases = cases
+        self.sublayer = sublayer
+        self.depends_on = tuple(depends_on)
+
+    @property
+    def crosses_sublayers(self) -> bool:
+        return "/" in self.sublayer
+
+    def prove(self) -> ProofResult:
+        """Check the property over every case; stop at the first failure."""
+        start = time.perf_counter()
+        count = 0
+        for case in self.cases():
+            count += 1
+            try:
+                ok = self.prop(*case)
+            except Exception as exc:  # a crash is a failure with detail
+                return ProofResult(
+                    self.name, False, count, case,
+                    detail=f"raised {type(exc).__name__}: {exc}",
+                    elapsed=time.perf_counter() - start,
+                )
+            if not ok:
+                return ProofResult(
+                    self.name, False, count, case,
+                    elapsed=time.perf_counter() - start,
+                )
+        return ProofResult(
+            self.name, True, count, elapsed=time.perf_counter() - start
+        )
+
+    def __repr__(self) -> str:
+        return f"Lemma({self.name!r}, sublayer={self.sublayer!r})"
+
+
+# ----------------------------------------------------------------------
+# Case-source combinators (proof tactics)
+# ----------------------------------------------------------------------
+def exhaustive(*domains: Callable[[], Iterable[Any]]) -> CaseSource:
+    """Cartesian product of fully-enumerated domains."""
+
+    def source() -> Iterator[tuple]:
+        def recurse(prefix: tuple, remaining: tuple) -> Iterator[tuple]:
+            if not remaining:
+                yield prefix
+                return
+            head, *tail = remaining
+            for value in head():
+                yield from recurse(prefix + (value,), tuple(tail))
+
+        yield from recurse((), domains)
+
+    return source
+
+
+def sampled(
+    generator: Callable[[random.Random], tuple],
+    samples: int = 500,
+    seed: int = 0,
+) -> CaseSource:
+    """Seeded random cases for domains too large to enumerate."""
+
+    def source() -> Iterator[tuple]:
+        rng = random.Random(seed)
+        for _ in range(samples):
+            yield generator(rng)
+
+    return source
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class LibraryReport:
+    """Aggregate result of proving a lemma library."""
+
+    results: list[ProofResult] = field(default_factory=list)
+    order: list[str] = field(default_factory=list)
+
+    @property
+    def proved(self) -> bool:
+        return all(r.proved for r in self.results)
+
+    @property
+    def total_cases(self) -> int:
+        return sum(r.cases_checked for r in self.results)
+
+    def failures(self) -> list[ProofResult]:
+        return [r for r in self.results if not r.proved]
+
+    def result(self, name: str) -> ProofResult:
+        for r in self.results:
+            if r.lemma == name:
+                return r
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.results)} lemmas, {self.total_cases} cases, "
+            f"{'ALL PROVED' if self.proved else 'FAILURES PRESENT'}"
+        ]
+        for r in self.results:
+            status = "proved" if r.proved else f"FAILED at {r.counterexample!r}"
+            lines.append(f"  {r.lemma}: {status} ({r.cases_checked} cases)")
+        return "\n".join(lines)
+
+
+class LemmaLibrary:
+    """An ordered collection of lemmas with dependency tracking."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lemmas: dict[str, Lemma] = {}
+
+    def add(self, lemma: Lemma) -> Lemma:
+        if lemma.name in self._lemmas:
+            raise VerificationError(f"duplicate lemma {lemma.name!r}")
+        for dep in lemma.depends_on:
+            if dep not in self._lemmas:
+                raise VerificationError(
+                    f"lemma {lemma.name!r} depends on unknown {dep!r} "
+                    f"(add dependencies first)"
+                )
+        self._lemmas[lemma.name] = lemma
+        return lemma
+
+    def __len__(self) -> int:
+        return len(self._lemmas)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._lemmas
+
+    def lemma(self, name: str) -> Lemma:
+        return self._lemmas[name]
+
+    def lemmas(self) -> list[Lemma]:
+        return list(self._lemmas.values())
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[str]:
+        """Dependency-respecting proof order (insertion order is already
+        topological because ``add`` requires dependencies to exist)."""
+        return list(self._lemmas)
+
+    def prove_all(self, stop_on_failure: bool = False) -> LibraryReport:
+        report = LibraryReport(order=self.topological_order())
+        for name in report.order:
+            result = self._lemmas[name].prove()
+            report.results.append(result)
+            if stop_on_failure and not result.proved:
+                break
+        return report
+
+    # ------------------------------------------------------------------
+    # Modularity metrics (the paper's lesson 1)
+    # ------------------------------------------------------------------
+    def lemmas_per_sublayer(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for lemma in self._lemmas.values():
+            counts[lemma.sublayer] = counts.get(lemma.sublayer, 0) + 1
+        return counts
+
+    def cross_sublayer_lemmas(self) -> list[str]:
+        """Lemmas whose statement spans more than one sublayer."""
+        return [l.name for l in self._lemmas.values() if l.crosses_sublayers]
+
+    def cross_sublayer_dependencies(self) -> int:
+        """Dependency edges joining lemmas of *different* sublayers."""
+        count = 0
+        for lemma in self._lemmas.values():
+            for dep in lemma.depends_on:
+                if self._lemmas[dep].sublayer != lemma.sublayer:
+                    count += 1
+        return count
+
+    def modularity_report(self) -> dict[str, Any]:
+        per = self.lemmas_per_sublayer()
+        cross = self.cross_sublayer_lemmas()
+        return {
+            "lemmas": len(self._lemmas),
+            "per_sublayer": per,
+            "cross_sublayer_lemmas": len(cross),
+            "cross_sublayer_dependencies": self.cross_sublayer_dependencies(),
+            "modular_fraction": (
+                (len(self._lemmas) - len(cross)) / len(self._lemmas)
+                if self._lemmas
+                else 1.0
+            ),
+        }

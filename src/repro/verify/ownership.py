@@ -1,0 +1,126 @@
+"""Ownership and interference analysis — the Dafny-ownership substitute.
+
+Section 4.2, lesson 2: "Verification of monolithic stacks with
+unrestricted shared state (e.g., the PCB) is challenging because Dafny
+does not have an in-built notion of ownership.  Modifying the heap
+requires a plethora of annotations to manually specify the precise
+portions of the heap that an individual function accesses, to prove
+that functions do not interfere with one another via side effects in
+shared state."
+
+Given an :class:`~repro.core.instrument.AccessLog` from an executed
+implementation (the monolithic TCP's subfunction-tagged PCB accesses,
+or the sublayered TCP's per-sublayer state), this module computes:
+
+* the **interference matrix** — which actors touch which fields;
+* the **frame-annotation estimate** — how many Dafny-style
+  ``reads``/``modifies`` clauses the access pattern implies (one per
+  distinct (actor, field, kind) triple): the paper's "plethora of
+  annotations", counted;
+* the **interaction graph** — actor pairs coupled through shared
+  fields, whose growth is the O(N^2) the paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..core.instrument import AccessLog
+
+
+@dataclass
+class OwnershipReport:
+    """Interference metrics for one access log."""
+
+    actors: list[str]
+    fields_total: int
+    shared_fields: dict[tuple[str, str], list[str]]
+    frame_annotations: int
+    write_write_conflicts: int
+    interaction_pairs: list[tuple[str, str]]
+
+    @property
+    def shared_field_count(self) -> int:
+        return len(self.shared_fields)
+
+    @property
+    def interaction_count(self) -> int:
+        """Coupled actor pairs — the O(N^2) growth metric."""
+        return len(self.interaction_pairs)
+
+    @property
+    def exclusively_owned_fraction(self) -> float:
+        """Fraction of fields touched by exactly one actor — 1.0 means
+        full ownership discipline (the sublayered ideal)."""
+        if self.fields_total == 0:
+            return 1.0
+        return 1.0 - self.shared_field_count / self.fields_total
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.actors)} actors, {self.fields_total} fields, "
+            f"{self.shared_field_count} shared "
+            f"({self.exclusively_owned_fraction:.0%} exclusively owned)",
+            f"frame annotations needed: {self.frame_annotations}",
+            f"write-write conflicts: {self.write_write_conflicts}",
+            f"coupled actor pairs: {self.interaction_count}",
+        ]
+        for (target, name), actors in sorted(self.shared_fields.items()):
+            lines.append(f"  {target}.{name}: {', '.join(sorted(actors))}")
+        return "\n".join(lines)
+
+
+def analyze_ownership(
+    log: AccessLog, targets: set[str] | None = None
+) -> OwnershipReport:
+    """Interference analysis over (optionally filtered) state targets."""
+    records = [
+        r
+        for r in log.records
+        if r.actor is not None and (targets is None or r.target in targets)
+    ]
+    touched: dict[tuple[str, str], set[str]] = {}
+    annotations: set[tuple[str, str, str, str]] = set()
+    writers: dict[tuple[str, str], set[str]] = {}
+    for r in records:
+        key = (r.target, r.field)
+        touched.setdefault(key, set()).add(r.actor)
+        annotations.add((r.actor, r.target, r.field, r.kind))
+        if r.kind == "write":
+            writers.setdefault(key, set()).add(r.actor)
+
+    shared = {
+        key: sorted(actors) for key, actors in touched.items() if len(actors) > 1
+    }
+    write_write = sum(1 for actors in writers.values() if len(actors) > 1)
+
+    coupled: set[tuple[str, str]] = set()
+    for actors in touched.values():
+        for a, b in combinations(sorted(actors), 2):
+            coupled.add((a, b))
+
+    return OwnershipReport(
+        actors=sorted({r.actor for r in records}),
+        fields_total=len(touched),
+        shared_fields=shared,
+        frame_annotations=len(annotations),
+        write_write_conflicts=write_write,
+        interaction_pairs=sorted(coupled),
+    )
+
+
+def compare_ownership(
+    monolithic: OwnershipReport, sublayered: OwnershipReport
+) -> dict[str, float | int]:
+    """The E3/A1 headline numbers: monolithic vs sublayered discipline."""
+    return {
+        "monolithic_shared_fields": monolithic.shared_field_count,
+        "sublayered_shared_fields": sublayered.shared_field_count,
+        "monolithic_interactions": monolithic.interaction_count,
+        "sublayered_interactions": sublayered.interaction_count,
+        "monolithic_annotations": monolithic.frame_annotations,
+        "sublayered_annotations": sublayered.frame_annotations,
+        "monolithic_owned_fraction": monolithic.exclusively_owned_fraction,
+        "sublayered_owned_fraction": sublayered.exclusively_owned_fraction,
+    }

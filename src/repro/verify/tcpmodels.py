@@ -1,0 +1,460 @@
+"""Small-state TCP models for the E3 verification-effort experiment.
+
+The paper verified "a simple in-order, reliable delivery property
+assuming the network is initially empty" of a monolithic TCP, and
+conjectured sublayering would make such verification easier because
+"once a sublayer is proved, we can forget the details of a sublayer,
+relying thereafter only on the postconditions of the lower layer".
+
+These models make that comparison concrete and measurable:
+
+* :class:`CmModel` — the handshake alone: two endpoints establish an
+  ISN pair over a lossy, duplicating channel.  Its postcondition:
+  *the ISNs agree and are fresh*.
+* :class:`RdModel` — reliable delivery alone, *assuming* CM's
+  postcondition (fresh sequence space, empty network): a sliding
+  window with wrap-around sequence numbers over a lossy/duplicating/
+  reordering channel.  Its postcondition: *exactly-once delivery of
+  every offset with the right content*.
+* :class:`OsrModel` — ordering alone, assuming RD's postcondition
+  (exactly-once, arbitrary order): a reassembly buffer.  Its
+  postcondition: *the application sees the stream in order*.
+* :class:`MonolithicModel` — the paper's situation: handshake and
+  windowed transfer glued together over one channel, verified as one
+  machine.
+
+The E3 benchmark checks all four and compares state counts: the sum of
+the three sublayer checks against the monolithic product.  The models
+also expose the classic pitfalls as *parameter choices that fail*:
+``RdModel(window > seq_mod // 2)`` violates exactly-once (the
+sequence-space wrap bug), and ``CmModel(stale_syns=True)`` violates
+ISN agreement (the delayed-duplicate problem RFC 793's clock exists to
+prevent) — each with a machine-found counterexample trace.
+"""
+
+from __future__ import annotations
+
+from .modelcheck import Invariant, Model, channel_remove, channel_variants
+
+
+# ======================================================================
+# CM: handshake establishing an ISN pair
+# ======================================================================
+class CmModel(Model):
+    """SYN / SYNACK / HSACK over a lossy, duplicating channel.
+
+    State: (client_phase, client_isn, client_remote,
+            server_phase, server_isn, server_remote,
+            to_server, to_client)
+
+    ISNs range over {0, 1}: two incarnations.  With ``stale_syns`` the
+    adversary may inject a SYN from the *other* incarnation (a delayed
+    duplicate from an old connection) — exactly the hazard the paper's
+    CM discussion cites; ISN agreement then fails.
+    """
+
+    name = "cm-handshake"
+
+    CLOSED, SYN_SENT, SYN_RCVD, ESTABLISHED = range(4)
+
+    def __init__(self, capacity: int = 2, stale_syns: bool = False):
+        self.capacity = capacity
+        self.stale_syns = stale_syns
+
+    def initial_states(self):
+        yield (self.CLOSED, 0, None, self.CLOSED, 1, None, (), ())
+
+    def actions(self, state):
+        (cp, cisn, crem, sp, sisn, srem, to_s, to_c) = state
+        out = []
+
+        def pack(cp=cp, cisn=cisn, crem=crem, sp=sp, sisn=sisn, srem=srem,
+                 to_s=to_s, to_c=to_c):
+            return (cp, cisn, crem, sp, sisn, srem, to_s, to_c)
+
+        # client sends / retransmits SYN
+        if cp in (self.CLOSED, self.SYN_SENT):
+            for label, ch in channel_variants(
+                to_s, ("syn", cisn), self.capacity, duplicating=True
+            ):
+                out.append((f"c-syn-{label}", pack(cp=self.SYN_SENT, to_s=ch)))
+
+        # adversary: a delayed SYN from the previous incarnation
+        if self.stale_syns:
+            stale_isn = 1 - cisn
+            for label, ch in channel_variants(
+                to_s, ("syn", stale_isn), self.capacity
+            ):
+                if label == "sent":
+                    out.append(("stale-syn", pack(to_s=ch)))
+
+        # server consumes messages
+        for msg in set(to_s):
+            rest = channel_remove(to_s, msg)
+            kind = msg[0]
+            if kind == "syn":
+                # (re)answer; latch the first SYN's isn
+                new_srem = srem if srem is not None else msg[1]
+                if sp in (self.CLOSED, self.SYN_RCVD):
+                    for label, ch in channel_variants(
+                        to_c, ("synack", sisn, new_srem), self.capacity,
+                        duplicating=True,
+                    ):
+                        out.append((
+                            f"s-synack-{label}",
+                            pack(sp=self.SYN_RCVD, srem=new_srem,
+                                 to_s=rest, to_c=ch),
+                        ))
+                else:
+                    out.append(("s-drop-syn", pack(to_s=rest)))
+            elif kind == "hsack":
+                if sp == self.SYN_RCVD and msg[1] == sisn:
+                    out.append(("s-established", pack(sp=self.ESTABLISHED, to_s=rest)))
+                else:
+                    out.append(("s-drop-hsack", pack(to_s=rest)))
+
+        # server retransmits SYNACK
+        if sp == self.SYN_RCVD:
+            for label, ch in channel_variants(
+                to_c, ("synack", sisn, srem), self.capacity
+            ):
+                if label == "sent":
+                    out.append(("s-resynack", pack(to_c=ch)))
+
+        # client consumes messages
+        for msg in set(to_c):
+            rest = channel_remove(to_c, msg)
+            if msg[0] == "synack":
+                if cp == self.SYN_SENT and msg[2] == cisn:
+                    for label, ch in channel_variants(
+                        to_s, ("hsack", msg[1]), self.capacity, duplicating=True
+                    ):
+                        out.append((
+                            f"c-established-{label}",
+                            pack(cp=self.ESTABLISHED, crem=msg[1],
+                                 to_c=rest, to_s=ch),
+                        ))
+                else:
+                    out.append(("c-drop-synack", pack(to_c=rest)))
+        return out
+
+    @staticmethod
+    def invariants() -> list[Invariant]:
+        def isns_agree(state) -> bool:
+            (cp, cisn, crem, sp, sisn, srem, _ts, _tc) = state
+            if cp == CmModel.ESTABLISHED and sp == CmModel.ESTABLISHED:
+                return crem == sisn and srem == cisn
+            return True
+
+        return [Invariant("established-isns-agree", isns_agree)]
+
+    @staticmethod
+    def freshness_invariants() -> list[Invariant]:
+        """The stronger property ISN uniqueness exists to provide: the
+        server only ever latches the *live* client's ISN.  With
+        ``stale_syns=True`` (delayed duplicates from an earlier
+        incarnation) this fails — the hazard RFC 793's clock-driven
+        ISNs and RFC 1948's hashes are designed against."""
+
+        def server_remote_isn_fresh(state) -> bool:
+            (cp, cisn, _crem, sp, _sisn, srem, _ts, _tc) = state
+            if sp != CmModel.CLOSED and srem is not None:
+                return srem == cisn
+            return True
+
+        return CmModel.invariants() + [
+            Invariant("server-remote-isn-fresh", server_remote_isn_fresh)
+        ]
+
+
+# ======================================================================
+# RD: windowed exactly-once delivery with wrap-around sequence numbers
+# ======================================================================
+class RdModel(Model):
+    """Sliding-window transfer of ``segments`` items, sequence numbers
+    mod ``seq_mod``, assuming CM's postcondition (empty initial network,
+    fresh sequence space).
+
+    Messages carry (seq mod M, true_id).  The receiver reconstructs the
+    offset from the wire seq by window reasoning; accepting a message
+    whose true id differs from the reconstructed offset means stale
+    data was delivered as fresh — the ``corrupted`` flag, our
+    exactly-once/right-content violation.  The classic theorem shows
+    up as a parameter boundary: the invariant holds iff
+    ``window <= seq_mod - window`` (for cumulative acks, W <= M-1;
+    for this selective receiver, W <= M/2).
+    """
+
+    name = "rd-transfer"
+
+    def __init__(
+        self,
+        segments: int = 3,
+        window: int = 1,
+        seq_mod: int = 2,
+        capacity: int = 2,
+        duplicating: bool = True,
+        stale_traffic: bool = False,
+        fifo: bool = True,
+    ):
+        self.segments = segments
+        self.window = window
+        self.seq_mod = seq_mod
+        self.capacity = capacity
+        self.duplicating = duplicating
+        #: FIFO channels bound reordering, the assumption under which
+        #: the classic finite-sequence-space results hold (W <= M/2 for
+        #: a selective receiver).  With ``fifo=False`` the channel is a
+        #: multiset — unbounded reordering and duplicate lifetime — and
+        #: *no* finite seq space is safe once the stream is long
+        #: enough: the formal counterpart of why TCP needs a maximum
+        #: segment lifetime plus CM's fresh-ISN guarantee.
+        self.fifo = fifo
+        #: Model the *absence* of CM's guarantee: the network may hold
+        #: segments from an earlier connection incarnation.  RD alone
+        #: cannot tell them from fresh data — "CM sets up RD by
+        #: providing a range of sequence numbers not present in the
+        #: network so that segments and acks can be trusted as not
+        #: being delayed duplicates" (Section 3).  With this on, the
+        #: exactly-once invariant has a machine-found counterexample.
+        self.stale_traffic = stale_traffic
+
+    STALE = -1  # true_id marker for old-incarnation segments
+
+    def _push(self, channel: tuple, message) -> list[tuple[str, tuple]]:
+        """Transmission outcomes on this model's channel discipline."""
+        if self.fifo:
+            variants = []
+            if len(channel) < self.capacity:
+                variants.append(("sent", channel + (message,)))
+                if self.duplicating and len(channel) + 2 <= self.capacity:
+                    variants.append(("duplicated", channel + (message, message)))
+            variants.append(("lost", channel))
+            return variants
+        return channel_variants(
+            channel, message, self.capacity, duplicating=self.duplicating
+        )
+
+    def _pops(self, channel: tuple) -> list[tuple[object, tuple]]:
+        """(message, remaining-channel) receive choices."""
+        if self.fifo:
+            if not channel:
+                return []
+            return [(channel[0], channel[1:])]
+        return [(m, channel_remove(channel, m)) for m in set(channel)]
+
+    def initial_states(self):
+        # (snd_base, rcv_nxt, rcv_ooo, corrupted, data_ch, ack_ch)
+        yield (0, 0, (), False, (), ())
+
+    def actions(self, state):
+        base, rcv_nxt, ooo, corrupted, data_ch, ack_ch = state
+        out = []
+
+        def pack(base=base, rcv_nxt=rcv_nxt, ooo=ooo, corrupted=corrupted,
+                 data_ch=data_ch, ack_ch=ack_ch):
+            return (base, rcv_nxt, tuple(sorted(ooo)), corrupted, data_ch, ack_ch)
+
+        # sender (re)transmits any unacked in-window offset
+        for offset in range(base, min(base + self.window, self.segments)):
+            message = ("d", offset % self.seq_mod, offset)
+            for label, ch in self._push(data_ch, message):
+                out.append((f"send-{offset}-{label}", pack(data_ch=ch)))
+
+        # adversary: delayed duplicates from an earlier incarnation
+        if self.stale_traffic:
+            for wire_seq in range(self.seq_mod):
+                message = ("d", wire_seq, self.STALE)
+                for label, ch in self._push(data_ch, message):
+                    if label == "sent":
+                        out.append((f"stale-{wire_seq}", pack(data_ch=ch)))
+
+        # receiver consumes a data message
+        for msg, rest in self._pops(data_ch):
+            _kind, wire_seq, true_id = msg
+            # reconstruct: the unique in-window offset matching wire_seq
+            candidates = [
+                o
+                for o in range(rcv_nxt, rcv_nxt + self.window)
+                if o % self.seq_mod == wire_seq and o < self.segments
+            ]
+            if not candidates or candidates[0] in ooo:
+                # duplicate or out-of-window: drop, re-ack
+                for label, ch in self._push(ack_ch, ("a", rcv_nxt % self.seq_mod)):
+                    if label != "duplicated":
+                        out.append((f"reack-{label}", pack(data_ch=rest, ack_ch=ch)))
+                continue
+            offset = candidates[0]
+            bad = corrupted or (true_id != offset)
+            if offset == rcv_nxt:
+                new_nxt = rcv_nxt + 1
+                new_ooo = set(ooo)
+                while new_nxt in new_ooo:
+                    new_ooo.discard(new_nxt)
+                    new_nxt += 1
+            else:
+                new_nxt = rcv_nxt
+                new_ooo = set(ooo) | {offset}
+            for label, ch in self._push(ack_ch, ("a", new_nxt % self.seq_mod)):
+                out.append((
+                    f"recv-{offset}-{label}",
+                    pack(rcv_nxt=new_nxt, ooo=tuple(sorted(new_ooo)),
+                         corrupted=bad, data_ch=rest, ack_ch=ch),
+                ))
+
+        # sender consumes an ack
+        for msg, rest in self._pops(ack_ch):
+            _kind, wire_ack = msg
+            candidates = [
+                b
+                for b in range(base + 1, base + self.window + 1)
+                if b % self.seq_mod == wire_ack and b <= self.segments
+            ]
+            if candidates:
+                out.append((f"ack-{candidates[0]}", pack(base=candidates[0], ack_ch=rest)))
+            else:
+                out.append(("ack-stale", pack(ack_ch=rest)))
+        return out
+
+    def invariants(self) -> list[Invariant]:
+        def exactly_once_right_content(state) -> bool:
+            return not state[3]
+
+        def no_phantom_progress(state) -> bool:
+            return state[1] <= self.segments and state[0] <= self.segments
+
+        return [
+            Invariant("exactly-once-right-content", exactly_once_right_content),
+            Invariant("no-phantom-progress", no_phantom_progress),
+        ]
+
+
+# ======================================================================
+# OSR: reorder buffer over RD's exactly-once unordered service
+# ======================================================================
+class OsrModel(Model):
+    """Reassembly of ``segments`` items delivered exactly once in an
+    adversarial order (RD's postcondition as the assumption)."""
+
+    name = "osr-reassembly"
+
+    def __init__(self, segments: int = 3, buffer_limit: int | None = None):
+        self.segments = segments
+        self.buffer_limit = (
+            buffer_limit if buffer_limit is not None else segments
+        )
+
+    def initial_states(self):
+        # (undelivered frozenset-as-tuple, buffered, app_next)
+        yield (tuple(range(self.segments)), (), 0)
+
+    def actions(self, state):
+        undelivered, buffered, app_next = state
+        out = []
+        for item in undelivered:
+            rest = tuple(x for x in undelivered if x != item)
+            if item == app_next:
+                new_next = app_next + 1
+                buf = set(buffered)
+                while new_next in buf:
+                    buf.discard(new_next)
+                    new_next += 1
+                out.append((
+                    f"deliver-{item}",
+                    (rest, tuple(sorted(buf)), new_next),
+                ))
+            else:
+                buf = tuple(sorted(set(buffered) | {item}))
+                out.append((f"buffer-{item}", (rest, buf, app_next)))
+        return out
+
+    def invariants(self) -> list[Invariant]:
+        def in_order_stream(state) -> bool:
+            _undelivered, buffered, app_next = state
+            # the app saw exactly 0..app_next-1; nothing buffered below it
+            return all(b > app_next for b in buffered)
+
+        def buffer_bounded(state) -> bool:
+            return len(state[1]) <= self.buffer_limit
+
+        return [
+            Invariant("in-order-stream", in_order_stream),
+            Invariant("buffer-bounded", buffer_bounded),
+        ]
+
+
+# ======================================================================
+# Monolithic: handshake + transfer in one machine (the Section 4.2 way)
+# ======================================================================
+class MonolithicModel(Model):
+    """CM and RD glued into one transition system over one channel pair.
+
+    The state couples handshake phases with transfer state, because
+    that is exactly what the monolithic PCB does; verifying in-order
+    delivery then requires exploring the product space.  Functionally
+    it is CmModel followed by RdModel; the E3 benchmark's point is the
+    state-count ratio against checking the sublayer models separately.
+    """
+
+    name = "monolithic-tcp"
+
+    def __init__(
+        self,
+        segments: int = 3,
+        window: int = 1,
+        seq_mod: int = 2,
+        capacity: int = 2,
+        duplicating: bool = True,
+    ):
+        self.cm = CmModel(capacity=capacity)
+        self.rd = RdModel(
+            segments=segments,
+            window=window,
+            seq_mod=seq_mod,
+            capacity=capacity,
+            duplicating=duplicating,
+        )
+        self.segments = segments
+
+    def initial_states(self):
+        for cm_state in self.cm.initial_states():
+            for rd_state in self.rd.initial_states():
+                yield (cm_state, rd_state)
+
+    def actions(self, state):
+        cm_state, rd_state = state
+        out = []
+        # handshake actions are always available (retransmissions, stale
+        # messages draining) — coupled into the product
+        for label, cm_next in self.cm.actions(cm_state):
+            out.append((f"cm:{label}", (cm_next, rd_state)))
+        # data transfer only once both sides established — the coupling
+        # between CM state and RD progress the paper complains about
+        cp, sp = cm_state[0], cm_state[3]
+        if cp == CmModel.ESTABLISHED and sp == CmModel.ESTABLISHED:
+            for label, rd_next in self.rd.actions(rd_state):
+                out.append((f"rd:{label}", (cm_state, rd_next)))
+        return out
+
+    def invariants(self) -> list[Invariant]:
+        cm_invariants = CmModel.invariants()
+        rd_invariants = self.rd.invariants()
+
+        def lifted_cm(state) -> bool:
+            return all(inv.check(state[0]) for inv in cm_invariants)
+
+        def lifted_rd(state) -> bool:
+            return all(inv.check(state[1]) for inv in rd_invariants)
+
+        def no_data_before_established(state) -> bool:
+            cm_state, rd_state = state
+            cp, sp = cm_state[0], cm_state[3]
+            if rd_state[0] > 0 or rd_state[1] > 0:
+                return cp == CmModel.ESTABLISHED and sp == CmModel.ESTABLISHED
+            return True
+
+        return [
+            Invariant("cm-postcondition", lifted_cm),
+            Invariant("rd-postcondition", lifted_rd),
+            Invariant("no-data-before-established", no_data_before_established),
+        ]

@@ -1,0 +1,154 @@
+"""Tests for the analysis package (entanglement, offload, headers)."""
+
+import pytest
+
+from repro.analysis import (
+    ISOMORPHISM_TABLE,
+    MONOLITHIC_PARTITIONS,
+    Partition,
+    SUBLAYER_PARTITIONS,
+    check_data_segment_roundtrip,
+    coupling_matrix,
+    entanglement_rows,
+    entanglement_score,
+    evaluate_partition,
+    evaluate_partitions,
+    footprints,
+    isomorphism_report,
+    native_fields_covered,
+    rfc793_fields_covered,
+)
+from repro.core.instrument import AccessLog, InstrumentedState, acting_as
+
+from ..transport.helpers import make_pair, transfer
+
+
+def entangled_log():
+    log = AccessLog()
+    pcb = InstrumentedState("pcb", log=log)
+    with acting_as("rd"):
+        pcb.seq = 1
+        pcb.window = 10
+    with acting_as("cc"):
+        _ = pcb.window
+        pcb.window = 5
+    with acting_as("flow"):
+        pcb.rwnd = 3
+    return log
+
+
+class TestEntanglement:
+    def test_footprints(self):
+        prints = footprints(entangled_log())
+        assert prints["rd"].writes == {("pcb", "seq"), ("pcb", "window")}
+        assert prints["cc"].reads == {("pcb", "window")}
+
+    def test_coupling_matrix(self):
+        matrix = coupling_matrix(entangled_log())
+        assert matrix[("cc", "rd")] == 1       # window
+        assert matrix[("cc", "flow")] == 0
+
+    def test_score_range(self):
+        score = entanglement_score(entangled_log())
+        assert 0.0 < score < 1.0
+
+    def test_score_zero_for_single_actor(self):
+        log = AccessLog()
+        state = InstrumentedState("s", log=log)
+        with acting_as("only"):
+            state.x = 1
+        assert entanglement_score(log) == 0.0
+
+    def test_rows_shape(self):
+        rows = entanglement_rows(entangled_log())
+        by_name = {r["subfunction"]: r for r in rows}
+        assert by_name["cc"]["fields_shared_with_others"] == 1
+        assert by_name["flow"]["fields_shared_with_others"] == 0
+
+    def test_sublayered_less_entangled_than_monolithic(self):
+        """The A1 headline comparison on the real implementations."""
+        sim, a, b, _ = make_pair("sub", "sub", loss=0.05)
+        transfer(sim, a, b, nbytes=20_000)
+        sub_score = entanglement_score(a.access_log, {"osr", "rd", "cm", "dm"})
+        sim2, m, n, _ = make_pair("mono", "mono", loss=0.05)
+        transfer(sim2, m, n, nbytes=20_000)
+        mono_score = entanglement_score(m.access_log, {"pcb"})
+        assert sub_score == 0.0
+        assert mono_score > 0.05
+
+
+class TestOffload:
+    def test_partition_side(self):
+        partition = Partition.of("x", {"rd"})
+        assert partition.side("rd") == "hw"
+        assert partition.side("osr") == "sw"
+
+    def test_all_software_baseline(self):
+        report = evaluate_partition(entangled_log(), Partition.of("none", set()))
+        assert report.boundary_crossings == 0
+        assert report.offload_fraction == 0.0
+
+    def test_crossings_counted(self):
+        # actors alternate rd(2 accesses), cc(2), flow(1)
+        report = evaluate_partition(entangled_log(), Partition.of("x", {"cc"}))
+        assert report.boundary_crossings == 2  # rd->cc, cc->flow
+
+    def test_duplicated_state(self):
+        report = evaluate_partition(entangled_log(), Partition.of("x", {"cc"}))
+        assert ("pcb", "window") in report.duplicated_fields
+
+    def test_row_keys(self):
+        report = evaluate_partition(entangled_log(), Partition.of("x", {"cc"}))
+        assert set(report.row()) == {
+            "partition", "crossings", "duplicated_state_fields",
+            "offload_fraction",
+        }
+
+    def test_sublayer_cuts_duplicate_no_state(self):
+        """C6's shape: every sublayer-boundary cut is clean (T3), while
+        every functional cut of the monolithic TCP mirrors PCB state."""
+        sim, a, b, _ = make_pair("sub", "sub", loss=0.05)
+        transfer(sim, a, b, nbytes=20_000)
+        sub_reports = evaluate_partitions(
+            a.access_log, SUBLAYER_PARTITIONS, {"osr", "rd", "cm", "dm"}
+        )
+        assert all(r.duplicated_state == 0 for r in sub_reports)
+
+        sim2, m, n, _ = make_pair("mono", "mono", loss=0.05)
+        transfer(sim2, m, n, nbytes=20_000)
+        mono_reports = evaluate_partitions(
+            m.access_log, MONOLITHIC_PARTITIONS, {"pcb"}
+        )
+        offloading = [r for r in mono_reports if r.partition.hardware]
+        assert all(r.duplicated_state > 0 for r in offloading)
+
+
+class TestHeaderIsomorphism:
+    def test_every_native_field_audited(self):
+        cover = native_fields_covered()
+        missing = [name for name, ok in cover.items() if not ok]
+        assert missing == []
+
+    def test_every_rfc793_field_audited(self):
+        cover = rfc793_fields_covered()
+        missing = [name for name, ok in cover.items() if not ok]
+        assert missing == []
+
+    def test_behavioural_roundtrip(self):
+        outcome = check_data_segment_roundtrip()
+        assert all(outcome.values()), outcome
+
+    def test_roundtrip_various_values(self):
+        outcome = check_data_segment_roundtrip(
+            sport=65535, dport=1, isn=2**32 - 10, ack_isn=0,
+            offset=100, ack=0, wnd=0, payload=b"",
+        )
+        # zero-length payload: no data unit payload comparison issue
+        assert outcome["ports"] and outcome["seq"] and outcome["window"]
+
+    def test_report_aggregate(self):
+        report = isomorphism_report()
+        assert report["behavioural_roundtrip"]
+        assert report["native_fields_audited"] == report["native_fields"]
+        assert report["rfc793_fields_audited"] == report["rfc793_fields"]
+        assert report["table_rows"] == len(ISOMORPHISM_TABLE)

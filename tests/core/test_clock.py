@@ -1,0 +1,99 @@
+"""Tests for repro.core.clock."""
+
+import pytest
+
+from repro.core.clock import Clock, ManualClock
+
+
+class TestManualClock:
+    def test_starts_at_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_advance_moves_time(self):
+        clock = ManualClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().call_later(-1, lambda: None)
+
+    def test_callback_fires_at_time(self):
+        clock = ManualClock()
+        fired = []
+        clock.call_later(1.0, lambda: fired.append(clock.now()))
+        clock.advance(0.5)
+        assert fired == []
+        clock.advance(0.5)
+        assert fired == [1.0]
+
+    def test_callbacks_fire_in_order(self):
+        clock = ManualClock()
+        order = []
+        clock.call_later(2.0, lambda: order.append("b"))
+        clock.call_later(1.0, lambda: order.append("a"))
+        clock.advance(3.0)
+        assert order == ["a", "b"]
+
+    def test_ties_fire_in_schedule_order(self):
+        clock = ManualClock()
+        order = []
+        clock.call_later(1.0, lambda: order.append("first"))
+        clock.call_later(1.0, lambda: order.append("second"))
+        clock.advance(1.0)
+        assert order == ["first", "second"]
+
+    def test_cancel(self):
+        clock = ManualClock()
+        fired = []
+        handle = clock.call_later(1.0, lambda: fired.append(1))
+        handle.cancel()
+        clock.advance(2.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_callback_can_schedule_more(self):
+        clock = ManualClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.call_later(1.0, lambda: fired.append("second"))
+
+        clock.call_later(1.0, first)
+        clock.advance(2.0)
+        assert fired == ["first", "second"]
+
+    def test_run_until_idle(self):
+        clock = ManualClock()
+        fired = []
+        clock.call_later(5.0, lambda: fired.append(1))
+        clock.run_until_idle()
+        assert fired == [1]
+        assert clock.now() == 5.0
+
+    def test_pending_count(self):
+        clock = ManualClock()
+        h1 = clock.call_later(1.0, lambda: None)
+        clock.call_later(2.0, lambda: None)
+        assert clock.pending == 2
+        h1.cancel()
+        assert clock.pending == 1
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(ManualClock(), Clock)
+
+    def test_advance_sets_now_during_callback(self):
+        clock = ManualClock()
+        seen = []
+        clock.call_later(1.5, lambda: seen.append(clock.now()))
+        clock.advance(10.0)
+        assert seen == [1.5]
+        assert clock.now() == 10.0

@@ -1,0 +1,166 @@
+"""Tests for repro.core.contracts."""
+
+import pytest
+
+from repro.core.contracts import (
+    ByteStreamIntegrity,
+    ContractMonitor,
+    ExactlyOnceDelivery,
+    InOrderDelivery,
+    LocalizationReport,
+    NoCorruption,
+    Observation,
+    evaluate_contracts,
+)
+from repro.core.errors import ConfigurationError, ContractViolation
+from repro.core.stack import APP, Stack
+from repro.core.sublayer import PassthroughSublayer
+
+
+class TestExactlyOnce:
+    def test_holds(self):
+        obs = Observation(sent=[1, 2, 3], delivered=[3, 1, 2])
+        assert ExactlyOnceDelivery("rd").evaluate(obs) == []
+
+    def test_duplicate_detected(self):
+        obs = Observation(sent=[1], delivered=[1, 1])
+        violations = ExactlyOnceDelivery("rd").evaluate(obs)
+        assert any("delivered 2 times" in v for v in violations)
+
+    def test_loss_detected(self):
+        obs = Observation(sent=[1, 2], delivered=[1])
+        violations = ExactlyOnceDelivery("rd").evaluate(obs)
+        assert any("never delivered" in v for v in violations)
+
+    def test_phantom_detected(self):
+        obs = Observation(sent=[1], delivered=[1, 9])
+        violations = ExactlyOnceDelivery("rd").evaluate(obs)
+        assert any("never sent" in v for v in violations)
+
+    def test_custom_key(self):
+        obs = Observation(
+            sent=[{"id": 1, "x": "a"}], delivered=[{"id": 1, "x": "b"}]
+        )
+        contract = ExactlyOnceDelivery("rd", key=lambda s: s["id"])
+        assert contract.evaluate(obs) == []
+
+    def test_enforce_raises_named_violation(self):
+        obs = Observation(sent=[1], delivered=[])
+        with pytest.raises(ContractViolation) as excinfo:
+            ExactlyOnceDelivery("rd").enforce(obs)
+        assert excinfo.value.sublayer == "rd"
+
+
+class TestInOrder:
+    def test_holds(self):
+        obs = Observation(sent=["a", "b", "c"], delivered=["a", "b", "c"])
+        assert InOrderDelivery("osr").evaluate(obs) == []
+
+    def test_reorder_detected(self):
+        obs = Observation(sent=["a", "b"], delivered=["b", "a"])
+        violations = InOrderDelivery("osr").evaluate(obs)
+        assert any("out of order" in v for v in violations)
+
+    def test_gap_is_not_reorder(self):
+        obs = Observation(sent=["a", "b", "c"], delivered=["a", "c"])
+        assert InOrderDelivery("osr").evaluate(obs) == []
+
+    def test_unknown_item(self):
+        obs = Observation(sent=["a"], delivered=["z"])
+        violations = InOrderDelivery("osr").evaluate(obs)
+        assert any("unknown" in v for v in violations)
+
+
+class TestByteStream:
+    def test_exact_match(self):
+        obs = Observation(sent=[b"hello ", b"world"], delivered=[b"hello world"])
+        assert ByteStreamIntegrity("osr").evaluate(obs) == []
+
+    def test_chunking_irrelevant(self):
+        obs = Observation(sent=[b"hel", b"lo"], delivered=[b"h", b"ell", b"o"])
+        assert ByteStreamIntegrity("osr").evaluate(obs) == []
+
+    def test_divergence_detected(self):
+        obs = Observation(sent=[b"abc"], delivered=[b"abx"])
+        violations = ByteStreamIntegrity("osr").evaluate(obs)
+        assert any("diverges" in v and "byte 2" in v for v in violations)
+
+    def test_incomplete_detected(self):
+        obs = Observation(sent=[b"abc"], delivered=[b"ab"])
+        violations = ByteStreamIntegrity("osr").evaluate(obs)
+        assert any("delivered only 2 of 3" in v for v in violations)
+
+    def test_incomplete_allowed_when_partial_ok(self):
+        obs = Observation(sent=[b"abc"], delivered=[b"ab"])
+        contract = ByteStreamIntegrity("osr", require_complete=False)
+        assert contract.evaluate(obs) == []
+
+
+class TestNoCorruption:
+    def test_holds(self):
+        obs = Observation(sent=[b"x", b"y"], delivered=[b"y"])
+        assert NoCorruption("errordetect").evaluate(obs) == []
+
+    def test_corruption_detected(self):
+        obs = Observation(sent=[b"x"], delivered=[b"z"])
+        violations = NoCorruption("errordetect").evaluate(obs)
+        assert violations
+
+
+class TestContractMonitor:
+    def make_stacks(self):
+        tx = Stack("tx", [PassthroughSublayer("a"), PassthroughSublayer("b")])
+        rx = Stack("rx", [PassthroughSublayer("a"), PassthroughSublayer("b")])
+        rx.on_deliver = lambda d, **m: None
+        tx.on_transmit = lambda p, **m: rx.receive(p)
+        return tx, rx
+
+    def test_boundary_observation(self):
+        tx, rx = self.make_stacks()
+        monitor = ContractMonitor(tx, rx, "b")
+        tx.send(b"one")
+        assert monitor.observation.sent == [b"one"]
+        assert monitor.observation.delivered == [b"one"]
+
+    def test_app_boundary(self):
+        tx, rx = self.make_stacks()
+        monitor = ContractMonitor(tx, rx, APP)
+        tx.send(b"one")
+        assert monitor.observation.sent == [b"one"]
+        assert monitor.observation.delivered == [b"one"]
+
+    def test_unknown_boundary_rejected(self):
+        tx, rx = self.make_stacks()
+        with pytest.raises(ConfigurationError):
+            ContractMonitor(tx, rx, "zzz")
+
+
+class TestLocalization:
+    def test_evaluate_contracts_splits_pass_fail(self):
+        contracts = [ExactlyOnceDelivery("rd"), InOrderDelivery("osr")]
+        observations = {
+            "rd": Observation(sent=[1], delivered=[1]),
+            "osr": Observation(sent=[1, 2], delivered=[2, 1]),
+        }
+        report = evaluate_contracts(contracts, observations)
+        assert len(report.passed) == 1
+        assert len(report.failed) == 1
+        assert report.implicated_sublayers == ["osr"]
+
+    def test_missing_observation_raises(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_contracts([ExactlyOnceDelivery("rd")], {})
+
+    def test_localize_picks_lowest_failure(self):
+        report = LocalizationReport(
+            failed=[
+                (InOrderDelivery("osr"), ["x"]),
+                (ExactlyOnceDelivery("rd"), ["y"]),
+            ]
+        )
+        # stack order top->bottom: osr above rd; rd is lower, so rd is suspect
+        assert report.localize(["osr", "rd", "cm", "dm"]) == "rd"
+
+    def test_localize_none_when_clean(self):
+        report = LocalizationReport()
+        assert report.localize(["osr", "rd"]) is None

@@ -1,0 +1,141 @@
+"""Tests for repro.core.header."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import Bits
+from repro.core.errors import HeaderError
+from repro.core.header import Field, HeaderFormat, concat_formats
+
+
+def simple_format():
+    return HeaderFormat(
+        "demo",
+        [Field("a", 4), Field("b", 8), Field("flag", 1), Field("pad", 3)],
+        owner="demo",
+    )
+
+
+class TestField:
+    def test_rejects_zero_width(self):
+        with pytest.raises(HeaderError):
+            Field("x", 0)
+
+    def test_rejects_bad_default(self):
+        with pytest.raises(HeaderError):
+            Field("x", 2, default=4)
+
+    def test_max_value(self):
+        assert Field("x", 4).max_value == 15
+
+
+class TestHeaderFormat:
+    def test_bit_width(self):
+        assert simple_format().bit_width == 16
+
+    def test_byte_width(self):
+        assert simple_format().byte_width == 2
+
+    def test_byte_width_unaligned_raises(self):
+        fmt = HeaderFormat("odd", [Field("x", 3)])
+        with pytest.raises(HeaderError):
+            fmt.byte_width
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(HeaderError):
+            HeaderFormat("dup", [Field("x", 1), Field("x", 2)])
+
+    def test_owner_propagates(self):
+        fmt = simple_format()
+        assert all(f.owner == "demo" for f in fmt.fields)
+
+    def test_explicit_owner_preserved(self):
+        fmt = HeaderFormat("h", [Field("x", 1, owner="other")], owner="me")
+        assert fmt.field("x").owner == "other"
+
+    def test_field_lookup(self):
+        assert simple_format().field("b").width == 8
+
+    def test_field_lookup_missing(self):
+        with pytest.raises(HeaderError):
+            simple_format().field("nope")
+
+    def test_owners(self):
+        assert simple_format().owners() == {"demo"}
+
+    def test_fields_owned_by(self):
+        assert len(simple_format().fields_owned_by("demo")) == 4
+
+    def test_bit_ranges(self):
+        ranges = simple_format().bit_ranges()
+        assert ranges["a"] == (0, 4)
+        assert ranges["b"] == (4, 12)
+        assert ranges["flag"] == (12, 13)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        fmt = simple_format()
+        values = {"a": 5, "b": 200, "flag": 1, "pad": 0}
+        assert fmt.unpack(fmt.pack(values)) == values
+
+    def test_defaults_fill_missing(self):
+        fmt = simple_format()
+        assert fmt.unpack(fmt.pack({"a": 3})) == {"a": 3, "b": 0, "flag": 0, "pad": 0}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(HeaderError):
+            simple_format().pack({"zzz": 1})
+
+    def test_overflow_rejected(self):
+        with pytest.raises(HeaderError):
+            simple_format().pack({"a": 16})
+
+    def test_unpack_short_input_rejected(self):
+        with pytest.raises(HeaderError):
+            simple_format().unpack(Bits.from_string("0101"))
+
+    def test_pack_bytes(self):
+        fmt = simple_format()
+        assert len(fmt.pack_bytes({"a": 1})) == 2
+
+    def test_unpack_bytes(self):
+        fmt = simple_format()
+        data = fmt.pack_bytes({"a": 7, "b": 13})
+        assert fmt.unpack_bytes(data)["b"] == 13
+
+    def test_split_returns_remainder(self):
+        fmt = simple_format()
+        bits = fmt.pack({"a": 1}) + Bits.from_string("1010")
+        values, rest = fmt.split(bits)
+        assert values["a"] == 1
+        assert rest == Bits.from_string("1010")
+
+    @given(
+        st.integers(0, 15),
+        st.integers(0, 255),
+        st.integers(0, 1),
+        st.integers(0, 7),
+    )
+    def test_roundtrip_property(self, a, b, flag, pad):
+        fmt = simple_format()
+        values = {"a": a, "b": b, "flag": flag, "pad": pad}
+        assert fmt.unpack(fmt.pack(values)) == values
+
+
+class TestConcat:
+    def test_concat_prefixes_names(self):
+        fmt1 = HeaderFormat("cm", [Field("isn", 32)], owner="cm")
+        fmt2 = HeaderFormat("rd", [Field("seq", 32)], owner="rd")
+        combined = concat_formats("tcp", fmt1, fmt2)
+        assert combined.field_names() == ["cm.isn", "rd.seq"]
+        assert combined.bit_width == 64
+
+    def test_concat_preserves_owners(self):
+        fmt1 = HeaderFormat("cm", [Field("isn", 32)], owner="cm")
+        fmt2 = HeaderFormat("rd", [Field("seq", 32)], owner="rd")
+        combined = concat_formats("tcp", fmt1, fmt2)
+        assert combined.field("cm.isn").owner == "cm"
+        assert combined.field("rd.seq").owner == "rd"
+        assert combined.owners() == {"cm", "rd"}

@@ -1,0 +1,132 @@
+"""Tests for repro.core.instrument."""
+
+import pytest
+
+from repro.core.instrument import (
+    AccessLog,
+    InstrumentedState,
+    acting_as,
+    current_actor,
+)
+
+
+class TestActorContext:
+    def test_no_actor_by_default(self):
+        assert current_actor() is None
+
+    def test_acting_as_sets_and_resets(self):
+        with acting_as("rd"):
+            assert current_actor() == "rd"
+        assert current_actor() is None
+
+    def test_nested_actors(self):
+        with acting_as("osr"):
+            with acting_as("rd"):
+                assert current_actor() == "rd"
+            assert current_actor() == "osr"
+
+    def test_reset_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with acting_as("cm"):
+                raise RuntimeError
+        assert current_actor() is None
+
+
+class TestInstrumentedState:
+    def test_write_then_read(self):
+        state = InstrumentedState("rd")
+        state.snd_nxt = 5
+        assert state.snd_nxt == 5
+
+    def test_read_undeclared_raises(self):
+        state = InstrumentedState("rd")
+        with pytest.raises(AttributeError):
+            state.nothing
+
+    def test_initial_kwargs(self):
+        state = InstrumentedState("rd", snd_nxt=0, window=10)
+        assert state.window == 10
+
+    def test_accesses_logged_with_actor(self):
+        log = AccessLog()
+        state = InstrumentedState("rd", log=log)
+        with acting_as("rd"):
+            state.x = 1
+            _ = state.x
+        kinds = [(r.actor, r.target, r.field, r.kind) for r in log.records]
+        assert ("rd", "rd", "x", "write") in kinds
+        assert ("rd", "rd", "x", "read") in kinds
+
+    def test_foreign_actor_recorded(self):
+        log = AccessLog()
+        state = InstrumentedState("rd", log=log, window=1)
+        log.clear()
+        with acting_as("osr"):
+            _ = state.window
+        assert log.records[0].actor == "osr"
+        assert log.records[0].target == "rd"
+
+    def test_snapshot_does_not_log(self):
+        log = AccessLog()
+        state = InstrumentedState("rd", log=log, a=1)
+        log.clear()
+        assert state.snapshot() == {"a": 1}
+        assert log.records == []
+
+    def test_field_names(self):
+        state = InstrumentedState("rd", a=1, b=2)
+        assert state.field_names() == {"a", "b"}
+
+    def test_repr(self):
+        assert "rd" in repr(InstrumentedState("rd", a=1))
+
+
+class TestAccessLog:
+    def make_log(self):
+        log = AccessLog()
+        rd = InstrumentedState("rd", log=log)
+        pcb = InstrumentedState("pcb", log=log)
+        with acting_as("rd"):
+            rd.seq = 1
+            pcb.window = 5
+        with acting_as("cc"):
+            _ = pcb.window
+            pcb.window = 6
+        return log
+
+    def test_actors(self):
+        assert self.make_log().actors() == {"rd", "cc"}
+
+    def test_fields_touched_by(self):
+        log = self.make_log()
+        assert ("pcb", "window") in log.fields_touched_by("cc")
+        assert ("rd", "seq") in log.fields_touched_by("rd")
+
+    def test_writers_and_readers(self):
+        log = self.make_log()
+        assert log.writers_of("pcb", "window") == {"rd", "cc"}
+        assert log.readers_of("pcb", "window") == {"cc"}
+
+    def test_interference_matrix(self):
+        matrix = self.make_log().interference_matrix()
+        assert matrix[("pcb", "window")] == {"rd", "cc"}
+
+    def test_shared_fields(self):
+        shared = self.make_log().shared_fields()
+        assert ("pcb", "window") in shared
+        assert ("rd", "seq") not in shared
+
+    def test_paused(self):
+        log = AccessLog()
+        state = InstrumentedState("s", log=log, x=1)
+        log.clear()
+        with log.paused():
+            _ = state.x
+        assert log.records == []
+        _ = state.x
+        assert len(log.records) == 1
+
+    def test_clear(self):
+        log = self.make_log()
+        log.clear()
+        assert log.records == []

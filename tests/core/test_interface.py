@@ -1,0 +1,139 @@
+"""Tests for repro.core.interface."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.instrument import current_actor
+from repro.core.interface import (
+    BoundPort,
+    InterfaceLog,
+    Notification,
+    Primitive,
+    ServiceInterface,
+)
+
+
+class Provider:
+    def __init__(self):
+        self.calls = []
+        self.actor_seen = None
+
+    def srv_get_isn(self, conn):
+        self.calls.append(("get_isn", conn))
+        self.actor_seen = current_actor()
+        return 42
+
+    def srv_release(self, segment):
+        self.calls.append(("release", segment))
+
+
+ISN_IFACE = ServiceInterface("cm-service", [Primitive("get_isn"), Primitive("release")])
+
+
+class TestServiceInterface:
+    def test_width(self):
+        assert ISN_IFACE.width == 2
+
+    def test_has(self):
+        assert ISN_IFACE.has("get_isn")
+        assert not ISN_IFACE.has("nope")
+
+    def test_duplicate_primitives_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceInterface("x", [Primitive("a"), Primitive("a")])
+
+
+class TestBoundPort:
+    def make_port(self, provider=None, log=None):
+        provider = provider or Provider()
+        log = log or InterfaceLog()
+        port = BoundPort(ISN_IFACE, provider, "cm", "rd", log)
+        return port, provider, log
+
+    def test_call_dispatches(self):
+        port, provider, _ = self.make_port()
+        assert port.get_isn("c1") == 42
+        assert provider.calls == [("get_isn", "c1")]
+
+    def test_call_logged(self):
+        port, _, log = self.make_port()
+        port.get_isn("c1")
+        record = log.records[0]
+        assert record.interface == "cm-service"
+        assert record.primitive == "get_isn"
+        assert record.caller == "rd"
+        assert record.provider == "cm"
+        assert record.arg_count == 1
+
+    def test_call_runs_as_provider(self):
+        port, provider, _ = self.make_port()
+        port.get_isn("c1")
+        assert provider.actor_seen == "cm"
+
+    def test_unknown_primitive_rejected(self):
+        port, _, _ = self.make_port()
+        with pytest.raises(ConfigurationError):
+            port.bogus()
+
+    def test_missing_implementation_rejected(self):
+        class Bad:
+            pass
+
+        with pytest.raises(ConfigurationError):
+            BoundPort(ISN_IFACE, Bad(), "cm", "rd", InterfaceLog())
+
+
+class TestInterfaceLog:
+    def test_crossings(self):
+        port, _, log = TestBoundPort().make_port()
+        port.get_isn("a")
+        port.release("s")
+        assert log.crossings() == 2
+
+    def test_crossings_between(self):
+        port, _, log = TestBoundPort().make_port()
+        port.get_isn("a")
+        assert log.crossings_between("rd", "cm") == 1
+        assert log.crossings_between("cm", "rd") == 0
+
+    def test_used_width(self):
+        port, _, log = TestBoundPort().make_port()
+        port.get_isn("a")
+        port.get_isn("b")
+        assert log.used_width("cm-service") == 1
+        port.release("s")
+        assert log.used_width("cm-service") == 2
+
+    def test_pairs(self):
+        port, _, log = TestBoundPort().make_port()
+        port.get_isn("a")
+        assert log.pairs() == {("rd", "cm")}
+
+
+class TestNotification:
+    def test_fire_unconnected_is_noop(self):
+        n = Notification("acked", "rd", InterfaceLog())
+        assert n.fire(1, 2) is None
+
+    def test_fire_connected(self):
+        log = InterfaceLog()
+        n = Notification("acked", "rd", log)
+        seen = []
+        n.connect("osr", lambda *a: seen.append(a))
+        n.fire(10)
+        assert seen == [(10,)]
+        assert log.records[0].caller == "rd"
+        assert log.records[0].provider == "osr"
+
+    def test_double_connect_rejected(self):
+        n = Notification("acked", "rd", InterfaceLog())
+        n.connect("osr", lambda: None)
+        with pytest.raises(ConfigurationError):
+            n.connect("x", lambda: None)
+
+    def test_handler_runs_as_user(self):
+        n = Notification("acked", "rd", InterfaceLog())
+        seen = {}
+        n.connect("osr", lambda: seen.setdefault("actor", current_actor()))
+        n.fire()
+        assert seen["actor"] == "osr"

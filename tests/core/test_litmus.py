@@ -1,0 +1,161 @@
+"""Tests for repro.core.litmus — the automated T1/T2/T3 checks."""
+
+import pytest
+
+from repro.core import (
+    Field,
+    HeaderFormat,
+    LitmusFailure,
+    Stack,
+    Sublayer,
+    WireTap,
+    run_litmus,
+    unwrap,
+)
+
+
+class Top(Sublayer):
+    HEADER = HeaderFormat("top", [Field("t", 4), Field("pad", 4)], owner="top")
+
+    def from_above(self, sdu, **meta):
+        self.send_down(self.wrap({"t": 1}, sdu))
+
+    def from_below(self, pdu, **meta):
+        _, inner = unwrap(pdu, "top")
+        self.deliver_up(inner)
+
+
+class Bottom(Sublayer):
+    HEADER = HeaderFormat("bottom", [Field("b", 8)], owner="bottom")
+
+    def from_above(self, sdu, **meta):
+        self.send_down(self.wrap({"b": 2}, sdu))
+
+    def from_below(self, pdu, **meta):
+        _, inner = unwrap(pdu, "bottom")
+        self.deliver_up(inner)
+
+
+def run_pair(top_cls=Top, bottom_cls=Bottom, messages=(b"m1", b"m2")):
+    tx = Stack("tx", [top_cls("top"), bottom_cls("bottom")])
+    rx = Stack("rx", [top_cls("top"), bottom_cls("bottom")])
+    wire = WireTap(tx, rx)
+    rx.on_deliver = lambda d, **m: None
+    tx.on_transmit = lambda p, **m: rx.receive(p)
+    for msg in messages:
+        tx.send(msg)
+    return tx, rx, wire
+
+
+class TestCleanStackPasses:
+    def test_all_tests_pass(self):
+        tx, rx, wire = run_pair()
+        report = run_litmus(tx, rx, wire)
+        assert report.passed
+        report.require()  # must not raise
+
+    def test_t1_metrics(self):
+        tx, rx, wire = run_pair()
+        report = run_litmus(tx, rx, wire)
+        t1 = report.result("T1")
+        assert t1.metrics["order"] == ["top", "bottom"]
+        assert t1.metrics["wire_pdus"] == 2
+
+    def test_summary_format(self):
+        tx, rx, wire = run_pair()
+        text = run_litmus(tx, rx, wire).summary()
+        assert "T1: PASS" in text and "T3: PASS" in text
+
+    def test_result_lookup_missing(self):
+        tx, rx, wire = run_pair()
+        with pytest.raises(KeyError):
+            run_litmus(tx, rx, wire).result("T9")
+
+
+class TestT1Violations:
+    def test_mismatched_endpoint_orders(self):
+        tx = Stack("tx", [Top("top"), Bottom("bottom")])
+        rx = Stack("rx", [Bottom("bottom"), Top("top")])  # wrong order
+        wire = WireTap(tx, rx)
+        report = run_litmus(tx, rx, wire)
+        assert not report.result("T1").passed
+
+    def test_header_nesting_violation(self):
+        class InvertedBottom(Bottom):
+            # Puts its header *inside* the upper header: violates T1 nesting.
+            def from_above(self, sdu, **meta):
+                if hasattr(sdu, "inner"):
+                    swapped = self.wrap({"b": 2}, sdu.inner)
+                    sdu.inner = swapped
+                    self.send_down(sdu)
+                else:
+                    self.send_down(self.wrap({"b": 2}, sdu))
+
+            def from_below(self, pdu, **meta):
+                self.deliver_up(pdu)
+
+        tx = Stack("tx", [Top("top"), InvertedBottom("bottom")])
+        rx = Stack("rx", [Top("top"), InvertedBottom("bottom")])
+        wire = WireTap(tx, rx)
+        rx.on_deliver = lambda d, **m: None
+        tx.on_transmit = lambda p, **m: None  # don't need receive side
+        tx.send(b"x")
+        report = run_litmus(tx, rx, wire)
+        assert not report.result("T1").passed
+        with pytest.raises(LitmusFailure):
+            report.require()
+
+
+class TestT3Violations:
+    def test_foreign_state_access_detected(self):
+        class NosyTop(Top):
+            def from_above(self, sdu, **meta):
+                # Reach into the bottom sublayer's private state: T3 violation.
+                bottom = self._victim
+                _ = bottom.state.secret
+                super().from_above(sdu, **meta)
+
+        class SecretBottom(Bottom):
+            def on_attach(self):
+                self.state.secret = 7
+
+        top = NosyTop("top")
+        bottom = SecretBottom("bottom")
+        top._victim = bottom
+        tx = Stack("tx", [top, bottom])
+        rx = Stack("rx", [Top("top"), Bottom("bottom")])
+        wire = WireTap(tx, rx)
+        rx.on_deliver = lambda d, **m: None
+        tx.on_transmit = lambda p, **m: rx.receive(p)
+        tx.send(b"x")
+        report = run_litmus(tx, rx, wire)
+        t3 = report.result("T3")
+        assert not t3.passed
+        assert t3.metrics["foreign_state_touches"] >= 1
+        assert any("top" in d and "secret" in d for d in t3.details)
+
+    def test_foreign_header_bits_detected(self):
+        stolen = HeaderFormat(
+            "top", [Field("t", 4, owner="bottom"), Field("pad", 4, owner="top")]
+        )
+
+        class StealingTop(Top):
+            HEADER = stolen
+
+        tx, rx, wire = run_pair(top_cls=StealingTop)
+        report = run_litmus(tx, rx, wire)
+        assert not report.result("T3").passed
+
+
+class TestT2Violations:
+    def test_wide_interface_flagged(self):
+        tx, rx, wire = run_pair()
+        report = run_litmus(tx, rx, wire, max_interface_width=0)
+        # data interfaces are exempt; control interfaces absent here, so still passes
+        assert report.result("T2").passed
+
+    def test_t2_interface_widths_reported(self):
+        tx, rx, wire = run_pair()
+        report = run_litmus(tx, rx, wire)
+        widths = report.result("T2").metrics["interface_widths"]
+        assert "data:tx" in widths

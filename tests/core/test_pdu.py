@@ -1,0 +1,109 @@
+"""Tests for repro.core.pdu."""
+
+import pytest
+
+from repro.core.bits import Bits
+from repro.core.errors import HeaderError
+from repro.core.header import Field, HeaderFormat
+from repro.core.pdu import Pdu, unwrap
+
+RD_FMT = HeaderFormat("rd", [Field("seq", 16), Field("ack", 16)], owner="rd")
+DM_FMT = HeaderFormat("dm", [Field("sport", 16), Field("dport", 16)], owner="dm")
+
+
+def nested_pdu(payload=b"hi"):
+    inner = Pdu("rd", RD_FMT, {"seq": 7}, payload)
+    return Pdu("dm", DM_FMT, {"sport": 80, "dport": 1234}, inner)
+
+
+class TestPdu:
+    def test_field_value(self):
+        pdu = nested_pdu()
+        assert pdu.field("sport") == 80
+
+    def test_field_default(self):
+        pdu = Pdu("rd", RD_FMT, {"seq": 1}, b"")
+        assert pdu.field("ack") == 0
+
+    def test_field_missing(self):
+        with pytest.raises(HeaderError):
+            nested_pdu().field("nope")
+
+    def test_unknown_header_value_rejected(self):
+        with pytest.raises(HeaderError):
+            Pdu("rd", RD_FMT, {"bogus": 1}, b"")
+
+    def test_with_field_copies(self):
+        pdu = nested_pdu()
+        changed = pdu.with_field("sport", 99)
+        assert changed.field("sport") == 99
+        assert pdu.field("sport") == 80
+
+    def test_header_chain_order(self):
+        pdu = nested_pdu()
+        assert [p.owner for p in pdu.header_chain()] == ["dm", "rd"]
+
+    def test_owners(self):
+        assert nested_pdu().owners() == ["dm", "rd"]
+
+    def test_find(self):
+        pdu = nested_pdu()
+        assert pdu.find("rd").field("seq") == 7
+        assert pdu.find("zz") is None
+
+    def test_payload(self):
+        assert nested_pdu(b"data").payload() == b"data"
+
+    def test_header_bits(self):
+        assert nested_pdu().header_bits() == 64
+
+    def test_payload_bits_bytes(self):
+        assert nested_pdu(b"ab").payload_bits() == 16
+
+    def test_payload_bits_bits(self):
+        assert nested_pdu(Bits.from_string("010")).payload_bits() == 3
+
+    def test_to_bits_layout(self):
+        pdu = nested_pdu(b"\xff")
+        bits = pdu.to_bits()
+        assert len(bits) == 64 + 8
+        # outermost header first: dm.sport == 80 in the first 16 bits
+        assert bits[0:16].to_int() == 80
+        assert bits[32:48].to_int() == 7  # rd.seq
+
+    def test_to_bits_none_payload(self):
+        pdu = Pdu("rd", RD_FMT, {"seq": 1}, None)
+        assert len(pdu.to_bits()) == 32
+
+    def test_to_bits_bad_payload(self):
+        pdu = Pdu("rd", RD_FMT, {}, object())
+        with pytest.raises(HeaderError):
+            pdu.to_bits()
+
+    def test_clone_is_deep(self):
+        pdu = nested_pdu()
+        clone = pdu.clone()
+        clone.find("rd").header["seq"] = 99
+        assert pdu.find("rd").field("seq") == 7
+
+    def test_repr_mentions_owners(self):
+        text = repr(nested_pdu())
+        assert "dm" in text and "rd" in text
+
+
+class TestUnwrap:
+    def test_unwrap_fills_defaults(self):
+        pdu = Pdu("rd", RD_FMT, {"seq": 3}, b"x")
+        values, inner = unwrap(pdu, "rd")
+        assert values == {"seq": 3, "ack": 0}
+        assert inner == b"x"
+
+    def test_unwrap_wrong_owner(self):
+        with pytest.raises(HeaderError):
+            unwrap(nested_pdu(), "rd")  # outermost is dm
+
+    def test_unwrap_peels_one_layer(self):
+        values, inner = unwrap(nested_pdu(), "dm")
+        assert values["dport"] == 1234
+        assert isinstance(inner, Pdu)
+        assert inner.owner == "rd"

@@ -1,0 +1,114 @@
+"""Tests for core shim support and remaining core odds and ends."""
+
+import pytest
+
+from repro.core import (
+    APP,
+    Bits,
+    IdentityShim,
+    Field,
+    HeaderFormat,
+    PassthroughSublayer,
+    Pdu,
+    ShimSublayer,
+    Stack,
+    WIRE,
+)
+
+
+class TestIdentityShim:
+    def make_pair(self):
+        tx = Stack("tx", [PassthroughSublayer("p"), IdentityShim("shim")])
+        rx = Stack("rx", [PassthroughSublayer("p"), IdentityShim("shim")])
+        got = []
+        rx.on_deliver = lambda d, **m: got.append(d)
+        tx.on_transmit = lambda u, **m: rx.receive(u)
+        return tx, rx, got
+
+    def test_transparent_both_ways(self):
+        tx, rx, got = self.make_pair()
+        tx.send(b"unchanged")
+        assert got == [b"unchanged"]
+
+    def test_shim_in_order(self):
+        tx, _, _ = self.make_pair()
+        assert tx.order() == ["p", "shim"]
+
+
+class TestShimDropSemantics:
+    def test_encode_none_drops(self):
+        class DropShim(ShimSublayer):
+            def encode(self, pdu):
+                return None
+
+            def decode(self, wire):
+                return wire
+
+        tx = Stack("tx", [DropShim("shim")])
+        out = []
+        tx.on_transmit = lambda u, **m: out.append(u)
+        tx.send(b"x")
+        assert out == []
+
+    def test_decode_none_drops(self):
+        class DropShim(ShimSublayer):
+            def encode(self, pdu):
+                return pdu
+
+            def decode(self, wire):
+                return None
+
+        rx = Stack("rx", [DropShim("shim")])
+        got = []
+        rx.on_deliver = lambda d, **m: got.append(d)
+        rx.receive(b"x")
+        assert got == []
+
+    def test_abstract_shim_raises(self):
+        shim = ShimSublayer("s")
+        with pytest.raises(NotImplementedError):
+            shim.encode(b"x")
+        with pytest.raises(NotImplementedError):
+            shim.decode(b"x")
+
+
+class TestDeepStack:
+    """Stacks deeper than two sublayers wire every hop correctly."""
+
+    def make_layer(self, name, width):
+        fmt = HeaderFormat(name, [Field("v", width)], owner=name)
+
+        class Layer(PassthroughSublayer):
+            HEADER = fmt
+
+            def from_above(self, sdu, **meta):
+                self.send_down(Pdu(self.name, fmt, {"v": 1}, sdu))
+
+            def from_below(self, pdu, **meta):
+                self.deliver_up(pdu.inner)
+
+        return Layer(name)
+
+    def test_five_sublayer_stack(self):
+        names = ["l1", "l2", "l3", "l4", "l5"]
+        tx = Stack("tx", [self.make_layer(n, 8) for n in names])
+        rx = Stack("rx", [self.make_layer(n, 8) for n in names])
+        got = []
+        wire = []
+        rx.on_deliver = lambda d, **m: got.append(d)
+        tx.on_transmit = lambda u, **m: (wire.append(u), rx.receive(u))
+        tx.send(b"deep")
+        assert got == [b"deep"]
+        # headers nest bottom-outermost
+        assert wire[0].owners() == ["l5", "l4", "l3", "l2", "l1"]
+
+    def test_data_crossings_count(self):
+        names = ["l1", "l2", "l3"]
+        tx = Stack("tx", [self.make_layer(n, 8) for n in names])
+        tx.on_transmit = lambda u, **m: None
+        tx.send(b"x")
+        data = [r for r in tx.interface_log.records if r.interface == "data:tx"]
+        # app->l1, l1->l2, l2->l3, l3->wire
+        assert [(r.caller, r.provider) for r in data] == [
+            (APP, "l1"), ("l1", "l2"), ("l2", "l3"), ("l3", WIRE),
+        ]

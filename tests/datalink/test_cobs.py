@@ -1,0 +1,122 @@
+"""Tests for COBS framing — the re-partitioning replacement."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import Bits
+from repro.core.errors import FramingError
+from repro.datalink import collect_bytes, connect_hdlc_pair, send_bytes
+from repro.datalink.framing import CobsFramingSublayer, cobs_decode, cobs_encode
+from repro.sim import LinkConfig, Simulator
+
+
+class TestCodec:
+    def test_empty(self):
+        assert cobs_decode(cobs_encode(b"")) == b""
+
+    def test_no_zeros_in_output(self):
+        data = bytes(range(256)) * 2
+        assert 0 not in cobs_encode(data)
+
+    def test_known_vectors(self):
+        # classic COBS examples
+        assert cobs_encode(b"\x00") == b"\x01\x01"
+        assert cobs_encode(b"\x00\x00") == b"\x01\x01\x01"
+        assert cobs_encode(b"\x11\x22\x00\x33") == b"\x03\x11\x22\x02\x33"
+        assert cobs_encode(b"\x11\x22\x33\x44") == b"\x05\x11\x22\x33\x44"
+
+    def test_254_nonzero_block(self):
+        data = bytes(range(1, 255))  # exactly 254 non-zero bytes
+        assert cobs_encode(data) == b"\xff" + data + b"\x01"
+        assert cobs_decode(cobs_encode(data)) == data
+
+    @given(st.binary(max_size=1024))
+    def test_roundtrip_property(self, data):
+        encoded = cobs_encode(data)
+        assert 0 not in encoded
+        assert cobs_decode(encoded) == data
+
+    @given(st.binary(max_size=1024))
+    def test_overhead_bound(self, data):
+        # one byte per started 254-byte run, plus the leading code byte
+        overhead = len(cobs_encode(data)) - len(data)
+        assert 1 <= overhead <= max(1, (len(data) + 253) // 254 + 1)
+
+    def test_decode_rejects_embedded_zero(self):
+        with pytest.raises(FramingError):
+            cobs_decode(b"\x03\x11\x00")
+
+    def test_decode_rejects_overrun(self):
+        with pytest.raises(FramingError):
+            cobs_decode(b"\x05\x11")
+
+
+class TestSublayer:
+    def make_pair(self):
+        from repro.core.stack import Stack
+
+        tx = Stack("tx", [CobsFramingSublayer("framing")])
+        rx = Stack("rx", [CobsFramingSublayer("framing")])
+        got = []
+        rx.on_deliver = lambda bits, **m: got.append(bits.to_bytes())
+        tx.on_transmit = lambda bits, **m: rx.receive(bits)
+        return tx, rx, got
+
+    def test_roundtrip_through_sublayer(self):
+        tx, rx, got = self.make_pair()
+        tx.send(Bits.from_bytes(b"payload with \x00 zeros \x00!"))
+        assert got == [b"payload with \x00 zeros \x00!"]
+
+    def test_unaligned_frame_rejected(self):
+        tx, _, _ = self.make_pair()
+        with pytest.raises(FramingError):
+            tx.send(Bits.from_string("010"))
+
+    def test_corrupt_frame_dropped(self):
+        tx, rx, got = self.make_pair()
+        rx.receive(Bits.from_bytes(b"\x05\x11\x00"))  # malformed
+        assert got == []
+        assert rx.sublayer("framing").state.snapshot()["framing_errors"] == 1
+
+    def test_missing_delimiter_dropped(self):
+        tx, rx, got = self.make_pair()
+        rx.receive(Bits.from_bytes(b"\x02\x11"))  # no trailing zero
+        assert got == []
+
+
+class TestRepartitioningSwap:
+    """The two-sublayer bit-stuffed framing and the one-sublayer COBS
+    framing are interchangeable under the rest of the stack."""
+
+    @pytest.mark.parametrize("framing", ["bitstuff", "cobs"])
+    def test_full_stack_with_either_framing(self, framing):
+        sim = Simulator()
+        a, b, _ = connect_hdlc_pair(
+            sim,
+            LinkConfig(delay=0.01, loss=0.08, bit_error_rate=0.0005),
+            retransmit_timeout=0.1,
+            framing=framing,
+        )
+        received = collect_bytes(b)
+        frames = [bytes([i]) * 20 for i in range(15)]
+        for frame in frames:
+            send_bytes(a, frame)
+        sim.run(until=60)
+        assert received == frames
+
+    def test_stack_orders(self):
+        sim = Simulator()
+        bit = connect_hdlc_pair(sim, framing="bitstuff")[0]
+        cob = connect_hdlc_pair(sim, framing="cobs")[0]
+        assert bit.order() == [
+            "recovery", "errordetect", "stuffing", "flags", "encoding",
+        ]
+        assert cob.order() == ["recovery", "errordetect", "framing", "encoding"]
+
+    def test_unknown_framing_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            connect_hdlc_pair(sim, framing="bogus")

@@ -1,0 +1,156 @@
+"""Tests for the CRC engine and error-detection sublayer."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import Bits
+from repro.core.stack import Stack
+from repro.datalink.crc import (
+    CRC8,
+    CRC16_ARC,
+    CRC16_CCITT,
+    CRC32,
+    CRC64_ECMA,
+    CRC_SPECS,
+)
+from repro.datalink.errordetect import (
+    CrcCode,
+    ErrorDetectSublayer,
+    InternetChecksum,
+    ParityByte,
+)
+
+CHECK = b"123456789"
+
+# Published check values for the rocksoft parameter sets.
+CHECK_VALUES = {
+    "crc8": 0xF4,
+    "crc16-ccitt": 0x29B1,
+    "crc16-arc": 0xBB3D,
+    "crc32": 0xCBF43926,
+    "crc64-ecma": 0x6C40DF5F0B497347,
+}
+
+
+class TestCrcSpecs:
+    @pytest.mark.parametrize("name,expected", sorted(CHECK_VALUES.items()))
+    def test_published_check_values(self, name, expected):
+        assert CRC_SPECS[name].compute(CHECK) == expected
+
+    def test_append_verify_roundtrip(self):
+        framed = CRC32.append(b"hello world")
+        assert CRC32.verify(framed)
+
+    def test_verify_rejects_flip(self):
+        framed = bytearray(CRC32.append(b"hello world"))
+        framed[3] ^= 0x40
+        assert not CRC32.verify(bytes(framed))
+
+    def test_verify_rejects_short_input(self):
+        assert not CRC32.verify(b"abc")
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_property_crc32(self, data):
+        assert CRC32.verify(CRC32.append(data))
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 7))
+    def test_single_bit_flip_always_detected_crc32(self, data, bit):
+        """CRC-32 detects every single-bit error."""
+        framed = bytearray(CRC32.append(data))
+        framed[len(framed) // 2] ^= 1 << bit
+        assert not CRC32.verify(bytes(framed))
+
+    def test_burst_detection_crc16(self):
+        """CRC-16 detects all bursts up to 16 bits."""
+        rng = random.Random(0)
+        data = bytes(rng.randrange(256) for _ in range(32))
+        framed = CRC16_CCITT.append(data)
+        bits = list(Bits.from_bytes(framed))
+        for start in range(0, len(bits) - 16, 7):
+            corrupted = list(bits)
+            for i in range(start, start + 16):
+                corrupted[i] ^= 1
+            assert not CRC16_CCITT.verify(Bits(corrupted).to_bytes())
+
+
+class TestDetectionCodes:
+    def test_internet_checksum_known(self):
+        # all-zero data checksums to 0xFFFF
+        assert InternetChecksum().compute(b"\x00\x00") == b"\xff\xff"
+
+    def test_internet_checksum_odd_length(self):
+        code = InternetChecksum()
+        assert code.verify(b"abc", code.compute(b"abc"))
+
+    def test_parity(self):
+        assert ParityByte().compute(b"\x01\x02\x04") == b"\x07"
+
+    def test_parity_misses_double_flip(self):
+        """Parity is weak: two flips of the same bit position pass."""
+        code = ParityByte()
+        data = b"\x00\x00"
+        trailer = code.compute(data)
+        assert code.verify(b"\x01\x01", trailer)
+
+    def test_crc_code_adapter(self):
+        code = CrcCode(CRC16_CCITT)
+        assert code.trailer_bytes == 2
+        assert code.verify(CHECK, code.compute(CHECK))
+
+
+class TestErrorDetectSublayer:
+    def make_pair(self, code=None):
+        tx = Stack("tx", [ErrorDetectSublayer("ed", code or CrcCode(CRC32))])
+        rx = Stack("rx", [ErrorDetectSublayer("ed", code or CrcCode(CRC32))])
+        delivered = []
+        rx.on_deliver = lambda bits, corrupt=False, **m: delivered.append(
+            (bits, corrupt)
+        )
+        return tx, rx, delivered
+
+    def test_clean_frame_flagged_ok(self):
+        tx, rx, delivered = self.make_pair()
+        tx.on_transmit = lambda bits, **m: rx.receive(bits)
+        tx.send(Bits.from_bytes(b"payload!"))
+        assert delivered == [(Bits.from_bytes(b"payload!"), False)]
+
+    def test_corrupt_frame_flagged(self):
+        tx, rx, delivered = self.make_pair()
+        captured = []
+        tx.on_transmit = lambda bits, **m: captured.append(bits)
+        tx.send(Bits.from_bytes(b"payload!"))
+        flipped = list(captured[0])
+        flipped[5] ^= 1
+        rx.receive(Bits(flipped))
+        assert len(delivered) == 1
+        assert delivered[0][1] is True
+
+    def test_mangled_length_flagged(self):
+        _, rx, delivered = self.make_pair()
+        rx.receive(Bits.from_string("0101"))  # not byte aligned, too short
+        assert delivered[0][1] is True
+
+    def test_trailer_grows_frame(self):
+        tx, rx, _ = self.make_pair(CrcCode(CRC64_ECMA))
+        captured = []
+        tx.on_transmit = lambda bits, **m: captured.append(bits)
+        tx.send(Bits.from_bytes(b"x"))
+        assert len(captured[0]) == 8 + 64
+
+    def test_swap_code_transparent(self):
+        """Swapping CRC-32 for CRC-64 changes only this sublayer."""
+        for spec in (CRC32, CRC64_ECMA):
+            tx, rx, delivered = self.make_pair(CrcCode(spec))
+            tx.on_transmit = lambda bits, **m: rx.receive(bits)
+            tx.send(Bits.from_bytes(b"same payload"))
+            assert delivered[-1] == (Bits.from_bytes(b"same payload"), False)
+
+    def test_counters(self):
+        tx, rx, _ = self.make_pair()
+        tx.on_transmit = lambda bits, **m: rx.receive(bits)
+        tx.send(Bits.from_bytes(b"a"))
+        assert tx.sublayer("ed").state.snapshot()["protected"] == 1
+        assert rx.sublayer("ed").state.snapshot()["verified"] == 1

@@ -1,0 +1,164 @@
+"""Tests for the validity decision procedure and the rule search.
+
+The key soundness test: the exact automaton-product decision agrees
+with bounded exhaustive checking over the whole prefix-rule space.
+"""
+
+import pytest
+
+from repro.core.bits import Bits, all_bitstrings
+from repro.datalink.framing import (
+    HDLC_RULE,
+    LOW_OVERHEAD_RULE,
+    StuffingRule,
+    check_roundtrip_bounded,
+    check_spec_bounded,
+    check_stream_bounded,
+    decide_valid,
+    decide_valid_stream,
+    find_valid_rules,
+    prefix_rule,
+    prefix_rule_space,
+    substring_rule_space,
+)
+
+
+class TestDecide:
+    def test_hdlc_valid(self):
+        assert decide_valid(HDLC_RULE)
+        assert decide_valid_stream(HDLC_RULE)
+
+    def test_low_overhead_valid_frame_mode(self):
+        assert decide_valid(LOW_OVERHEAD_RULE)
+
+    def test_low_overhead_invalid_stream_mode(self):
+        """A reproduction finding: the paper's low-overhead rule (flag
+        00000010) is valid for a receiver that rescans from the body
+        start, but NOT for a continuous-scan receiver — the flag's
+        1-bit self-border ("0") lets a false flag span the opening
+        delimiter and body bits the trigger never fires on.  The brute
+        force stream check agrees with the decision procedure."""
+        assert not decide_valid_stream(LOW_OVERHEAD_RULE)
+        assert check_stream_bounded(LOW_OVERHEAD_RULE, 8) is not None
+
+    def test_non_progressive_invalid(self):
+        rule = StuffingRule(Bits.from_string("01111110"), Bits.from_string("111"), 1)
+        verdict = decide_valid(rule)
+        assert not verdict
+        assert "progressive" in verdict.reason
+
+    def test_known_bad_rule(self):
+        # stuffing 1 after 1111110 for flag 01111110: the stuffed bit
+        # plus preceding data can form the flag
+        rule = StuffingRule(
+            Bits.from_string("01111110"), Bits.from_string("1111110"), 1
+        )
+        assert not decide_valid(rule)
+        # and brute force agrees with a concrete counterexample
+        assert check_spec_bounded(rule, 9) is not None
+
+    def test_stream_stricter_than_frame(self):
+        frame_ok = {True: 0, False: 0}
+        disagreements = []
+        for flag in list(all_bitstrings(6)):
+            rule = prefix_rule(flag, 5)
+            f, s = bool(decide_valid(rule)), bool(decide_valid_stream(rule))
+            if s and not f:
+                disagreements.append(rule)
+        # stream validity must imply frame validity
+        assert disagreements == []
+
+    def test_verdict_truthiness(self):
+        assert bool(decide_valid(HDLC_RULE)) is True
+
+
+class TestBoundedChecks:
+    def test_roundtrip_bounded_clean(self):
+        assert check_roundtrip_bounded(HDLC_RULE, 8) is None
+
+    def test_spec_bounded_clean(self):
+        assert check_spec_bounded(HDLC_RULE, 8) is None
+
+    def test_stream_bounded_clean(self):
+        assert check_stream_bounded(HDLC_RULE, 6) is None
+
+    def test_spec_bounded_finds_counterexample(self):
+        rule = StuffingRule(
+            Bits.from_string("01111110"), Bits.from_string("1111110"), 1
+        )
+        counterexample = check_spec_bounded(rule, 9)
+        assert counterexample is not None
+        (data,) = counterexample
+        assert isinstance(data, Bits)
+
+
+class TestDecisionAgreesWithBruteForce:
+    """Cross-validation: decision procedure vs exhaustive checking."""
+
+    @pytest.mark.parametrize("flag_bits,max_len", [(4, 9), (5, 9)])
+    def test_frame_semantics_agreement(self, flag_bits, max_len):
+        for flag in all_bitstrings(flag_bits):
+            for k in range(1, flag_bits):
+                rule = prefix_rule(flag, k)
+                if not rule.progressive:
+                    continue
+                decided = bool(decide_valid(rule))
+                brute = check_spec_bounded(rule, max_len) is None
+                assert decided == brute, rule.label()
+
+    def test_stream_semantics_agreement_sample(self):
+        for flag in all_bitstrings(5):
+            rule = prefix_rule(flag, 4)
+            if not rule.progressive:
+                continue
+            decided = bool(decide_valid_stream(rule))
+            brute = check_stream_bounded(rule, 7) is None
+            assert decided == brute, rule.label()
+
+
+class TestSearch:
+    def test_prefix_space_size(self):
+        rules = list(prefix_rule_space(flag_bits=4))
+        assert len(rules) == 16 * 3
+
+    def test_prefix_space_contains_low_overhead_rule(self):
+        assert LOW_OVERHEAD_RULE in list(prefix_rule_space(flag_bits=8))
+
+    def test_substring_space_contains_hdlc(self):
+        assert HDLC_RULE in list(substring_rule_space(flag_bits=8))
+
+    def test_find_valid_rules_small_space(self):
+        result = find_valid_rules(prefix_rule_space(flag_bits=5))
+        assert result.candidates == 32 * 4
+        assert 0 < result.valid_count < result.candidates
+        for rule in result.valid:
+            assert check_spec_bounded(rule, 8) is None, rule.label()
+
+    def test_stream_semantics_is_stricter(self):
+        frame = find_valid_rules(prefix_rule_space(flag_bits=6), "frame")
+        stream = find_valid_rules(prefix_rule_space(flag_bits=6), "stream")
+        assert stream.valid_count < frame.valid_count
+        stream_set = {(r.flag, r.trigger, r.stuff_bit) for r in stream.valid}
+        frame_set = {(r.flag, r.trigger, r.stuff_bit) for r in frame.valid}
+        assert stream_set <= frame_set
+
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(ValueError):
+            find_valid_rules(prefix_rule_space(flag_bits=4), "bogus")
+
+    def test_ranked_by_overhead(self):
+        result = find_valid_rules(prefix_rule_space(flag_bits=5))
+        ranked = result.ranked_by_overhead()
+        costs = [cost for _, cost in ranked]
+        assert costs == sorted(costs)
+
+    def test_better_than(self):
+        result = find_valid_rules(
+            prefix_rule_space(flag_bits=8, trigger_lengths=iter([7]))
+        )
+        better = result.better_than(HDLC_RULE)
+        assert LOW_OVERHEAD_RULE in better
+
+    def test_distinct_flags(self):
+        result = find_valid_rules(prefix_rule_space(flag_bits=5))
+        assert result.distinct_flags() <= 32

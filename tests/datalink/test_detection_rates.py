@@ -1,0 +1,82 @@
+"""Quantifying "the probability of undetected bit errors [is] very
+small" (Section 2.1): undetected-corruption rates per detection code.
+
+Random corruptions are applied directly to protected frames; a
+*miss* is a corrupted frame the code accepts.  CRCs must be orders of
+magnitude better than parity — the reason the sublayer exists and the
+reason swapping CRC width is worth having as a one-line change.
+"""
+
+import random
+
+import pytest
+
+from repro.datalink.crc import CRC8, CRC16_CCITT, CRC32
+from repro.datalink.errordetect import CrcCode, InternetChecksum, ParityByte
+
+TRIALS = 3000
+FRAME_BYTES = 64
+
+
+def miss_rate(code, rng: random.Random, burst: int) -> float:
+    """Fraction of corrupted frames the code fails to detect."""
+    misses = 0
+    for _ in range(TRIALS):
+        data = bytes(rng.randrange(256) for _ in range(FRAME_BYTES))
+        trailer = code.compute(data)
+        corrupted = bytearray(data)
+        # corrupt `burst` random byte positions
+        positions = rng.sample(range(FRAME_BYTES), burst)
+        for position in positions:
+            flip = rng.randrange(1, 256)
+            corrupted[position] ^= flip
+        if bytes(corrupted) == data:
+            continue
+        if code.verify(bytes(corrupted), trailer):
+            misses += 1
+    return misses / TRIALS
+
+
+class TestDetectionRates:
+    def test_crc32_catches_everything_in_sample(self):
+        rate = miss_rate(CrcCode(CRC32), random.Random(1), burst=4)
+        assert rate == 0.0
+
+    def test_crc16_miss_rate_near_two_to_minus_16(self):
+        # expected ~2^-16; with 3000 trials anything beyond a stray
+        # single miss would indicate a broken implementation
+        rate = miss_rate(CrcCode(CRC16_CCITT), random.Random(2), burst=4)
+        assert rate <= 2 / TRIALS
+
+    def test_crc8_misses_roughly_one_in_256(self):
+        rate = miss_rate(CrcCode(CRC8), random.Random(3), burst=6)
+        assert 0.0 < rate < 0.02  # ~2^-8 with sampling noise
+
+    def test_parity_misses_often(self):
+        """XOR parity passes whenever the byte-XOR of the changes is
+        zero — easy to hit with multi-byte corruption."""
+        rng = random.Random(4)
+        misses = 0
+        code = ParityByte()
+        for _ in range(TRIALS):
+            data = bytes(rng.randrange(256) for _ in range(FRAME_BYTES))
+            trailer = code.compute(data)
+            corrupted = bytearray(data)
+            flip = rng.randrange(1, 256)
+            a, b = rng.sample(range(FRAME_BYTES), 2)
+            corrupted[a] ^= flip
+            corrupted[b] ^= flip  # same flip twice: parity-invariant
+            if code.verify(bytes(corrupted), trailer):
+                misses += 1
+        assert misses == TRIALS  # parity misses this pattern every time
+
+    def test_internet_checksum_between_parity_and_crc(self):
+        rate = miss_rate(InternetChecksum(), random.Random(5), burst=6)
+        assert rate < 0.01  # ~2^-16 in theory; zero-ish in sample
+
+    def test_ordering_of_codes(self):
+        """The strength ordering the swap experiment relies on."""
+        rng = random.Random(6)
+        crc8 = miss_rate(CrcCode(CRC8), random.Random(7), burst=6)
+        crc32 = miss_rate(CrcCode(CRC32), random.Random(8), burst=6)
+        assert crc32 <= crc8

@@ -1,0 +1,131 @@
+"""Tests for the flag sublayer mechanisms and the frame assembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import Bits
+from repro.core.errors import FramingError
+from repro.datalink.framing import (
+    HDLC_RULE,
+    FrameAssembler,
+    add_flags,
+    frame_stream,
+    remove_flags,
+    stuff,
+)
+
+FLAG = HDLC_RULE.flag
+
+
+class TestAddRemoveFlags:
+    def test_add_flags_shape(self):
+        body = Bits.from_string("1010")
+        framed = add_flags(body, HDLC_RULE)
+        assert framed == FLAG + body + FLAG
+
+    def test_remove_flags_roundtrip(self):
+        body = stuff(Bits.from_string("110101"), HDLC_RULE)
+        assert remove_flags(add_flags(body, HDLC_RULE), HDLC_RULE) == body
+
+    def test_remove_flags_empty_body(self):
+        assert remove_flags(FLAG + FLAG, HDLC_RULE) == Bits()
+
+    def test_no_opening_flag(self):
+        with pytest.raises(FramingError):
+            remove_flags(Bits.from_string("10101010"), HDLC_RULE)
+
+    def test_no_closing_flag(self):
+        with pytest.raises(FramingError):
+            remove_flags(FLAG + Bits.from_string("1010"), HDLC_RULE)
+
+    def test_leading_garbage_skipped(self):
+        body = Bits.from_string("0000")
+        framed = Bits.from_string("10101") + add_flags(body, HDLC_RULE)
+        assert remove_flags(framed, HDLC_RULE) == body
+
+    def test_false_flag_in_body_truncates(self):
+        # unstuffed body containing the flag: receiver stops early —
+        # the hazard stuffing exists to prevent
+        body = Bits.from_string("01") + FLAG + Bits.from_string("10")
+        recovered = remove_flags(add_flags(body, HDLC_RULE), HDLC_RULE)
+        assert recovered == Bits.from_string("01")
+
+    @given(st.text(alphabet="01", max_size=128))
+    def test_roundtrip_for_stuffed_bodies(self, text):
+        body = stuff(Bits.from_string(text), HDLC_RULE)
+        assert remove_flags(add_flags(body, HDLC_RULE), HDLC_RULE) == body
+
+
+class TestFrameStream:
+    def test_empty(self):
+        assert frame_stream([], HDLC_RULE) == Bits()
+
+    def test_single_frame(self):
+        body = Bits.from_string("0000")
+        assert frame_stream([body], HDLC_RULE) == FLAG + body + FLAG
+
+    def test_back_to_back_share_delimiter(self):
+        b1, b2 = Bits.from_string("0000"), Bits.from_string("0101")
+        stream = frame_stream([b1, b2], HDLC_RULE)
+        assert stream == FLAG + b1 + FLAG + b2 + FLAG
+
+    def test_idle_flags(self):
+        body = Bits.from_string("0000")
+        stream = frame_stream([body], HDLC_RULE, idle_flags=2)
+        assert stream == FLAG + body + FLAG + FLAG + FLAG
+
+
+class TestFrameAssembler:
+    def test_single_frame(self):
+        body = stuff(Bits.from_string("110011"), HDLC_RULE)
+        assembler = FrameAssembler(HDLC_RULE)
+        assert assembler.push(frame_stream([body], HDLC_RULE)) == [body]
+
+    def test_back_to_back_frames(self):
+        b1 = stuff(Bits.from_string("1100"), HDLC_RULE)
+        b2 = stuff(Bits.from_string("0011"), HDLC_RULE)
+        assembler = FrameAssembler(HDLC_RULE)
+        assert assembler.push(frame_stream([b1, b2], HDLC_RULE)) == [b1, b2]
+
+    def test_incremental_push(self):
+        body = stuff(Bits.from_string("101010"), HDLC_RULE)
+        stream = frame_stream([body], HDLC_RULE)
+        assembler = FrameAssembler(HDLC_RULE)
+        got = []
+        for i in range(len(stream)):
+            got.extend(assembler.push(stream[i : i + 1]))
+        assert got == [body]
+
+    def test_idle_fill_discarded(self):
+        body = stuff(Bits.from_string("1100"), HDLC_RULE)
+        stream = frame_stream([body], HDLC_RULE, idle_flags=3)
+        assembler = FrameAssembler(HDLC_RULE)
+        assert assembler.push(stream) == [body]
+
+    def test_hunt_mode_skips_garbage(self):
+        body = stuff(Bits.from_string("0101"), HDLC_RULE)
+        stream = Bits.from_string("110010") + frame_stream([body], HDLC_RULE)
+        assembler = FrameAssembler(HDLC_RULE)
+        assert assembler.push(stream) == [body]
+
+    def test_frames_emitted_counter(self):
+        body = stuff(Bits.from_string("0101"), HDLC_RULE)
+        assembler = FrameAssembler(HDLC_RULE)
+        assembler.push(frame_stream([body, body, body], HDLC_RULE))
+        assert assembler.frames_emitted == 3
+
+    def test_reset(self):
+        assembler = FrameAssembler(HDLC_RULE)
+        assembler.push(FLAG + Bits.from_string("01"))
+        assembler.reset()
+        # after reset the partial frame is gone; a full frame still works
+        body = stuff(Bits.from_string("0011"), HDLC_RULE)
+        assert assembler.push(frame_stream([body], HDLC_RULE)) == [body]
+
+    @given(st.lists(st.text(alphabet="01", min_size=1, max_size=32), max_size=5))
+    def test_stream_roundtrip_property(self, texts):
+        bodies = [stuff(Bits.from_string(t), HDLC_RULE) for t in texts]
+        stream = frame_stream(bodies, HDLC_RULE)
+        assembler = FrameAssembler(HDLC_RULE)
+        assert assembler.push(stream) == bodies

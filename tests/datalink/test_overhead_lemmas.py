@@ -1,0 +1,116 @@
+"""Tests for overhead models and the framing lemma library."""
+
+import random
+
+import pytest
+
+from repro.core.bits import Bits
+from repro.datalink.framing import (
+    HDLC_RULE,
+    LOW_OVERHEAD_RULE,
+    StuffingRule,
+    approx_overhead,
+    build_framing_library,
+    empirical_overhead,
+    exact_overhead,
+    overhead_report,
+    prefix_rule,
+)
+
+
+class TestOverhead:
+    def test_paper_approximations(self):
+        """The paper's quoted numbers: 1 in 32 for HDLC, 1 in 128 for
+        the low-overhead rule."""
+        assert approx_overhead(HDLC_RULE) == pytest.approx(1 / 32)
+        assert approx_overhead(LOW_OVERHEAD_RULE) == pytest.approx(1 / 128)
+
+    def test_hdlc_exact_is_one_in_62(self):
+        """The exact stationary rate for the 11111/0 rule is 1/62 —
+        the 2^-5 in the paper is a back-of-envelope value."""
+        assert exact_overhead(HDLC_RULE) == pytest.approx(1 / 62, rel=1e-9)
+
+    def test_low_overhead_exact_is_one_in_128(self):
+        assert exact_overhead(LOW_OVERHEAD_RULE) == pytest.approx(1 / 128, rel=1e-6)
+
+    def test_ranking_preserved(self):
+        """Approximate and exact models agree on who wins."""
+        assert exact_overhead(LOW_OVERHEAD_RULE) < exact_overhead(HDLC_RULE)
+        assert approx_overhead(LOW_OVERHEAD_RULE) < approx_overhead(HDLC_RULE)
+
+    def test_empirical_matches_exact_hdlc(self):
+        measured = empirical_overhead(HDLC_RULE, data_bits=60_000, rng=random.Random(3))
+        assert measured == pytest.approx(exact_overhead(HDLC_RULE), rel=0.15)
+
+    def test_empirical_matches_exact_low(self):
+        measured = empirical_overhead(
+            LOW_OVERHEAD_RULE, data_bits=60_000, rng=random.Random(3)
+        )
+        assert measured == pytest.approx(exact_overhead(LOW_OVERHEAD_RULE), rel=0.25)
+
+    def test_exact_rejects_non_progressive(self):
+        rule = StuffingRule(Bits.from_string("01111110"), Bits.from_string("111"), 1)
+        with pytest.raises(ValueError):
+            exact_overhead(rule)
+
+    def test_report_keys(self):
+        report = overhead_report(HDLC_RULE, data_bits=5_000)
+        assert set(report) == {"approx", "exact", "empirical"}
+
+    def test_shorter_trigger_higher_overhead(self):
+        flag = Bits.from_string("01111110")
+        costs = [exact_overhead(prefix_rule(flag, k)) for k in (2, 4, 6)]
+        assert costs[0] > costs[1] > costs[2]
+
+
+class TestFramingLibrary:
+    def test_hdlc_library_proves(self):
+        lib = build_framing_library(HDLC_RULE, max_len=7)
+        report = lib.prove_all()
+        assert report.proved, report.summary()
+
+    def test_low_overhead_library_proves(self):
+        lib = build_framing_library(LOW_OVERHEAD_RULE, max_len=7)
+        assert lib.prove_all().proved
+
+    def test_broken_rule_fails_at_interface_lemma(self):
+        """Bug localization: an invalid rule fails exactly the
+        stuffing/flags interface lemma, not the sublayer-local ones."""
+        bad = StuffingRule(
+            Bits.from_string("01111110"), Bits.from_string("1111110"), 1
+        )
+        lib = build_framing_library(bad, max_len=8, include_stream=False)
+        report = lib.prove_all()
+        failed = {r.lemma for r in report.failures()}
+        assert "stuffed_body_is_flag_safe" in failed
+        assert "framing_specification" in failed
+        # sublayer-local lemmas keep holding: the bug is in the rule's
+        # relationship between sublayers, not in either mechanism
+        assert report.result("stuff_roundtrip").proved
+        assert report.result("flags_roundtrip_conditional").proved
+
+    def test_failure_carries_counterexample(self):
+        bad = StuffingRule(
+            Bits.from_string("01111110"), Bits.from_string("1111110"), 1
+        )
+        lib = build_framing_library(bad, max_len=8, include_stream=False)
+        report = lib.prove_all()
+        failure = report.result("stuffed_body_is_flag_safe")
+        assert failure.counterexample is not None
+
+    def test_modularity_report(self):
+        lib = build_framing_library(HDLC_RULE, max_len=5)
+        report = lib.modularity_report()
+        assert report["lemmas"] >= 12
+        assert report["per_sublayer"]["stuffing"] >= 4
+        assert report["per_sublayer"]["flags"] >= 2
+        # most lemmas are local to one sublayer — the paper's lesson 1
+        assert report["modular_fraction"] > 0.5
+
+    def test_stream_lemma_included_by_default(self):
+        lib = build_framing_library(HDLC_RULE, max_len=5)
+        assert "stream_back_to_back" in lib
+
+    def test_stream_lemma_excludable(self):
+        lib = build_framing_library(HDLC_RULE, max_len=5, include_stream=False)
+        assert "stream_back_to_back" not in lib

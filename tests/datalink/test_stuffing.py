@@ -1,0 +1,160 @@
+"""Tests for stuffing rules and the stuff/unstuff mechanisms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import Bits, all_bitstrings_up_to
+from repro.core.errors import ConfigurationError, FramingError
+from repro.datalink.framing import (
+    HDLC_RULE,
+    LOW_OVERHEAD_RULE,
+    StuffingRule,
+    prefix_rule,
+    stuff,
+    stuffed_overhead_bits,
+    unstuff,
+)
+
+random_bits = st.text(alphabet="01", max_size=256).map(Bits.from_string)
+
+
+class TestRules:
+    def test_hdlc_rule_shape(self):
+        assert HDLC_RULE.flag.to_string() == "01111110"
+        assert HDLC_RULE.trigger.to_string() == "11111"
+        assert HDLC_RULE.stuff_bit == 0
+
+    def test_low_overhead_rule_shape(self):
+        assert LOW_OVERHEAD_RULE.flag.to_string() == "00000010"
+        assert LOW_OVERHEAD_RULE.trigger.to_string() == "0000001"
+        assert LOW_OVERHEAD_RULE.stuff_bit == 1
+
+    def test_bad_stuff_bit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StuffingRule(Bits.from_string("01"), Bits.from_string("1"), 2)
+
+    def test_empty_flag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StuffingRule(Bits(), Bits.from_string("1"), 0)
+
+    def test_empty_trigger_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StuffingRule(Bits.from_string("01"), Bits(), 0)
+
+    def test_progressive_hdlc(self):
+        assert HDLC_RULE.progressive
+
+    def test_non_progressive_rule(self):
+        # trigger 111 with stuff 1: stuffed bit re-completes the trigger
+        rule = StuffingRule(Bits.from_string("01111110"), Bits.from_string("111"), 1)
+        assert not rule.progressive
+
+    def test_approx_overhead(self):
+        assert HDLC_RULE.approx_overhead == pytest.approx(1 / 32)
+        assert LOW_OVERHEAD_RULE.approx_overhead == pytest.approx(1 / 128)
+
+    def test_prefix_rule_construction(self):
+        rule = prefix_rule(Bits.from_string("00000010"), 7)
+        assert rule == LOW_OVERHEAD_RULE
+
+    def test_prefix_rule_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            prefix_rule(Bits.from_string("01111110"), 8)
+
+    def test_label(self):
+        assert "01111110" in HDLC_RULE.label()
+
+
+class TestStuff:
+    def test_empty(self):
+        assert stuff(Bits(), HDLC_RULE) == Bits()
+
+    def test_no_trigger_no_change(self):
+        data = Bits.from_string("0101010101")
+        assert stuff(data, HDLC_RULE) == data
+
+    def test_hdlc_classic_example(self):
+        # five 1s get a 0 stuffed after them
+        assert stuff(Bits.from_string("11111"), HDLC_RULE) == Bits.from_string("111110")
+
+    def test_six_ones(self):
+        # the stuff breaks the run; the sixth 1 starts a new count
+        assert stuff(Bits.from_string("111111"), HDLC_RULE) == Bits.from_string(
+            "1111101"
+        )
+
+    def test_ten_ones(self):
+        # runs of five get broken twice
+        assert stuff(Bits.ones(10), HDLC_RULE) == Bits.from_string("111110111110")
+
+    def test_non_progressive_rejected(self):
+        rule = StuffingRule(Bits.from_string("01111110"), Bits.from_string("111"), 1)
+        with pytest.raises(FramingError):
+            stuff(Bits.ones(3), rule)
+
+    def test_flag_never_in_stuffed_output(self):
+        for data in all_bitstrings_up_to(10):
+            assert not stuff(data, HDLC_RULE).contains(HDLC_RULE.flag)
+
+    @given(random_bits)
+    def test_flag_never_in_stuffed_output_random(self, data):
+        assert not stuff(data, HDLC_RULE).contains(HDLC_RULE.flag)
+
+    def test_overhead_bits(self):
+        assert stuffed_overhead_bits(Bits.ones(10), HDLC_RULE) == 2
+        assert stuffed_overhead_bits(Bits.zeros(10), HDLC_RULE) == 0
+
+
+class TestUnstuff:
+    def test_inverse_exhaustive(self):
+        for data in all_bitstrings_up_to(9):
+            assert unstuff(stuff(data, HDLC_RULE), HDLC_RULE) == data
+
+    @given(random_bits)
+    def test_inverse_random_hdlc(self, data):
+        assert unstuff(stuff(data, HDLC_RULE), HDLC_RULE) == data
+
+    @given(random_bits)
+    def test_inverse_random_low_overhead(self, data):
+        assert unstuff(stuff(data, LOW_OVERHEAD_RULE), LOW_OVERHEAD_RULE) == data
+
+    def test_missing_stuff_bit_rejected(self):
+        # 111111 cannot appear in a valid HDLC-stuffed stream
+        with pytest.raises(FramingError):
+            unstuff(Bits.from_string("1111110"), HDLC_RULE)
+
+    def test_truncated_stream_rejected(self):
+        # stream ends right where a stuff bit is mandatory
+        with pytest.raises(FramingError):
+            unstuff(Bits.from_string("11111"), HDLC_RULE)
+
+    def test_valid_stream_with_stuff_accepted(self):
+        assert unstuff(Bits.from_string("111110"), HDLC_RULE) == Bits.ones(5)
+
+
+class TestManyRules:
+    """Round-trip holds for every progressive rule, not just valid ones
+    (validity concerns flags; round trip is stuffing-local)."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 7])
+    def test_roundtrip_for_prefix_rules(self, k):
+        rule = prefix_rule(Bits.from_string("01111110"), k)
+        if not rule.progressive:  # k=1 gives trigger "0"/stuff 0: diverges
+            pytest.skip("non-progressive rule")
+        for data in all_bitstrings_up_to(7):
+            assert unstuff(stuff(data, rule), rule) == data
+
+    @given(
+        st.text(alphabet="01", min_size=2, max_size=8),
+        st.integers(0, 1),
+        st.text(alphabet="01", max_size=32),
+    )
+    def test_roundtrip_any_progressive_rule(self, trigger, stuff_bit, data):
+        rule = StuffingRule(
+            Bits.from_string("01111110"), Bits.from_string(trigger), stuff_bit
+        )
+        if not rule.progressive:
+            return
+        bits = Bits.from_string(data)
+        assert unstuff(stuff(bits, rule), rule) == bits

@@ -1,0 +1,131 @@
+"""Integration: transport over the routed network (layers composing)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.network import LinkState, Topology
+from repro.network.attach import attach_transport
+from repro.sim import Simulator
+from repro.transport import MonolithicTcpHost, SublayeredTcpHost, TcpConfig
+
+MESH = [(1, 2), (2, 3), (3, 4), (4, 1), (2, 5), (5, 6), (6, 3)]
+
+
+def build_network(routing_cls=LinkState):
+    sim = Simulator()
+    topo = Topology.build(sim, MESH, routing_cls=routing_cls)
+    topo.start()
+    assert topo.converge(timeout=30) is not None
+    return sim, topo
+
+
+def pattern(nbytes):
+    return bytes(i % 251 for i in range(nbytes))
+
+
+class TestAttachment:
+    def test_sublayered_tcp_over_mesh(self):
+        sim, topo = build_network()
+        cfg = TcpConfig(mss=800, rto_initial=0.3)
+        client = SublayeredTcpHost("c", sim.clock(), cfg)
+        server = SublayeredTcpHost("s", sim.clock(), cfg)
+        attach_transport(client, topo.routers[1], peer=6)
+        attach_transport(server, topo.routers[6], peer=1)
+        server.listen(80)
+        data = pattern(40_000)
+        sock = client.connect(1000, 80)
+        sock.on_connect = lambda: (sock.send(data), sock.close())
+        sim.run(until=60)
+        assert server.socket_for(80, 1000).bytes_received() == data
+
+    def test_monolithic_tcp_over_mesh(self):
+        sim, topo = build_network()
+        cfg = TcpConfig(mss=800, rto_initial=0.3)
+        client = MonolithicTcpHost("c", sim.clock(), cfg)
+        server = MonolithicTcpHost("s", sim.clock(), cfg)
+        attach_transport(client, topo.routers[1], peer=6)
+        attach_transport(server, topo.routers[6], peer=1)
+        server.listen(80)
+        data = pattern(40_000)
+        sock = client.connect(1000, 80)
+        sock.on_connect = lambda: (sock.send(data), sock.close())
+        sim.run(until=60)
+        assert server.socket_for(80, 1000).bytes_received() == data
+
+    def test_transfer_survives_link_failure_on_path(self):
+        """A mid-transfer failure stalls the stream until routing
+        reconverges; RD's retransmissions then repair the gap — every
+        layer doing its own job."""
+        sim, topo = build_network()
+        cfg = TcpConfig(mss=800, rto_initial=0.3, rto_max=2.0)
+        client = SublayeredTcpHost("c", sim.clock(), cfg)
+        server = SublayeredTcpHost("s", sim.clock(), cfg)
+        attach_transport(client, topo.routers[1], peer=6)
+        attach_transport(server, topo.routers[6], peer=1)
+        server.listen(80)
+        data = pattern(120_000)
+        sock = client.connect(1000, 80)
+        sock.on_connect = lambda: (sock.send(data), sock.close())
+
+        def cut_the_path():
+            # fail whichever first hop router 1 is using toward 6
+            hop = topo.routers[1].forwarding.fib().get(6)
+            if hop is not None:
+                topo.fail_link(1, hop)
+
+        sim.schedule(0.2, cut_the_path)
+        sim.run(until=180)
+        assert server.socket_for(80, 1000).bytes_received() == data
+        # the repair really went through RD
+        assert client.stack.sublayer("rd").state.snapshot()["retransmitted"] > 0
+
+    def test_two_attachments_share_a_router(self):
+        sim, topo = build_network()
+        cfg = TcpConfig(mss=800, rto_initial=0.3)
+        hub_to_5 = SublayeredTcpHost("h5", sim.clock(), cfg)
+        hub_to_6 = SublayeredTcpHost("h6", sim.clock(), cfg)
+        host5 = SublayeredTcpHost("p5", sim.clock(), cfg)
+        host6 = SublayeredTcpHost("p6", sim.clock(), cfg)
+        attach_transport(hub_to_5, topo.routers[1], peer=5)
+        attach_transport(hub_to_6, topo.routers[1], peer=6)
+        attach_transport(host5, topo.routers[5], peer=1)
+        attach_transport(host6, topo.routers[6], peer=1)
+        host5.listen(80)
+        host6.listen(80)
+        s5 = hub_to_5.connect(1000, 80)
+        s6 = hub_to_6.connect(1000, 80)
+        s5.on_connect = lambda: s5.send(b"to five")
+        s6.on_connect = lambda: s6.send(b"to six")
+        sim.run(until=30)
+        assert host5.socket_for(80, 1000).bytes_received() == b"to five"
+        assert host6.socket_for(80, 1000).bytes_received() == b"to six"
+
+    def test_duplicate_attachment_rejected(self):
+        sim, topo = build_network()
+        cfg = TcpConfig()
+        h1 = SublayeredTcpHost("x", sim.clock(), cfg)
+        h2 = SublayeredTcpHost("y", sim.clock(), cfg)
+        attach_transport(h1, topo.routers[1], peer=6)
+        with pytest.raises(ConfigurationError):
+            attach_transport(h2, topo.routers[1], peer=6)
+
+
+class TestQuicOverNetwork:
+    def test_quic_over_mesh(self):
+        """The Section 5 stack rides the Fig 3/4 network unchanged —
+        record-sealed packets are just datagram payloads to forwarding."""
+        from repro.transport.quic import QuicHost
+
+        sim, topo = build_network()
+        a = QuicHost("a", sim.clock())
+        b = QuicHost("b", sim.clock())
+        attach_transport(a, topo.routers[1], peer=6)
+        attach_transport(b, topo.routers[6], peer=1)
+        b.listen(443)
+        data = pattern(30_000)
+        conn = a.connect(5000, 443)
+        conn.on_connect = lambda: conn.send(1, data, fin=True)
+        sim.run(until=60)
+        peer = b.connection_for(443, 5000)
+        assert peer.stream_bytes(1) == data
+        assert 1 in peer.finished_streams

@@ -1,0 +1,156 @@
+"""Tests for route computation: distance vector and link state.
+
+Route correctness is checked against networkx shortest paths as an
+independent oracle.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.network import DistanceVector, LinkState, Topology
+from repro.network.packets import DV_INFINITY
+from repro.sim import Simulator
+
+RING = [(1, 2), (2, 3), (3, 4), (4, 1)]
+MESH = [(1, 2), (2, 3), (3, 4), (4, 1), (1, 3), (2, 5), (5, 6), (6, 3)]
+LINE = [(1, 2), (2, 3), (3, 4), (4, 5)]
+
+
+def build(edges, routing_cls, seed=0):
+    sim = Simulator()
+    topo = Topology.build(sim, edges, routing_cls=routing_cls, seed=seed)
+    topo.start()
+    return sim, topo
+
+
+def oracle_first_hops(edges, source):
+    graph = nx.Graph(edges)
+    paths = nx.single_source_shortest_path(graph, source)
+    return {
+        dst: path[1] for dst, path in paths.items() if dst != source
+    }
+
+
+@pytest.mark.parametrize("routing_cls", [DistanceVector, LinkState])
+class TestConvergence:
+    @pytest.mark.parametrize("edges", [RING, MESH, LINE])
+    def test_converges_to_shortest_paths(self, routing_cls, edges):
+        sim, topo = build(edges, routing_cls)
+        assert topo.converge(timeout=30) is not None
+        graph = nx.Graph(edges)
+        for source, router in topo.routers.items():
+            fib = router.forwarding.fib()
+            lengths = nx.single_source_shortest_path_length(graph, source)
+            for dst, dist in lengths.items():
+                if dst == source:
+                    continue
+                hop = fib[dst]
+                # the chosen next hop must lie on *a* shortest path
+                assert (
+                    nx.shortest_path_length(graph, hop, dst) == dist - 1
+                ), (source, dst, hop)
+
+    def test_data_follows_routes(self, routing_cls):
+        sim, topo = build(MESH, routing_cls)
+        topo.converge(timeout=30)
+        topo.send_data(1, 6, b"payload")
+        sim.run(until=sim.now + 2)
+        assert [(p.src, p.dst) for p in topo.delivered] == [(1, 6)]
+
+    def test_reconverges_after_link_failure(self, routing_cls):
+        sim, topo = build(MESH, routing_cls)
+        topo.converge(timeout=30)
+        topo.fail_link(2, 5)
+        assert topo.converge(timeout=90) is not None
+        topo.send_data(1, 5, b"rerouted")
+        sim.run(until=sim.now + 2)
+        assert any(p.payload == b"rerouted" for p in topo.delivered)
+
+    def test_reconverges_after_link_restore(self, routing_cls):
+        sim, topo = build(RING, routing_cls)
+        topo.converge(timeout=30)
+        topo.fail_link(1, 2)
+        assert topo.converge(timeout=90) is not None
+        topo.restore_link(1, 2)
+        assert topo.converge(timeout=90) is not None
+
+    def test_partition_detected(self, routing_cls):
+        sim, topo = build(LINE, routing_cls)
+        topo.converge(timeout=30)
+        topo.fail_link(2, 3)
+        assert topo.converge(timeout=90) is not None
+        # nodes beyond the cut have no route
+        assert 5 not in topo.routers[1].forwarding.fib()
+        assert 1 not in topo.routers[5].forwarding.fib()
+
+
+class TestDistanceVectorSpecific:
+    def test_infinity_capped(self):
+        sim, topo = build(LINE, DistanceVector)
+        topo.converge(timeout=30)
+        table = topo.routers[1].routing.state.snapshot()["table"]
+        assert all(cost <= DV_INFINITY for cost, _ in table.values())
+
+    def test_poisoned_reverse_advertised(self):
+        sim, topo = build([(1, 2)], DistanceVector)
+        topo.converge(timeout=30)
+        # router 1 learned nothing beyond 2; its advertisement to 2
+        # must poison the route *via* 2 — captured by checking the
+        # update count grows without route flapping
+        routes_before = topo.routers[1].routes()
+        sim.run(until=sim.now + 5)
+        assert topo.routers[1].routes() == routes_before
+
+
+class TestLinkStateSpecific:
+    def test_lsdb_has_all_origins(self):
+        sim, topo = build(MESH, LinkState)
+        topo.converge(timeout=30)
+        lsdb = topo.routers[1].routing.state.snapshot()["lsdb"]
+        assert set(lsdb) == set(topo.routers)
+
+    def test_stale_lsp_not_accepted(self):
+        sim, topo = build(RING, LinkState)
+        topo.converge(timeout=30)
+        routing = topo.routers[1].routing
+        lsdb = routing.state.snapshot()["lsdb"]
+        current = lsdb[3]
+        from repro.network.packets import Lsp
+
+        stale = Lsp(origin=3, seq=current.seq - 1, neighbors={})
+        routing.on_control(stale, from_neighbor=2)
+        assert routing.state.snapshot()["lsdb"][3].seq == current.seq
+
+    def test_two_way_check_excludes_one_sided_claims(self):
+        sim, topo = build(RING, LinkState)
+        topo.converge(timeout=30)
+        routing = topo.routers[1].routing
+        from repro.network.packets import Lsp
+
+        # a forged LSP claiming a link to a node that never confirms it
+        forged = Lsp(origin=99, seq=1, neighbors={1: 1})
+        routing.on_control(forged, from_neighbor=2)
+        assert 99 not in routing.routes()
+
+
+class TestSwapExperiment:
+    def test_forwarding_identical_after_swap(self):
+        """The Fig 3 fungibility claim: DV -> LS swap leaves the
+        forwarding sublayer's FIB contents identical (same shortest
+        paths) and its code untouched (same class, same counters
+        semantics)."""
+        fibs = {}
+        for cls in (DistanceVector, LinkState):
+            sim, topo = build(LINE, cls, seed=3)
+            assert topo.converge(timeout=30) is not None
+            fibs[cls.name] = {
+                a: r.forwarding.fib() for a, r in topo.routers.items()
+            }
+        assert fibs["distance-vector"] == fibs["link-state"]
+
+    def test_control_packet_kinds_disjoint(self):
+        """T3: the two algorithms use different packets; neither kind
+        overlaps the other's or the data plane's."""
+        assert set(DistanceVector.CONTROL_KINDS) == {"dv"}
+        assert set(LinkState.CONTROL_KINDS) == {"lsp"}
+        assert not set(DistanceVector.CONTROL_KINDS) & set(LinkState.CONTROL_KINDS)

@@ -1,0 +1,120 @@
+"""Tests for repro.phys.encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import Bits, all_bitstrings
+from repro.core.errors import FramingError
+from repro.phys.encodings import LINE_CODES, FourBFiveB, Manchester, NRZ, NRZI
+
+bit_lists = st.lists(st.integers(0, 1), max_size=64)
+nibble_aligned = st.lists(st.integers(0, 1), max_size=64).filter(
+    lambda bits: len(bits) % 4 == 0
+)
+
+
+class TestNRZ:
+    def test_identity(self):
+        data = Bits.from_string("0110")
+        assert NRZ().encode(data) == data
+        assert NRZ().decode(data) == data
+
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        code = NRZ()
+        assert code.decode(code.encode(Bits(bits))) == Bits(bits)
+
+
+class TestNRZI:
+    def test_encode_toggles_on_one(self):
+        assert NRZI().encode(Bits.from_string("1101")) == Bits.from_string("1001")
+
+    def test_encode_holds_on_zero(self):
+        assert NRZI().encode(Bits.from_string("000")) == Bits.from_string("000")
+
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        code = NRZI()
+        assert code.decode(code.encode(Bits(bits))) == Bits(bits)
+
+    def test_long_run_of_ones_alternates(self):
+        symbols = NRZI().encode(Bits.ones(6))
+        assert symbols == Bits.from_string("101010")
+
+
+class TestManchester:
+    def test_encoding_table(self):
+        assert Manchester().encode(Bits.from_string("01")) == Bits.from_string("0110")
+
+    def test_doubles_length(self):
+        assert len(Manchester().encode(Bits.zeros(5))) == 10
+
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        code = Manchester()
+        assert code.decode(code.encode(Bits(bits))) == Bits(bits)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(FramingError):
+            Manchester().decode(Bits.from_string("011"))
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(FramingError):
+            Manchester().decode(Bits.from_string("0011"))
+
+
+class TestFourBFiveB:
+    def test_aligned_expands_by_quarter(self):
+        assert len(FourBFiveB().encode_aligned(Bits.zeros(8))) == 10
+
+    @given(nibble_aligned)
+    def test_aligned_roundtrip(self, bits):
+        code = FourBFiveB()
+        assert code.decode_aligned(code.encode_aligned(Bits(bits))) == Bits(bits)
+
+    @given(st.lists(st.integers(0, 1), max_size=64))
+    def test_padded_roundtrip_any_length(self, bits):
+        """The padded mode accepts any bit length (stuffed frames)."""
+        code = FourBFiveB()
+        assert code.decode(code.encode(Bits(bits))) == Bits(bits)
+
+    def test_unaligned_encode_aligned_rejected(self):
+        with pytest.raises(FramingError):
+            FourBFiveB().encode_aligned(Bits.zeros(3))
+
+    def test_unaligned_decode_rejected(self):
+        with pytest.raises(FramingError):
+            FourBFiveB().decode(Bits.zeros(7))
+
+    def test_invalid_code_word_rejected(self):
+        with pytest.raises(FramingError):
+            FourBFiveB().decode(Bits.from_string("00000"))
+
+    def test_bad_pad_field_rejected(self):
+        # pad field claims 3 pad bits but only the field itself exists
+        code = FourBFiveB()
+        framed = code.encode_aligned(Bits.from_string("0110"))  # pad=3, no data
+        with pytest.raises(FramingError):
+            code.decode(framed)
+
+    def test_run_length_property(self):
+        """No encoded nibble stream contains more than 3 consecutive zeros."""
+        code = FourBFiveB()
+        for data in all_bitstrings(8):
+            symbols = code.encode(data)
+            assert not symbols.contains(Bits.zeros(4)), data
+
+    def test_all_code_words_distinct(self):
+        assert len(set(FourBFiveB._TABLE.values())) == 16
+
+
+class TestRegistry:
+    def test_all_codes_registered(self):
+        assert set(LINE_CODES) == {"nrz", "nrzi", "manchester", "4b5b"}
+
+    def test_registry_instantiable(self):
+        for cls in LINE_CODES.values():
+            code = cls()
+            data = Bits.zeros(8)
+            assert code.decode(code.encode(data)) == data

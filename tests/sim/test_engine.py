@@ -1,0 +1,135 @@
+"""Tests for repro.sim.engine."""
+
+import pytest
+
+from repro.core.clock import Clock
+from repro.core.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run_until_idle()
+        assert order == ["early", "late"]
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run_until_idle()
+        assert order == [1, 2]
+
+    def test_now_advances_during_callbacks(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [5.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run_until_idle()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestRun:
+    def test_run_until_stops_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_returns_stop_time(self):
+        sim = Simulator()
+        sim.schedule(1.5, lambda: None)
+        assert sim.run_until_idle() == 1.5
+
+    def test_events_processed_counted(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 4
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as e:
+                errors.append(e)
+
+        sim.schedule(0.0, reenter)
+        sim.run_until_idle()
+        assert len(errors) == 1
+
+
+class TestSimClock:
+    def test_satisfies_protocol(self):
+        assert isinstance(Simulator().clock(), Clock)
+
+    def test_now_tracks_simulator(self):
+        sim = Simulator()
+        clock = sim.clock()
+        sim.schedule(2.0, lambda: None)
+        sim.run_until_idle()
+        assert clock.now() == 2.0
+
+    def test_call_later_schedules(self):
+        sim = Simulator()
+        clock = sim.clock()
+        fired = []
+        clock.call_later(1.0, lambda: fired.append(clock.now()))
+        sim.run_until_idle()
+        assert fired == [1.0]

@@ -1,0 +1,238 @@
+"""Tests for repro.sim.link."""
+
+import random
+
+import pytest
+
+from repro.core.bits import Bits
+from repro.core.errors import ConfigurationError
+from repro.core.header import Field, HeaderFormat
+from repro.core.pdu import Pdu
+from repro.sim.engine import Simulator
+from repro.sim.link import (
+    DEFAULT_UNIT_BITS,
+    DuplexLink,
+    Link,
+    LinkConfig,
+    unit_size_bits,
+)
+
+
+def make_link(**kwargs):
+    sim = Simulator()
+    link = Link(sim, LinkConfig(**kwargs), rng=random.Random(7))
+    received = []
+    link.connect(lambda u, **m: received.append((sim.now, u)))
+    return sim, link, received
+
+
+class TestLinkConfig:
+    def test_bad_loss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(loss=1.5)
+
+    def test_bad_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(delay=-1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(rate_bps=0)
+
+    def test_bad_ber_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(bit_error_rate=2.0)
+
+
+class TestUnitSize:
+    def test_bits(self):
+        assert unit_size_bits(Bits.from_string("0101")) == 4
+
+    def test_bytes(self):
+        assert unit_size_bits(b"ab") == 16
+
+    def test_pdu(self):
+        fmt = HeaderFormat("h", [Field("x", 16)])
+        assert unit_size_bits(Pdu("h", fmt, {}, b"ab")) == 32
+
+    def test_opaque_object_default(self):
+        assert unit_size_bits(object()) == DEFAULT_UNIT_BITS
+
+
+class TestDelivery:
+    def test_basic_delivery_after_delay(self):
+        sim, link, received = make_link(delay=0.1)
+        link.send(b"hello")
+        sim.run_until_idle()
+        assert received == [(0.1, b"hello")]
+
+    def test_fifo_serialization_at_rate(self):
+        # 80 bits at 800 bps = 0.1 s each; second frame queues behind first.
+        sim, link, received = make_link(delay=0.0, rate_bps=800)
+        link.send(b"0123456789")
+        link.send(b"0123456789")
+        sim.run_until_idle()
+        times = [t for t, _ in received]
+        assert times == pytest.approx([0.1, 0.2])
+
+    def test_unconnected_send_raises(self):
+        sim = Simulator()
+        link = Link(sim)
+        with pytest.raises(ConfigurationError):
+            link.send(b"x")
+
+    def test_meta_passed_through(self):
+        sim = Simulator()
+        link = Link(sim)
+        seen = []
+        link.connect(lambda u, **m: seen.append(m))
+        link.send(b"x", channel=3)
+        sim.run_until_idle()
+        assert seen == [{"channel": 3}]
+
+    def test_mtu_drop(self):
+        sim, link, received = make_link(mtu_bits=8)
+        link.send(b"toolong")
+        sim.run_until_idle()
+        assert received == []
+        assert link.stats.dropped_mtu == 1
+
+
+class TestImpairments:
+    def test_total_loss(self):
+        sim, link, received = make_link(loss=1.0)
+        for _ in range(10):
+            link.send(b"x")
+        sim.run_until_idle()
+        assert received == []
+        assert link.stats.lost == 10
+
+    def test_partial_loss_statistics(self):
+        sim, link, received = make_link(loss=0.5)
+        for _ in range(400):
+            link.send(b"x")
+        sim.run_until_idle()
+        assert 120 < len(received) < 280  # ~200 expected
+
+    def test_duplication(self):
+        sim, link, received = make_link(duplicate=1.0)
+        link.send(b"x")
+        sim.run_until_idle()
+        assert len(received) == 2
+        assert link.stats.duplicated == 1
+
+    def test_reordering_possible(self):
+        sim, link, received = make_link(delay=0.01, reorder_jitter=1.0)
+        for i in range(50):
+            link.send(bytes([i]))
+        sim.run_until_idle()
+        order = [u[0] for _, u in received]
+        assert order != sorted(order)  # jitter produced at least one swap
+        assert sorted(order) == list(range(50))
+
+    def test_bit_errors_on_bits(self):
+        sim, link, received = make_link(bit_error_rate=0.5)
+        link.send(Bits.zeros(64))
+        sim.run_until_idle()
+        assert received[0][1] != Bits.zeros(64)
+        assert link.stats.corrupted == 1
+
+    def test_bit_errors_on_bytes(self):
+        sim, link, received = make_link(bit_error_rate=0.5)
+        link.send(b"\x00" * 8)
+        sim.run_until_idle()
+        assert received[0][1] != b"\x00" * 8
+
+    def test_no_bit_errors_without_ber(self):
+        sim, link, received = make_link()
+        payload = Bits.ones(32)
+        link.send(payload)
+        sim.run_until_idle()
+        assert received[0][1] == payload
+        assert link.stats.corrupted == 0
+
+    def test_stats_dict(self):
+        sim, link, _ = make_link()
+        link.send(b"x")
+        sim.run_until_idle()
+        stats = link.stats.as_dict()
+        assert stats["sent"] == 1
+        assert stats["delivered"] == 1
+        assert stats["bits_sent"] == 8
+
+
+class FakeStack:
+    def __init__(self):
+        self.received = []
+        self.on_transmit = None
+
+    def receive(self, unit, **meta):
+        self.received.append(unit)
+
+
+class TestDuplexLink:
+    def test_both_directions(self):
+        sim = Simulator()
+        a, b = FakeStack(), FakeStack()
+        duplex = DuplexLink(sim, LinkConfig(delay=0.01))
+        duplex.attach(a, b)
+        a.on_transmit(b"to-b")
+        b.on_transmit(b"to-a")
+        sim.run_until_idle()
+        assert b.received == [b"to-b"]
+        assert a.received == [b"to-a"]
+
+    def test_asymmetric_configs(self):
+        sim = Simulator()
+        a, b = FakeStack(), FakeStack()
+        duplex = DuplexLink(
+            sim,
+            LinkConfig(delay=0.01),
+            reverse_config=LinkConfig(loss=1.0),
+            rng_reverse=random.Random(1),
+        )
+        duplex.attach(a, b)
+        a.on_transmit(b"ok")
+        b.on_transmit(b"dropped")
+        sim.run_until_idle()
+        assert b.received == [b"ok"]
+        assert a.received == []
+
+
+class TestDropTailQueue:
+    def test_no_drops_without_limit(self):
+        sim, link, received = make_link(delay=0.0, rate_bps=800)
+        for _ in range(20):
+            link.send(b"0123456789")  # 0.1s airtime each
+        sim.run_until_idle()
+        assert len(received) == 20
+        assert link.stats.queue_dropped == 0
+
+    def test_drops_when_queue_exceeds_bound(self):
+        # 0.1s per frame; bound 0.25s: about the first 3 fit, rest drop
+        sim, link, received = make_link(
+            delay=0.0, rate_bps=800, drop_tail_delay=0.25
+        )
+        for _ in range(20):
+            link.send(b"0123456789")
+        sim.run_until_idle()
+        assert link.stats.queue_dropped > 0
+        assert len(received) + link.stats.queue_dropped == 20
+        # FIFO order preserved for the survivors
+        assert len(received) <= 4
+
+    def test_queue_drains_over_time(self):
+        sim, link, received = make_link(
+            delay=0.0, rate_bps=800, drop_tail_delay=0.25
+        )
+        link.send(b"0123456789")
+        sim.run_until_idle()
+        link.send(b"0123456789")  # queue empty again: accepted
+        sim.run_until_idle()
+        assert len(received) == 2
+        assert link.stats.queue_dropped == 0
+
+    def test_stats_dict_has_new_counters(self):
+        sim, link, _ = make_link()
+        stats = link.stats.as_dict()
+        assert "queue_dropped" in stats and "ecn_marked" in stats

@@ -1,0 +1,95 @@
+"""Tests for repro.sim.medium."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.medium import BroadcastMedium
+
+
+def make_medium(stations=2, rate=1000.0):
+    sim = Simulator()
+    medium = BroadcastMedium(sim, rate_bps=rate)
+    ports = [medium.attach(f"s{i}") for i in range(stations)]
+    inboxes = [[] for _ in range(stations)]
+    for port, inbox in zip(ports, inboxes):
+        port.on_receive = inbox.append
+    return sim, medium, ports, inboxes
+
+
+class TestBroadcast:
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastMedium(Simulator(), rate_bps=0)
+
+    def test_frame_reaches_all_other_stations(self):
+        sim, medium, ports, inboxes = make_medium(3)
+        ports[0].transmit("frame", size_bits=100)
+        sim.run_until_idle()
+        assert inboxes[0] == []  # sender doesn't hear itself
+        assert inboxes[1] == ["frame"]
+        assert inboxes[2] == ["frame"]
+        assert medium.stats.delivered == 2
+
+    def test_sequential_transmissions_do_not_collide(self):
+        sim, medium, ports, inboxes = make_medium(2)
+        ports[0].transmit("a", size_bits=100)  # 0.1s airtime
+        sim.schedule(0.2, lambda: ports[1].transmit("b", size_bits=100))
+        sim.run_until_idle()
+        assert inboxes[1] == ["a"]
+        assert inboxes[0] == ["b"]
+        assert medium.stats.collisions == 0
+
+    def test_overlapping_transmissions_collide(self):
+        sim, medium, ports, inboxes = make_medium(2)
+        collisions = []
+        ports[1].on_collision = lambda: collisions.append(1)
+        ports[0].transmit("a", size_bits=1000)  # 1s airtime
+        sim.schedule(0.5, lambda: ports[1].transmit("b", size_bits=1000))
+        sim.run_until_idle()
+        assert inboxes[0] == [] and inboxes[1] == []
+        assert medium.stats.collisions == 2
+
+    def test_carrier_sense(self):
+        sim, medium, ports, _ = make_medium(2)
+        sensed = []
+        ports[0].transmit("a", size_bits=1000)  # busy until t=1
+        sim.schedule(0.5, lambda: sensed.append(ports[1].carrier_sense()))
+        sim.schedule(1.5, lambda: sensed.append(ports[1].carrier_sense()))
+        sim.run_until_idle()
+        assert sensed == [True, False]
+
+    def test_transmit_done_callback(self):
+        sim, medium, ports, _ = make_medium(2)
+        outcomes = []
+        ports[0].on_transmit_done = outcomes.append
+        ports[0].transmit("a", size_bits=10)
+        sim.run_until_idle()
+        assert outcomes == [False]
+
+    def test_transmit_done_reports_collision(self):
+        sim, medium, ports, _ = make_medium(2)
+        outcomes = []
+        ports[0].on_transmit_done = outcomes.append
+        ports[0].transmit("a", size_bits=1000)
+        sim.schedule(0.1, lambda: ports[1].transmit("b", size_bits=10))
+        sim.run_until_idle()
+        assert outcomes == [True]
+
+    def test_three_way_collision(self):
+        sim, medium, ports, inboxes = make_medium(3)
+        for port in ports:
+            port.transmit("x", size_bits=100)
+        sim.run_until_idle()
+        assert all(inbox == [] for inbox in inboxes)
+
+    def test_prop_delay_shifts_arrival(self):
+        sim = Simulator()
+        medium = BroadcastMedium(sim, rate_bps=1000, prop_delay=0.5)
+        a = medium.attach("a")
+        b = medium.attach("b")
+        arrivals = []
+        b.on_receive = lambda f: arrivals.append(sim.now)
+        a.transmit("f", size_bits=100)  # airtime 0.1
+        sim.run_until_idle()
+        assert arrivals == [pytest.approx(0.6)]

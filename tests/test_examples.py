@@ -1,0 +1,32 @@
+"""Smoke tests: every shipped example runs to completion and prints
+its success markers.  Keeps the examples from rotting as the library
+evolves."""
+
+import contextlib
+import io
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["intact", "T3: PASS"]),
+    ("verified_framing.py", ["ALL PROVED", "counterexample", "delivered 20/20"]),
+    ("custom_congestion.py", ["intact=True", "IDENTICAL"]),
+    ("interop_shim.py", ["SYN", "200 OK"]),
+    ("routed_network.py", ["converged", "rerouted"]),
+    ("wireless_mac.py", ["everyone eventually heard everything: True"]),
+    ("quic_streams.py", ["intact", "plaintext leaks on the wire: 0"]),
+]
+
+
+@pytest.mark.parametrize("script,markers", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, markers):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    output = buffer.getvalue()
+    for marker in markers:
+        assert marker in output, f"{script}: missing {marker!r} in output"

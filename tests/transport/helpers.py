@@ -1,0 +1,91 @@
+"""Shared builders for transport tests: host pairs over impaired links."""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.sim import DuplexLink, LinkConfig, Simulator
+from repro.transport import (
+    MonolithicTcpHost,
+    Rfc793Shim,
+    SublayeredTcpHost,
+    TcpConfig,
+)
+
+
+def make_pair(
+    kind_a: str = "sub",
+    kind_b: str = "sub",
+    loss: float = 0.0,
+    duplicate: float = 0.0,
+    reorder_jitter: float = 0.0,
+    delay: float = 0.02,
+    rate_bps: float = 8_000_000,
+    seed: int = 1,
+    config: TcpConfig | None = None,
+    config_b: TcpConfig | None = None,
+    **host_kwargs: Any,
+):
+    """Two TCP hosts ('sub', 'sub+shim', or 'mono') joined by a link."""
+    sim = Simulator()
+    config = config or TcpConfig(mss=1000)
+
+    def build(kind: str, name: str, cfg: TcpConfig):
+        if kind == "mono":
+            return MonolithicTcpHost(name, sim.clock(), cfg)
+        if kind == "sub":
+            return SublayeredTcpHost(name, sim.clock(), cfg, **host_kwargs)
+        if kind == "sub+shim":
+            return SublayeredTcpHost(
+                name, sim.clock(), cfg, shim=Rfc793Shim(), **host_kwargs
+            )
+        raise ValueError(kind)
+
+    a = build(kind_a, "a", config)
+    b = build(kind_b, "b", config_b or config)
+    link = DuplexLink(
+        sim,
+        LinkConfig(
+            delay=delay,
+            rate_bps=rate_bps,
+            loss=loss,
+            duplicate=duplicate,
+            reorder_jitter=reorder_jitter,
+        ),
+        rng_forward=random.Random(seed),
+        rng_reverse=random.Random(seed + 1),
+    )
+    link.attach(a, b)
+    return sim, a, b, link
+
+
+def pattern(nbytes: int) -> bytes:
+    return bytes(i % 251 for i in range(nbytes))
+
+
+def transfer(
+    sim: Simulator,
+    a,
+    b,
+    nbytes: int = 30_000,
+    until: float = 180.0,
+    close: bool = True,
+    lport: int = 12345,
+    rport: int = 80,
+):
+    """Run a one-way transfer a->b; returns (sent, received, sockets)."""
+    b.listen(rport)
+    data = pattern(nbytes)
+    sock = a.connect(lport, rport)
+
+    def go() -> None:
+        sock.send(data)
+        if close:
+            sock.close()
+
+    sock.on_connect = go
+    sim.run(until=until)
+    peer = b.socket_for(rport, lport)
+    received = peer.bytes_received() if peer is not None else b""
+    return data, received, sock, peer

@@ -1,0 +1,186 @@
+"""Tests for the timer-based (Watson-style) CM replacement.
+
+The paper's Section 3 names this swap explicitly: "one could in
+principle seamlessly replace ... connection management (by a
+timer-based scheme [31])".
+"""
+
+import random
+
+import pytest
+
+from repro.sim import DuplexLink, LinkConfig, Simulator
+from repro.transport import SublayeredTcpHost, TcpConfig, TimerCmSublayer
+
+from .helpers import pattern
+
+
+def timer_cm_factory(cfg):
+    return TimerCmSublayer(
+        "cm", handshake_timeout=cfg.rto_initial, quiet_interval=30.0
+    )
+
+
+def make_timer_pair(loss=0.0, seed=1, quiet=30.0, **link_kwargs):
+    sim = Simulator()
+    cfg = TcpConfig(mss=1000)
+
+    def factory(c):
+        return TimerCmSublayer(
+            "cm", handshake_timeout=c.rto_initial, quiet_interval=quiet
+        )
+
+    a = SublayeredTcpHost("a", sim.clock(), cfg, cm_factory=factory)
+    b = SublayeredTcpHost("b", sim.clock(), cfg, cm_factory=factory)
+    link = DuplexLink(
+        sim,
+        LinkConfig(delay=0.02, rate_bps=8_000_000, loss=loss, **link_kwargs),
+        rng_forward=random.Random(seed),
+        rng_reverse=random.Random(seed + 1),
+    )
+    link.attach(a, b)
+    return sim, a, b
+
+
+class TestZeroRtt:
+    def test_send_immediately_after_connect(self):
+        """No handshake round trip: data flows from the first packet."""
+        sim, a, b = make_timer_pair()
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sock.send(b"zero rtt!")  # before any packet has returned
+        sim.run(until=10)
+        assert b.socket_for(80, 1000).bytes_received() == b"zero rtt!"
+
+    def test_no_handshake_packets_on_wire(self):
+        sim, a, b = make_timer_pair()
+        kinds = set()
+        forward = a.on_transmit
+
+        def tap(unit, **meta):
+            cm_part = unit.find("cm")
+            if cm_part is not None:
+                kinds.add(cm_part.field("kind"))
+            forward(unit, **meta)
+
+        a.on_transmit = tap
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sock.send(pattern(5_000))
+        sim.run(until=10)
+        from repro.transport.sublayered.headers import CM_HSACK, CM_SYN, CM_SYNACK
+
+        assert not kinds & {CM_SYN, CM_SYNACK, CM_HSACK}
+
+    def test_implicit_passive_open_counted(self):
+        sim, a, b = make_timer_pair()
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sock.send(b"x")
+        sim.run(until=10)
+        assert b.stack.sublayer("cm").state.snapshot()["implicit_opens"] == 1
+
+    def test_first_data_to_non_listening_port_dropped(self):
+        sim, a, b = make_timer_pair()
+        sock = a.connect(1000, 99)
+        sock.send(b"void")
+        sim.run(until=5)
+        assert b.stack.sublayer("cm").state.snapshot()["implicit_opens"] == 0
+
+
+class TestReliability:
+    @pytest.mark.parametrize("loss", [0.05, 0.15])
+    def test_transfer_under_loss(self, loss):
+        sim, a, b = make_timer_pair(loss=loss, seed=3)
+        b.listen(80)
+        data = pattern(50_000)
+        sock = a.connect(1000, 80)
+        sock.send(data)
+        sock.close()
+        sim.run(until=180)
+        assert b.socket_for(80, 1000).bytes_received() == data
+
+    def test_bidirectional(self):
+        sim, a, b = make_timer_pair(loss=0.08, seed=5)
+        b.listen(80)
+        up, down = pattern(20_000), bytes(reversed(pattern(20_000)))
+        b.on_accept = lambda peer: peer.send(down)
+        sock = a.connect(1000, 80)
+        sock.send(up)
+        sim.run(until=120)
+        assert b.socket_for(80, 1000).bytes_received() == up
+        assert sock.bytes_received() == down
+
+    def test_duplicate_first_segment_still_exactly_once(self):
+        sim, a, b = make_timer_pair(duplicate=0.3, seed=9)
+        b.listen(80)
+        data = pattern(20_000)
+        sock = a.connect(1000, 80)
+        sock.send(data)
+        sim.run(until=60)
+        assert b.socket_for(80, 1000).bytes_received() == data
+
+    def test_close_works(self):
+        sim, a, b = make_timer_pair(loss=0.05, seed=2)
+        b.listen(80)
+        closed = []
+        sock = a.connect(1000, 80)
+        sock.on_close = lambda: closed.append(1)
+        sock.send(b"bye")
+        sock.close()
+        sim.run(until=30)
+        assert closed == [1]
+
+
+class TestDeltaT:
+    def test_idle_state_expires(self):
+        sim, a, b = make_timer_pair(quiet=5.0)
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sock.send(b"ping")
+        sim.run(until=2)
+        assert (80, 1000) in b.stack.sublayer("cm").state.snapshot()["conns"]
+        sim.run(until=30)  # quiet interval passes with no traffic
+        assert (80, 1000) not in b.stack.sublayer("cm").state.snapshot()["conns"]
+        assert b.stack.sublayer("cm").state.snapshot()["expired"] >= 1
+
+    def test_active_connection_survives(self):
+        sim, a, b = make_timer_pair(quiet=3.0)
+        b.listen(80)
+        sock = a.connect(1000, 80)
+
+        def drip(n=0):
+            if n < 10:
+                sock.send(bytes([n]))
+                sim.schedule(2.0, lambda: drip(n + 1))
+
+        drip()
+        sim.run(until=25)
+        # steady traffic kept it alive through many quiet intervals
+        assert b.socket_for(80, 1000).bytes_received() == bytes(range(10))
+
+
+class TestSwapIsolation:
+    def test_other_sublayers_untouched(self):
+        """The C5 claim for a *whole-CM* replacement: RD/DM/OSR state
+        vocabularies identical under handshake vs timer CM."""
+        from .helpers import make_pair, transfer
+
+        sim, a, b, _ = make_pair("sub", "sub")
+        transfer(sim, a, b, nbytes=10_000)
+        handshake_vocab = {
+            name: a.stack.sublayer(name).state.field_names()
+            for name in ("osr", "rd", "dm")
+        }
+
+        sim2, c, d = make_timer_pair()
+        d.listen(80)
+        sock = c.connect(12345, 80)
+        sock.send(pattern(10_000))
+        sock.close()
+        sim2.run(until=60)
+        timer_vocab = {
+            name: c.stack.sublayer(name).state.field_names()
+            for name in ("osr", "rd", "dm")
+        }
+        assert handshake_vocab == timer_vocab

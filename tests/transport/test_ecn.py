@@ -1,0 +1,120 @@
+"""Tests for the ECN path — the paper's "explicit congestion control
+notifications like ECN are in the OSR subheader"."""
+
+import random
+
+import pytest
+
+from repro.core.bits import Bits
+from repro.sim import DuplexLink, Link, LinkConfig, Simulator
+from repro.transport import SublayeredTcpHost, TcpConfig
+
+from .helpers import pattern
+
+
+def make_ecn_pair(rate_bps=1_500_000, threshold=0.02, seed=1):
+    sim = Simulator()
+    cfg = TcpConfig(mss=1000)
+    a = SublayeredTcpHost("a", sim.clock(), cfg)
+    b = SublayeredTcpHost("b", sim.clock(), cfg)
+    link = DuplexLink(
+        sim,
+        LinkConfig(delay=0.02, rate_bps=rate_bps, ecn_threshold=threshold),
+        rng_forward=random.Random(seed),
+        rng_reverse=random.Random(seed + 1),
+    )
+    link.attach(a, b)
+    return sim, a, b, link
+
+
+class TestLinkMarking:
+    def test_marks_only_under_queueing(self):
+        sim, a, b, link = make_ecn_pair(rate_bps=100_000_000)  # no queue
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.send(pattern(30_000))
+        sim.run(until=30)
+        assert link.forward.stats.ecn_marked == 0
+
+    def test_marks_under_queueing(self):
+        sim, a, b, link = make_ecn_pair(rate_bps=1_000_000)
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.send(pattern(100_000))
+        sim.run(until=60)
+        assert link.forward.stats.ecn_marked > 0
+
+    def test_marking_clones_not_mutates(self):
+        """The sender's stored segment must stay unmarked (it may be
+        retransmitted through a different path)."""
+        from repro.core.header import Field, HeaderFormat
+        from repro.core.pdu import Pdu
+        from repro.transport.sublayered.headers import OSR_HEADER
+
+        sim = Simulator()
+        link = Link(sim, LinkConfig(rate_bps=1000, ecn_threshold=0.0),
+                    rng=random.Random(0))
+        received = []
+        link.connect(lambda u, **m: received.append(u))
+        original = Pdu("osr", OSR_HEADER, {"wnd": 100, "ecn": 0}, b"x" * 100)
+        link.send(original)   # occupies the serializer
+        link.send(original)   # queues: gets marked
+        sim.run_until_idle()
+        assert original.field("ecn") == 0
+        assert received[1].field("ecn") & 1
+
+    def test_non_osr_units_pass_unmarked(self):
+        sim = Simulator()
+        link = Link(sim, LinkConfig(rate_bps=1000, ecn_threshold=0.0),
+                    rng=random.Random(0))
+        received = []
+        link.connect(lambda u, **m: received.append(u))
+        link.send(b"plain" * 40)
+        link.send(b"plain" * 40)
+        sim.run_until_idle()
+        assert received[1] == b"plain" * 40
+        assert link.forward.stats.ecn_marked == 0 if hasattr(link, "forward") else True
+
+
+class TestEndToEnd:
+    def test_ecn_cuts_without_loss(self):
+        sim, a, b, link = make_ecn_pair()
+        b.listen(80)
+        data = pattern(150_000)
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: (sock.send(data), sock.close())
+        sim.run(until=60)
+        assert b.socket_for(80, 1000).bytes_received() == data
+        osr_a = a.stack.sublayer("osr").state.snapshot()
+        osr_b = b.stack.sublayer("osr").state.snapshot()
+        assert link.forward.stats.ecn_marked > 0
+        assert osr_b["ecn_echoed"] > 0
+        assert osr_a["ecn_cuts"] > 0
+        # congestion was handled without a single retransmission
+        assert a.stack.sublayer("rd").state.snapshot()["retransmitted"] == 0
+
+    def test_cuts_are_rtt_spaced(self):
+        sim, a, b, link = make_ecn_pair()
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.send(pattern(150_000))
+        sim.run(until=60)
+        osr_a = a.stack.sublayer("osr").state.snapshot()
+        osr_b = b.stack.sublayer("osr").state.snapshot()
+        # many echoes, far fewer cuts: the per-RTT rate limiter works
+        assert osr_a["ecn_cuts"] < osr_b["ecn_echoed"]
+
+    def test_no_ecn_without_threshold(self):
+        sim = Simulator()
+        cfg = TcpConfig(mss=1000)
+        a = SublayeredTcpHost("a", sim.clock(), cfg)
+        b = SublayeredTcpHost("b", sim.clock(), cfg)
+        DuplexLink(
+            sim, LinkConfig(delay=0.02, rate_bps=1_500_000),
+            rng_forward=random.Random(1), rng_reverse=random.Random(2),
+        ).attach(a, b)
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.send(pattern(100_000))
+        sim.run(until=60)
+        assert a.stack.sublayer("osr").state.snapshot()["ecn_cuts"] == 0

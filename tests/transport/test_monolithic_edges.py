@@ -1,0 +1,166 @@
+"""Edge-case tests for the monolithic TCP's state machine."""
+
+import pytest
+
+from repro.transport import TcpConfig
+from repro.transport.monolithic import pcb as S
+
+from .helpers import make_pair, pattern, transfer
+
+
+class TestSimultaneousAndOrderedClose:
+    def test_ordered_close_reaches_closed_on_both_sides(self):
+        sim, a, b, _ = make_pair("mono", "mono")
+        b.listen(80)
+        b.on_accept = lambda peer: setattr(peer, "on_close", lambda: peer.close())
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.close()
+        sim.run(until=30)
+        assert sock.state == S.CLOSED
+
+    def test_simultaneous_close(self):
+        """Both sides close at once: FIN_WAIT_1 -> CLOSING -> TIME_WAIT."""
+        sim, a, b, _ = make_pair("mono", "mono", delay=0.05)
+        b.listen(80)
+        accepted = []
+        b.on_accept = accepted.append
+        sock = a.connect(1000, 80)
+        sim.run(until=2)
+        assert sock.state == S.ESTABLISHED
+        # close both ends in the same instant: the FINs cross in flight
+        sock.close()
+        accepted[0].close()
+        sim.run(until=30)
+        assert sock.state == S.CLOSED
+        assert accepted[0].state == S.CLOSED
+
+    def test_time_wait_reacks_retransmitted_fin(self):
+        sim, a, b, _ = make_pair("mono", "mono")
+        b.listen(80)
+        accepted = []
+
+        def accept(peer):
+            accepted.append(peer)
+            peer.on_close = lambda: peer.close()
+
+        b.on_accept = accept
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.close()
+        sim.run(until=1)
+        # while a lingers in TIME_WAIT, replay the peer's FIN at it
+        state = sock.state
+        if state == S.TIME_WAIT:
+            from repro.transport.rfc793 import TcpSegment
+
+            snapshot = a.pcb_snapshot(1000, 80)
+            replay = TcpSegment(header={
+                "sport": 80, "dport": 1000,
+                "seq": (snapshot["rcv_nxt"] - 1) % (1 << 32),
+                "ack": snapshot["snd_nxt"] % (1 << 32),
+                "ack_flag": 1, "fin": 1,
+            })
+            sent = {"n": 0}
+            a.on_transmit = lambda seg, **m: sent.__setitem__("n", sent["n"] + 1)
+            a.receive(replay)
+            assert sent["n"] == 1  # re-acked
+        sim.run(until=30)
+        assert sock.state == S.CLOSED
+
+
+class TestZeroWindow:
+    def test_persist_probe_unblocks_after_resume(self):
+        """Sender fills the window of a paused reader, probes through
+        the zero window, and completes after resume — no deadlock."""
+        config = TcpConfig(mss=1000, recv_buffer=3000)
+        sim, a, b, _ = make_pair("mono", "mono", config=config)
+        b.listen(80)
+        accepted = []
+
+        def accept(peer):
+            peer.pause_reading()
+            accepted.append(peer)
+
+        b.on_accept = accept
+        data = pattern(12_000)
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.send(data)
+        sim.run(until=15)
+        received_while_paused = len(accepted[0].bytes_received())
+        assert received_while_paused < len(data)
+        # resume at t=15; the pending probe discovers the open window
+        accepted[0].resume_reading()
+
+        def keep_draining():
+            accepted[0].resume_reading()
+            if len(accepted[0].bytes_received()) < len(data):
+                sim.schedule(0.5, keep_draining)
+
+        keep_draining()
+        sim.run(until=120)
+        assert accepted[0].bytes_received() == data
+
+    def test_probe_counted_as_traffic(self):
+        config = TcpConfig(mss=1000, recv_buffer=2000)
+        sim, a, b, _ = make_pair("mono", "mono", config=config)
+        b.listen(80)
+        b.on_accept = lambda peer: peer.pause_reading()
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.send(pattern(10_000))
+        before = a.segments_sent
+        sim.run(until=30)
+        # probes keep flowing during the stall
+        assert a.segments_sent > before + 3
+
+
+class TestMisbehavedPeers:
+    def test_ack_beyond_snd_nxt_ignored(self):
+        sim, a, b, _ = make_pair("mono", "mono")
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sim.run(until=2)
+        from repro.transport.rfc793 import TcpSegment
+
+        snapshot = a.pcb_snapshot(1000, 80)
+        evil = TcpSegment(header={
+            "sport": 80, "dport": 1000,
+            "seq": snapshot["rcv_nxt"] % (1 << 32),
+            "ack": (snapshot["snd_nxt"] + 99999) % (1 << 32),
+            "ack_flag": 1,
+        })
+        a.receive(evil)
+        after = a.pcb_snapshot(1000, 80)
+        assert after["snd_una"] == snapshot["snd_una"]
+
+    def test_segment_for_unknown_connection_ignored(self):
+        sim, a, b, _ = make_pair("mono", "mono")
+        from repro.transport.rfc793 import TcpSegment
+
+        stray = TcpSegment(header={
+            "sport": 9, "dport": 9, "seq": 1, "ack": 1, "ack_flag": 1,
+        })
+        a.receive(stray)  # must not raise
+        assert a.segments_received == 1
+
+    def test_non_segment_unit_ignored(self):
+        sim, a, b, _ = make_pair("mono", "mono")
+        a.receive(object())  # e.g. a native sublayered pdu on a mixed wire
+        assert a.segments_received == 0
+
+    def test_old_duplicate_data_reacked_not_redelivered(self):
+        sim, a, b, _ = make_pair("mono", "mono")
+        data, received, sock, peer = transfer(sim, a, b, nbytes=5_000, close=False)
+        assert received == data
+        from repro.transport.rfc793 import TcpSegment
+
+        snapshot = b.pcb_snapshot(80, 12345)
+        old = TcpSegment(
+            header={
+                "sport": 12345, "dport": 80,
+                "seq": (snapshot["irs"] + 1) % (1 << 32),
+                "ack": snapshot["snd_nxt"] % (1 << 32),
+                "ack_flag": 1, "psh": 1,
+            },
+            payload=data[:1000],
+        )
+        b.receive(old)
+        assert peer.bytes_received() == data  # nothing duplicated

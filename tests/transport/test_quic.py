@@ -1,0 +1,330 @@
+"""Tests for mini-QUIC (the Section 5 sublayering)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConnectionError_, HeaderError
+from repro.core.litmus import WireTap, run_litmus
+from repro.sim import DuplexLink, LinkConfig, Simulator
+from repro.transport.quic import (
+    AckFrame,
+    CloseFrame,
+    HandshakeFrame,
+    INITIAL_KEY,
+    QuicHost,
+    StreamFrame,
+    decode_frames,
+    derive_traffic_key,
+    encode_frames,
+)
+
+
+def make_pair(loss=0.0, seed=1, **link_kwargs):
+    sim = Simulator()
+    a = QuicHost("a", sim.clock())
+    b = QuicHost("b", sim.clock())
+    link = DuplexLink(
+        sim,
+        LinkConfig(delay=0.02, rate_bps=8_000_000, loss=loss, **link_kwargs),
+        rng_forward=random.Random(seed),
+        rng_reverse=random.Random(seed + 1),
+    )
+    link.attach(a, b)
+    return sim, a, b
+
+
+def pattern(nbytes, salt=0):
+    return bytes((i * (salt + 1)) % 251 for i in range(nbytes))
+
+
+class TestFrameCodec:
+    def test_stream_roundtrip(self):
+        frame = StreamFrame(stream_id=3, offset=1000, data=b"abc", fin=True)
+        assert decode_frames(frame.encode()) == [frame]
+
+    def test_ack_roundtrip(self):
+        frame = AckFrame(largest=77, first_range=5)
+        assert decode_frames(frame.encode()) == [frame]
+
+    def test_handshake_roundtrip(self):
+        frame = HandshakeFrame(hs_kind=1, random=bytes(32))
+        assert decode_frames(frame.encode()) == [frame]
+
+    def test_close_roundtrip(self):
+        assert decode_frames(CloseFrame(code=7).encode()) == [CloseFrame(code=7)]
+
+    def test_multiple_frames(self):
+        frames = [
+            StreamFrame(1, 0, b"xy"),
+            AckFrame(3),
+            StreamFrame(2, 10, b"z", fin=True),
+        ]
+        assert decode_frames(encode_frames(frames)) == frames
+
+    def test_truncated_rejected(self):
+        frame = StreamFrame(1, 0, b"hello")
+        with pytest.raises(HeaderError):
+            decode_frames(frame.encode()[:-2])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HeaderError):
+            decode_frames(b"\x99")
+
+    def test_bad_random_length_rejected(self):
+        with pytest.raises(HeaderError):
+            HandshakeFrame(hs_kind=1, random=b"short")
+
+    @given(
+        st.integers(0, 65535), st.integers(0, 2**32 - 1),
+        st.binary(max_size=64), st.booleans(),
+    )
+    def test_stream_roundtrip_property(self, sid, offset, data, fin):
+        frame = StreamFrame(sid, offset, data, fin)
+        assert decode_frames(frame.encode()) == [frame]
+
+
+class TestKeys:
+    def test_both_sides_derive_same_key(self):
+        c, s = bytes(range(32)), bytes(range(32, 64))
+        assert derive_traffic_key(c, s, (1, 2)) == derive_traffic_key(c, s, (2, 1))
+
+    def test_key_depends_on_randoms(self):
+        c, s = bytes(32), bytes(range(32))
+        assert derive_traffic_key(c, s, (1, 2)) != derive_traffic_key(s, c, (1, 2))
+
+    def test_initial_key_is_fixed(self):
+        assert len(INITIAL_KEY) == 32
+
+
+class TestHandshake:
+    def test_connect(self):
+        sim, a, b = make_pair()
+        b.listen(443)
+        conn = a.connect(5000, 443)
+        connected = []
+        conn.on_connect = lambda: connected.append(1)
+        accepted = []
+        b.on_accept = accepted.append
+        sim.run(until=5)
+        assert connected == [1]
+        assert len(accepted) == 1 and accepted[0].connected
+
+    def test_handshake_survives_loss(self):
+        sim, a, b = make_pair(loss=0.5, seed=7)
+        b.listen(443)
+        conn = a.connect(5000, 443)
+        sim.run(until=60)
+        assert conn.connected
+
+    def test_connect_gives_up(self):
+        sim, a, b = make_pair(loss=1.0)
+        b.listen(443)
+        conn = a.connect(5000, 443)
+        errors = []
+        conn.on_error = errors.append
+        sim.run(until=300)
+        assert errors
+
+    def test_double_open_rejected(self):
+        sim, a, b = make_pair()
+        b.listen(443)
+        a.connect(5000, 443)
+        with pytest.raises(ConnectionError_):
+            a.connect(5000, 443)
+
+
+class TestTransfer:
+    def test_single_stream(self):
+        sim, a, b = make_pair()
+        b.listen(443)
+        data = pattern(40_000)
+        conn = a.connect(5000, 443)
+        conn.on_connect = lambda: conn.send(1, data, fin=True)
+        sim.run(until=30)
+        peer = b.connection_for(443, 5000)
+        assert peer.stream_bytes(1) == data
+        assert 1 in peer.finished_streams
+
+    @pytest.mark.parametrize("loss", [0.05, 0.15])
+    def test_multi_stream_under_loss(self, loss):
+        sim, a, b = make_pair(loss=loss, seed=3)
+        b.listen(443)
+        payloads = {sid: pattern(25_000, salt=sid) for sid in (1, 2, 3)}
+        conn = a.connect(5000, 443)
+
+        def go():
+            for sid, data in payloads.items():
+                conn.send(sid, data, fin=True)
+
+        conn.on_connect = go
+        sim.run(until=180)
+        peer = b.connection_for(443, 5000)
+        for sid, data in payloads.items():
+            assert peer.stream_bytes(sid) == data, sid
+            assert sid in peer.finished_streams
+
+    def test_send_before_established_buffers(self):
+        sim, a, b = make_pair()
+        b.listen(443)
+        conn = a.connect(5000, 443)
+        conn.send(7, b"early", fin=True)  # 0 packets back yet
+        sim.run(until=10)
+        assert b.connection_for(443, 5000).stream_bytes(7) == b"early"
+
+    def test_bidirectional_streams(self):
+        sim, a, b = make_pair(loss=0.05, seed=9)
+        b.listen(443)
+        up, down = pattern(15_000, 1), pattern(15_000, 2)
+        conn = a.connect(5000, 443)
+        conn.on_connect = lambda: conn.send(1, up, fin=True)
+        b.on_accept = lambda peer: peer.send(2, down, fin=True)
+        sim.run(until=120)
+        assert b.connection_for(443, 5000).stream_bytes(1) == up
+        assert conn.stream_bytes(2) == down
+
+    def test_close_propagates(self):
+        sim, a, b = make_pair()
+        b.listen(443)
+        closed = []
+        b.on_accept = lambda peer: setattr(
+            peer, "on_peer_close", lambda code: closed.append(code)
+        )
+        conn = a.connect(5000, 443)
+        conn.on_connect = lambda: (conn.send(1, b"bye", fin=True), conn.close(3))
+        sim.run(until=20)
+        assert closed == [3]
+
+    def test_send_after_fin_rejected(self):
+        sim, a, b = make_pair()
+        b.listen(443)
+        conn = a.connect(5000, 443)
+
+        def go():
+            conn.send(1, b"x", fin=True)
+            with pytest.raises(ConnectionError_):
+                conn.send(1, b"more")
+
+        conn.on_connect = go
+        sim.run(until=10)
+
+
+class TestSecurity:
+    def test_everything_on_wire_is_sealed(self):
+        """T3 for the record sublayer: no plaintext stream bytes appear
+        inside any wire unit."""
+        sim, a, b = make_pair()
+        captured = []
+        forward = a.on_transmit
+
+        def tap(unit, **meta):
+            captured.append(unit)
+            forward(unit, **meta)
+
+        a.on_transmit = tap
+        b.listen(443)
+        secret = b"TOP-SECRET-PAYLOAD-MARKER"
+        conn = a.connect(5000, 443)
+        conn.on_connect = lambda: conn.send(1, secret * 10, fin=True)
+        sim.run(until=20)
+        assert b.connection_for(443, 5000).stream_bytes(1) == secret * 10
+        for unit in captured:
+            record = unit.find("record")
+            if record is not None:
+                assert secret not in bytes(record.payload())
+
+    def test_forged_packet_dropped(self):
+        sim, a, b = make_pair()
+        b.listen(443)
+        conn = a.connect(5000, 443)
+        conn.on_connect = lambda: conn.send(1, b"real data", fin=True)
+        sim.run(until=20)
+        before = b.connection_for(443, 5000).stream_bytes(1)
+        # craft a corrupted copy of a real unit
+        captured = []
+        a.on_transmit = lambda unit, **m: captured.append(unit)
+        conn2 = a.connect(5001, 443)
+        sim.run(until=1)  # capture a CHLO (epoch 0) to mutate
+        assert captured
+        unit = captured[0].clone()
+        inner = unit.find("record")
+        sealed = bytearray(inner.payload())
+        sealed[len(sealed) // 2] ^= 0xFF
+        inner.inner = bytes(sealed)
+        failures_before = b.stack.sublayer("record").state.snapshot()[
+            "auth_failures"
+        ]
+        b.receive(unit)
+        failures_after = b.stack.sublayer("record").state.snapshot()[
+            "auth_failures"
+        ]
+        assert failures_after == failures_before + 1
+        assert b.connection_for(443, 5000).stream_bytes(1) == before
+
+    def test_keys_differ_per_connection(self):
+        sim, a, b = make_pair()
+        b.listen(443)
+        c1 = a.connect(5000, 443)
+        c2 = a.connect(5001, 443)
+        sim.run(until=10)
+        keys = a.stack.sublayer("record").state.snapshot()["keys"]
+        assert keys[((5000, 443), 1)] != keys[((5001, 443), 1)]
+
+
+class TestHolFreedom:
+    def test_lossless_stream_not_blocked_by_lossy_one(self):
+        """The SST/Minion property: drop exactly the packet carrying
+        stream 1's first chunk; stream 2 still completes promptly while
+        stream 1 waits for the retransmission."""
+        sim = Simulator()
+        # mtu/frame sizes chosen so each data packet carries one frame
+        a = QuicHost("a", sim.clock(), mtu=600, max_frame_data=500)
+        b = QuicHost("b", sim.clock(), mtu=600, max_frame_data=500)
+        link = DuplexLink(
+            sim, LinkConfig(delay=0.02, rate_bps=8_000_000),
+            rng_forward=random.Random(1), rng_reverse=random.Random(2),
+        )
+        link.attach(a, b)
+        b.listen(443)
+        conn = a.connect(5000, 443)
+        sim.run(until=2)  # complete the handshake first
+        assert conn.connected
+
+        dropped = {"n": 0}
+        forward = a.on_transmit
+
+        def selective(unit, **meta):
+            dropped["n"] += 1
+            if dropped["n"] == 1:  # the packet with stream 1's 1st chunk
+                return
+            forward(unit, **meta)
+
+        a.on_transmit = selective
+        chunk1, chunk2 = pattern(1_500, 1), pattern(1_500, 2)
+        # interleave the two streams chunk by chunk
+        for i in range(3):
+            conn.send(1, chunk1[i * 500 : (i + 1) * 500], fin=(i == 2))
+            conn.send(2, chunk2[i * 500 : (i + 1) * 500], fin=(i == 2))
+        arrival = {}
+        peer = b.connection_for(443, 5000)
+        peer.on_stream_fin = lambda sid: arrival.setdefault(sid, sim.now)
+        sim.run(until=60)
+        assert peer.stream_bytes(1) == chunk1 and peer.stream_bytes(2) == chunk2
+        # stream 2 finished strictly before stream 1's retransmission landed
+        assert arrival[2] < arrival[1]
+
+
+class TestLitmus:
+    def test_quic_stack_passes_t1_t2_t3(self):
+        sim, a, b = make_pair(loss=0.08, seed=5)
+        wire = WireTap(a.stack, b.stack)
+        b.listen(443)
+        data = pattern(20_000)
+        conn = a.connect(5000, 443)
+        conn.on_connect = lambda: conn.send(1, data, fin=True)
+        sim.run(until=60)
+        assert b.connection_for(443, 5000).stream_bytes(1) == data
+        report = run_litmus(a.stack, b.stack, wire)
+        assert report.passed, report.summary()

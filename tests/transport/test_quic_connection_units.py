@@ -1,0 +1,97 @@
+"""Unit tests for the QUIC connection sublayer's fiddly internals:
+ack-frame construction and loss declaration."""
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.stack import Stack
+from repro.transport.quic.connection import ConnectionSublayer
+from repro.transport.quic.frames import AckFrame, StreamFrame
+
+
+def make_connection():
+    conn_sub = ConnectionSublayer("connection")
+    stack = Stack("x", [conn_sub], clock=ManualClock())
+    stack.on_transmit = lambda unit, **m: None
+    return conn_sub
+
+
+def record_with(received: set[int], floor: int) -> dict:
+    conn_sub = make_connection()
+    record = conn_sub._new_record("client")
+    record["received"] = set(received)
+    record["rcv_floor"] = floor
+    return conn_sub, record
+
+
+class TestAckFrameConstruction:
+    def test_contiguous_run(self):
+        conn_sub, record = record_with({5, 6, 7}, floor=4)
+        ack = conn_sub._ack_frame(record)
+        assert ack.largest == 7
+        # everything from floor+1..7 received: range reaches the floor
+        assert ack.largest - ack.first_range <= 5
+
+    def test_gap_limits_range(self):
+        conn_sub, record = record_with({7, 8}, floor=5)  # pn 6 missing
+        ack = conn_sub._ack_frame(record)
+        assert ack.largest == 8
+        assert ack.largest - ack.first_range == 7  # range must stop at 7
+
+    def test_empty_received_acks_floor(self):
+        conn_sub, record = record_with(set(), floor=3)
+        ack = conn_sub._ack_frame(record)
+        assert ack.largest == 3
+        assert ack.first_range == 0
+
+    def test_single_pn(self):
+        conn_sub, record = record_with({9}, floor=-1)
+        ack = conn_sub._ack_frame(record)
+        assert ack.largest == 9
+        assert ack.largest - ack.first_range == 9
+
+
+class TestLossDeclaration:
+    def setup_conn(self):
+        conn_sub = make_connection()
+        conn = (1, 2)
+        record = conn_sub._new_record("client")
+        record["established"] = True
+        # four packets outstanding
+        for pn in range(4):
+            record["sent"][pn] = (
+                (StreamFrame(1, pn * 100, b"x" * 100),), 110, 0.0
+            )
+            record["bytes_in_flight"] += 110
+        record["pn_next"] = 4
+        conn_sub._put(conn, record)
+        return conn_sub, conn
+
+    def test_packet_threshold_loss(self):
+        conn_sub, conn = self.setup_conn()
+        # ack pn 3..3 only: pn 0 is <= 3 - PACKET_THRESHOLD -> lost
+        conn_sub._on_ack(conn, AckFrame(largest=3, first_range=0))
+        record = conn_sub._get(conn)
+        assert 3 not in record["sent"]          # acked
+        assert 0 not in record["sent"]          # declared lost
+        assert 1 in record["sent"] and 2 in record["sent"]  # still waiting
+        # its frames were immediately repacketized in a NEW packet
+        # (QUIC retransmits frames, not packets)
+        new_pns = [pn for pn in record["sent"] if pn >= 4]
+        assert new_pns, "lost frames were not re-sent"
+        resent_frames, _size, _when = record["sent"][new_pns[0]]
+        assert any(f.offset == 0 for f in resent_frames)
+
+    def test_ack_range_clears_multiple(self):
+        conn_sub, conn = self.setup_conn()
+        conn_sub._on_ack(conn, AckFrame(largest=2, first_range=2))
+        record = conn_sub._get(conn)
+        assert set(record["sent"]) == {3}
+        assert record["bytes_in_flight"] == 110
+
+    def test_stale_ack_is_noop(self):
+        conn_sub, conn = self.setup_conn()
+        conn_sub._on_ack(conn, AckFrame(largest=2, first_range=2))
+        before = dict(conn_sub._get(conn)["sent"])
+        conn_sub._on_ack(conn, AckFrame(largest=2, first_range=2))
+        assert conn_sub._get(conn)["sent"] == before

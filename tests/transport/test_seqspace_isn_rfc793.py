@@ -1,0 +1,133 @@
+"""Tests for sequence arithmetic, ISN schemes, and the RFC 793 codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clock import ManualClock
+from repro.transport.isn import ClockIsn, CryptoIsn, ISN_SCHEMES, TimerIsn
+from repro.transport.rfc793 import TCP_HEADER, TcpSegment
+from repro.transport.seqspace import SEQ_MOD, fold, seq_between, unfold
+
+
+class TestSeqSpace:
+    def test_fold_wraps(self):
+        assert fold(SEQ_MOD + 5) == 5
+
+    def test_unfold_identity(self):
+        assert unfold(1000, fold(1000)) == 1000
+
+    def test_unfold_ahead(self):
+        assert unfold(1000, fold(1500)) == 1500
+
+    def test_unfold_behind(self):
+        assert unfold(1000, fold(800)) == 800
+
+    def test_unfold_across_wrap(self):
+        reference = SEQ_MOD - 10
+        assert unfold(reference, 5) == SEQ_MOD + 5
+
+    def test_seq_between(self):
+        assert seq_between(10, 15, 20)
+        assert not seq_between(10, 20, 20)
+
+    @given(
+        st.integers(0, 2**40),
+        st.integers(-(2**30), 2**30),
+    )
+    def test_unfold_roundtrip_property(self, reference, delta):
+        value = reference + delta
+        if value < 0:
+            return
+        assert unfold(reference, fold(value)) == value
+
+
+class TestIsnSchemes:
+    def test_registry(self):
+        assert set(ISN_SCHEMES) == {"clock", "crypto", "timer"}
+
+    def test_clock_advances_with_time(self):
+        clock = ManualClock()
+        scheme = ClockIsn()
+        first = scheme.choose(clock, (1, 2, 3, 4))
+        clock.advance(1.0)
+        second = scheme.choose(clock, (1, 2, 3, 4))
+        assert second != first
+        assert (second - first) % SEQ_MOD == 250_000  # 4 us tick
+
+    def test_clock_ignores_tuple(self):
+        clock = ManualClock(5.0)
+        scheme = ClockIsn()
+        assert scheme.choose(clock, (1, 2, 3, 4)) == scheme.choose(clock, (9, 9, 9, 9))
+
+    def test_crypto_differs_per_tuple(self):
+        clock = ManualClock(5.0)
+        scheme = CryptoIsn()
+        assert scheme.choose(clock, (1, 2, 3, 4)) != scheme.choose(clock, (1, 2, 3, 5))
+
+    def test_crypto_differs_per_secret(self):
+        clock = ManualClock(5.0)
+        a = CryptoIsn(secret=b"one").choose(clock, (1, 2, 3, 4))
+        b = CryptoIsn(secret=b"two").choose(clock, (1, 2, 3, 4))
+        assert a != b
+
+    def test_crypto_deterministic(self):
+        clock = ManualClock(5.0)
+        scheme = CryptoIsn(secret=b"k")
+        assert scheme.choose(clock, (1, 2, 3, 4)) == scheme.choose(clock, (1, 2, 3, 4))
+
+    def test_timer_epoch_granularity(self):
+        clock = ManualClock()
+        scheme = TimerIsn(max_segment_lifetime=1.0)
+        first = scheme.choose(clock, (1, 2, 3, 4))
+        clock.advance(0.5)
+        assert scheme.choose(clock, (1, 2, 3, 4)) == first  # same epoch
+        clock.advance(0.6)
+        assert scheme.choose(clock, (1, 2, 3, 4)) != first
+
+    def test_all_fit_in_32_bits(self):
+        clock = ManualClock(123456.789)
+        for cls in ISN_SCHEMES.values():
+            isn = cls().choose(clock, (1, 2, 3, 4))
+            assert 0 <= isn < SEQ_MOD
+
+
+class TestRfc793:
+    def test_header_is_20_bytes(self):
+        assert TCP_HEADER.byte_width == 20
+
+    def test_segment_defaults(self):
+        seg = TcpSegment(header={"sport": 1, "dport": 2})
+        assert seg.header["data_offset"] == 5
+        assert not seg.syn and not seg.fin and not seg.has_ack
+
+    def test_flag_properties(self):
+        seg = TcpSegment(header={"syn": 1, "ack_flag": 1, "ack": 100})
+        assert seg.syn and seg.has_ack and seg.ack == 100
+
+    def test_seg_len_counts_syn_fin(self):
+        assert TcpSegment(header={"syn": 1}).seg_len() == 1
+        assert TcpSegment(header={"fin": 1}, payload=b"ab").seg_len() == 3
+
+    def test_wire_bytes(self):
+        assert TcpSegment(header={}, payload=b"abc").wire_bytes == 23
+
+    def test_bytes_roundtrip(self):
+        seg = TcpSegment(
+            header={"sport": 80, "dport": 12345, "seq": 7, "ack": 9,
+                    "ack_flag": 1, "psh": 1, "window": 500},
+            payload=b"payload",
+        )
+        again = TcpSegment.from_bytes(seg.to_bytes())
+        assert again.header == seg.header
+        assert again.payload == seg.payload
+
+    def test_flag_names(self):
+        seg = TcpSegment(header={"syn": 1, "ack_flag": 1})
+        assert "SYN" in seg.flag_names() and "ACK" in seg.flag_names()
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1), st.binary(max_size=64))
+    def test_roundtrip_property(self, seq, ack, payload):
+        seg = TcpSegment(header={"seq": seq, "ack": ack}, payload=payload)
+        again = TcpSegment.from_bytes(seg.to_bytes())
+        assert again.seq == seq and again.ack == ack and again.payload == payload

@@ -1,0 +1,336 @@
+"""Tests for the sublayered TCP (Fig 5)."""
+
+import pytest
+
+from repro.core.errors import ConnectionError_
+from repro.core.litmus import WireTap, run_litmus
+from repro.transport import TcpConfig
+from repro.transport.isn import CryptoIsn, TimerIsn
+from repro.transport.sublayered import (
+    AimdCc,
+    FixedWindowCc,
+    NATIVE_HEADER_BITS,
+    RateBasedCc,
+)
+
+from .helpers import make_pair, pattern, transfer
+
+
+class TestHandshake:
+    def test_connect_and_accept(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        b.listen(80)
+        accepted = []
+        b.on_accept = accepted.append
+        sock = a.connect(1000, 80)
+        sim.run(until=5)
+        assert sock.connected
+        assert len(accepted) == 1
+        assert accepted[0].connected
+
+    def test_handshake_survives_loss(self):
+        sim, a, b, _ = make_pair("sub", "sub", loss=0.6, seed=5)
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sim.run(until=60)
+        assert sock.connected
+
+    def test_connect_gives_up_on_dead_peer(self):
+        sim, a, b, _ = make_pair("sub", "sub", loss=1.0)
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        errors = []
+        sock.on_error = errors.append
+        sim.run(until=300)
+        assert errors and "timed out" in errors[0]
+
+    def test_isns_established_on_both_sides(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        b.listen(80)
+        a.connect(1000, 80)
+        sim.run(until=5)
+        cm_a = a.stack.sublayer("cm")
+        cm_b = b.stack.sublayer("cm")
+        isns_a = cm_a.srv_get_isns((1000, 80))
+        isns_b = cm_b.srv_get_isns((80, 1000))
+        assert isns_a is not None and isns_b is not None
+        assert isns_a == (isns_b[1], isns_b[0])  # mirrored pair
+
+    def test_double_open_rejected(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        b.listen(80)
+        a.connect(1000, 80)
+        with pytest.raises(ConnectionError_):
+            a.connect(1000, 80)
+
+
+class TestTransfer:
+    def test_clean_transfer(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        data, received, _, _ = transfer(sim, a, b, nbytes=40_000)
+        assert received == data
+
+    @pytest.mark.parametrize(
+        "impairment",
+        [
+            {"loss": 0.1},
+            {"duplicate": 0.1},
+            {"reorder_jitter": 0.02},
+            {"loss": 0.12, "duplicate": 0.05, "reorder_jitter": 0.01},
+        ],
+    )
+    def test_transfer_under_impairment(self, impairment):
+        sim, a, b, _ = make_pair("sub", "sub", seed=7, **impairment)
+        data, received, _, _ = transfer(sim, a, b, nbytes=40_000, until=400)
+        assert received == data
+
+    def test_bidirectional(self):
+        sim, a, b, _ = make_pair("sub", "sub", loss=0.05)
+        b.listen(80)
+        up, down = pattern(20_000), bytes(reversed(pattern(20_000)))
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.send(up)
+        b.on_accept = lambda peer: peer.send(down)
+        sim.run(until=120)
+        assert b.socket_for(80, 1000).bytes_received() == up
+        assert sock.bytes_received() == down
+
+    def test_two_concurrent_connections_demuxed(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        b.listen(80)
+        b.listen(81)
+        s1 = a.connect(1000, 80)
+        s2 = a.connect(1001, 81)
+        d1, d2 = b"one" * 1000, b"two" * 1000
+        s1.on_connect = lambda: s1.send(d1)
+        s2.on_connect = lambda: s2.send(d2)
+        sim.run(until=30)
+        assert b.socket_for(80, 1000).bytes_received() == d1
+        assert b.socket_for(81, 1001).bytes_received() == d2
+
+    def test_send_before_established_buffers(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sock.send(b"early bird")  # handshake not done yet
+        sim.run(until=10)
+        assert b.socket_for(80, 1000).bytes_received() == b"early bird"
+
+    def test_send_after_close_rejected(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        b.listen(80)
+        sock = a.connect(1000, 80)
+
+        def go():
+            sock.close()
+            with pytest.raises(ConnectionError_):
+                sock.send(b"late")
+
+        sock.on_connect = go
+        sim.run(until=10)
+
+    def test_unbound_port_dropped_by_dm(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        # no listener on b
+        sock = a.connect(1000, 99)
+        sim.run(until=3)
+        dm = b.stack.sublayer("dm")
+        assert dm.state.snapshot()["dropped_unbound"] > 0
+
+
+class TestSublayerBehaviour:
+    def test_rd_delivers_out_of_order_osr_reorders(self):
+        """The Fig 5 division of labour: under reordering, RD hands
+        segments up out of order and OSR pastes them back."""
+        sim, a, b, _ = make_pair("sub", "sub", reorder_jitter=0.05, seed=13)
+        data, received, _, _ = transfer(sim, a, b, nbytes=60_000, until=300)
+        assert received == data
+        osr_b = b.stack.sublayer("osr")
+        assert osr_b.state.snapshot()["reordered"] > 0
+
+    def test_rd_retransmits_under_loss(self):
+        sim, a, b, _ = make_pair("sub", "sub", loss=0.15, seed=3)
+        data, received, _, _ = transfer(sim, a, b, nbytes=40_000, until=300)
+        assert received == data
+        rd_a = a.stack.sublayer("rd")
+        assert rd_a.state.snapshot()["retransmitted"] > 0
+
+    def test_rd_dedups_duplicates(self):
+        sim, a, b, _ = make_pair("sub", "sub", duplicate=0.3, seed=3)
+        data, received, _, _ = transfer(sim, a, b, nbytes=30_000, until=300)
+        assert received == data
+        rd_b = b.stack.sublayer("rd")
+        assert rd_b.state.snapshot()["duplicates_dropped"] > 0
+
+    def test_cm_goes_silent_after_handshake(self):
+        """Section 7: 'Our sublayered TCP has CM initially active and
+        then silent' — no CM handshake packets after establishment."""
+        sim, a, b, _ = make_pair("sub", "sub")
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sim.run(until=5)
+        cm_a = a.stack.sublayer("cm")
+        syns_after_handshake = cm_a.state.snapshot()["syns_sent"]
+        sock.send(pattern(40_000))
+        sim.run(until=60)
+        assert cm_a.state.snapshot()["syns_sent"] == syns_after_handshake
+
+    def test_native_header_bits_accounted(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        captured = []
+        forward = a.on_transmit  # keep the link wiring intact
+
+        def tap(unit, **meta):
+            captured.append(unit)
+            forward(unit, **meta)
+
+        a.on_transmit = tap
+        b.listen(80)
+        sock = a.connect(1000, 80)
+        sim.run(until=5)
+        sock.send(b"x" * 100)
+        sim.run(until=10)
+        data_units = [u for u in captured if u.find("osr") is not None
+                      and len(u.payload() or b"") > 0]
+        assert data_units
+        assert data_units[0].header_bits() == NATIVE_HEADER_BITS
+
+
+class TestLitmus:
+    def test_full_run_passes_t1_t2_t3(self):
+        sim, a, b, _ = make_pair("sub", "sub", loss=0.1, seed=5)
+        wire = WireTap(a.stack, b.stack)
+        data, received, _, _ = transfer(sim, a, b, nbytes=30_000)
+        assert received == data
+        report = run_litmus(a.stack, b.stack, wire)
+        assert report.passed, report.summary()
+
+    def test_header_nesting_order(self):
+        sim, a, b, _ = make_pair("sub", "sub")
+        wire = WireTap(a.stack, b.stack)
+        transfer(sim, a, b, nbytes=5_000)
+        data_pdus = [p for p in wire.pdus if p.find("rd") is not None]
+        assert data_pdus
+        for pdu in data_pdus:
+            owners = pdu.owners()
+            assert owners[0] == "dm"
+            assert owners.index("cm") < owners.index("rd")
+
+
+class TestFlowControl:
+    def test_paused_reader_blocks_sender(self):
+        config = TcpConfig(mss=1000, recv_buffer=4000)
+        sim, a, b, _ = make_pair("sub", "sub", config=config)
+        b.listen(80)
+        accepted = []
+
+        def accept(peer):
+            peer.pause_reading()
+            accepted.append(peer)
+
+        b.on_accept = accept
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: sock.send(pattern(20_000))
+        sim.run(until=20)
+        assert len(accepted[0].bytes_received()) < 20_000
+
+    def test_resume_reopens_window(self):
+        config = TcpConfig(mss=1000, recv_buffer=4000)
+        sim, a, b, _ = make_pair("sub", "sub", config=config)
+        b.listen(80)
+        accepted = []
+
+        def accept(peer):
+            peer.pause_reading()
+            accepted.append(peer)
+
+        b.on_accept = accept
+        sock = a.connect(1000, 80)
+        data = pattern(20_000)
+        sock.on_connect = lambda: sock.send(data)
+        sim.run(until=10)
+        peer = accepted[0]
+
+        def drain():
+            peer.resume_reading()
+            if len(peer.bytes_received()) < len(data):
+                sim.schedule(1.0, drain)
+
+        drain()
+        sim.run(until=300)
+        assert peer.bytes_received() == data
+
+
+class TestClose:
+    def test_close_both_sides(self):
+        sim, a, b, _ = make_pair("sub", "sub", loss=0.05)
+        b.listen(80)
+        events = []
+
+        def accept(peer):
+            peer.on_peer_close = lambda: (events.append("b-saw-fin"), peer.close())
+            peer.on_close = lambda: events.append("b-closed")
+
+        b.on_accept = accept
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: (sock.send(b"bye"), sock.close())
+        sock.on_close = lambda: events.append("a-closed")
+        sock.on_peer_close = lambda: events.append("a-saw-fin")
+        sim.run(until=60)
+        assert set(events) == {"a-closed", "b-saw-fin", "b-closed", "a-saw-fin"}
+
+    def test_fin_waits_for_data_delivery(self):
+        """peer_close fires only after all stream bytes arrived, even if
+        the FIN overtakes data."""
+        sim, a, b, _ = make_pair("sub", "sub", reorder_jitter=0.05, seed=21)
+        b.listen(80)
+        order = []
+
+        def accept(peer):
+            peer.on_data = lambda chunk: order.append("data") if not order or order[-1] != "data" else None
+            peer.on_peer_close = lambda: order.append("fin")
+
+        b.on_accept = accept
+        sock = a.connect(1000, 80)
+        sock.on_connect = lambda: (sock.send(pattern(20_000)), sock.close())
+        sim.run(until=120)
+        assert order and order[-1] == "fin"
+        peer = b.socket_for(80, 1000)
+        assert peer.bytes_received() == pattern(20_000)
+
+
+class TestReplaceability:
+    @pytest.mark.parametrize("cc_factory", [
+        lambda mss: AimdCc(mss),
+        lambda mss: RateBasedCc(mss),
+        lambda mss: FixedWindowCc(mss, segments=8),
+    ])
+    def test_congestion_control_swap(self, cc_factory):
+        sim, a, b, _ = make_pair(
+            "sub", "sub", loss=0.05, cc_factory=cc_factory, seed=5
+        )
+        data, received, _, _ = transfer(sim, a, b, nbytes=30_000, until=300)
+        assert received == data
+
+    @pytest.mark.parametrize("scheme", [CryptoIsn(), TimerIsn()])
+    def test_isn_scheme_swap(self, scheme):
+        config = TcpConfig(mss=1000, isn_scheme=scheme)
+        sim, a, b, _ = make_pair("sub", "sub", config=config, loss=0.05)
+        data, received, _, _ = transfer(sim, a, b, nbytes=20_000)
+        assert received == data
+
+    def test_swap_touches_only_osr_state(self):
+        """Replacing congestion control changes no other sublayer's
+        state fields — the C5 isolation claim."""
+        fields = {}
+        for label, factory in (
+            ("aimd", lambda mss: AimdCc(mss)),
+            ("rate", lambda mss: RateBasedCc(mss)),
+        ):
+            sim, a, b, _ = make_pair("sub", "sub", cc_factory=factory)
+            transfer(sim, a, b, nbytes=10_000)
+            fields[label] = {
+                name: a.stack.sublayer(name).state.field_names()
+                for name in ("rd", "cm", "dm")
+            }
+        assert fields["aimd"] == fields["rate"]

@@ -1,0 +1,124 @@
+"""Tests for the lemma framework."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.verify.lemma import Lemma, LemmaLibrary, exhaustive, sampled
+
+
+def small_domain():
+    return lambda: range(5)
+
+
+class TestLemma:
+    def test_proves_true_property(self):
+        lemma = Lemma("sq", "squares non-negative", lambda x: x * x >= 0,
+                      exhaustive(small_domain()), sublayer="math")
+        result = lemma.prove()
+        assert result.proved
+        assert result.cases_checked == 5
+
+    def test_counterexample_found(self):
+        lemma = Lemma("lt3", "all below 3", lambda x: x < 3,
+                      exhaustive(small_domain()), sublayer="math")
+        result = lemma.prove()
+        assert not result.proved
+        assert result.counterexample == (3,)
+        assert result.cases_checked == 4
+
+    def test_exception_is_failure_with_detail(self):
+        def boom(x):
+            raise RuntimeError("bad case")
+
+        lemma = Lemma("boom", "crashes", boom, exhaustive(small_domain()),
+                      sublayer="math")
+        result = lemma.prove()
+        assert not result.proved
+        assert "RuntimeError" in result.detail
+
+    def test_multi_domain_product(self):
+        lemma = Lemma(
+            "comm", "addition commutes", lambda a, b: a + b == b + a,
+            exhaustive(small_domain(), small_domain()), sublayer="math",
+        )
+        result = lemma.prove()
+        assert result.proved
+        assert result.cases_checked == 25
+
+    def test_sampled_cases_deterministic(self):
+        gen = lambda rng: (rng.randrange(100),)
+        lemma = Lemma("nonneg", "samples non-negative", lambda x: x >= 0,
+                      sampled(gen, samples=50, seed=1), sublayer="math")
+        first = lemma.prove()
+        second = lemma.prove()
+        assert first.proved and first.cases_checked == 50
+        assert second.cases_checked == 50
+
+    def test_crosses_sublayers(self):
+        lemma = Lemma("x", "s", lambda: True, lambda: [()], sublayer="a/b")
+        assert lemma.crosses_sublayers
+
+
+class TestLemmaLibrary:
+    def build(self):
+        lib = LemmaLibrary("demo")
+        lib.add(Lemma("base", "s", lambda x: x >= 0,
+                      exhaustive(small_domain()), sublayer="a"))
+        lib.add(Lemma("dep", "s", lambda x: x + 1 > x,
+                      exhaustive(small_domain()), sublayer="b",
+                      depends_on=["base"]))
+        lib.add(Lemma("iface", "s", lambda: True, lambda: [()],
+                      sublayer="a/b", depends_on=["base", "dep"]))
+        return lib
+
+    def test_len_contains(self):
+        lib = self.build()
+        assert len(lib) == 3
+        assert "dep" in lib
+
+    def test_duplicate_rejected(self):
+        lib = self.build()
+        with pytest.raises(VerificationError):
+            lib.add(Lemma("base", "s", lambda: True, lambda: [()], sublayer="a"))
+
+    def test_unknown_dependency_rejected(self):
+        lib = LemmaLibrary("x")
+        with pytest.raises(VerificationError):
+            lib.add(Lemma("a", "s", lambda: True, lambda: [()],
+                          sublayer="a", depends_on=["ghost"]))
+
+    def test_prove_all_in_order(self):
+        report = self.build().prove_all()
+        assert report.proved
+        assert report.order == ["base", "dep", "iface"]
+
+    def test_stop_on_failure(self):
+        lib = LemmaLibrary("x")
+        lib.add(Lemma("fails", "s", lambda x: x < 0,
+                      exhaustive(small_domain()), sublayer="a"))
+        lib.add(Lemma("after", "s", lambda: True, lambda: [()], sublayer="a",
+                      depends_on=["fails"]))
+        report = lib.prove_all(stop_on_failure=True)
+        assert len(report.results) == 1
+
+    def test_report_lookup_and_failures(self):
+        lib = LemmaLibrary("x")
+        lib.add(Lemma("bad", "s", lambda x: x != 2,
+                      exhaustive(small_domain()), sublayer="a"))
+        report = lib.prove_all()
+        assert report.result("bad").counterexample == (2,)
+        assert len(report.failures()) == 1
+        with pytest.raises(KeyError):
+            report.result("nope")
+
+    def test_modularity_report(self):
+        report = self.build().modularity_report()
+        assert report["lemmas"] == 3
+        assert report["per_sublayer"] == {"a": 1, "b": 1, "a/b": 1}
+        assert report["cross_sublayer_lemmas"] == 1
+        assert report["cross_sublayer_dependencies"] >= 2
+        assert report["modular_fraction"] == pytest.approx(2 / 3)
+
+    def test_summary_text(self):
+        text = self.build().prove_all().summary()
+        assert "ALL PROVED" in text

@@ -1,0 +1,168 @@
+"""Tests for the explicit-state model checker and the TCP models."""
+
+import pytest
+
+from repro.verify.modelcheck import (
+    Invariant,
+    Model,
+    channel_add,
+    channel_remove,
+    channel_variants,
+    check,
+)
+from repro.verify.tcpmodels import CmModel, MonolithicModel, OsrModel, RdModel
+
+
+class CounterModel(Model):
+    """A toy model: a counter stepping 0..limit."""
+
+    name = "counter"
+
+    def __init__(self, limit=5):
+        self.limit = limit
+
+    def initial_states(self):
+        yield 0
+
+    def actions(self, state):
+        if state < self.limit:
+            return [("inc", state + 1)]
+        return []
+
+
+class TestChecker:
+    def test_explores_all_states(self):
+        result = check(CounterModel(5), [])
+        assert result.states_explored == 6
+        assert result.depth == 5
+        assert result.holds
+
+    def test_invariant_violation_with_trace(self):
+        result = check(CounterModel(5), [Invariant("lt3", lambda s: s < 3)])
+        assert not result.holds
+        assert result.violated == "lt3"
+        assert result.counterexample == ["inc", "inc", "inc"]
+
+    def test_state_limit_flagged(self):
+        result = check(CounterModel(100), [], max_states=10)
+        assert result.hit_state_limit
+        assert not bool(result)
+
+    def test_bool_semantics(self):
+        assert bool(check(CounterModel(3), []))
+
+    def test_multiple_initial_states(self):
+        class TwoStarts(CounterModel):
+            def initial_states(self):
+                yield 0
+                yield 10
+
+        result = check(TwoStarts(5), [])
+        assert result.states_explored == 7  # 0..5 and 10
+
+
+class TestChannelHelpers:
+    def test_add_and_remove(self):
+        ch = channel_add((), "m", capacity=2)
+        assert ch == ("m",)
+        assert channel_remove(ch, "m") == ()
+
+    def test_add_respects_capacity(self):
+        ch = ("a", "b")
+        assert channel_add(ch, "c", capacity=2) is None
+
+    def test_variants_include_loss(self):
+        variants = dict(channel_variants((), "m", capacity=2))
+        assert variants["sent"] == ("m",)
+        assert variants["lost"] == ()
+
+    def test_variants_duplication(self):
+        variants = dict(channel_variants((), "m", capacity=2, duplicating=True))
+        assert variants["duplicated"] == ("m", "m")
+
+
+class TestCmModel:
+    def test_handshake_isns_agree(self):
+        result = check(CmModel(), CmModel.invariants())
+        assert result.holds
+        assert result.states_explored > 10
+
+    def test_freshness_holds_without_stale_syns(self):
+        assert check(CmModel(), CmModel.freshness_invariants()).holds
+
+    def test_stale_syns_violate_freshness(self):
+        result = check(CmModel(stale_syns=True), CmModel.freshness_invariants())
+        assert not result.holds
+        assert result.violated == "server-remote-isn-fresh"
+        assert "stale-syn" in result.counterexample
+
+
+class TestRdModel:
+    def test_alternating_bit_correct(self):
+        """W=1, M=2 over a FIFO lossy channel: the alternating-bit
+        protocol, machine-verified."""
+        model = RdModel(segments=4, window=1, seq_mod=2)
+        assert check(model, model.invariants()).holds
+
+    def test_window_half_seqspace_correct(self):
+        model = RdModel(segments=5, window=2, seq_mod=4)
+        assert check(model, model.invariants()).holds
+
+    def test_window_exceeding_half_seqspace_fails(self):
+        """The classic theorem boundary: W > M/2 lets a stale wire seq
+        alias a fresh offset; the checker exhibits the trace."""
+        model = RdModel(segments=5, window=3, seq_mod=4)
+        result = check(model, model.invariants())
+        assert not result.holds
+        assert result.violated == "exactly-once-right-content"
+        assert result.counterexample
+
+    def test_unbounded_reordering_unsafe_for_any_finite_seqspace(self):
+        """With a multiset channel (no lifetime bound), even W <= M/2
+        fails — the formal reason TCP needs an MSL plus CM's fresh
+        ISNs."""
+        model = RdModel(segments=5, window=2, seq_mod=4, fifo=False)
+        result = check(model, model.invariants())
+        assert not result.holds
+
+    def test_stale_traffic_breaks_rd_without_cm(self):
+        """RD verifies only *under CM's postcondition*: with delayed
+        duplicates from an old incarnation in the network, exactly-once
+        fails immediately."""
+        model = RdModel(segments=3, window=1, seq_mod=2, stale_traffic=True)
+        result = check(model, model.invariants())
+        assert not result.holds
+        assert any(label.startswith("stale") for label in result.counterexample)
+
+
+class TestOsrModel:
+    def test_reassembly_in_order(self):
+        model = OsrModel(segments=4)
+        assert check(model, model.invariants()).holds
+
+    def test_buffer_bound_tight(self):
+        # worst case buffers segments-1 items (everything but the first)
+        model = OsrModel(segments=4, buffer_limit=2)
+        result = check(model, model.invariants())
+        assert not result.holds
+        assert result.violated == "buffer-bounded"
+
+
+class TestCompositionVsMonolithic:
+    def test_monolithic_holds(self):
+        model = MonolithicModel(segments=2, window=1, seq_mod=2)
+        assert check(model, model.invariants()).holds
+
+    def test_compositional_state_space_much_smaller(self):
+        """The E3 headline: summed sublayer obligations vs the product."""
+        cm = check(CmModel(), CmModel.invariants())
+        rd_model = RdModel(segments=3, window=2, seq_mod=4)
+        rd = check(rd_model, rd_model.invariants())
+        osr_model = OsrModel(segments=4)
+        osr = check(osr_model, osr_model.invariants())
+        mono_model = MonolithicModel(segments=3, window=2, seq_mod=4)
+        mono = check(mono_model, mono_model.invariants())
+        compositional = (
+            cm.states_explored + rd.states_explored + osr.states_explored
+        )
+        assert compositional * 3 < mono.states_explored

@@ -1,0 +1,146 @@
+"""Tests for ownership/interference analysis and the effort report."""
+
+import pytest
+
+from repro.core.instrument import AccessLog, InstrumentedState, acting_as
+from repro.verify.effort import EffortComparison, Obligation
+from repro.verify.modelcheck import CheckResult
+from repro.verify.ownership import analyze_ownership, compare_ownership
+
+from ..transport.helpers import make_pair, transfer
+
+
+def entangled_log():
+    log = AccessLog()
+    pcb = InstrumentedState("pcb", log=log)
+    with acting_as("rd"):
+        pcb.snd_una = 0
+        pcb.window = 10
+    with acting_as("cc"):
+        _ = pcb.window
+        pcb.window = 5
+    with acting_as("flow"):
+        _ = pcb.window
+    with acting_as("cm"):
+        pcb.state = "EST"
+    return log
+
+
+def disciplined_log():
+    log = AccessLog()
+    rd = InstrumentedState("rd", log=log)
+    cc = InstrumentedState("cc", log=log)
+    with acting_as("rd"):
+        rd.snd_una = 0
+    with acting_as("cc"):
+        cc.window = 10
+    return log
+
+
+class TestOwnershipAnalysis:
+    def test_shared_fields_found(self):
+        report = analyze_ownership(entangled_log())
+        assert ("pcb", "window") in report.shared_fields
+        assert set(report.shared_fields[("pcb", "window")]) == {"rd", "cc", "flow"}
+
+    def test_exclusive_ownership_clean(self):
+        report = analyze_ownership(disciplined_log())
+        assert report.shared_field_count == 0
+        assert report.exclusively_owned_fraction == 1.0
+        assert report.interaction_count == 0
+
+    def test_interaction_pairs(self):
+        report = analyze_ownership(entangled_log())
+        assert ("cc", "flow") in report.interaction_pairs
+        assert ("cc", "rd") in report.interaction_pairs
+
+    def test_write_write_conflicts(self):
+        report = analyze_ownership(entangled_log())
+        assert report.write_write_conflicts == 1  # window written by rd and cc
+
+    def test_frame_annotations_counted(self):
+        report = analyze_ownership(disciplined_log())
+        assert report.frame_annotations == 2  # one write clause each
+
+    def test_target_filter(self):
+        report = analyze_ownership(entangled_log(), targets={"nothing"})
+        assert report.fields_total == 0
+
+    def test_summary_text(self):
+        text = analyze_ownership(entangled_log()).summary()
+        assert "pcb.window" in text
+
+    def test_compare_keys(self):
+        comparison = compare_ownership(
+            analyze_ownership(entangled_log()),
+            analyze_ownership(disciplined_log()),
+        )
+        assert comparison["monolithic_shared_fields"] > 0
+        assert comparison["sublayered_shared_fields"] == 0
+
+
+class TestRealImplementations:
+    """The A1 experiment in miniature: run both TCPs, compare logs."""
+
+    def test_monolithic_pcb_is_entangled(self):
+        sim, a, b, _ = make_pair("mono", "mono", loss=0.05)
+        transfer(sim, a, b, nbytes=30_000)
+        report = analyze_ownership(a.access_log, targets={"pcb"})
+        assert report.shared_field_count >= 3
+        assert report.exclusively_owned_fraction < 0.9
+        assert report.interaction_count >= 3
+
+    def test_sublayered_state_is_owned(self):
+        sim, a, b, _ = make_pair("sub", "sub", loss=0.05)
+        transfer(sim, a, b, nbytes=30_000)
+        report = analyze_ownership(
+            a.access_log, targets={"osr", "rd", "cm", "dm"}
+        )
+        assert report.shared_field_count == 0
+        assert report.exclusively_owned_fraction == 1.0
+
+    def test_monolithic_window_fields_shared(self):
+        """The paper's example: 'the window is crucial for ensuring
+        reliable delivery, but congestion/flow control can also alter
+        the window'."""
+        sim, a, b, _ = make_pair("mono", "mono", loss=0.1, seed=5)
+        transfer(sim, a, b, nbytes=40_000)
+        report = analyze_ownership(a.access_log, targets={"pcb"})
+        window_actors = set(report.shared_fields.get(("pcb", "cwnd"), []))
+        assert {"rd", "cc"} <= window_actors
+
+
+class TestEffortComparison:
+    def make(self):
+        def result(name, states):
+            return CheckResult(
+                model=name, states_explored=states, transitions=states * 3,
+                depth=5, holds=True,
+            )
+
+        comparison = EffortComparison()
+        comparison.compositional = [
+            Obligation("cm", "cm", result("cm", 40)),
+            Obligation("rd", "rd", result("rd", 400)),
+            Obligation("osr", "osr", result("osr", 16)),
+        ]
+        comparison.monolithic = [
+            Obligation("whole", "whole-system", result("mono", 4000)),
+        ]
+        return comparison
+
+    def test_totals_and_ratio(self):
+        comparison = self.make()
+        assert comparison.compositional_states == 456
+        assert comparison.monolithic_states == 4000
+        assert comparison.state_ratio == pytest.approx(4000 / 456)
+
+    def test_largest_single_obligation(self):
+        biggest = self.make().largest_single_obligation
+        assert biggest == {"compositional": 400, "monolithic": 4000}
+
+    def test_rows_and_summary(self):
+        comparison = self.make()
+        assert len(comparison.rows()) == 4
+        assert comparison.all_discharged
+        assert "ratio" in comparison.summary()
