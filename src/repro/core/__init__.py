@@ -59,6 +59,7 @@ from .litmus import (
     run_litmus,
 )
 from .pdu import Pdu, unwrap
+from .report import CheckResult, Report
 from .shim import IdentityShim, ShimSublayer
 from .stack import APP, WIRE, Stack
 from .sublayer import PassthroughSublayer, Sublayer
@@ -71,6 +72,7 @@ __all__ = [
     "Bits",
     "BoundPort",
     "ByteStreamIntegrity",
+    "CheckResult",
     "ChecksumError",
     "Clock",
     "ConfigurationError",
@@ -98,6 +100,7 @@ __all__ = [
     "PassthroughSublayer",
     "Pdu",
     "Primitive",
+    "Report",
     "ReproError",
     "RoutingError",
     "ServiceInterface",

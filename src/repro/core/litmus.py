@@ -32,6 +32,7 @@ from typing import Any
 from .errors import LitmusFailure
 from .instrument import AccessLog
 from .pdu import Pdu
+from .report import CheckResult, Report
 from .stack import APP, WIRE, Stack
 
 #: Interfaces wider than this are flagged as "not narrow" by T2.  The
@@ -41,40 +42,22 @@ DEFAULT_MAX_INTERFACE_WIDTH = 6
 
 
 @dataclass
-class TestResult:
-    test: str
-    passed: bool
-    details: list[str] = field(default_factory=list)
-    metrics: dict[str, Any] = field(default_factory=dict)
+class TestResult(CheckResult):
+    """One litmus test outcome (shared :class:`CheckResult` shape)."""
+
+    @property
+    def test(self) -> str:
+        return self.name
 
 
 @dataclass
-class LitmusReport:
+class LitmusReport(Report):
     results: list[TestResult] = field(default_factory=list)
-
-    @property
-    def passed(self) -> bool:
-        return all(r.passed for r in self.results)
-
-    def result(self, test: str) -> TestResult:
-        for r in self.results:
-            if r.test == test:
-                return r
-        raise KeyError(test)
 
     def require(self) -> None:
         for r in self.results:
             if not r.passed:
-                raise LitmusFailure(r.test, "; ".join(r.details) or "failed")
-
-    def summary(self) -> str:
-        lines = []
-        for r in self.results:
-            status = "PASS" if r.passed else "FAIL"
-            lines.append(f"{r.test}: {status}")
-            for d in r.details:
-                lines.append(f"  - {d}")
-        return "\n".join(lines)
+                raise LitmusFailure(r.name, "; ".join(r.details) or "failed")
 
 
 class WireTap:

@@ -1,0 +1,82 @@
+"""Shared report types for the project's checkers.
+
+Two checkers verify the paper's sublayering discipline: the *runtime*
+litmus tests (:mod:`repro.core.litmus`), which measure an instrumented
+execution, and the *static* checker (:mod:`repro.staticcheck`), which
+proves the same properties from source alone.  Both express their
+outcome in the vocabulary defined here — a list of named
+:class:`CheckResult` entries inside a :class:`Report` — so CI, tests,
+and tooling consume one format regardless of which checker produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one named check (a litmus test or a static rule)."""
+
+    name: str
+    passed: bool
+    details: list[str] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "details": list(self.details),
+            "metrics": _jsonable(self.metrics),
+        }
+
+
+@dataclass
+class Report:
+    """An ordered collection of check results with text/JSON emitters."""
+
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def result(self, name: str) -> CheckResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        lines = []
+        for r in self.results:
+            status = "PASS" if r.passed else "FAIL"
+            lines.append(f"{r.name}: {status}")
+            for d in r.details:
+                lines.append(f"  - {d}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of metrics values to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Any
 
 from ...core.bits import Bits
-from ...core.errors import FramingError
+from ...core.errors import ConfigurationError, FramingError
 from ...core.sublayer import Sublayer
 from .flags import FrameAssembler, add_flags, remove_flags
 from .rules import HDLC_RULE, StuffingRule
@@ -107,7 +107,11 @@ class FlagSublayer(Sublayer):
 
     def from_below(self, framed: Any, **meta: Any) -> None:
         if self.stream_mode:
-            assert self._assembler is not None
+            if self._assembler is None:
+                raise ConfigurationError(
+                    f"flag sublayer {self.name!r} is in stream mode but "
+                    f"was never attached (no frame assembler)"
+                )
             for body in self._assembler.push(framed):
                 self.state.recovered = self.state.recovered + 1
                 self.deliver_up(body, **meta)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..core.bits import Bits
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, SimulationError
 from ..core.pdu import Pdu
 from .engine import Simulator
 
@@ -191,8 +191,14 @@ class Link:
 
     def _make_delivery(self, unit: Any, meta: dict) -> Callable[[], None]:
         def deliver() -> None:
+            if self._sink is None:
+                # The sink was detached between send and delivery; a
+                # unit in flight now has nowhere to land.
+                raise SimulationError(
+                    f"link {self.name!r}: delivery fired with no "
+                    f"connected sink"
+                )
             self.stats.delivered += 1
-            assert self._sink is not None
             self._sink(unit, **meta)
 
         return deliver

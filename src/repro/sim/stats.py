@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..core.errors import SimulationError
+
 
 @dataclass
 class Counter:
@@ -82,7 +84,11 @@ class ThroughputMeter:
         if self.first_time is None:
             return 0.0
         end = end_time if end_time is not None else self.last_time
-        assert end is not None
+        if end is None:
+            raise SimulationError(
+                "throughput meter has a first delivery but no last: "
+                "meter state is corrupt"
+            )
         span = end - self.first_time
         if span <= 0:
             return 0.0

@@ -1,0 +1,64 @@
+"""Static sublayering checker — litmus tests T1/T2/T3 proven from source.
+
+The runtime litmus checker (:mod:`repro.core.litmus`) observes an
+instrumented execution; this package verifies the same discipline
+*before anything runs* by analysing the AST of every module under a
+package root:
+
+* **T1** — the import graph must respect the declared layer order and
+  be acyclic (:mod:`repro.staticcheck.imports`);
+* **T2** — ports may carry only declared service primitives, and
+  declared interfaces must be narrow
+  (:mod:`repro.staticcheck.narrowness`);
+* **T3** — no reaching through ports into foreign state, and no
+  touching header fields outside a sublayer's own ``HEADER``
+  (:mod:`repro.staticcheck.isolation`).
+
+Run it as ``python -m repro.staticcheck src/repro``; the repository is
+its own test corpus and must stay clean.
+"""
+
+from .config import DEFAULT_ALLOWLIST, DEFAULT_LAYERS, StaticCheckConfig
+from .imports import ImportEdge, check_import_cycles, check_layer_order, collect_imports
+from .isolation import check_foreign_header_fields, check_state_reach
+from .loader import Corpus, ModuleInfo, load_package
+from .model import ClassDecl, CorpusModel, HeaderDecl, InterfaceDecl, build_model
+from .narrowness import check_interface_widths, check_undeclared_primitives
+from .report import (
+    ALL_RULES,
+    ERROR,
+    WARNING,
+    StaticReport,
+    Violation,
+    build_report,
+)
+from .runner import run_staticcheck
+
+__all__ = [
+    "ALL_RULES",
+    "Corpus",
+    "ClassDecl",
+    "CorpusModel",
+    "DEFAULT_ALLOWLIST",
+    "DEFAULT_LAYERS",
+    "ERROR",
+    "HeaderDecl",
+    "ImportEdge",
+    "InterfaceDecl",
+    "ModuleInfo",
+    "StaticCheckConfig",
+    "StaticReport",
+    "Violation",
+    "WARNING",
+    "build_model",
+    "build_report",
+    "check_foreign_header_fields",
+    "check_import_cycles",
+    "check_interface_widths",
+    "check_layer_order",
+    "check_state_reach",
+    "check_undeclared_primitives",
+    "collect_imports",
+    "load_package",
+    "run_staticcheck",
+]

@@ -1,0 +1,81 @@
+"""CLI: ``python -m repro.staticcheck <package-dir>``.
+
+Exit status: 0 when the corpus is clean (warnings allowed unless
+``--strict``), 1 when any rule fails, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.errors import ConfigurationError
+from .config import DEFAULT_ALLOWLIST, StaticCheckConfig
+from .runner import run_staticcheck
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description=(
+            "Statically verify the sublayering discipline (litmus tests "
+            "T1/T2/T3) over a package's source."
+        ),
+    )
+    parser.add_argument(
+        "package",
+        help="package directory to check (e.g. src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures",
+    )
+    parser.add_argument(
+        "--max-width",
+        type=int,
+        default=None,
+        metavar="N",
+        help="maximum declared interface width before a warning",
+    )
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=[],
+        metavar="'IMPORTER -> IMPORTED'",
+        help="extra layer-order allowlist entry (repeatable)",
+    )
+    parser.add_argument(
+        "--no-default-allowlist",
+        action="store_true",
+        help="drop the built-in layer-order allowlist",
+    )
+    args = parser.parse_args(argv)
+
+    allowlist = set() if args.no_default_allowlist else set(DEFAULT_ALLOWLIST)
+    allowlist.update(args.allow)
+    overrides = {"allowlist": frozenset(allowlist), "strict": args.strict}
+    if args.max_width is not None:
+        overrides["max_interface_width"] = args.max_width
+    config = StaticCheckConfig(**overrides)
+
+    try:
+        report = run_staticcheck(args.package, config, base_dir=".")
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.text())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

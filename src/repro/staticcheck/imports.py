@@ -1,0 +1,207 @@
+"""Import-layering DAG checker — the static counterpart of litmus T1.
+
+T1 demands an *ordered* composition: at runtime the litmus checker
+verifies that headers nest in stack order; statically the same
+discipline means the package dependency graph must respect the declared
+layer order (``core → phys → datalink → network → transport →
+sim/verify/analysis``) and must be acyclic.  A lower layer importing a
+higher one is an inversion of the order; an import cycle means there is
+no order at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .config import StaticCheckConfig
+from .loader import Corpus, ModuleInfo
+from .report import ERROR, Violation
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One intra-corpus import, anchored to its source line."""
+
+    importer: str
+    imported: str
+    line: int
+
+
+def resolve_relative(module: ModuleInfo, level: int, target: str | None) -> str | None:
+    """Absolute dotted name of a level-``level`` relative import."""
+    base_parts = module.package.split(".") if module.package else []
+    strip = level - 1
+    if strip > len(base_parts):
+        return None
+    if strip:
+        base_parts = base_parts[:-strip]
+    if target:
+        base_parts = base_parts + target.split(".")
+    return ".".join(base_parts) if base_parts else None
+
+
+def _edge_target(corpus_names: set[str], candidate: str) -> str | None:
+    """Longest corpus module matching ``candidate`` (or a prefix of it).
+
+    ``from repro.core import bits`` names the module ``repro.core.bits``;
+    ``from repro.core.bits import Bits`` names a symbol inside it — both
+    resolve by walking prefixes until a known module matches.
+    """
+    parts = candidate.split(".")
+    while parts:
+        name = ".".join(parts)
+        if name in corpus_names:
+            return name
+        parts.pop()
+    return None
+
+
+def collect_imports(corpus: Corpus) -> list[ImportEdge]:
+    """Every intra-corpus import edge, module-level and nested alike."""
+    names = corpus.module_names()
+    edges: list[ImportEdge] = []
+    for module in corpus.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = _edge_target(names, alias.name)
+                    if target is not None and target != module.name:
+                        edges.append(ImportEdge(module.name, target, node.lineno))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = resolve_relative(module, node.level, node.module)
+                else:
+                    base = node.module
+                if base is None:
+                    continue
+                for alias in node.names:
+                    target = _edge_target(names, f"{base}.{alias.name}")
+                    if target is None:
+                        target = _edge_target(names, base)
+                    if target is not None and target != module.name:
+                        edges.append(ImportEdge(module.name, target, node.lineno))
+    return edges
+
+
+def check_layer_order(
+    corpus: Corpus, edges: list[ImportEdge], config: StaticCheckConfig
+) -> list[Violation]:
+    """A module may import only from its own tier or below."""
+    violations: list[Violation] = []
+    for edge in edges:
+        importer_tier = config.tier_of(edge.importer, corpus.root)
+        imported_tier = config.tier_of(edge.imported, corpus.root)
+        if importer_tier >= imported_tier:
+            continue
+        if config.allows(edge.importer, edge.imported):
+            continue
+        module = corpus.get(edge.importer)
+        violations.append(
+            Violation(
+                rule="layer-order",
+                severity=ERROR,
+                module=edge.importer,
+                path=str(module.path) if module else edge.importer,
+                line=edge.line,
+                message=(
+                    f"{edge.importer} (tier {importer_tier}) imports "
+                    f"{edge.imported} (tier {imported_tier}): a lower layer "
+                    f"may not depend on a higher one"
+                ),
+            )
+        )
+    return violations
+
+
+def check_import_cycles(corpus: Corpus, edges: list[ImportEdge]) -> list[Violation]:
+    """Tarjan SCC over the module graph; any non-trivial SCC is a cycle."""
+    graph: dict[str, set[str]] = {name: set() for name in corpus.module_names()}
+    first_line: dict[tuple[str, str], int] = {}
+    for edge in edges:
+        graph[edge.importer].add(edge.imported)
+        first_line.setdefault((edge.importer, edge.imported), edge.line)
+
+    index_counter = [0]
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    sccs: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan: deep package trees must not hit the
+        # interpreter recursion limit.
+        work = [(v, iter(sorted(graph[v])))]
+        index[v] = lowlink[v] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for w in successors:
+                if w not in index:
+                    index[w] = lowlink[w] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                sccs.append(component)
+
+    for name in sorted(graph):
+        if name not in index:
+            strongconnect(name)
+
+    violations: list[Violation] = []
+    for component in sccs:
+        is_cycle = len(component) > 1 or (
+            component[0] in graph[component[0]]
+        )
+        if not is_cycle:
+            continue
+        members = sorted(component)
+        anchor = members[0]
+        module = corpus.get(anchor)
+        line = min(
+            (
+                first_line[(a, b)]
+                for a in members
+                for b in members
+                if (a, b) in first_line
+            ),
+            default=0,
+        )
+        violations.append(
+            Violation(
+                rule="import-cycle",
+                severity=ERROR,
+                module=anchor,
+                path=str(module.path) if module else anchor,
+                line=line,
+                message=(
+                    "import cycle between "
+                    + " <-> ".join(members)
+                    + ": the layer order admits no cycles"
+                ),
+            )
+        )
+    return violations

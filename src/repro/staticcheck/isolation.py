@@ -1,0 +1,311 @@
+"""Static T3 pass: separate bits and separate state, proven from source.
+
+The runtime T3 litmus check observes an execution and flags foreign
+state touches and foreign header bits after the fact.  This pass proves
+the same discipline over the AST of every
+:class:`~repro.core.sublayer.Sublayer` subclass:
+
+``state-reach``
+    A sublayer may not reach *through* its port: ``self.below.state``
+    (the provider's private state), ``self.below.below`` (a
+    non-adjacent sublayer), ``self.below._anything`` (the port's
+    internals), and attribute writes on any foreign
+    ``InstrumentedState`` (``other.state.field = ...``) are all errors.
+
+``foreign-header-field``
+    A sublayer may only name header fields declared in its own
+    ``HEADER`` format: subscripts on the values returned by
+    ``unwrap(pdu, self.name)``, subscripts on ``.header`` mappings, the
+    literal dicts handed to ``self.wrap``, and the literal dicts handed
+    to a resolvable ``FORMAT.pack(...)`` are each checked against the
+    declared field set.  :class:`~repro.core.shim.ShimSublayer`
+    subclasses are exempt: shims are the sanctioned translation point
+    and rewrite foreign formats by design (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import ClassDecl, CorpusModel, HeaderDecl
+from .report import ERROR, Violation
+
+#: Attributes a sublayer may legitimately read on its ``below`` port.
+PORT_PUBLIC_ATTRS = frozenset({"interface", "provider_name"})
+
+
+def check_state_reach(model: CorpusModel) -> list[Violation]:
+    violations: list[Violation] = []
+    for decl in model.sublayer_classes():
+        violations.extend(_state_reach_in_class(decl))
+    return violations
+
+
+def _state_reach_in_class(decl: ClassDecl) -> list[Violation]:
+    violations: list[Violation] = []
+    for node in ast.walk(decl.node):
+        if isinstance(node, ast.Attribute) and _is_self_below(node.value):
+            attr = node.attr
+            if attr in ("state", "below") or (
+                attr.startswith("_") and attr not in PORT_PUBLIC_ATTRS
+            ):
+                what = {
+                    "state": "the provider's private state",
+                    "below": "a non-adjacent sublayer",
+                }.get(attr, "the port's internals")
+                violations.append(
+                    Violation(
+                        rule="state-reach",
+                        severity=ERROR,
+                        module=decl.module,
+                        path=decl.path,
+                        line=node.lineno,
+                        message=(
+                            f"{decl.name}: `self.below.{attr}` reaches {what}; "
+                            f"only declared service primitives may cross the "
+                            f"interface (T3)"
+                        ),
+                    )
+                )
+        for target in _write_targets(node):
+            # other.state.field = ...  (a write into a foreign
+            # InstrumentedState; self.state.field writes are the
+            # sublayer's own business)
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "state"
+                and not _is_self(target.value.value)
+            ):
+                violations.append(
+                    Violation(
+                        rule="state-reach",
+                        severity=ERROR,
+                        module=decl.module,
+                        path=decl.path,
+                        line=target.lineno,
+                        message=(
+                            f"{decl.name}: write to foreign sublayer state "
+                            f"`{ast.unparse(target)}`; a sublayer's state is "
+                            f"touched only by its owner (T3)"
+                        ),
+                    )
+                )
+    return violations
+
+
+def check_foreign_header_fields(model: CorpusModel) -> list[Violation]:
+    violations: list[Violation] = []
+    for decl in model.sublayer_classes():
+        if model.is_shim(decl):
+            continue  # shims translate foreign formats by design
+        header, known = model.effective_header(decl)
+        if not known:
+            continue  # HEADER exists but is unresolvable: don't guess
+        fields = frozenset(header.fields) if header is not None else frozenset()
+        complete = header.complete if header is not None else True
+        for func in _functions(decl.node):
+            violations.extend(
+                _header_fields_in_function(
+                    model, decl, func, header, fields, complete
+                )
+            )
+    return violations
+
+
+def _header_fields_in_function(
+    model: CorpusModel,
+    decl: ClassDecl,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    header: HeaderDecl | None,
+    fields: frozenset[str],
+    complete: bool,
+) -> list[Violation]:
+    violations: list[Violation] = []
+    own_header_vars: set[str] = set()
+    wrap_dict_vars: dict[str, list[tuple[str, int]]] = {}
+
+    for node in ast.walk(func):
+        # values, inner = unwrap(pdu, self.name)  ->  `values` carries
+        # exactly this sublayer's own header fields.
+        if isinstance(node, ast.Assign) and _is_unwrap_self(node.value):
+            for target in node.targets:
+                if isinstance(target, (ast.Tuple, ast.List)) and target.elts:
+                    first = target.elts[0]
+                    if isinstance(first, ast.Name):
+                        own_header_vars.add(first.id)
+                elif isinstance(target, ast.Name):
+                    own_header_vars.add(target.id)
+        # header = {"seq": ..., ...}  (candidate argument to self.wrap)
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            keys = _literal_keys(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    wrap_dict_vars[target.id] = keys
+
+    def check_keys(keys: list[tuple[str, int]], context: str) -> None:
+        for key, line in keys:
+            if key not in fields and complete:
+                declared = header.name if header is not None else "none"
+                violations.append(
+                    Violation(
+                        rule="foreign-header-field",
+                        severity=ERROR,
+                        module=decl.module,
+                        path=decl.path,
+                        line=line,
+                        message=(
+                            f"{decl.name}.{func.name}: header field {key!r} "
+                            f"{context} is not declared in this sublayer's "
+                            f"HEADER (format: {declared}); sublayers act only "
+                            f"on their own bits (T3)"
+                        ),
+                    )
+                )
+
+    for node in ast.walk(func):
+        # values["field"] on an unwrap result
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in own_header_vars
+        ):
+            key = _literal_index(node)
+            if key is not None:
+                check_keys([(key, node.lineno)], "read from unwrap()")
+        # anything.header["field"]
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "header"
+        ):
+            key = _literal_index(node)
+            if key is not None:
+                check_keys([(key, node.lineno)], "accessed via .header")
+        if isinstance(node, ast.Call):
+            # values.get("field") / X.header.get("field")
+            func_expr = node.func
+            if isinstance(func_expr, ast.Attribute) and func_expr.attr == "get":
+                base = func_expr.value
+                is_header_mapping = (
+                    isinstance(base, ast.Name) and base.id in own_header_vars
+                ) or (isinstance(base, ast.Attribute) and base.attr == "header")
+                if is_header_mapping and node.args:
+                    first = node.args[0]
+                    if isinstance(first, ast.Constant) and isinstance(
+                        first.value, str
+                    ):
+                        check_keys(
+                            [(first.value, node.lineno)], "read via .get()"
+                        )
+            # self.wrap({...}, inner) / self.wrap(header_var, inner)
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr == "wrap"
+                and _is_self(func_expr.value)
+                and node.args
+            ):
+                first = node.args[0]
+                if isinstance(first, ast.Dict):
+                    check_keys(_literal_keys(first), "written via self.wrap")
+                elif (
+                    isinstance(first, ast.Name)
+                    and first.id in wrap_dict_vars
+                ):
+                    check_keys(
+                        wrap_dict_vars[first.id], "written via self.wrap"
+                    )
+            # FORMAT.pack({...}) with a statically resolvable format
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr == "pack"
+                and isinstance(func_expr.value, ast.Name)
+                and node.args
+                and isinstance(node.args[0], ast.Dict)
+            ):
+                resolved = model.resolve(decl.module, func_expr.value.id)
+                if isinstance(resolved, HeaderDecl) and resolved.complete:
+                    for key, line in _literal_keys(node.args[0]):
+                        if key not in resolved.fields:
+                            violations.append(
+                                Violation(
+                                    rule="foreign-header-field",
+                                    severity=ERROR,
+                                    module=decl.module,
+                                    path=decl.path,
+                                    line=line,
+                                    message=(
+                                        f"{decl.name}.{func.name}: field "
+                                        f"{key!r} packed into format "
+                                        f"{resolved.name!r} is not declared "
+                                        f"there (T3)"
+                                    ),
+                                )
+                            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _functions(
+    node: ast.ClassDef,
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [
+        stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _is_self_below(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "below"
+        and _is_self(node.value)
+    )
+
+
+def _is_unwrap_self(node: ast.expr) -> bool:
+    """Matches ``unwrap(<expr>, self.name)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else ""
+    )
+    if name != "unwrap" or len(node.args) < 2:
+        return False
+    owner = node.args[1]
+    return (
+        isinstance(owner, ast.Attribute)
+        and owner.attr == "name"
+        and _is_self(owner.value)
+    )
+
+
+def _write_targets(node: ast.AST) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def _literal_index(node: ast.Subscript) -> str | None:
+    index = node.slice
+    if isinstance(index, ast.Constant) and isinstance(index.value, str):
+        return index.value
+    return None
+
+
+def _literal_keys(node: ast.Dict) -> list[tuple[str, int]]:
+    keys: list[tuple[str, int]] = []
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.append((key.value, key.lineno))
+    return keys

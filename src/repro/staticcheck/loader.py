@@ -1,0 +1,81 @@
+"""Discovery and parsing of the module corpus to check.
+
+The checker never imports the code under test — it parses every module
+under a package root with :mod:`ast` and works from the trees.  That is
+what lets the fixture packages in ``tests/staticcheck`` contain
+deliberately broken code without breaking the test run itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed module of the corpus."""
+
+    name: str  # dotted module name, e.g. "repro.transport.sublayered.rd"
+    path: Path
+    tree: ast.Module
+
+    @property
+    def package(self) -> str:
+        """The package containing this module (itself, for ``__init__``)."""
+        if self.path.name == "__init__.py":
+            return self.name
+        return self.name.rsplit(".", 1)[0] if "." in self.name else ""
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """All parsed modules under one package root."""
+
+    root: str  # root package name, e.g. "repro"
+    modules: tuple[ModuleInfo, ...]
+
+    def module_names(self) -> set[str]:
+        return {m.name for m in self.modules}
+
+    def get(self, name: str) -> ModuleInfo | None:
+        for m in self.modules:
+            if m.name == name:
+                return m
+        return None
+
+
+def load_package(root_dir: str | Path) -> Corpus:
+    """Parse every ``*.py`` file under ``root_dir`` into a :class:`Corpus`.
+
+    ``root_dir`` must be a package directory (contain ``__init__.py``);
+    its basename becomes the root package name.  Files that fail to
+    parse raise :class:`~repro.core.errors.ConfigurationError` — a
+    syntax error in the corpus is a usage error, not a finding.
+    """
+    root_path = Path(root_dir).resolve()
+    if not root_path.is_dir():
+        raise ConfigurationError(f"not a directory: {root_dir}")
+    if not (root_path / "__init__.py").exists():
+        raise ConfigurationError(
+            f"{root_dir} is not a package (no __init__.py)"
+        )
+    root_name = root_path.name
+    modules: list[ModuleInfo] = []
+    for path in sorted(root_path.rglob("*.py")):
+        relative = path.relative_to(root_path)
+        parts = list(relative.parts)
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][: -len(".py")]
+        name = ".".join([root_name, *parts]) if parts else root_name
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:
+            raise ConfigurationError(f"cannot parse {path}: {exc}") from exc
+        modules.append(ModuleInfo(name=name, path=path, tree=tree))
+    return Corpus(root=root_name, modules=tuple(modules))

@@ -1,0 +1,361 @@
+"""A static model of the corpus: declarations the passes reason about.
+
+The T2/T3 passes need to know, without importing anything, what each
+module *declares*: which :class:`~repro.core.header.HeaderFormat`
+fields exist, which :class:`~repro.core.interface.ServiceInterface`
+primitives exist, and which classes are
+:class:`~repro.core.sublayer.Sublayer` subclasses (and with which
+``HEADER``/``SERVICE``).  This module builds that model by evaluating
+the *declaration subset* of Python — literal ``Field``/``Primitive``
+lists inside ``HeaderFormat``/``ServiceInterface``/``concat_formats``
+calls, assignments of those values to module- or class-level names, and
+imports of those names between modules.
+
+Anything outside that subset evaluates to :data:`UNKNOWN`, and the
+passes skip rather than guess — the checker reports only what it can
+prove from source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .imports import resolve_relative
+from .loader import Corpus, ModuleInfo
+
+
+class _Unknown:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNKNOWN"
+
+
+#: Sentinel for expressions the declaration evaluator cannot resolve.
+UNKNOWN = _Unknown()
+
+#: Class names recognised as sublayer roots even when the class itself
+#: is outside the corpus (fixture packages import them from repro).
+SUBLAYER_ROOTS = frozenset({"Sublayer"})
+SHIM_ROOTS = frozenset({"ShimSublayer"})
+
+
+@dataclass(frozen=True)
+class HeaderDecl:
+    """Statically resolved header format: its name and field names."""
+
+    name: str
+    fields: tuple[str, ...]
+    complete: bool  # False if any field expression was unresolvable
+
+
+@dataclass(frozen=True)
+class InterfaceDecl:
+    """Statically resolved service interface declaration."""
+
+    name: str
+    primitives: tuple[str, ...]
+    complete: bool
+    module: str
+    line: int
+
+
+@dataclass
+class ClassDecl:
+    """One class definition plus its resolved sublayer attributes."""
+
+    name: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    header: HeaderDecl | None = None
+    header_known: bool = True  # False when HEADER was set but unresolvable
+    service: InterfaceDecl | None = None
+
+
+@dataclass
+class CorpusModel:
+    """Everything the T2/T3 passes need, resolved once up front."""
+
+    corpus: Corpus
+    classes: dict[str, ClassDecl] = field(default_factory=dict)
+    interfaces: list[InterfaceDecl] = field(default_factory=list)
+    #: ``(module, symbol) -> HeaderDecl | InterfaceDecl | UNKNOWN | ...``,
+    #: installed by :func:`build_model` for passes that need to resolve
+    #: names found inside method bodies (e.g. ``FORMAT.pack``).
+    resolve: Callable[[str, str], object] = lambda module, symbol: UNKNOWN
+
+    def declared_primitives(self) -> set[str]:
+        names: set[str] = set()
+        for decl in self.interfaces:
+            names.update(decl.primitives)
+        return names
+
+    def interfaces_declaring(self, primitive: str) -> list[str]:
+        return sorted(
+            d.name for d in self.interfaces if primitive in d.primitives
+        )
+
+    # -- class hierarchy (name-based, within-corpus) -------------------
+    def _reaches(self, class_name: str, roots: frozenset[str]) -> bool:
+        seen: set[str] = set()
+        frontier = [class_name]
+        while frontier:
+            name = frontier.pop()
+            if name in roots:
+                return True
+            if name in seen:
+                continue
+            seen.add(name)
+            decl = self.classes.get(name)
+            if decl is not None:
+                frontier.extend(decl.bases)
+        return False
+
+    def is_sublayer(self, decl: ClassDecl) -> bool:
+        return any(self._reaches(base, SUBLAYER_ROOTS) for base in decl.bases)
+
+    def is_shim(self, decl: ClassDecl) -> bool:
+        return any(self._reaches(base, SHIM_ROOTS) for base in decl.bases)
+
+    def sublayer_classes(self) -> list[ClassDecl]:
+        return [d for d in self.classes.values() if self.is_sublayer(d)]
+
+    def effective_header(self, decl: ClassDecl) -> tuple[HeaderDecl | None, bool]:
+        """(header, known) for a class, following base classes.
+
+        ``known=False`` means a ``HEADER`` assignment exists somewhere in
+        the chain but could not be resolved — passes must skip rather
+        than report false positives against an empty field set.
+        """
+        seen: set[str] = set()
+        frontier = [decl.name]
+        while frontier:
+            name = frontier.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            d = self.classes.get(name)
+            if d is None:
+                continue
+            if d.header is not None or not d.header_known:
+                return d.header, d.header_known
+            frontier.extend(d.bases)
+        return None, True
+
+
+def build_model(corpus: Corpus) -> CorpusModel:
+    builder = _ModelBuilder(corpus)
+    return builder.build()
+
+
+class _ModelBuilder:
+    def __init__(self, corpus: Corpus):
+        self.corpus = corpus
+        # module name -> symbol -> ast expression (module-level assignment)
+        self.assignments: dict[str, dict[str, ast.expr]] = {}
+        # module name -> symbol -> (source module, source symbol)
+        self.imports: dict[str, dict[str, tuple[str, str]]] = {}
+        self._resolved: dict[tuple[str, str], object] = {}
+
+    # ------------------------------------------------------------------
+    def build(self) -> CorpusModel:
+        for module in self.corpus.modules:
+            self._index_module(module)
+        model = CorpusModel(corpus=self.corpus, resolve=self._resolve_symbol)
+        for module in self.corpus.modules:
+            self._collect_declarations(module, model)
+        return model
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        assigns: dict[str, ast.expr] = {}
+        imports: dict[str, tuple[str, str]] = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigns[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    assigns[node.target.id] = node.value
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = resolve_relative(module, node.level, node.module)
+                else:
+                    base = node.module
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    imports[local] = (base, alias.name)
+        self.assignments[module.name] = assigns
+        self.imports[module.name] = imports
+
+    # ------------------------------------------------------------------
+    def _collect_declarations(self, module: ModuleInfo, model: CorpusModel) -> None:
+        # module-level interface declarations (rare but legal)
+        for symbol, expr in self.assignments[module.name].items():
+            value = self._eval(module.name, expr)
+            if isinstance(value, InterfaceDecl):
+                model.interfaces.append(value)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                base.id if isinstance(base, ast.Name) else _attr_tail(base)
+                for base in node.bases
+            )
+            decl = ClassDecl(
+                name=node.name,
+                module=module.name,
+                path=str(module.path),
+                node=node,
+                bases=tuple(b for b in bases if b),
+            )
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                value_expr = stmt.value
+                if value_expr is None:
+                    continue
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id == "HEADER":
+                        value = self._eval(module.name, value_expr)
+                        if isinstance(value, HeaderDecl):
+                            decl.header = value
+                        elif value is None:
+                            decl.header = None
+                        else:
+                            decl.header_known = False
+                    elif target.id == "SERVICE":
+                        value = self._eval(module.name, value_expr)
+                        if isinstance(value, InterfaceDecl):
+                            decl.service = value
+                            model.interfaces.append(value)
+            model.classes[decl.name] = decl
+
+    # ------------------------------------------------------------------
+    # The declaration evaluator
+    # ------------------------------------------------------------------
+    def _resolve_symbol(self, module_name: str, symbol: str) -> object:
+        key = (module_name, symbol)
+        if key in self._resolved:
+            return self._resolved[key]
+        self._resolved[key] = UNKNOWN  # cycle guard
+        result: object = UNKNOWN
+        assigns = self.assignments.get(module_name, {})
+        imports = self.imports.get(module_name, {})
+        if symbol in assigns:
+            result = self._eval(module_name, assigns[symbol])
+        elif symbol in imports:
+            source_module, source_symbol = imports[symbol]
+            if source_module in self.assignments:
+                result = self._resolve_symbol(source_module, source_symbol)
+            elif f"{source_module}.{source_symbol}" in self.assignments:
+                # ``from package import module`` style: nothing to resolve
+                result = UNKNOWN
+        self._resolved[key] = result
+        return result
+
+    def _eval(self, module_name: str, expr: ast.expr) -> object:
+        if isinstance(expr, ast.Constant):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return self._resolve_symbol(module_name, expr.id)
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            return [self._eval(module_name, e) for e in expr.elts]
+        if isinstance(expr, ast.Call):
+            return self._eval_call(module_name, expr)
+        return UNKNOWN
+
+    def _eval_call(self, module_name: str, call: ast.Call) -> object:
+        func = call.func
+        func_name = (
+            func.id if isinstance(func, ast.Name) else _attr_tail(func)
+        )
+        if func_name in ("Field", "Primitive"):
+            name = self._call_arg(module_name, call, 0, "name")
+            return name if isinstance(name, str) else UNKNOWN
+        if func_name == "HeaderFormat":
+            return self._eval_header_format(module_name, call)
+        if func_name == "ServiceInterface":
+            return self._eval_service_interface(module_name, call)
+        if func_name == "concat_formats":
+            return self._eval_concat(module_name, call)
+        return UNKNOWN
+
+    def _call_arg(
+        self, module_name: str, call: ast.Call, position: int, keyword: str
+    ) -> object:
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return self._eval(module_name, kw.value)
+        if len(call.args) > position:
+            return self._eval(module_name, call.args[position])
+        return UNKNOWN
+
+    def _eval_header_format(self, module_name: str, call: ast.Call) -> object:
+        name = self._call_arg(module_name, call, 0, "name")
+        fields_value = self._call_arg(module_name, call, 1, "fields")
+        if not isinstance(name, str):
+            return UNKNOWN
+        fields, complete = _string_list(fields_value)
+        return HeaderDecl(name=name, fields=tuple(fields), complete=complete)
+
+    def _eval_service_interface(self, module_name: str, call: ast.Call) -> object:
+        name = self._call_arg(module_name, call, 0, "name")
+        prims_value = self._call_arg(module_name, call, 1, "primitives")
+        if not isinstance(name, str):
+            return UNKNOWN
+        primitives, complete = _string_list(prims_value)
+        return InterfaceDecl(
+            name=name,
+            primitives=tuple(primitives),
+            complete=complete,
+            module=module_name,
+            line=call.lineno,
+        )
+
+    def _eval_concat(self, module_name: str, call: ast.Call) -> object:
+        name = self._call_arg(module_name, call, 0, "name")
+        if not isinstance(name, str):
+            return UNKNOWN
+        fields: list[str] = []
+        complete = True
+        for arg in call.args[1:]:
+            value = self._eval(module_name, arg)
+            if isinstance(value, HeaderDecl):
+                complete = complete and value.complete
+                fields.extend(f"{value.name}.{f}" for f in value.fields)
+            else:
+                complete = False
+        return HeaderDecl(name=name, fields=tuple(fields), complete=complete)
+
+
+def _string_list(value: object) -> tuple[list[str], bool]:
+    """Flatten an evaluated list to its string members, noting gaps."""
+    if not isinstance(value, list):
+        return [], False
+    out: list[str] = []
+    complete = True
+    for item in value:
+        if isinstance(item, str):
+            out.append(item)
+        else:
+            complete = False
+    return out, complete
+
+
+def _attr_tail(node: ast.expr) -> str:
+    """Last attribute segment of a dotted expression (``a.b.C`` -> ``C``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""

@@ -1,0 +1,91 @@
+"""Static T2 pass: narrow, declared interfaces between adjacent sublayers.
+
+The runtime T2 litmus check counts the primitives actually exercised
+through each :class:`~repro.core.interface.BoundPort` and verifies
+adjacency from the interface log.  Statically:
+
+``undeclared-primitive``
+    Every call a sublayer makes through its port (``self.below.p(...)``)
+    must name a primitive declared by *some*
+    :class:`~repro.core.interface.ServiceInterface` in the corpus.  The
+    concrete provider is chosen at stack-assembly time, so the static
+    check is the necessary condition: a primitive no interface declares
+    can never be bound, and :class:`BoundPort.__getattr__` would reject
+    it at runtime — this pass rejects it before that.
+
+``interface-width``
+    A declared interface wider than the configured maximum (default:
+    the runtime check's ``DEFAULT_MAX_INTERFACE_WIDTH``) is reported as
+    a warning — statically wide means the narrowness argument rests on
+    callers' restraint, which T2 does not allow.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .config import StaticCheckConfig
+from .isolation import PORT_PUBLIC_ATTRS, _is_self_below
+from .model import CorpusModel
+from .report import ERROR, WARNING, Violation
+
+
+def check_undeclared_primitives(model: CorpusModel) -> list[Violation]:
+    declared = model.declared_primitives()
+    violations: list[Violation] = []
+    for decl in model.sublayer_classes():
+        for node in ast.walk(decl.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and _is_self_below(node.func.value)
+            ):
+                continue
+            primitive = node.func.attr
+            if primitive in declared or primitive in PORT_PUBLIC_ATTRS:
+                continue
+            violations.append(
+                Violation(
+                    rule="undeclared-primitive",
+                    severity=ERROR,
+                    module=decl.module,
+                    path=decl.path,
+                    line=node.lineno,
+                    message=(
+                        f"{decl.name}: `self.below.{primitive}(...)` names a "
+                        f"primitive no ServiceInterface declares; ports carry "
+                        f"declared primitives only (T2)"
+                    ),
+                )
+            )
+    return violations
+
+
+def check_interface_widths(
+    model: CorpusModel, config: StaticCheckConfig
+) -> list[Violation]:
+    violations: list[Violation] = []
+    seen: set[tuple[str, str, int]] = set()
+    for decl in model.interfaces:
+        key = (decl.module, decl.name, decl.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        width = len(decl.primitives)
+        if width <= config.max_interface_width:
+            continue
+        module = model.corpus.get(decl.module)
+        violations.append(
+            Violation(
+                rule="interface-width",
+                severity=WARNING,
+                module=decl.module,
+                path=str(module.path) if module else decl.module,
+                line=decl.line,
+                message=(
+                    f"interface {decl.name!r} declares {width} primitives "
+                    f"(> {config.max_interface_width}): not narrow (T2)"
+                ),
+            )
+        )
+    return violations

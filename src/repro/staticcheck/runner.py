@@ -1,0 +1,44 @@
+"""Orchestration: run every static rule over a package and report.
+
+``run_staticcheck`` is the library entry point (the CLI in
+``__main__`` is a thin wrapper): load the corpus, build the model, run
+the six rules, fold the findings into a
+:class:`~repro.staticcheck.report.StaticReport`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .config import StaticCheckConfig
+from .imports import check_import_cycles, check_layer_order, collect_imports
+from .isolation import check_foreign_header_fields, check_state_reach
+from .loader import load_package
+from .model import build_model
+from .narrowness import check_interface_widths, check_undeclared_primitives
+from .report import StaticReport, Violation, build_report
+
+
+def run_staticcheck(
+    root_dir: str | Path,
+    config: StaticCheckConfig | None = None,
+    base_dir: str | Path | None = None,
+) -> StaticReport:
+    """Run all six static rules over the package at ``root_dir``."""
+    config = config if config is not None else StaticCheckConfig()
+    corpus = load_package(root_dir)
+    edges = collect_imports(corpus)
+    model = build_model(corpus)
+    violations: list[Violation] = []
+    violations += check_layer_order(corpus, edges, config)
+    violations += check_import_cycles(corpus, edges)
+    violations += check_state_reach(model)
+    violations += check_foreign_header_fields(model)
+    violations += check_undeclared_primitives(model)
+    violations += check_interface_widths(model, config)
+    return build_report(
+        violations,
+        checked_modules=len(corpus.modules),
+        strict=config.strict,
+        base_dir=base_dir,
+    )

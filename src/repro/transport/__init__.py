@@ -2,17 +2,16 @@
 monolithic baseline (Section 4.2), ISN schemes, and the RFC 793 wire
 format shared by the baseline and the interop shim."""
 
+from . import quic
 from .config import TcpConfig
 from .isn import ClockIsn, CryptoIsn, ISN_SCHEMES, IsnScheme, TimerIsn
 from .monolithic import MonolithicTcpHost, MonoTcpSocket
 from .rfc793 import TCP_HEADER, TcpSegment
 from .seqspace import SEQ_MOD, fold, seq_between, unfold
 from .sublayered import Rfc793Shim, SublayeredTcpHost, SubTcpSocket, TimerCmSublayer
-from . import quic
 
 __all__ = [
     "ClockIsn",
-    "quic",
     "CryptoIsn",
     "ISN_SCHEMES",
     "IsnScheme",
@@ -28,6 +27,7 @@ __all__ = [
     "TimerCmSublayer",
     "TimerIsn",
     "fold",
+    "quic",
     "seq_between",
     "unfold",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any
 
 from ...core.clock import TimerHandle
-from ...core.errors import ConnectionError_
+from ...core.errors import ConfigurationError, ConnectionError_
 from ...core.interface import Primitive, ServiceInterface
 from ...core.pdu import unwrap
 from ...core.sublayer import Sublayer
@@ -90,7 +90,11 @@ class CmSublayer(Sublayer):
     def srv_open(self, conn: ConnId) -> None:
         if conn in self.state.conns:
             raise ConnectionError_(f"connection {conn} already exists")
-        assert self.below is not None
+        if self.below is None:
+            raise ConfigurationError(
+                f"CM sublayer {self.name!r} has no port below "
+                f"(not attached above a DM sublayer)"
+            )
         self.below.bind(conn)
         isn = self.isn_scheme.choose(self.clock, (0, conn[0], 0, conn[1]))
         self._put(conn, {
@@ -108,7 +112,11 @@ class CmSublayer(Sublayer):
         listening = set(self.state.listening)
         listening.add(port)
         self.state.listening = listening
-        assert self.below is not None
+        if self.below is None:
+            raise ConfigurationError(
+                f"CM sublayer {self.name!r} has no port below "
+                f"(not attached above a DM sublayer)"
+            )
         self.below.listen(port)
 
     def srv_close(self, conn: ConnId, final_offset: int) -> None:

@@ -417,7 +417,6 @@ class OsrSublayer(Sublayer):
         values, payload = unwrap(pdu, self.name)
         # Flow control: every peer OSR subheader refreshes its window.
         record = dict(record)
-        old_rwnd = record["peer_rwnd"]
         record["peer_rwnd"] = values["wnd"]
         self._put(conn, record)
         self._process_ecn(conn, values["ecn"])

@@ -323,7 +323,7 @@ class RdSublayer(Sublayer):
         # segment not already received, trimming as needed (peers that
         # re-segment on retransmission produce partial overlaps).
         covered: list[tuple[int, int]] = [(0, record["rcv_nxt"])]
-        covered += [(o, o + l) for o, l in record["rcv_ooo"].items()]
+        covered += [(o, o + n) for o, n in record["rcv_ooo"].items()]
         covered.sort()
         fresh: list[tuple[int, int]] = []
         cursor = offset
@@ -354,18 +354,18 @@ class RdSublayer(Sublayer):
         merged: dict[int, int] = {}
         rcv_nxt = record["rcv_nxt"]
         for o in sorted(ooo):
-            l = ooo[o]
+            n = ooo[o]
             if o <= rcv_nxt:
-                rcv_nxt = max(rcv_nxt, o + l)
+                rcv_nxt = max(rcv_nxt, o + n)
                 continue
             last = max(merged) if merged else None
             if last is not None and last + merged[last] >= o:
-                merged[last] = max(merged[last], o + l - last)
+                merged[last] = max(merged[last], o + n - last)
             else:
-                merged[o] = l
+                merged[o] = n
         # ranges swallowed by the new rcv_nxt
         merged = {
-            o: l for o, l in merged.items() if o + l > rcv_nxt
+            o: n for o, n in merged.items() if o + n > rcv_nxt
         }
         record["rcv_nxt"] = rcv_nxt
         record["rcv_ooo"] = merged

@@ -251,7 +251,9 @@ class LemmaLibrary:
 
     def cross_sublayer_lemmas(self) -> list[str]:
         """Lemmas whose statement spans more than one sublayer."""
-        return [l.name for l in self._lemmas.values() if l.crosses_sublayers]
+        return [
+            lemma.name for lemma in self._lemmas.values() if lemma.crosses_sublayers
+        ]
 
     def cross_sublayer_dependencies(self) -> int:
         """Dependency edges joining lemmas of *different* sublayers."""

@@ -5,9 +5,10 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.bits import Bits
-from repro.core.errors import FramingError
+from repro.core.errors import ConfigurationError, FramingError
 from repro.datalink.framing import (
     HDLC_RULE,
+    FlagSublayer,
     FrameAssembler,
     add_flags,
     frame_stream,
@@ -129,3 +130,12 @@ class TestFrameAssembler:
         stream = frame_stream(bodies, HDLC_RULE)
         assembler = FrameAssembler(HDLC_RULE)
         assert assembler.push(stream) == bodies
+
+
+class TestUnattachedAssembler:
+    def test_stream_mode_before_attach_raises(self):
+        """Stream-mode framing needs the assembler built in on_attach;
+        using the sublayer unattached is a configuration error."""
+        sub = FlagSublayer("flags", stream_mode=True)
+        with pytest.raises(ConfigurationError, match="never attached"):
+            sub.from_below(Bits.from_string("0110"))

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.bits import Bits
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.header import Field, HeaderFormat
 from repro.core.pdu import Pdu
 from repro.sim.engine import Simulator
@@ -236,3 +236,15 @@ class TestDropTailQueue:
         sim, link, _ = make_link()
         stats = link.stats.as_dict()
         assert "queue_dropped" in stats and "ecn_marked" in stats
+
+
+class TestDetachedSink:
+    def test_sink_detached_mid_flight_raises(self):
+        """A unit in flight with no sink is a simulation fault, not a
+        silent drop (and must survive ``python -O``)."""
+        sim, link, received = make_link(delay=0.01)
+        link.send(Bits.from_bytes(b"x"))
+        link._sink = None
+        with pytest.raises(SimulationError, match="no\\s+connected sink"):
+            sim.run_until_idle()
+        assert received == []

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.errors import SimulationError
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory, derive_seed
 from repro.sim.stats import Counter, RunningStats, ThroughputMeter
@@ -144,3 +145,12 @@ class TestStats:
 
     def test_throughput_meter_empty(self):
         assert ThroughputMeter().throughput_bps() == 0.0
+
+
+class TestThroughputMeterCorruption:
+    def test_first_without_last_raises(self):
+        """A meter with a first delivery but no last is corrupt state,
+        reported as SimulationError rather than an -O-stripped assert."""
+        meter = ThroughputMeter(bytes_delivered=10, first_time=0.0)
+        with pytest.raises(SimulationError, match="corrupt"):
+            meter.throughput_bps()

@@ -1,0 +1,19 @@
+"""Shared paths and helpers for the static-checker tests."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture
+def fixtures() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def src_repro() -> Path:
+    return SRC_REPRO

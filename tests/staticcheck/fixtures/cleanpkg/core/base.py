@@ -1,0 +1,20 @@
+"""A well-behaved core layer: declarations the transport fixture uses."""
+
+from repro.core.header import Field, HeaderFormat
+from repro.core.interface import Primitive, ServiceInterface
+
+GOOD_HEADER = HeaderFormat(
+    "good",
+    [
+        Field("seq", 16, owner="good"),
+        Field("flag", 1, owner="good"),
+    ],
+)
+
+GOOD_SERVICE = ServiceInterface(
+    "good-service",
+    [
+        Primitive("open", "open a thing"),
+        Primitive("push", "push a unit"),
+    ],
+)

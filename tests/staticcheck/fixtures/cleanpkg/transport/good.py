@@ -1,0 +1,39 @@
+"""A sublayer that honours T1/T2/T3: every rule passes here."""
+
+from typing import Any
+
+from repro.core.pdu import unwrap
+from repro.core.sublayer import Sublayer
+
+from ..core.base import GOOD_HEADER, GOOD_SERVICE
+
+
+class ProviderSublayer(Sublayer):
+    """Offers the narrow good-service interface."""
+
+    SERVICE = GOOD_SERVICE
+
+    def srv_open(self, conn: Any) -> None:
+        self.state.opened = True
+
+    def srv_push(self, unit: Any) -> None:
+        self.send_down(unit)
+
+
+class GoodSublayer(Sublayer):
+    """Uses only declared primitives and its own header fields."""
+
+    HEADER = GOOD_HEADER
+
+    def on_attach(self) -> None:
+        self.state.sent = 0
+
+    def from_above(self, sdu: Any, **meta: Any) -> None:
+        self.state.sent = self.state.sent + 1
+        self.below.open(meta.get("conn"))
+        self.below.push(self.wrap({"seq": self.state.sent, "flag": 1}, sdu))
+
+    def from_below(self, pdu: Any, **meta: Any) -> None:
+        values, inner = unwrap(pdu, self.name)
+        if values["flag"]:
+            self.deliver_up(inner, seq=values["seq"])

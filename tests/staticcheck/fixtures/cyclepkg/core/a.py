@@ -1,0 +1,7 @@
+"""Half of an import cycle."""
+
+from .b import b_value
+
+
+def a_value() -> int:
+    return b_value() + 1

@@ -1,0 +1,7 @@
+"""The other half of the import cycle."""
+
+from .a import a_value
+
+
+def b_value() -> int:
+    return a_value() - 1

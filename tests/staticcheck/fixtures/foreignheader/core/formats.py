@@ -1,0 +1,10 @@
+"""Header declaration for the foreign-header fixture."""
+
+from repro.core.header import Field, HeaderFormat
+
+NARROW_HEADER = HeaderFormat(
+    "narrow",
+    [
+        Field("seq", 16, owner="narrow"),
+    ],
+)

@@ -1,0 +1,32 @@
+"""Deliberate T3 violations: touching header fields that are not ours."""
+
+from typing import Any
+
+from repro.core.pdu import unwrap
+from repro.core.sublayer import Sublayer
+
+from ..core.formats import NARROW_HEADER
+
+
+class LeakySublayer(Sublayer):
+    """Reads and writes header fields outside its declared format."""
+
+    HEADER = NARROW_HEADER
+
+    def from_above(self, sdu: Any, **meta: Any) -> None:
+        # "window" is not a field of NARROW_HEADER.
+        self.send_down(self.wrap({"seq": 1, "window": 512}, sdu))
+
+    def from_below(self, pdu: Any, **meta: Any) -> None:
+        values, inner = unwrap(pdu, self.name)
+        # Neither is "ack" — this is the peer sublayer below us talking.
+        if values["ack"]:
+            self.deliver_up(inner, seq=values["seq"])
+
+    def mark(self, pdu: Any) -> None:
+        # Direct foreign-header write on a Pdu object.
+        pdu.header["ecn"] = 1
+
+    def pack_foreign(self) -> Any:
+        # Packing an undeclared field into a resolvable format.
+        return NARROW_HEADER.pack({"seq": 1, "urgent": 1})

@@ -1,0 +1,7 @@
+"""A core module that (illegally) depends on the transport layer above."""
+
+from layerviol.transport.widget import WIDGET
+
+
+def lowest_level_helper() -> str:
+    return WIDGET

@@ -1,0 +1,3 @@
+"""The higher-layer module the core fixture illegally reaches up to."""
+
+WIDGET = "widget"

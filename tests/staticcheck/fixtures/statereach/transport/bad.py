@@ -1,0 +1,23 @@
+"""Deliberate T3 violations: reaching through the port into foreign state."""
+
+from typing import Any
+
+from repro.core.sublayer import Sublayer
+
+
+class ReachingSublayer(Sublayer):
+    """Commits all three flavours of cross-sublayer state reach."""
+
+    def from_above(self, sdu: Any, **meta: Any) -> None:
+        # Reading the provider's private state through the port.
+        if self.below.state.window > 0:
+            self.send_down(sdu)
+
+    def from_below(self, pdu: Any, **meta: Any) -> None:
+        # Skipping a sublayer: adjacency only (T2/T3).
+        self.below.below.push(pdu)
+        self.deliver_up(pdu)
+
+    def poke_peer(self, peer: Any) -> None:
+        # Writing a foreign InstrumentedState.
+        peer.state.count = 1

@@ -1,0 +1,26 @@
+"""Deliberate T2 violation: invoking a primitive nobody declares."""
+
+from typing import Any
+
+from repro.core.interface import Primitive, ServiceInterface
+from repro.core.sublayer import Sublayer
+
+
+class SmallProvider(Sublayer):
+    SERVICE = ServiceInterface(
+        "small-service",
+        [
+            Primitive("open", "the one declared primitive"),
+        ],
+    )
+
+    def srv_open(self, conn: Any) -> None:
+        self.state.opened = True
+
+
+class OverreachingSublayer(Sublayer):
+    """Calls a port primitive no ServiceInterface in the corpus declares."""
+
+    def from_above(self, sdu: Any, **meta: Any) -> None:
+        self.below.open(meta.get("conn"))
+        self.below.frobnicate(sdu)  # undeclared: BoundPort would reject this

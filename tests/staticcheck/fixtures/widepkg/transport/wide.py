@@ -1,0 +1,20 @@
+"""Deliberate T2 warning: a service interface that is anything but narrow."""
+
+from repro.core.interface import Primitive, ServiceInterface
+from repro.core.sublayer import Sublayer
+
+
+class WideProvider(Sublayer):
+    SERVICE = ServiceInterface(
+        "wide-service",
+        [
+            Primitive("open", ""),
+            Primitive("close", ""),
+            Primitive("send", ""),
+            Primitive("recv", ""),
+            Primitive("peek", ""),
+            Primitive("stat", ""),
+            Primitive("tune", ""),
+            Primitive("drain", ""),
+        ],
+    )

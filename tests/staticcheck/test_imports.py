@@ -1,0 +1,72 @@
+"""The T1 static rules: layer ordering and import cycles."""
+
+from repro.staticcheck import (
+    StaticCheckConfig,
+    check_import_cycles,
+    check_layer_order,
+    collect_imports,
+    load_package,
+    run_staticcheck,
+)
+
+
+def test_clean_fixture_passes(fixtures):
+    report = run_staticcheck(fixtures / "cleanpkg")
+    assert report.passed
+    assert report.violations == []
+
+
+def test_layer_order_violation_detected(fixtures):
+    report = run_staticcheck(fixtures / "layerviol")
+    assert not report.passed
+    result = report.result("layer-order")
+    assert not result.passed
+    [violation] = [v for v in report.violations if v.rule == "layer-order"]
+    assert violation.module == "layerviol.core.util"
+    assert "layerviol.transport.widget" in violation.message
+    assert violation.line > 0
+
+
+def test_layer_order_allowlist_exempts(fixtures):
+    config = StaticCheckConfig(
+        allowlist=frozenset({"layerviol.core.util -> layerviol.transport"})
+    )
+    report = run_staticcheck(fixtures / "layerviol", config)
+    assert report.passed
+
+
+def test_allowlist_prefix_matches_whole_packages(fixtures):
+    config = StaticCheckConfig(
+        allowlist=frozenset({"layerviol.core -> layerviol.transport"})
+    )
+    report = run_staticcheck(fixtures / "layerviol", config)
+    assert report.passed
+
+
+def test_import_cycle_detected(fixtures):
+    report = run_staticcheck(fixtures / "cyclepkg")
+    assert not report.passed
+    result = report.result("import-cycle")
+    assert not result.passed
+    [violation] = [v for v in report.violations if v.rule == "import-cycle"]
+    assert "cyclepkg.core.a" in violation.message
+    assert "cyclepkg.core.b" in violation.message
+
+
+def test_collect_imports_resolves_relative_and_absolute(fixtures):
+    corpus = load_package(fixtures / "cleanpkg")
+    edges = collect_imports(corpus)
+    pairs = {(e.importer, e.imported) for e in edges}
+    # relative: transport/good.py does `from ..core.base import ...`
+    assert ("cleanpkg.transport.good", "cleanpkg.core.base") in pairs
+    # imports that leave the corpus (repro.*) must not create edges
+    assert all(imported.startswith("cleanpkg") for _, imported in pairs)
+
+
+def test_passes_are_independent(fixtures):
+    """Cycle checking is not confused by a layer violation and vice versa."""
+    corpus = load_package(fixtures / "layerviol")
+    edges = collect_imports(corpus)
+    assert check_import_cycles(corpus, edges) == []
+    config = StaticCheckConfig(allowlist=frozenset())
+    assert check_layer_order(corpus, edges, config) != []

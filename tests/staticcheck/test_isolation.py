@@ -1,0 +1,40 @@
+"""The T3 static rules: state reach and foreign header fields."""
+
+from repro.staticcheck import run_staticcheck
+
+
+def test_state_reach_detects_all_three_flavours(fixtures):
+    report = run_staticcheck(fixtures / "statereach")
+    assert not report.passed
+    violations = [v for v in report.violations if v.rule == "state-reach"]
+    messages = "\n".join(v.message for v in violations)
+    assert len(violations) == 3
+    assert "self.below.state" in messages
+    assert "self.below.below" in messages
+    assert "peer.state.count" in messages
+    assert all(v.severity == "error" for v in violations)
+
+
+def test_own_state_writes_are_not_flagged(fixtures):
+    report = run_staticcheck(fixtures / "cleanpkg")
+    assert [v for v in report.violations if v.rule == "state-reach"] == []
+
+
+def test_foreign_header_fields_detected(fixtures):
+    report = run_staticcheck(fixtures / "foreignheader")
+    assert not report.passed
+    violations = [
+        v for v in report.violations if v.rule == "foreign-header-field"
+    ]
+    flagged = {m for v in violations for m in ("window", "ack", "ecn", "urgent")
+               if repr(m) in v.message}
+    assert flagged == {"window", "ack", "ecn", "urgent"}
+    # the declared field never trips the rule
+    assert not any("'seq'" in v.message for v in violations)
+
+
+def test_own_header_fields_are_not_flagged(fixtures):
+    report = run_staticcheck(fixtures / "cleanpkg")
+    assert [
+        v for v in report.violations if v.rule == "foreign-header-field"
+    ] == []

@@ -1,0 +1,42 @@
+"""The T2 static rules: undeclared primitives and interface width."""
+
+from repro.staticcheck import StaticCheckConfig, run_staticcheck
+
+
+def test_undeclared_primitive_detected(fixtures):
+    report = run_staticcheck(fixtures / "undeclared")
+    assert not report.passed
+    violations = [
+        v for v in report.violations if v.rule == "undeclared-primitive"
+    ]
+    assert len(violations) == 1
+    assert "frobnicate" in violations[0].message
+    # the declared primitive is fine
+    assert not any("open" in v.message for v in violations)
+
+
+def test_interface_width_is_a_warning(fixtures):
+    report = run_staticcheck(fixtures / "widepkg")
+    violations = [v for v in report.violations if v.rule == "interface-width"]
+    assert len(violations) == 1
+    assert violations[0].severity == "warning"
+    assert "wide-service" in violations[0].message
+    # warnings do not fail the run...
+    assert report.passed
+    assert report.errors == []
+    assert len(report.warnings) == 1
+
+
+def test_interface_width_fails_under_strict(fixtures):
+    report = run_staticcheck(
+        fixtures / "widepkg", StaticCheckConfig(strict=True)
+    )
+    assert not report.passed
+    assert not report.result("interface-width").passed
+
+
+def test_width_threshold_is_configurable(fixtures):
+    report = run_staticcheck(
+        fixtures / "widepkg", StaticCheckConfig(max_interface_width=8)
+    )
+    assert [v for v in report.violations if v.rule == "interface-width"] == []

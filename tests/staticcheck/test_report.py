@@ -1,0 +1,91 @@
+"""StaticReport: shared CheckResult shape, emitters, and require()."""
+
+import json
+
+import pytest
+
+from repro.core import litmus
+from repro.core.errors import LitmusFailure
+from repro.core.report import CheckResult, Report
+from repro.staticcheck import StaticReport, Violation, build_report
+from repro.staticcheck.report import ALL_RULES, ERROR, WARNING
+
+
+def _violation(rule="state-reach", severity=ERROR, line=7):
+    return Violation(
+        rule=rule,
+        severity=severity,
+        module="pkg.mod",
+        path="pkg/mod.py",
+        line=line,
+        message="something reached somewhere",
+    )
+
+
+def test_static_report_shares_litmus_shape():
+    """Static and runtime reports are the same core types (ISSUE: CI and
+    tests consume the same output)."""
+    assert issubclass(StaticReport, Report)
+    assert issubclass(litmus.LitmusReport, Report)
+    assert issubclass(litmus.TestResult, CheckResult)
+    # the litmus API is preserved through the refactor
+    result = litmus.TestResult("T1", True)
+    assert result.test == "T1" and result.name == "T1"
+
+
+def test_build_report_covers_every_rule():
+    report = build_report([], checked_modules=3)
+    assert [r.name for r in report.results] == [rule for rule, _ in ALL_RULES]
+    assert report.passed
+    for result in report.results:
+        assert result.metrics["checked_modules"] == 3
+        assert result.metrics["litmus"] in ("T1", "T2", "T3")
+
+
+def test_errors_fail_warnings_do_not():
+    report = build_report(
+        [_violation(), _violation("interface-width", WARNING)],
+        checked_modules=1,
+    )
+    assert not report.result("state-reach").passed
+    assert report.result("interface-width").passed
+    assert not report.passed
+
+
+def test_strict_promotes_warnings():
+    report = build_report(
+        [_violation("interface-width", WARNING)], checked_modules=1, strict=True
+    )
+    assert not report.result("interface-width").passed
+
+
+def test_json_emitter_round_trips():
+    report = build_report([_violation()], checked_modules=1)
+    data = json.loads(report.to_json())
+    assert data["passed"] is False
+    assert {r["name"] for r in data["results"]} == {r for r, _ in ALL_RULES}
+    [violation] = data["violations"]
+    assert violation["rule"] == "state-reach"
+    assert violation["line"] == 7
+
+
+def test_text_emitter_lists_violations_then_summary():
+    report = build_report([_violation()], checked_modules=1)
+    text = report.text()
+    assert "pkg/mod.py:7: error: [state-reach]" in text
+    assert "state-reach: FAIL" in text
+    assert "1 error(s), 0 warning(s)" in text
+
+
+def test_require_raises_like_litmus():
+    report = build_report([_violation()], checked_modules=1)
+    with pytest.raises(LitmusFailure) as excinfo:
+        report.require()
+    assert excinfo.value.test == "state-reach"
+    build_report([], checked_modules=1).require()  # clean: no raise
+
+
+def test_violations_are_sorted_and_deterministic():
+    violations = [_violation(line=9), _violation(line=2)]
+    report = build_report(violations, checked_modules=1)
+    assert [v.line for v in report.violations] == [2, 9]

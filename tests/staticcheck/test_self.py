@@ -1,0 +1,53 @@
+"""The repository is its own test corpus: src/repro must check clean."""
+
+from repro.staticcheck import (
+    StaticCheckConfig,
+    load_package,
+    build_model,
+    run_staticcheck,
+)
+
+
+def test_repo_source_is_statically_clean(src_repro):
+    report = run_staticcheck(src_repro)
+    assert report.errors == [], report.text()
+    assert report.warnings == [], report.text()
+    assert report.passed
+
+
+def test_self_check_is_not_vacuous(src_repro):
+    """The model must actually see the repo's sublayers and interfaces —
+    a pass over an empty model would prove nothing."""
+    corpus = load_package(src_repro)
+    model = build_model(corpus)
+    sublayers = {d.name for d in model.sublayer_classes()}
+    assert {"RdSublayer", "CmSublayer", "OsrSublayer", "DmSublayer"} <= sublayers
+    assert len(sublayers) >= 15
+    assert {"rd-service", "cm-service", "dm-service"} <= {
+        d.name for d in model.interfaces
+    }
+    assert {"open", "listen", "send", "close"} <= model.declared_primitives()
+    header, known = model.effective_header(model.classes["RdSublayer"])
+    assert known and header is not None
+    assert "sack_left" in header.fields
+    # inherited HEADER resolution (TimerCmSublayer subclasses CmSublayer)
+    header, known = model.effective_header(model.classes["TimerCmSublayer"])
+    assert known and header is not None and header.name == "cm"
+    # the shim is recognised (and exempted from foreign-header-field)
+    assert model.is_shim(model.classes["Rfc793Shim"])
+
+
+def test_default_allowlist_is_load_bearing(src_repro):
+    """Dropping the allowlist must surface the documented exceptions —
+    proving the layer-order rule actually inspects the real code."""
+    report = run_staticcheck(
+        src_repro, StaticCheckConfig(allowlist=frozenset())
+    )
+    offenders = {
+        v.module for v in report.violations if v.rule == "layer-order"
+    }
+    assert offenders == {
+        "repro.datalink.stacks",
+        "repro.network.topology",
+        "repro.datalink.framing.lemmas",
+    }

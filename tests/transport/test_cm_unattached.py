@@ -1,0 +1,58 @@
+"""The unattached-CM exception paths.
+
+These used to be ``assert self.below is not None`` — which vanishes
+under ``python -O`` and then surfaces as an opaque ``AttributeError``.
+They are now :class:`ConfigurationError` with the wiring explained.
+"""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.stack import Stack
+from repro.transport.sublayered.cm import CmSublayer
+
+
+def make_solo_cm() -> CmSublayer:
+    """A CM wired into a stack with nothing below it (no DM)."""
+    cm = CmSublayer("cm")
+    Stack("solo", [cm])
+    return cm
+
+
+def test_open_without_dm_below_raises():
+    cm = make_solo_cm()
+    with pytest.raises(ConfigurationError, match="no port below"):
+        cm.srv_open((1, 2))
+    assert cm.state.conns == {}
+
+
+def test_listen_without_dm_below_raises():
+    cm = make_solo_cm()
+    with pytest.raises(ConfigurationError, match="no port below"):
+        cm.srv_listen(80)
+
+
+def test_flag_sublayer_check_survives_python_dash_o():
+    """The check is a real raise, not an assert: compiling with
+    optimization on must not remove it (regression guard for the
+    whole assert-replacement batch)."""
+    import subprocess
+    import sys
+
+    code = (
+        "from repro.core.stack import Stack\n"
+        "from repro.transport.sublayered.cm import CmSublayer\n"
+        "from repro.core.errors import ConfigurationError\n"
+        "cm = CmSublayer('cm'); Stack('solo', [cm])\n"
+        "try:\n"
+        "    cm.srv_listen(80)\n"
+        "except ConfigurationError:\n"
+        "    print('RAISED')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-O", "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert "RAISED" in result.stdout
