@@ -8,7 +8,10 @@ numbers quoted in EXPERIMENTS.md can be re-derived with one command.
 
 from __future__ import annotations
 
+import json
+import platform
 import random
+import sys
 from pathlib import Path
 from typing import Any
 
@@ -30,6 +33,39 @@ def write_result(name: str, lines: list[str]) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print(f"\n=== {name} ===")
     print(text)
+
+
+def write_bench_json(
+    name: str,
+    *,
+    wall_s: float,
+    events: int | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Persist machine-readable results to ``results/BENCH_<name>.json``.
+
+    One JSON object per benchmark — name, wall time, and (when the
+    benchmark is event-loop bound) events and events/sec — so the perf
+    trajectory can be diffed across PRs instead of eyeballing the text
+    tables.
+    """
+    payload: dict[str, Any] = {
+        "bench": name,
+        "wall_s": round(wall_s, 6),
+        "python": platform.python_version(),
+    }
+    if events is not None:
+        payload["events"] = events
+        payload["events_per_s"] = (
+            round(events / wall_s, 1) if wall_s > 0 else None
+        )
+    if extra:
+        payload.update(extra)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench-json] {path}", file=sys.stderr)
+    return payload
 
 
 def table(rows: list[dict[str, Any]]) -> list[str]:

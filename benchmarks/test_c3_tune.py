@@ -10,45 +10,68 @@ Reproduced, in this substrate's terms: the *protocol* behaviour is
 identical (same virtual-time completion on the same seeded link), so
 the entire sublayering cost is per-crossing host work.  We measure
 wall-clock per transfer for the monolithic TCP, the untuned sublayered
-TCP (every crossing logged and instrumented), and the tuned sublayered
-TCP (crossing/state bookkeeping disabled — the "finesse the crossings"
-trick available to this implementation), plus the crossings-per-
-segment count that any tuning must amortize."""
+TCP (every crossing logged and instrumented), the tuned sublayered TCP
+(crossing/state bookkeeping disabled — the "finesse the crossings"
+trick available to this implementation), and the fully observed
+sublayered TCP (span tracing + callback profiling on), plus the
+crossings-per-segment count that any tuning must amortize.
+
+The observability contract is also checked here: with tracing
+*disabled* every hop pays exactly one ``span_hook is None`` test, and
+the benchmark verifies that this costs under 10% of the event loop
+(measured per-check cost x hop count vs. the untraced run's wall
+time)."""
 
 import time
 
-from _util import make_pair, run_transfer, table, write_result
+from _util import make_pair, run_transfer, table, write_bench_json, write_result
 
+from repro.obs import CallbackProfiler, SpanTracer
 from repro.sim import LinkConfig
 
 NBYTES = 200_000
 LINK = dict(delay=0.02, rate_bps=16_000_000, loss=0.02)
 
+#: Ring-buffer bound for the traced run: long transfers must not grow
+#: the flight recorder without limit (sim.trace.Trace ring mode).
+MAX_SPANS = 50_000
 
-def run_config(kind: str, tuned: bool = False):
+
+def run_config(kind: str, tuned: bool = False, traced: bool = False):
     sim, a, b = make_pair(kind, kind, link=LinkConfig(**LINK), seed=6)
     if tuned:
         for host in (a, b):
             host.access_log.enabled = False
             host.interface_log.enabled = False
+    tracer = profiler = None
+    if traced:
+        tracer = SpanTracer(max_spans=MAX_SPANS)
+        tracer.attach(a.stack)
+        tracer.attach(b.stack)
+        profiler = CallbackProfiler().install(sim)
     start = time.perf_counter()
     outcome = run_transfer(sim, a, b, nbytes=NBYTES)
     wall = time.perf_counter() - start
     assert outcome["intact"]
     crossings = None
-    if kind == "sub" and not tuned:
+    if kind == "sub" and not tuned and not traced:
         data_segments = a.stack.sublayer("osr").state.snapshot()[
             "segments_released"
         ]
         crossings = round(a.interface_log.crossings() / max(1, data_segments), 1)
+    label = "sublayered" if kind == "sub" else "monolithic"
+    if tuned:
+        label += " (tuned)"
+    if traced:
+        label += " (traced)"
     return {
-        "implementation": (
-            f"{'sublayered' if kind == 'sub' else 'monolithic'}"
-            f"{' (tuned)' if tuned else ''}"
-        ),
+        "implementation": label,
         "virtual_s": outcome["virtual_seconds"],
         "wall_ms": round(wall * 1e3, 1),
         "crossings_per_segment": crossings if crossings is not None else "-",
+        "_events": sim.events_processed,
+        "_tracer": tracer,
+        "_profiler": profiler,
     }
 
 
@@ -58,33 +81,85 @@ def median_of(fn, runs: int = 5):
     return samples[len(samples) // 2]
 
 
+def disabled_check_cost(iterations: int = 1_000_000) -> float:
+    """Wall seconds per ``hook is None`` test (with loop overhead —
+    a deliberate overestimate, so the <10% bound is conservative)."""
+    hook = None
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if hook is not None:  # pragma: no cover - never taken
+            raise AssertionError
+    return (time.perf_counter() - start) / iterations
+
+
 def test_c3_tune(benchmark):
     mono = benchmark.pedantic(
         lambda: median_of(lambda: run_config("mono")), rounds=1, iterations=1
     )
     untuned = median_of(lambda: run_config("sub"))
     tuned = median_of(lambda: run_config("sub", tuned=True))
+    traced = median_of(lambda: run_config("sub", traced=True))
 
-    rows = [mono, untuned, tuned]
-    lines = table(rows)
+    rows = [mono, untuned, tuned, traced]
+    lines = table(
+        [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+    )
     lines.append("")
     overhead_untuned = untuned["wall_ms"] / mono["wall_ms"]
     overhead_tuned = tuned["wall_ms"] / mono["wall_ms"]
+    overhead_traced = traced["wall_ms"] / untuned["wall_ms"]
     lines.append(
         f"wall-clock vs monolithic: untuned {overhead_untuned:.2f}x, "
         f"tuned {overhead_tuned:.2f}x"
     )
+
+    # Span overhead with tracing DISABLED: one None check per hop.  The
+    # hop count equals the span count of the traced run (same seed,
+    # same protocol behaviour).
+    tracer = traced["_tracer"]
+    hops = len(tracer) + tracer.dropped_spans
+    per_check = disabled_check_cost()
+    span_overhead_disabled = (hops * per_check) / (untuned["wall_ms"] / 1e3)
     lines.append(
-        "tuning does not change the protocol: untuned and tuned sublayered "
-        "runs complete at the same virtual time; only per-crossing host "
-        "work shrinks (challenge 3's shape).  The virtual-time difference "
-        "vs the monolithic run reflects algorithmic differences (RD's "
-        "SACK-assisted recovery vs the baseline's dupack-only Reno), not "
-        "the architecture."
+        f"span tracing: {hops} hops; enabled costs {overhead_traced:.2f}x "
+        f"the untraced run ({tracer.dropped_spans} spans dropped by the "
+        f"{MAX_SPANS}-span ring buffer); disabled costs one None check "
+        f"per hop = {span_overhead_disabled * 100:.3f}% of the event loop"
+    )
+    profiler = traced["_profiler"]
+    hottest = profiler.hottest(3)
+    lines.append(
+        "hottest actors (callback wall time): "
+        + ", ".join(f"{actor} {spent * 1e3:.1f} ms" for actor, spent in hottest)
+    )
+    lines.append(
+        "tuning does not change the protocol: untuned, tuned, and traced "
+        "sublayered runs complete at the same virtual time; only "
+        "per-crossing host work changes (challenge 3's shape).  The "
+        "virtual-time difference vs the monolithic run reflects "
+        "algorithmic differences (RD's SACK-assisted recovery vs the "
+        "baseline's dupack-only Reno), not the architecture."
     )
     write_result("c3_tune", lines)
+    write_bench_json(
+        "c3_tune",
+        wall_s=untuned["wall_ms"] / 1e3,
+        events=untuned["_events"],
+        extra={
+            "wall_ms_monolithic": mono["wall_ms"],
+            "wall_ms_tuned": tuned["wall_ms"],
+            "wall_ms_traced": traced["wall_ms"],
+            "overhead_untuned_x": round(overhead_untuned, 3),
+            "overhead_tuned_x": round(overhead_tuned, 3),
+            "overhead_traced_x": round(overhead_traced, 3),
+            "span_hops": hops,
+            "span_overhead_disabled": round(span_overhead_disabled, 6),
+        },
+    )
 
     # same protocol behaviour on the same seeded link
-    assert untuned["virtual_s"] == tuned["virtual_s"]
+    assert untuned["virtual_s"] == tuned["virtual_s"] == traced["virtual_s"]
     # tuning must close a real part of the gap
     assert tuned["wall_ms"] <= untuned["wall_ms"]
+    # the observability acceptance bound: tracing off must stay cheap
+    assert span_overhead_disabled < 0.10

@@ -7,21 +7,48 @@ reorders packets, transfers a payload, and then runs the paper's three
 sublayering litmus tests (T1/T2/T3) over the instrumented execution.
 
 Run:  python examples/quickstart.py
+
+Pass ``--trace spans.jsonl`` to record a span for every sublayer
+crossing; convert the result with ``python -m repro.obs convert``.
 """
 
+import argparse
 import random
 
 from repro.core.litmus import WireTap, run_litmus
+from repro.obs import MetricsRegistry, SpanTracer, summarize
 from repro.sim import DuplexLink, LinkConfig, Simulator
 from repro.transport import SublayeredTcpHost, TcpConfig
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write per-crossing spans to FILE as JSON lines",
+    )
+    # tolerate foreign argv: the test suite executes this script via
+    # runpy under pytest's own command line
+    args, _unknown = parser.parse_known_args()
+    return args
+
+
 def main() -> None:
+    args = parse_args()
     sim = Simulator()
     config = TcpConfig(mss=1000)
 
-    client = SublayeredTcpHost("client", sim.clock(), config)
-    server = SublayeredTcpHost("server", sim.clock(), config)
+    metrics = MetricsRegistry()
+    client = SublayeredTcpHost("client", sim.clock(), config, metrics=metrics)
+    server = SublayeredTcpHost("server", sim.clock(), config, metrics=metrics)
+
+    tracer = None
+    if args.trace is not None:
+        tracer = SpanTracer()
+        tracer.attach(client.stack)
+        tracer.attach(server.stack)
 
     link = DuplexLink(
         sim,
@@ -60,6 +87,16 @@ def main() -> None:
     print("\nLitmus tests over the instrumented run:")
     report = run_litmus(client.stack, server.stack, wire)
     print(report.summary())
+
+    if tracer is not None:
+        count = tracer.write_jsonl(args.trace)
+        print(f"\nwrote {count} spans to {args.trace} "
+              f"({tracer.dropped_spans} dropped)")
+        print(summarize(tracer.spans(), dropped=tracer.dropped_spans))
+        print("counters seen by the metrics registry: "
+              f"{len(metrics.counters)} "
+              f"(e.g. tcp:client/rd/retransmitted = "
+              f"{metrics.counter('tcp:client/rd/retransmitted')})")
 
 
 if __name__ == "__main__":

@@ -32,13 +32,24 @@ class Clock(Protocol):
 
 
 class TimerHandle:
-    """Cancelable handle for a scheduled callback."""
+    """Cancelable handle for a scheduled callback.
 
-    __slots__ = ("_cancelled", "when", "callback")
+    ``actor`` is the instrumentation actor that scheduled the callback
+    (captured by the simulator when profiling is enabled), so callback
+    cost can be attributed to the sublayer that armed the timer.
+    """
 
-    def __init__(self, when: float, callback: Callable[[], None]):
+    __slots__ = ("_cancelled", "when", "callback", "actor")
+
+    def __init__(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        actor: str | None = None,
+    ):
         self.when = when
         self.callback = callback
+        self.actor = actor
         self._cancelled = False
 
     def cancel(self) -> None:

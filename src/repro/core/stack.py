@@ -28,6 +28,7 @@ from .clock import Clock, ManualClock
 from .errors import ConfigurationError
 from .instrument import AccessLog, InstrumentedState, acting_as
 from .interface import BoundPort, InterfaceCall, InterfaceLog, Notification
+from .metrics import MetricsSink, scoped
 from .sublayer import Sublayer
 
 APP = "_app"
@@ -44,6 +45,7 @@ class Stack:
         clock: Clock | None = None,
         access_log: AccessLog | None = None,
         interface_log: InterfaceLog | None = None,
+        metrics: MetricsSink | None = None,
     ):
         if not sublayers:
             raise ConfigurationError("a stack needs at least one sublayer")
@@ -57,11 +59,18 @@ class Stack:
         self.interface_log = (
             interface_log if interface_log is not None else InterfaceLog()
         )
+        self.metrics = metrics
         self.on_deliver: Callable[..., None] | None = None
         self.on_transmit: Callable[..., None] | None = None
         # Observers of every data-path hop: fn(direction, caller, provider, sdu, meta).
         # Contract monitors and the litmus checker attach here.
         self.taps: list[Callable[[str, str, str, Any, dict], None]] = []
+        # Optional span factory: fn(direction, caller, provider, sdu, meta)
+        # returning a context manager that brackets the receiving
+        # sublayer's processing of the hop.  Installed from outside
+        # (repro.obs.SpanTracer.attach); when None, hops pay only this
+        # attribute's None check.
+        self.span_hook: Callable[[str, str, str, Any, dict], Any] | None = None
         self._wire()
 
     def _tap(self, direction: str, caller: str, provider: str, sdu: Any, meta: dict) -> None:
@@ -75,6 +84,7 @@ class Stack:
         for sublayer in self.sublayers:
             sublayer.stack_name = self.name
             sublayer.clock = self.clock
+            sublayer.metrics = scoped(self.metrics, f"{self.name}/{sublayer.name}")
             sublayer.state = InstrumentedState(sublayer.name, log=self.access_log)
             sublayer.notifications = {
                 channel: Notification(channel, sublayer.name, self.interface_log)
@@ -126,8 +136,13 @@ class Stack:
                     )
                 )
                 self._tap("down", sender.name, below.name, sdu, meta)
-                with acting_as(below.name):
-                    below.from_above(sdu, **meta)
+                if self.span_hook is None:
+                    with acting_as(below.name):
+                        below.from_above(sdu, **meta)
+                else:
+                    with self.span_hook("down", sender.name, below.name, sdu, meta):
+                        with acting_as(below.name):
+                            below.from_above(sdu, **meta)
             else:
                 self.interface_log.record(
                     InterfaceCall(
@@ -143,7 +158,11 @@ class Stack:
                     raise ConfigurationError(
                         f"stack {self.name!r} has no on_transmit sink"
                     )
-                self.on_transmit(sdu, **meta)
+                if self.span_hook is None:
+                    self.on_transmit(sdu, **meta)
+                else:
+                    with self.span_hook("down", sender.name, WIRE, sdu, meta):
+                        self.on_transmit(sdu, **meta)
 
         return hop
 
@@ -162,8 +181,13 @@ class Stack:
                     )
                 )
                 self._tap("up", sender.name, above.name, sdu, meta)
-                with acting_as(above.name):
-                    above.from_below(sdu, **meta)
+                if self.span_hook is None:
+                    with acting_as(above.name):
+                        above.from_below(sdu, **meta)
+                else:
+                    with self.span_hook("up", sender.name, above.name, sdu, meta):
+                        with acting_as(above.name):
+                            above.from_below(sdu, **meta)
             else:
                 self.interface_log.record(
                     InterfaceCall(
@@ -176,7 +200,11 @@ class Stack:
                 )
                 self._tap("up", sender.name, APP, sdu, meta)
                 if self.on_deliver is not None:
-                    self.on_deliver(sdu, **meta)
+                    if self.span_hook is None:
+                        self.on_deliver(sdu, **meta)
+                    else:
+                        with self.span_hook("up", sender.name, APP, sdu, meta):
+                            self.on_deliver(sdu, **meta)
 
         return hop
 
@@ -209,8 +237,13 @@ class Stack:
             )
         )
         self._tap("down", APP, self.top.name, data, meta)
-        with acting_as(self.top.name):
-            self.top.from_above(data, **meta)
+        if self.span_hook is None:
+            with acting_as(self.top.name):
+                self.top.from_above(data, **meta)
+        else:
+            with self.span_hook("down", APP, self.top.name, data, meta):
+                with acting_as(self.top.name):
+                    self.top.from_above(data, **meta)
 
     def receive(self, pdu: Any, **meta: Any) -> None:
         """The wire hands a PDU to the bottom sublayer."""
@@ -224,8 +257,13 @@ class Stack:
             )
         )
         self._tap("up", WIRE, self.bottom.name, pdu, meta)
-        with acting_as(self.bottom.name):
-            self.bottom.from_below(pdu, **meta)
+        if self.span_hook is None:
+            with acting_as(self.bottom.name):
+                self.bottom.from_below(pdu, **meta)
+        else:
+            with self.span_hook("up", WIRE, self.bottom.name, pdu, meta):
+                with acting_as(self.bottom.name):
+                    self.bottom.from_below(pdu, **meta)
 
     # ------------------------------------------------------------------
     def order(self) -> list[str]:

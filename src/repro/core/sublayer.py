@@ -36,6 +36,7 @@ from .errors import ConfigurationError
 from .header import HeaderFormat
 from .instrument import InstrumentedState
 from .interface import BoundPort, Notification, ServiceInterface
+from .metrics import NULL_METRICS, MetricsSink
 from .pdu import Pdu
 
 
@@ -66,6 +67,7 @@ class Sublayer:
         self.state: InstrumentedState = None  # type: ignore[assignment]
         self.below: BoundPort | None = None
         self.clock: Clock = None  # type: ignore[assignment]
+        self.metrics: MetricsSink = NULL_METRICS
         self.notifications: dict[str, Notification] = {}
         self._send_down: Callable[[Pdu | Any], None] | None = None
         self._deliver_up: Callable[..., None] | None = None
@@ -113,6 +115,18 @@ class Sublayer:
     def wrap(self, header: dict[str, int], inner: Any) -> Pdu:
         """Build this sublayer's PDU around ``inner``."""
         return Pdu(self.name, self.HEADER, header, inner)
+
+    def count(self, field: str, by: int = 1) -> None:
+        """Increment a state counter and mirror it to the metrics sink.
+
+        The counter stays in ``self.state`` (protocol-visible, subject
+        to the T3 ownership check like any other state) while the same
+        increment reaches whatever metrics backend the stack installed,
+        so one bookkeeping site feeds both the litmus instrumentation
+        and the observability registry.
+        """
+        setattr(self.state, field, getattr(self.state, field) + by)
+        self.metrics.inc(field, by)
 
     def notify(self, channel: str, *args: Any, **kwargs: Any) -> Any:
         """Fire an upward notification, if anyone is connected."""

@@ -94,17 +94,17 @@ class ArqSublayerBase(Sublayer):
         self.send_down(self._encode(KIND_DATA, seq, 0, payload))
 
     def _transmit_ack(self, ack: int) -> None:
-        self.state.acks_sent = self.state.acks_sent + 1
+        self.count("acks_sent")
         self.send_down(self._encode(KIND_ACK, 0, ack, Bits()))
 
     def from_below(self, frame: Any, corrupt: bool = False, **meta: Any) -> None:
         if corrupt:
             # The error-detection interface flagged this frame: treat
             # it as a loss; retransmission will repair it.
-            self.state.corrupt_dropped = self.state.corrupt_dropped + 1
+            self.count("corrupt_dropped")
             return
         if not isinstance(frame, Bits) or len(frame) < ARQ_HEADER.bit_width:
-            self.state.corrupt_dropped = self.state.corrupt_dropped + 1
+            self.count("corrupt_dropped")
             return
         header, payload = ARQ_HEADER.split(frame)
         if header["kind"] == KIND_ACK:
@@ -148,7 +148,7 @@ class StopAndWaitArq(ArqSublayerBase):
         self.state.inflight = payload
         self.state.awaiting_ack = True
         self.state.retries = 0
-        self.state.data_sent = self.state.data_sent + 1
+        self.count("data_sent")
         self._transmit_data(self.state.snd_seq, payload)
         self._arm_timer()
 
@@ -159,13 +159,13 @@ class StopAndWaitArq(ArqSublayerBase):
         if not self.state.awaiting_ack:
             return
         if self.state.retries >= self.max_retries:
-            self.state.given_up = self.state.given_up + 1
+            self.count("given_up")
             self.state.awaiting_ack = False
             self.state.inflight = None
             self._drain_queue()
             return
         self.state.retries = self.state.retries + 1
-        self.state.data_retransmitted = self.state.data_retransmitted + 1
+        self.count("data_retransmitted")
         self._transmit_data(self.state.snd_seq, self.state.inflight)
         self._arm_timer()
 
@@ -188,7 +188,7 @@ class StopAndWaitArq(ArqSublayerBase):
 
     def _on_data(self, wire_seq: int, payload: Bits) -> None:
         if wire_seq == _fold(self.state.rcv_expected):
-            self.state.delivered = self.state.delivered + 1
+            self.count("delivered")
             self.deliver_up(payload)
             self.state.rcv_expected = self.state.rcv_expected + 1
         # Ack the frame we just saw (re-ack duplicates).
@@ -243,7 +243,7 @@ class GoBackNArq(ArqSublayerBase):
             unacked[seq] = payload
             self.state.unacked = unacked
             self.state.next_seq = seq + 1
-            self.state.data_sent = self.state.data_sent + 1
+            self.count("data_sent")
             self._transmit_data(seq, payload)
             if self._timer is None or self._timer.cancelled:
                 self._arm_timer()
@@ -255,14 +255,14 @@ class GoBackNArq(ArqSublayerBase):
         if self.state.base == self.state.next_seq:
             return  # nothing outstanding
         if self.state.retries >= self.max_retries:
-            self.state.given_up = self.state.given_up + 1
+            self.count("given_up")
             self.state.unacked = {}
             self.state.base = self.state.next_seq
             return
         self.state.retries = self.state.retries + 1
         unacked = self.state.unacked
         for seq in range(self.state.base, self.state.next_seq):
-            self.state.data_retransmitted = self.state.data_retransmitted + 1
+            self.count("data_retransmitted")
             self._transmit_data(seq, unacked[seq])
         self._arm_timer()
 
@@ -287,7 +287,7 @@ class GoBackNArq(ArqSublayerBase):
 
     def _on_data(self, wire_seq: int, payload: Bits) -> None:
         if wire_seq == _fold(self.state.rcv_expected):
-            self.state.delivered = self.state.delivered + 1
+            self.count("delivered")
             self.deliver_up(payload)
             self.state.rcv_expected = self.state.rcv_expected + 1
         self._transmit_ack(self.state.rcv_expected)
@@ -345,7 +345,7 @@ class SelectiveRepeatArq(ArqSublayerBase):
             retries[seq] = 0
             self.state.retries = retries
             self.state.next_seq = seq + 1
-            self.state.data_sent = self.state.data_sent + 1
+            self.count("data_sent")
             self._transmit_data(seq, payload)
             self._arm_timer(seq)
 
@@ -359,7 +359,7 @@ class SelectiveRepeatArq(ArqSublayerBase):
             return
         retries = dict(self.state.retries)
         if retries.get(seq, 0) >= self.max_retries:
-            self.state.given_up = self.state.given_up + 1
+            self.count("given_up")
             unacked = dict(self.state.unacked)
             unacked.pop(seq, None)
             self.state.unacked = unacked
@@ -367,7 +367,7 @@ class SelectiveRepeatArq(ArqSublayerBase):
             return
         retries[seq] = retries.get(seq, 0) + 1
         self.state.retries = retries
-        self.state.data_retransmitted = self.state.data_retransmitted + 1
+        self.count("data_retransmitted")
         self._transmit_data(seq, self.state.unacked[seq])
         self._arm_timer(seq)
 
@@ -407,7 +407,7 @@ class SelectiveRepeatArq(ArqSublayerBase):
         expected = self.state.rcv_expected
         while expected in buffer:
             payload = buffer.pop(expected)
-            self.state.delivered = self.state.delivered + 1
+            self.count("delivered")
             self.deliver_up(payload)
             expected += 1
         self.state.rcv_expected = expected

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..core.instrument import AccessLog, InstrumentedState
+from ..core.metrics import NULL_METRICS, MetricsSink
 from .packets import Address, DataPacket
 
 
@@ -28,10 +29,12 @@ class ForwardingSublayer:
         send_on_interface: Callable[[int, DataPacket], None],
         resolve_interface: Callable[[Address], int | None],
         access_log: AccessLog | None = None,
+        metrics: MetricsSink | None = None,
     ):
         self.address = address
         self._send = send_on_interface
         self._resolve_interface = resolve_interface
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.state = InstrumentedState(
             "forwarding",
             log=access_log,
@@ -43,6 +46,11 @@ class ForwardingSublayer:
             dropped_no_interface=0,
         )
         self.on_deliver: Callable[[DataPacket], None] | None = None
+
+    def _count(self, field: str) -> None:
+        """State counter + metrics mirror (same pattern as Sublayer.count)."""
+        setattr(self.state, field, getattr(self.state, field) + 1)
+        self.metrics.inc(field)
 
     # ------------------------------------------------------------------
     def install(self, routes: dict[Address, Address]) -> None:
@@ -56,38 +64,38 @@ class ForwardingSublayer:
     def forward(self, packet: DataPacket) -> None:
         """The per-packet fast path."""
         if packet.dst == self.address:
-            self.state.delivered = self.state.delivered + 1
+            self._count("delivered")
             if self.on_deliver is not None:
                 self.on_deliver(packet)
             return
         next_hop = self.state.fib.get(packet.dst)
         if next_hop is None:
-            self.state.dropped_no_route = self.state.dropped_no_route + 1
+            self._count("dropped_no_route")
             return
         if packet.ttl <= 1:
-            self.state.dropped_ttl = self.state.dropped_ttl + 1
+            self._count("dropped_ttl")
             return
         interface = self._resolve_interface(next_hop)
         if interface is None:
-            self.state.dropped_no_interface = self.state.dropped_no_interface + 1
+            self._count("dropped_no_interface")
             return
-        self.state.forwarded = self.state.forwarded + 1
+        self._count("forwarded")
         self._send(interface, packet.decremented())
 
     def originate(self, packet: DataPacket) -> None:
         """Send a locally-generated packet (no TTL decrement at source)."""
         if packet.dst == self.address:
-            self.state.delivered = self.state.delivered + 1
+            self._count("delivered")
             if self.on_deliver is not None:
                 self.on_deliver(packet)
             return
         next_hop = self.state.fib.get(packet.dst)
         if next_hop is None:
-            self.state.dropped_no_route = self.state.dropped_no_route + 1
+            self._count("dropped_no_route")
             return
         interface = self._resolve_interface(next_hop)
         if interface is None:
-            self.state.dropped_no_interface = self.state.dropped_no_interface + 1
+            self._count("dropped_no_interface")
             return
-        self.state.forwarded = self.state.forwarded + 1
+        self._count("forwarded")
         self._send(interface, packet)

@@ -24,6 +24,7 @@ from typing import Any, Callable
 from ..core.clock import Clock
 from ..core.instrument import AccessLog, acting_as
 from ..core.interface import InterfaceCall, InterfaceLog
+from ..core.metrics import scoped
 from .forwarding import ForwardingSublayer
 from .neighbor import NeighborSublayer
 from .packets import Address, ControlPacket, DataPacket, Hello, Packet
@@ -55,11 +56,13 @@ class Router:
         dead_interval: float = 3.5,
         access_log: AccessLog | None = None,
         interface_log: InterfaceLog | None = None,
+        metrics: Any | None = None,
         **routing_kwargs: Any,
     ):
         self.address = address
         self.clock = clock
         self.access_log = access_log if access_log is not None else AccessLog()
+        self.metrics = metrics
         self.interface_log = (
             interface_log if interface_log is not None else InterfaceLog()
         )
@@ -81,6 +84,7 @@ class Router:
             clock,
             self._send_control_to_neighbor,
             access_log=self.access_log,
+            metrics=scoped(metrics, f"router:{address}/routing"),
             **routing_kwargs,
         )
         self.forwarding = ForwardingSublayer(
@@ -88,6 +92,7 @@ class Router:
             self._send_data_on_interface,
             self._resolve_interface,
             access_log=self.access_log,
+            metrics=scoped(metrics, f"router:{address}/forwarding"),
         )
         self._wire_interfaces_between_sublayers()
         self.on_deliver: Callable[[DataPacket], None] | None = None

@@ -22,6 +22,7 @@ from typing import Callable
 
 from ...core.clock import Clock
 from ...core.instrument import AccessLog, InstrumentedState
+from ...core.metrics import NULL_METRICS, MetricsSink
 from ..packets import Address, ControlPacket
 
 
@@ -38,10 +39,12 @@ class RouteComputation:
         clock: Clock,
         send_to_neighbor: Callable[[Address, ControlPacket], None],
         access_log: AccessLog | None = None,
+        metrics: MetricsSink | None = None,
     ):
         self.address = address
         self.clock = clock
         self._send_to_neighbor = send_to_neighbor
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.state = InstrumentedState(
             "routing", log=access_log, routes={}, updates_sent=0, updates_received=0
         )
@@ -49,6 +52,11 @@ class RouteComputation:
         #: that receives the full {dst: next_hop} map on every change.
         self.install_routes: Callable[[dict[Address, Address]], None] | None = None
         self._started = False
+
+    def _count(self, field: str) -> None:
+        """State counter + metrics mirror (same pattern as Sublayer.count)."""
+        setattr(self.state, field, getattr(self.state, field) + 1)
+        self.metrics.inc(field)
 
     # ------------------------------------------------------------------
     def start(self) -> None:

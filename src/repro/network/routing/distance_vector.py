@@ -66,7 +66,7 @@ class DistanceVector(RouteComputation):
     def on_control(self, packet: ControlPacket, from_neighbor: Address) -> None:
         if not isinstance(packet, DvUpdate):
             return
-        self.state.updates_received = self.state.updates_received + 1
+        self._count("updates_received")
         link_cost = self.state.neighbor_costs.get(from_neighbor)
         if link_cost is None:
             return  # not (yet) a live neighbor
@@ -98,7 +98,7 @@ class DistanceVector(RouteComputation):
                       else cost)
                 for dst, (cost, hop) in table.items()
             }
-            self.state.updates_sent = self.state.updates_sent + 1
+            self._count("updates_sent")
             self._send_to_neighbor(
                 neighbor, DvUpdate(src=self.address, distances=distances)
             )

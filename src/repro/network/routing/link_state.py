@@ -65,7 +65,7 @@ class LinkState(RouteComputation):
     def on_control(self, packet: ControlPacket, from_neighbor: Address) -> None:
         if not isinstance(packet, Lsp):
             return
-        self.state.updates_received = self.state.updates_received + 1
+        self._count("updates_received")
         self._accept(packet, flood_from=from_neighbor)
 
     def _accept(self, lsp: Lsp, flood_from: Address | None) -> None:
@@ -78,7 +78,7 @@ class LinkState(RouteComputation):
         for neighbor in self.state.neighbor_costs:
             if neighbor == flood_from:
                 continue
-            self.state.updates_sent = self.state.updates_sent + 1
+            self._count("updates_sent")
             self._send_to_neighbor(neighbor, lsp)
         self._recompute_routes()
 

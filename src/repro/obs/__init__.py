@@ -1,0 +1,53 @@
+"""repro.obs — the unified observability layer.
+
+The paper's pitch is that sublayering makes cross-layer structure
+*legible*; this package is the instrument that shows it.  It unifies
+the repository's three windows into a running stack (interface logs,
+access logs, ad-hoc counters) behind four pieces:
+
+* :class:`SpanTracer` — a causal span around every sublayer crossing
+  of an attached :class:`~repro.core.stack.Stack`, answering "what
+  happened to this one PDU, and where did the time go?";
+* :class:`MetricsRegistry` — namespaced counters/gauges/histograms
+  that sublayers reach through the narrow
+  :class:`~repro.core.metrics.MetricsSink` surface;
+* :class:`CallbackProfiler` — per-actor wall-clock cost of simulator
+  callbacks, for finding hot sublayers before optimizing;
+* exporters — JSON-lines, Chrome trace-event JSON (Perfetto-loadable),
+  and text summaries, plus the ``python -m repro.obs`` CLI.
+
+Layering: ``obs`` sits *outside* the protocol layer DAG.  It may
+observe (import) every layer; no protocol layer may import it — the
+static checker (:mod:`repro.staticcheck`) enforces this, the same way
+it keeps forwarding out of routing's state.
+"""
+
+from .export import (
+    ExportError,
+    load_jsonl,
+    spans_to_jsonl,
+    summarize,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import MetricsRegistry
+from .profile import UNATTRIBUTED, CallbackProfiler
+from .span import SPAN_CATEGORY, SpanTracer, pdu_id, pdu_label
+
+__all__ = [
+    "CallbackProfiler",
+    "ExportError",
+    "MetricsRegistry",
+    "SPAN_CATEGORY",
+    "SpanTracer",
+    "UNATTRIBUTED",
+    "load_jsonl",
+    "pdu_id",
+    "pdu_label",
+    "spans_to_jsonl",
+    "summarize",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,98 @@
+"""CLI for trace files: ``python -m repro.obs <command>``.
+
+Commands:
+
+* ``summarize FILE.jsonl`` — per-(stack, actor) hop and wall-time table;
+* ``convert FILE.jsonl -o OUT.json [--clock wall|virtual]`` — produce
+  Chrome trace-event JSON loadable in Perfetto / chrome://tracing;
+* ``validate FILE.json`` — schema-check a Chrome trace-event file
+  (exit status 1 on problems), used by CI on exporter output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import (
+    ExportError,
+    load_jsonl,
+    summarize,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    spans = load_jsonl(args.file)
+    print(summarize(spans))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    spans = load_jsonl(args.file)
+    trace = write_chrome_trace(spans, args.output, clock=args.clock)
+    print(
+        f"wrote {len(trace['traceEvents'])} trace events "
+        f"({len(spans)} spans, {args.clock} clock) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        with open(args.file, "r", encoding="utf-8") as fp:
+            obj = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.file}: unreadable: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(obj)
+    if problems:
+        for problem in problems:
+            print(f"{args.file}: {problem}", file=sys.stderr)
+        return 1
+    count = len(obj["traceEvents"])
+    print(f"{args.file}: valid Chrome trace ({count} events)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, convert, and validate span trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="per-actor hop/time table")
+    p_sum.add_argument("file", help="span JSON-lines file")
+    p_sum.set_defaults(fn=_cmd_summarize)
+
+    p_conv = sub.add_parser("convert", help="emit Chrome trace-event JSON")
+    p_conv.add_argument("file", help="span JSON-lines file")
+    p_conv.add_argument("-o", "--output", required=True, help="output .json")
+    p_conv.add_argument(
+        "--clock",
+        choices=("wall", "virtual"),
+        default="wall",
+        help="timestamp source: host wall clock or simulated time",
+    )
+    p_conv.set_defaults(fn=_cmd_convert)
+
+    p_val = sub.add_parser("validate", help="schema-check a Chrome trace")
+    p_val.add_argument("file", help="Chrome trace-event .json file")
+    p_val.set_defaults(fn=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ExportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

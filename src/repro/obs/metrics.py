@@ -1,0 +1,129 @@
+"""The metrics registry: namespaced counters, gauges, and histograms.
+
+This is the concrete backend for the narrow
+:class:`repro.core.metrics.MetricsSink` surface sublayers report into.
+One registry typically serves a whole experiment: each stack installs a
+:class:`~repro.core.metrics.ScopedMetrics` view per sublayer, so the
+ARQ sublayer of host ``a`` and of host ``b`` land at different names
+(``dl:a/arq/data_sent`` vs ``dl:b/arq/data_sent``) while sharing one
+queryable registry.
+
+Histograms are streaming :class:`~repro.sim.stats.RunningStats`
+(count/mean/stddev/min/max), not bucketed — enough for latency and
+size distributions without choosing bucket boundaries up front.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any
+
+from ..core.instrument import InstrumentedState
+from ..core.metrics import SEPARATOR, ScopedMetrics
+from ..sim.stats import RunningStats
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms behind the MetricsSink surface."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, RunningStats] = {}
+
+    # ------------------------------------------------------------------
+    # The MetricsSink surface
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        stats = self.histograms.get(name)
+        if stats is None:
+            stats = self.histograms[name] = RunningStats()
+        stats.add(value)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def names(self, pattern: str = "*") -> list[str]:
+        """All metric names matching a glob pattern, sorted."""
+        everything = (
+            set(self.counters) | set(self.gauges) | set(self.histograms)
+        )
+        return sorted(n for n in everything if fnmatch.fnmatch(n, pattern))
+
+    def scoped(self, prefix: str) -> ScopedMetrics:
+        """A view of this registry under a namespace prefix."""
+        return ScopedMetrics(self, prefix)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable dump of everything recorded so far."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Pull collection — for components that only expose instrumented
+    # state (the observer reads them; they never see the registry).
+    # ------------------------------------------------------------------
+    def collect_state(self, prefix: str, state: InstrumentedState) -> int:
+        """Copy numeric fields of an instrumented state into gauges.
+
+        Reads use :meth:`~repro.core.instrument.InstrumentedState.snapshot`,
+        so collection does not pollute the access log with observer
+        reads.  Returns the number of fields collected.
+        """
+        collected = 0
+        for field, value in state.snapshot().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.gauge(prefix + SEPARATOR + field, value)
+            collected += 1
+        return collected
+
+    def collect_stack(self, stack: Any) -> int:
+        """Pull every sublayer's numeric state fields into gauges."""
+        collected = 0
+        for sublayer in stack.sublayers:
+            prefix = f"{stack.name}{SEPARATOR}{sublayer.name}{SEPARATOR}state"
+            collected += self.collect_state(prefix, sublayer.state)
+        return collected
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """A human-readable dump, one metric per line."""
+        lines: list[str] = []
+        for name in sorted(self.counters):
+            lines.append(f"counter  {name} = {self.counters[name]:g}")
+        for name in sorted(self.gauges):
+            lines.append(f"gauge    {name} = {self.gauges[name]:g}")
+        for name in sorted(self.histograms):
+            stats = self.histograms[name]
+            lines.append(
+                f"histo    {name}: n={stats.count} mean={stats.mean:.6g} "
+                f"min={stats.minimum:.6g} max={stats.maximum:.6g}"
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms)"
+        )

@@ -1,0 +1,89 @@
+"""Wall-clock profiling of simulator callbacks, keyed by actor.
+
+The event loop is where all host work happens, and every callback was
+scheduled by *some* actor (a sublayer arming a timer, a link delivering
+a frame).  :class:`CallbackProfiler` plugs into
+:attr:`repro.sim.engine.Simulator.profiler`; the engine times each
+callback with ``perf_counter`` and attributes it to the actor captured
+when the callback was scheduled.  The result answers ROADMAP's
+pre-optimization question directly: *which sublayer is hot?*
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..sim.stats import RunningStats
+
+#: Attribution for callbacks scheduled outside any acting_as context
+#: (links, media, test harnesses).
+UNATTRIBUTED = "_unattributed"
+
+
+class CallbackProfiler:
+    """Per-actor RunningStats over callback wall-clock cost."""
+
+    def __init__(self) -> None:
+        self.stats: dict[str, RunningStats] = {}
+        self._totals: dict[str, float] = {}
+        self.started_at = time.perf_counter()
+
+    # The Simulator's duck-typed hook.
+    def record(self, actor: str | None, seconds: float) -> None:
+        key = actor if actor is not None else UNATTRIBUTED
+        stats = self.stats.get(key)
+        if stats is None:
+            stats = self.stats[key] = RunningStats()
+        stats.add(seconds)
+        self._totals[key] = self._totals.get(key, 0.0) + seconds
+
+    def install(self, sim: Any) -> "CallbackProfiler":
+        """Attach to a simulator; returns self for chaining."""
+        sim.profiler = self
+        return self
+
+    # ------------------------------------------------------------------
+    def total_seconds(self, actor: str | None = None) -> float:
+        if actor is not None:
+            return self._totals.get(actor, 0.0)
+        return sum(self._totals.values())
+
+    def callbacks(self, actor: str) -> int:
+        stats = self.stats.get(actor)
+        return stats.count if stats is not None else 0
+
+    def hottest(self, n: int | None = None) -> list[tuple[str, float]]:
+        """(actor, total seconds) pairs, most expensive first."""
+        ranked = sorted(self._totals.items(), key=lambda kv: -kv[1])
+        return ranked if n is None else ranked[:n]
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable per-actor profile."""
+        return {
+            actor: {
+                "total_s": self._totals[actor],
+                **self.stats[actor].as_dict(),
+            }
+            for actor, _total in self.hottest()
+        }
+
+    def summary(self) -> str:
+        total = self.total_seconds()
+        lines = [f"callback wall time by actor (total {total * 1e3:.2f} ms):"]
+        for actor, spent in self.hottest():
+            stats = self.stats[actor]
+            share = (spent / total * 100.0) if total > 0 else 0.0
+            lines.append(
+                f"  {actor:<16} {spent * 1e3:9.3f} ms  {share:5.1f}%  "
+                f"n={stats.count}  mean={stats.mean * 1e6:.2f} us"
+            )
+        if len(lines) == 1:
+            lines.append("  (no callbacks profiled)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CallbackProfiler({len(self.stats)} actors, "
+            f"{self.total_seconds() * 1e3:.2f} ms)"
+        )

@@ -1,0 +1,172 @@
+"""Per-PDU span tracing across sublayer crossings.
+
+A *span* brackets one hop of the data path: "sublayer X handed this
+SDU to sublayer Y, and here is everything Y did with it" — including,
+because hops are synchronous, every nested hop Y triggered.  The
+:class:`SpanTracer` installs itself as a stack's
+:attr:`~repro.core.stack.Stack.span_hook`; parentage is tracked with a
+context variable, so a segment travelling down the Fig 5 TCP stack
+produces one span tree per activation with zero cooperation from the
+sublayers themselves (the same trick :func:`~repro.core.instrument.acting_as`
+uses for state attribution).
+
+Each span records virtual start/end time (the stack's clock), wall
+start/end time (``perf_counter``), direction, the calling and receiving
+actors, and a label + id for the PDU.  Completed spans land in a
+:class:`repro.sim.trace.Trace` under category ``"span"``, which gives
+them the flight recorder's filtering and — important for long runs —
+its ring-buffer mode with a dropped-event counter.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import time
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from ..core.pdu import Pdu
+from ..core.stack import Stack
+from ..sim.trace import Trace
+
+#: Category under which completed spans are logged in the trace.
+SPAN_CATEGORY = "span"
+
+_ACTIVE_SPAN: ContextVar[int | None] = ContextVar("repro_obs_active_span", default=None)
+
+
+def pdu_label(sdu: Any) -> str:
+    """A short human-readable description of an SDU/PDU."""
+    if isinstance(sdu, Pdu):
+        owners = "+".join(sdu.owners())
+        return f"pdu[{owners}]"
+    if isinstance(sdu, (bytes, bytearray)):
+        return f"bytes[{len(sdu)}]"
+    try:
+        return f"{type(sdu).__name__.lower()}[{len(sdu)}]"
+    except TypeError:
+        return type(sdu).__name__.lower()
+
+
+def pdu_id(sdu: Any) -> int:
+    """An id that is stable while one PDU is wrapped/unwrapped in place.
+
+    Headers are pushed *around* the same payload object on the way
+    down, so the innermost payload's identity ties together the spans
+    of one PDU's traversal of a stack.  (Across a link the PDU is
+    cloned, so each host's traversal gets its own id — the causal link
+    between them is the span tree, not the id.)
+    """
+    if isinstance(sdu, Pdu):
+        return id(sdu.payload())
+    return id(sdu)
+
+
+class SpanTracer:
+    """Records a span around every data-path hop of attached stacks."""
+
+    def __init__(self, trace: Trace | None = None, max_spans: int | None = None):
+        if trace is None:
+            trace = Trace(max_events=max_spans)
+        self.trace = trace
+        self._next_id = 1
+        self._attached: list[Stack] = []
+
+    # ------------------------------------------------------------------
+    def attach(self, stack: Stack) -> "SpanTracer":
+        """Start tracing ``stack``; returns self for chaining."""
+        stack.span_hook = functools.partial(self._span, stack)
+        self._attached.append(stack)
+        return self
+
+    def detach(self, stack: Stack) -> None:
+        stack.span_hook = None
+        if stack in self._attached:
+            self._attached.remove(stack)
+
+    def detach_all(self) -> None:
+        for stack in list(self._attached):
+            self.detach(stack)
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _span(
+        self,
+        stack: Stack,
+        direction: str,
+        caller: str,
+        provider: str,
+        sdu: Any,
+        meta: dict,
+    ) -> Iterator[None]:
+        sid = self._next_id
+        self._next_id += 1
+        parent = _ACTIVE_SPAN.get()
+        token = _ACTIVE_SPAN.set(sid)
+        virtual_start = stack.clock.now()
+        wall_start = time.perf_counter()
+        try:
+            yield
+        finally:
+            wall_end = time.perf_counter()
+            virtual_end = stack.clock.now()
+            _ACTIVE_SPAN.reset(token)
+            self.trace.log(
+                SPAN_CATEGORY,
+                sid=sid,
+                parent=parent,
+                stack=stack.name,
+                direction=direction,
+                caller=caller,
+                actor=provider,
+                pdu=pdu_label(sdu),
+                pdu_id=pdu_id(sdu),
+                t0=virtual_start,
+                t1=virtual_end,
+                w0=wall_start,
+                w1=wall_end,
+            )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def spans(self) -> list[dict[str, Any]]:
+        """All recorded spans as plain dicts, in completion order."""
+        return [
+            dict(event.fields)
+            for event in self.trace.events
+            if event.category == SPAN_CATEGORY
+        ]
+
+    @property
+    def dropped_spans(self) -> int:
+        return self.trace.dropped_events
+
+    def __len__(self) -> int:
+        return sum(
+            1 for event in self.trace.events if event.category == SPAN_CATEGORY
+        )
+
+    def roots(self) -> list[dict[str, Any]]:
+        """Spans with no parent — one per causal activation."""
+        return [s for s in self.spans() if s["parent"] is None]
+
+    def children_of(self, sid: int) -> list[dict[str, Any]]:
+        return [s for s in self.spans() if s["parent"] == sid]
+
+    def tree(self) -> dict[int | None, list[dict[str, Any]]]:
+        """Parent span id -> child spans (``None`` key holds the roots)."""
+        out: dict[int | None, list[dict[str, Any]]] = {}
+        for span in self.spans():
+            out.setdefault(span["parent"], []).append(span)
+        return out
+
+    def actors(self) -> set[str]:
+        return {s["actor"] for s in self.spans()}
+
+    def write_jsonl(self, path: Any) -> int:
+        """Dump spans to a JSON-lines file; returns the span count."""
+        from .export import spans_to_jsonl  # local import keeps span.py light
+
+        return spans_to_jsonl(self.spans(), path)

@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Callable
 
 from ..core.clock import TimerHandle
 from ..core.errors import SimulationError
+from ..core.instrument import current_actor
 
 
 class Simulator:
@@ -29,6 +31,12 @@ class Simulator:
         self._counter = itertools.count()
         self._events_processed = 0
         self._running = False
+        # Duck-typed profiling hook (``repro.obs.CallbackProfiler`` or
+        # anything with ``record(actor, seconds)``).  While installed,
+        # each callback is timed with the wall clock and attributed to
+        # the actor that scheduled it; when None the event loop pays
+        # only a None check per event.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     @property
@@ -49,7 +57,8 @@ class Simulator:
         """Run ``callback`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
-        handle = TimerHandle(self._now + delay, callback)
+        actor = current_actor() if self.profiler is not None else None
+        handle = TimerHandle(self._now + delay, callback, actor=actor)
         heapq.heappush(self._queue, (handle.when, next(self._counter), handle))
         return handle
 
@@ -79,7 +88,15 @@ class Simulator:
                 if handle.cancelled:
                     continue
                 self._now = when
-                handle.callback()
+                profiler = self.profiler
+                if profiler is None:
+                    handle.callback()
+                else:
+                    wall_start = time.perf_counter()
+                    handle.callback()
+                    profiler.record(
+                        handle.actor, time.perf_counter() - wall_start
+                    )
                 self._events_processed += 1
                 processed += 1
                 if processed > max_events:

@@ -9,9 +9,11 @@ protocols a second time.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from ..core.errors import ConfigurationError
 from .engine import Simulator
 
 
@@ -35,14 +37,29 @@ class TraceEvent:
 
 
 class Trace:
-    """An append-only, filterable event log bound to a simulator clock."""
+    """An append-only, filterable event log bound to a simulator clock.
 
-    def __init__(self, sim: Simulator | None = None):
+    With ``max_events`` set the trace becomes a ring buffer holding the
+    most recent ``max_events`` events; older events are dropped and
+    counted in :attr:`dropped_events`.  Long-running benchmarks use
+    this mode so the flight recorder's memory stays bounded while the
+    drop counter keeps the loss visible.
+    """
+
+    def __init__(self, sim: Simulator | None = None, max_events: int | None = None):
+        if max_events is not None and max_events <= 0:
+            raise ConfigurationError("max_events must be positive or None")
         self._sim = sim
-        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self.events: Any = (
+            deque(maxlen=max_events) if max_events is not None else []
+        )
+        self.dropped_events = 0
 
     def log(self, category: str, **fields: Any) -> None:
         time = self._sim.now if self._sim is not None else 0.0
+        if self.max_events is not None and len(self.events) == self.max_events:
+            self.dropped_events += 1
         self.events.append(TraceEvent(time, category, tuple(fields.items())))
 
     # ------------------------------------------------------------------
@@ -73,6 +90,7 @@ class Trace:
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped_events = 0
 
     def __len__(self) -> int:
         return len(self.events)

@@ -18,6 +18,11 @@ from ..core.litmus import DEFAULT_MAX_INTERFACE_WIDTH
 #: tier *t* may only import from tiers <= *t*.  The simulator substrate,
 #: verifier, and analyses sit together at the top — they orchestrate
 #: protocol stacks and may therefore see everything below them.
+#: Observability (``obs``) sits above even those, *outside* the protocol
+#: DAG: it may observe (import) every layer, and no layer — protocol or
+#: substrate — may import it back; sublayers reach it only through the
+#: duck-typed hooks in ``core`` (``metrics`` sink, ``span_hook``,
+#: ``Simulator.profiler``).
 DEFAULT_LAYERS: dict[str, int] = {
     "core": 0,
     "phys": 1,
@@ -28,6 +33,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "verify": 5,
     "analysis": 5,
     "staticcheck": 5,
+    "obs": 6,
 }
 
 #: Deliberate exceptions to the layer-order rule, as

@@ -161,7 +161,7 @@ class CmSublayer(Sublayer):
         if record is None or record["phase"] not in (P_SYN_SENT, P_SYN_RCVD):
             return
         kind = CM_SYN if record["phase"] == P_SYN_SENT else CM_SYNACK
-        self.state.syns_sent = self.state.syns_sent + 1
+        self.count("syns_sent")
         self.send_down(self.wrap(self._cm_packet(conn, kind), None), conn=conn)
         self._arm(conn, "hs", self._on_hs_timeout)
 
@@ -171,7 +171,7 @@ class CmSublayer(Sublayer):
             return
         if record["local_fin_acked"]:
             return
-        self.state.fins_sent = self.state.fins_sent + 1
+        self.count("fins_sent")
         self.send_down(
             self.wrap(
                 self._cm_packet(conn, CM_FIN, offset=record["local_fin_offset"]),

@@ -107,6 +107,7 @@ class SublayeredTcpHost:
         shim: Any | None = None,
         access_log: AccessLog | None = None,
         interface_log: InterfaceLog | None = None,
+        metrics: Any | None = None,
         osr_factory: Callable[[TcpConfig], OsrSublayer] | None = None,
         rd_factory: Callable[[TcpConfig], RdSublayer] | None = None,
         cm_factory: Callable[[TcpConfig], CmSublayer] | None = None,
@@ -146,6 +147,7 @@ class SublayeredTcpHost:
             clock=clock,
             access_log=access_log,
             interface_log=interface_log,
+            metrics=metrics,
         )
         self.osr: OsrSublayer = self.stack.sublayer("osr")  # type: ignore[assignment]
         self._sockets: dict[ConnId, SubTcpSocket] = {}

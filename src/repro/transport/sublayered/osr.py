@@ -208,7 +208,8 @@ class OsrSublayer(Sublayer):
             record["next_offset"] = offset + length
             record["inflight"] = record["inflight"] + length
             self._put(conn, record)
-            self.state.segments_released = self.state.segments_released + 1
+            self.count("segments_released")
+            self.metrics.gauge("cwnd", cc.window())
             assert self.below is not None
             self.below.send(conn, offset, self._segment(conn, payload))
         self._maybe_arm_probe(conn)

@@ -163,7 +163,7 @@ class RdSublayer(Sublayer):
         outstanding[offset] = (segment, length)
         record["outstanding"] = outstanding
         self._put(conn, record)
-        self.state.segments_sent = self.state.segments_sent + 1
+        self.count("segments_sent")
         self._transmit(conn, offset, segment)
         self._arm(conn)
         if record["rtt_offset"] is None:
@@ -249,7 +249,7 @@ class RdSublayer(Sublayer):
             "is_ack": 1,
         }
         header.update(self._sack_fields(record))
-        self.state.acks_sent = self.state.acks_sent + 1
+        self.count("acks_sent")
         self.send_down(self.wrap(header, None), conn=conn)
 
     def _send_offset(self, record: dict) -> int:
@@ -342,7 +342,7 @@ class RdSublayer(Sublayer):
             fresh.append((cursor, end))
 
         if not fresh:
-            self.state.duplicates_dropped = self.state.duplicates_dropped + 1
+            self.count("duplicates_dropped")
             self._send_pure_ack(conn)
             return
 
@@ -577,7 +577,7 @@ class RdSublayer(Sublayer):
             record = dict(record)
             record["rtt_offset"] = None
             self._put(conn, record)
-        self.state.retransmitted = self.state.retransmitted + 1
+        self.count("retransmitted")
         self._transmit(conn, offset, segment)
 
     def _rtt_sample(self, record: dict, sample: float) -> None:

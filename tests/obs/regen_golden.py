@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Regenerate the golden Chrome trace after an intentional schema change.
+
+Run from the repo root:  PYTHONPATH=src:. python tests/obs/regen_golden.py
+"""
+
+from pathlib import Path
+
+from repro.obs import write_chrome_trace
+
+from tests.obs.test_export import GOLDEN, fixed_spans
+
+if __name__ == "__main__":
+    GOLDEN.parent.mkdir(exist_ok=True)
+    write_chrome_trace(fixed_spans(), GOLDEN, clock="virtual")
+    print(f"wrote {GOLDEN}")

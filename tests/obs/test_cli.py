@@ -1,0 +1,75 @@
+"""The ``python -m repro.obs`` command line."""
+
+import json
+
+from repro.obs.__main__ import main
+from tests.obs.test_export import fixed_spans
+from repro.obs import spans_to_jsonl
+
+
+def jsonl(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    spans_to_jsonl(fixed_spans(), path)
+    return str(path)
+
+
+class TestSummarize:
+    def test_prints_table(self, tmp_path, capsys):
+        assert main(["summarize", jsonl(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 spans" in out
+        assert "tcp:a" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_file_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["summarize", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_writes_chrome_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code = main(["convert", jsonl(tmp_path), "-o", str(out_path)])
+        assert code == 0
+        assert "wall clock" in capsys.readouterr().out
+        obj = json.loads(out_path.read_text())
+        assert any(e["ph"] == "X" for e in obj["traceEvents"])
+
+    def test_virtual_clock_option(self, tmp_path):
+        out_path = tmp_path / "trace.json"
+        code = main(
+            ["convert", jsonl(tmp_path), "-o", str(out_path), "--clock",
+             "virtual"]
+        )
+        assert code == 0
+        xs = [
+            e
+            for e in json.loads(out_path.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert xs[2]["ts"] == 250_000.0
+
+
+class TestValidate:
+    def test_accepts_converter_output(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        main(["convert", jsonl(tmp_path), "-o", str(out_path)])
+        assert main(["validate", str(out_path)]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_rejects_bad_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        assert main(["validate", str(bad)]) == 1
+        assert "bad or missing ph" in capsys.readouterr().err
+
+    def test_rejects_non_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        assert main(["validate", str(bad)]) == 1
+        assert "unreadable" in capsys.readouterr().err

@@ -1,0 +1,157 @@
+"""Exporters: JSONL round-trips, Chrome trace schema, golden file."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    ExportError,
+    SpanTracer,
+    load_jsonl,
+    spans_to_jsonl,
+    summarize,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from tests.transport.helpers import make_pair, transfer
+
+GOLDEN = Path(__file__).parent / "golden" / "chrome_trace_virtual.json"
+
+
+def fixed_spans():
+    """A hand-built two-stack span set with deterministic times."""
+    return [
+        {
+            "sid": 1, "parent": None, "stack": "tcp:a", "direction": "down",
+            "caller": "rd", "actor": "cm", "pdu": "pdu[rd+osr]",
+            "pdu_id": 1001, "t0": 0.0, "t1": 0.0, "w0": 10.0, "w1": 10.003,
+        },
+        {
+            "sid": 2, "parent": 1, "stack": "tcp:a", "direction": "down",
+            "caller": "cm", "actor": "dm", "pdu": "pdu[cm+rd+osr]",
+            "pdu_id": 1001, "t0": 0.0, "t1": 0.0, "w0": 10.001, "w1": 10.002,
+        },
+        {
+            "sid": 3, "parent": None, "stack": "tcp:b", "direction": "up",
+            "caller": "_wire", "actor": "dm", "pdu": "pdu[dm+cm+rd+osr]",
+            "pdu_id": 2002, "t0": 0.25, "t1": 0.25, "w0": 11.0, "w1": 11.005,
+        },
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        assert spans_to_jsonl(fixed_spans(), path) == 3
+        assert load_jsonl(path) == fixed_spans()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        lines = [json.dumps(s) for s in fixed_spans()]
+        path.write_text(lines[0] + "\n\n" + lines[1] + "\n")
+        assert len(load_jsonl(path)) == 2
+
+    def test_not_json_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(fixed_spans()[0]) + "\n{oops\n")
+        with pytest.raises(ExportError, match=r":2:"):
+            load_jsonl(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"sid": 1, "stack": "s"}\n')
+        with pytest.raises(ExportError, match="missing fields"):
+            load_jsonl(path)
+
+    def test_tracer_write_jsonl_round_trips(self, tmp_path):
+        sim, a, b, _link = make_pair()
+        tracer = SpanTracer().attach(a.stack).attach(b.stack)
+        transfer(sim, a, b, nbytes=100)
+        path = tmp_path / "run.jsonl"
+        count = tracer.write_jsonl(path)
+        assert count == len(tracer)
+        assert load_jsonl(path) == tracer.spans()
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        trace = to_chrome_trace(fixed_spans())
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        # 2 process_name + 3 thread_name metadata ((stack, actor) pairs)
+        assert [e["ph"] for e in events].count("M") == 5
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 3
+        assert xs[0]["name"] == "down:rd->cm"
+        # stacks become processes, (stack, actor) become threads
+        pids = {e["pid"] for e in xs}
+        assert len(pids) == 2
+
+    def test_wall_clock_rebased_to_epoch(self):
+        xs = [
+            e
+            for e in to_chrome_trace(fixed_spans(), clock="wall")["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert xs[0]["ts"] == 0.0  # earliest w0 is the epoch
+        assert xs[0]["dur"] == pytest.approx(3000.0)  # 3 ms in us
+
+    def test_virtual_clock_uses_sim_time(self):
+        xs = [
+            e
+            for e in to_chrome_trace(fixed_spans(), clock="virtual")[
+                "traceEvents"
+            ]
+            if e["ph"] == "X"
+        ]
+        assert xs[2]["ts"] == pytest.approx(250_000.0)  # 0.25 s in us
+        assert {"virtual_t0", "virtual_t1"} <= set(xs[0]["args"])
+
+    def test_unknown_clock_rejected(self):
+        with pytest.raises(ExportError, match="clock"):
+            to_chrome_trace(fixed_spans(), clock="atomic")
+
+    def test_validator_catches_malformed_events(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) == ["missing traceEvents array"]
+        bad = {
+            "traceEvents": [
+                "not-an-object",
+                {"ph": "Q", "name": "x", "pid": 1, "tid": 1},
+                {"ph": "X", "pid": "one", "tid": 1, "ts": -5, "dur": 1},
+            ]
+        }
+        problems = validate_chrome_trace(bad)
+        assert any("not an object" in p for p in problems)
+        assert any("bad or missing ph" in p for p in problems)
+        assert any("pid must be an int" in p for p in problems)
+        assert any("ts must be a non-negative number" in p for p in problems)
+
+    def test_golden_virtual_export(self, tmp_path):
+        """The virtual-clock Chrome export is deterministic; pin it.
+
+        Regenerate after an intentional schema change with:
+        ``python tests/obs/regen_golden.py``
+        """
+        produced = write_chrome_trace(
+            fixed_spans(), tmp_path / "trace.json", clock="virtual"
+        )
+        golden = json.loads(GOLDEN.read_text())
+        assert produced == golden
+        # and the on-disk bytes match too (stable key order/indent)
+        assert (tmp_path / "trace.json").read_text() == GOLDEN.read_text()
+
+
+class TestSummary:
+    def test_empty(self):
+        assert summarize([]) == "(no spans recorded)"
+
+    def test_groups_by_stack_and_actor(self):
+        text = summarize(fixed_spans(), dropped=2)
+        assert "3 spans" in text
+        assert "(2 dropped)" in text
+        lines = text.splitlines()
+        assert any("tcp:a" in line and "cm" in line for line in lines)
+        assert any("tcp:b" in line and "dm" in line for line in lines)

@@ -1,0 +1,164 @@
+"""Span tracing: tree shape, attachment, ring mode, full-stack e2e."""
+
+from repro.obs import (
+    SpanTracer,
+    pdu_id,
+    pdu_label,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from tests.transport.helpers import make_pair, transfer
+
+
+def traced_pair(**kwargs):
+    sim, a, b, link = make_pair(**kwargs)
+    tracer = SpanTracer()
+    tracer.attach(a.stack)
+    tracer.attach(b.stack)
+    return sim, a, b, tracer
+
+
+class TestPduHelpers:
+    def test_bytes_label(self):
+        assert pdu_label(b"hello") == "bytes[5]"
+
+    def test_unsized_label(self):
+        assert pdu_label(object()) == "object"
+
+    def test_bytes_id_is_object_identity(self):
+        blob = b"hello"
+        assert pdu_id(blob) == id(blob)
+
+
+class TestSpanTree:
+    def test_single_pdu_covers_every_sublayer_crossing(self):
+        """The acceptance run: one PDU through the Fig 5 TCP stack."""
+        sim, a, b, tracer = traced_pair()
+        data, received, _sock, _peer = transfer(sim, a, b, nbytes=100)
+        assert received == data  # single segment, clean link
+
+        # every sublayer of both stacks took part, plus the stack edges
+        assert tracer.actors() >= {"osr", "rd", "cm", "dm", "_wire", "_app"}
+        stacks = {s["stack"] for s in tracer.spans()}
+        assert stacks == {"tcp:a", "tcp:b"}
+
+    def test_parenting_yields_causal_chains(self):
+        sim, a, b, tracer = traced_pair()
+        transfer(sim, a, b, nbytes=100)
+        spans = tracer.spans()
+        by_sid = {s["sid"]: s for s in spans}
+
+        # every non-root parent exists, and nesting is containment:
+        # a child's wall interval lies inside its parent's
+        for span in spans:
+            parent = span["parent"]
+            if parent is None:
+                continue
+            assert parent in by_sid
+            outer = by_sid[parent]
+            assert outer["w0"] <= span["w0"] <= span["w1"] <= outer["w1"]
+
+        # the causal chains are the Fig 5 stack drawn from a live run:
+        # data segments descend rd -> cm -> dm -> _wire and ascend
+        # dm -> cm -> rd -> osr -> _app on the receiver
+        paths = []
+
+        def walk(node, prefix):
+            prefix = prefix + [
+                f"{node['direction']}:{node['caller']}->{node['actor']}"
+            ]
+            kids = tracer.children_of(node["sid"])
+            if not kids:
+                paths.append(prefix)
+            for kid in kids:
+                walk(kid, prefix)
+
+        roots = tracer.roots()
+        assert roots
+        for root in roots:
+            walk(root, [])
+
+        def has_run(path, hops):
+            return any(
+                path[i : i + len(hops)] == hops
+                for i in range(len(path) - len(hops) + 1)
+            )
+
+        assert any(
+            has_run(p, ["down:rd->cm", "down:cm->dm", "down:dm->_wire"])
+            for p in paths
+        )
+        assert any(
+            has_run(
+                p,
+                [
+                    "up:_wire->dm",
+                    "up:dm->cm",
+                    "up:cm->rd",
+                    "up:rd->osr",
+                    "up:osr->_app",
+                ],
+            )
+            for p in paths
+        )
+
+    def test_tree_view_groups_by_parent(self):
+        sim, a, b, tracer = traced_pair()
+        transfer(sim, a, b, nbytes=100)
+        tree = tracer.tree()
+        assert tree[None] == tracer.roots()
+        assert sum(len(kids) for kids in tree.values()) == len(tracer)
+
+    def test_virtual_times_come_from_the_sim_clock(self):
+        sim, a, b, tracer = traced_pair()
+        transfer(sim, a, b, nbytes=100)
+        for span in tracer.spans():
+            assert 0.0 <= span["t0"] <= span["t1"] <= sim.now
+
+    def test_chrome_export_of_e2e_run_is_valid(self):
+        sim, a, b, tracer = traced_pair()
+        transfer(sim, a, b, nbytes=100)
+        for clock in ("wall", "virtual"):
+            trace = to_chrome_trace(tracer.spans(), clock=clock)
+            assert validate_chrome_trace(trace) == []
+
+
+class TestAttachment:
+    def test_detach_stops_recording(self):
+        sim, a, b, tracer = traced_pair()
+        transfer(sim, a, b, nbytes=100)
+        before = len(tracer)
+        assert before > 0
+        tracer.detach_all()
+        assert a.stack.span_hook is None and b.stack.span_hook is None
+
+        sim2, a2, b2, _link = make_pair()
+        transfer(sim2, a2, b2, nbytes=100)
+        assert len(tracer) == before
+
+    def test_attach_returns_self_for_chaining(self):
+        sim, a, b, _link = make_pair()
+        tracer = SpanTracer().attach(a.stack).attach(b.stack)
+        assert a.stack.span_hook is not None
+        assert tracer._attached == [a.stack, b.stack]
+
+    def test_untraced_stack_has_no_hook(self):
+        sim, a, b, _link = make_pair()
+        assert a.stack.span_hook is None
+
+
+class TestRingMode:
+    def test_max_spans_bounds_memory_and_counts_drops(self):
+        sim, a, b, link = make_pair(loss=0.05)
+        tracer = SpanTracer(max_spans=16)
+        tracer.attach(a.stack)
+        tracer.attach(b.stack)
+        transfer(sim, a, b, nbytes=20_000)
+        assert len(tracer) == 16
+        assert tracer.dropped_spans > 0
+        assert tracer.dropped_spans + 16 > 100  # a real run happened
+
+    def test_dropped_spans_zero_when_unbounded(self):
+        sim, a, b, tracer = traced_pair()
+        transfer(sim, a, b, nbytes=100)
+        assert tracer.dropped_spans == 0

@@ -1,0 +1,72 @@
+"""Ring-buffer mode of the simulation flight recorder."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.sim.trace import Trace
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        trace = Trace()
+        for i in range(100):
+            trace.log("tick", n=i)
+        assert len(trace) == 100
+        assert trace.dropped_events == 0
+        assert trace.max_events is None
+
+    def test_bounded_keeps_most_recent(self):
+        trace = Trace(max_events=3)
+        for i in range(10):
+            trace.log("tick", n=i)
+        assert len(trace) == 3
+        assert [e["n"] for e in trace.events] == [7, 8, 9]
+
+    def test_dropped_events_counted(self):
+        trace = Trace(max_events=3)
+        for i in range(10):
+            trace.log("tick", n=i)
+        assert trace.dropped_events == 7
+
+    def test_no_drops_until_full(self):
+        trace = Trace(max_events=5)
+        for i in range(5):
+            trace.log("tick", n=i)
+        assert trace.dropped_events == 0
+        trace.log("tick", n=5)
+        assert trace.dropped_events == 1
+
+    def test_filtering_still_works_after_wrap(self):
+        trace = Trace(max_events=4)
+        for i in range(8):
+            trace.log("even" if i % 2 == 0 else "odd", n=i)
+        assert [e["n"] for e in trace.filter("even")] == [4, 6]
+        assert trace.count("odd") == 2
+        assert trace.categories() == {"even", "odd"}
+
+    def test_clear_resets_drop_counter(self):
+        trace = Trace(max_events=2)
+        for i in range(5):
+            trace.log("tick", n=i)
+        assert trace.dropped_events == 3
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped_events == 0
+        trace.log("tick", n=0)
+        assert trace.dropped_events == 0
+
+    def test_clock_binding_preserved(self):
+        sim = Simulator()
+        trace = Trace(sim, max_events=2)
+        sim.schedule(1.5, lambda: trace.log("tick", n=0))
+        sim.schedule(2.5, lambda: trace.log("tick", n=1))
+        sim.schedule(3.5, lambda: trace.log("tick", n=2))
+        sim.run()
+        assert [e.time for e in trace.events] == [2.5, 3.5]
+        assert trace.dropped_events == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_nonpositive_bound_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            Trace(max_events=bad)

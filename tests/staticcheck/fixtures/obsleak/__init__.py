@@ -1,0 +1,1 @@
+"""Static-checker fixture: a protocol layer importing obs internals."""

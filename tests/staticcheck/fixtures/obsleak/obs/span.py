@@ -1,0 +1,7 @@
+"""Stand-in for repro.obs.span: the observer protocol layers must not see."""
+
+SPAN_CATEGORY = "span"
+
+
+class SpanTracer:
+    pass

@@ -1,0 +1,12 @@
+"""A transport sublayer that (illegally) reaches into the observer.
+
+Observability must stay one-directional: obs watches the stack through
+the hooks in core; the moment a protocol module imports obs internals,
+the observer has become a dependency and the layer DAG is violated.
+"""
+
+from ..obs.span import SpanTracer
+
+
+def send_with_tracing() -> object:
+    return SpanTracer()

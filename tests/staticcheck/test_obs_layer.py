@@ -1,0 +1,25 @@
+"""The obs tier: observable by all, imported by none of the layers."""
+
+from repro.staticcheck import DEFAULT_LAYERS, run_staticcheck
+
+
+def test_obs_registered_above_every_layer():
+    assert DEFAULT_LAYERS["obs"] > max(
+        tier for name, tier in DEFAULT_LAYERS.items() if name != "obs"
+    )
+
+
+def test_protocol_module_importing_obs_is_flagged(fixtures):
+    report = run_staticcheck(fixtures / "obsleak")
+    assert not report.passed
+    [violation] = [v for v in report.violations if v.rule == "layer-order"]
+    assert violation.module == "obsleak.transport.sender"
+    assert "obsleak.obs.span" in violation.message
+    assert violation.line > 0
+
+
+def test_repro_itself_keeps_obs_out_of_the_layers(src_repro):
+    # The real package must satisfy the rule the fixture violates: obs
+    # imports core/sim freely, nothing imports obs back.
+    report = run_staticcheck(src_repro)
+    assert report.passed, [str(v) for v in report.violations]
