@@ -69,12 +69,13 @@ def test_c5_replace_matrix(benchmark):
     # (0-RTT, no handshake packets) in place of the SYN/FIN machine
     from repro.transport import TimerCmSublayer
 
-    def timer_cm(cfg):
+    def timer_cm(params):
+        cfg = params["config"]
         return TimerCmSublayer("cm", handshake_timeout=cfg.rto_initial)
 
     sim, a, b = make_pair(
         "sub", "sub",
-        cm_factory=timer_cm,
+        replacements={"cm": timer_cm},
         link=LinkConfig(delay=0.02, rate_bps=8_000_000, loss=0.04),
         seed=8,
     )

@@ -23,7 +23,8 @@ from repro.transport.sublayered import RdSublayer
 
 
 def run_sack(enabled: bool, seed: int):
-    def rd_factory(cfg):
+    def rd_variant(params):
+        cfg = params["config"]
         return RdSublayer(
             "rd", rto_initial=cfg.rto_initial, rto_min=cfg.rto_min,
             rto_max=cfg.rto_max, dupack_threshold=cfg.dupack_threshold,
@@ -32,7 +33,7 @@ def run_sack(enabled: bool, seed: int):
 
     sim, a, b = make_pair(
         "sub", "sub",
-        rd_factory=rd_factory,
+        replacements={"rd": rd_variant},
         link=LinkConfig(delay=0.03, rate_bps=8_000_000, loss=0.08,
                         reorder_jitter=0.01),
         seed=seed,

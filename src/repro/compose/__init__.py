@@ -1,0 +1,40 @@
+"""Declarative stack construction: profiles, slots, and one builder.
+
+Before this package existed the repository wired stacks by hand in
+three places — the data-link assemblies, the sublayered TCP host, and
+the mini-QUIC host — each with its own conventions for threading the
+clock, logs, and metrics, and each duplicating the fungibility-swap
+plumbing the paper's challenge 5 is about.  A
+:class:`~repro.compose.builder.StackProfile` declares the sublayer
+order once (as named *slots*, each a factory from shared parameters to
+a sublayer); :class:`~repro.compose.builder.StackBuilder` instantiates
+a profile with uniform observability threading (clock, access/interface
+logs, metrics, instrumentation tier) and expresses swaps as
+``with_replacement(slot, ...)`` instead of copy-pasted wiring.
+
+Built stacks are validated against the static layer-order config
+(:mod:`repro.staticcheck.config`): a profile that stacks a lower-tier
+sublayer above a higher-tier one fails at build time, which is the T1
+discipline applied to composition rather than to imports.
+"""
+
+from .builder import (
+    SlotSpec,
+    StackBuilder,
+    StackProfile,
+    available_profiles,
+    get_profile,
+    register_profile,
+    validate_layer_order,
+)
+from . import profiles  # noqa: F401  (registers the built-in profiles)
+
+__all__ = [
+    "SlotSpec",
+    "StackBuilder",
+    "StackProfile",
+    "available_profiles",
+    "get_profile",
+    "register_profile",
+    "validate_layer_order",
+]

@@ -1,0 +1,253 @@
+"""The stack builder and profile registry.
+
+A *profile* is a declarative description of one stack shape: an ordered
+tuple of :class:`SlotSpec` (top to bottom, the T1 order), each naming a
+functional slot ("arq", "errordetect", "framing", ...) and providing a
+factory from the profile's parameter dict to the sublayer(s) filling
+that slot.  The builder turns a profile into a wired
+:class:`~repro.core.stack.Stack`:
+
+* parameters are overridden with :meth:`StackBuilder.with_params`;
+* whole slots are swapped with :meth:`StackBuilder.with_replacement` —
+  the paper's fungibility operation, expressed once here instead of in
+  every benchmark that wants to compare two implementations of a slot;
+* clock, access/interface logs, metrics, and the instrumentation tier
+  are threaded uniformly into the stack;
+* the result is validated against the static layer-order configuration
+  before it is returned.
+
+Factories may return a single :class:`~repro.core.sublayer.Sublayer`,
+a list of them (a slot realised by a nested decomposition, e.g.
+bit-stuffing over flags), or ``None`` (an optional slot left empty,
+e.g. the RFC 793 shim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..core.errors import ConfigurationError
+from ..core.instrument import AccessLog
+from ..core.interface import InterfaceLog
+from ..core.stack import Stack
+from ..core.sublayer import Sublayer
+from ..core.wiring import TIER_FULL, validate_tier
+from ..staticcheck.config import StaticCheckConfig
+
+#: What a slot factory (or a replacement factory) may produce.
+SlotResult = "Sublayer | list[Sublayer] | tuple[Sublayer, ...] | None"
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """One named position in a profile's sublayer order."""
+
+    name: str
+    build: Callable[[dict[str, Any]], Any]
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class StackProfile:
+    """A declarative stack shape: ordered slots plus default parameters."""
+
+    name: str
+    slots: tuple[SlotSpec, ...]
+    defaults: dict[str, Any] = field(default_factory=dict)
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.slots]
+        if not names:
+            raise ConfigurationError(f"profile {self.name!r} declares no slots")
+        if len(names) != len(set(names)):
+            raise ConfigurationError(
+                f"duplicate slot names in profile {self.name!r}: {names}"
+            )
+
+    def slot_names(self) -> list[str]:
+        return [s.name for s in self.slots]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_PROFILES: dict[str, StackProfile] = {}
+
+
+def register_profile(profile: StackProfile, replace: bool = False) -> StackProfile:
+    """Add a profile to the registry (``replace=True`` to overwrite)."""
+    if profile.name in _PROFILES and not replace:
+        raise ConfigurationError(
+            f"profile {profile.name!r} already registered "
+            "(pass replace=True to overwrite)"
+        )
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+def get_profile(name: str) -> StackProfile:
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown stack profile {name!r}; "
+            f"available: {available_profiles()}"
+        ) from None
+
+
+def available_profiles() -> list[str]:
+    return sorted(_PROFILES)
+
+
+# ----------------------------------------------------------------------
+# Layer-order validation against the static-checker config
+# ----------------------------------------------------------------------
+def validate_layer_order(
+    sublayers: Iterable[Sublayer],
+    config: StaticCheckConfig | None = None,
+    root: str = "repro",
+    context: str = "stack",
+) -> None:
+    """Check a top→bottom sublayer list against the declared layer order.
+
+    The same tier table that governs imports (T1 as a static property of
+    the module graph) governs composition: reading the stack top to
+    bottom, each sublayer's implementing package must sit at the same or
+    a *lower* tier than the one above it — transport over datalink over
+    phys, never the reverse.  Sublayers implemented outside the checked
+    root package (test doubles, user extensions) are unconstrained.
+    """
+    config = config or StaticCheckConfig()
+    previous_tier: int | None = None
+    previous_name = ""
+    for sublayer in sublayers:
+        module = type(sublayer).__module__
+        if not module.startswith(root + "."):
+            continue
+        tier = config.tier_of(module, root)
+        if previous_tier is not None and tier > previous_tier:
+            raise ConfigurationError(
+                f"{context}: sublayer {sublayer.name!r} ({module}, tier {tier}) "
+                f"may not sit below {previous_name!r} (tier {previous_tier}); "
+                "the declared layer order runs top-down"
+            )
+        previous_tier = tier
+        previous_name = sublayer.name
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+class StackBuilder:
+    """Instantiate a :class:`StackProfile` as a wired stack."""
+
+    def __init__(
+        self,
+        profile: StackProfile | str,
+        name: str,
+        clock: Any | None = None,
+        access_log: AccessLog | None = None,
+        interface_log: InterfaceLog | None = None,
+        metrics: Any | None = None,
+        tier: str = TIER_FULL,
+        lossy_delivery: bool = False,
+        check_config: StaticCheckConfig | None = None,
+    ):
+        self.profile = get_profile(profile) if isinstance(profile, str) else profile
+        self.name = name
+        self.clock = clock
+        self.access_log = access_log
+        self.interface_log = interface_log
+        self.metrics = metrics
+        self.tier = validate_tier(tier)
+        self.lossy_delivery = lossy_delivery
+        self.check_config = check_config
+        self._params: dict[str, Any] = dict(self.profile.defaults)
+        self._replacements: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def with_params(self, **params: Any) -> "StackBuilder":
+        """Override profile parameters; unknown names are rejected."""
+        unknown = set(params) - set(self.profile.defaults)
+        if unknown:
+            raise ConfigurationError(
+                f"profile {self.profile.name!r} has no parameters "
+                f"{sorted(unknown)}; known: {sorted(self.profile.defaults)}"
+            )
+        self._params.update(params)
+        return self
+
+    def with_replacement(self, slot: str, replacement: Any) -> "StackBuilder":
+        """Swap a slot's implementation — the fungibility operation.
+
+        ``replacement`` is either a ready :class:`Sublayer` (or list of
+        them, or ``None`` to leave the slot empty), or a factory called
+        with the parameter dict like the profile's own slot factory.
+        """
+        if slot not in self.profile.slot_names():
+            raise ConfigurationError(
+                f"profile {self.profile.name!r} has no slot {slot!r}; "
+                f"slots: {self.profile.slot_names()}"
+            )
+        self._replacements[slot] = replacement
+        return self
+
+    def with_tier(self, tier: str) -> "StackBuilder":
+        self.tier = validate_tier(tier)
+        return self
+
+    # ------------------------------------------------------------------
+    def _realise(self, slot: SlotSpec) -> list[Sublayer]:
+        if slot.name in self._replacements:
+            replacement = self._replacements[slot.name]
+            if replacement is None or isinstance(replacement, (Sublayer, list, tuple)):
+                built = replacement
+            else:
+                built = replacement(self._params)
+        else:
+            built = slot.build(self._params)
+        if built is None:
+            return []
+        if isinstance(built, Sublayer):
+            return [built]
+        if isinstance(built, (list, tuple)) and all(
+            isinstance(s, Sublayer) for s in built
+        ):
+            return list(built)
+        raise ConfigurationError(
+            f"slot {slot.name!r} of profile {self.profile.name!r} produced "
+            f"{built!r}; expected a Sublayer, a list of Sublayers, or None"
+        )
+
+    def build(self) -> Stack:
+        sublayers: list[Sublayer] = []
+        for slot in self.profile.slots:
+            sublayers.extend(self._realise(slot))
+        if not sublayers:
+            raise ConfigurationError(
+                f"profile {self.profile.name!r} produced an empty stack "
+                f"for {self.name!r}"
+            )
+        validate_layer_order(
+            sublayers,
+            config=self.check_config,
+            context=f"profile {self.profile.name!r} ({self.name!r})",
+        )
+        return Stack(
+            self.name,
+            sublayers,
+            clock=self.clock,
+            access_log=self.access_log,
+            interface_log=self.interface_log,
+            metrics=self.metrics,
+            tier=self.tier,
+            lossy_delivery=self.lossy_delivery,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StackBuilder({self.profile.name!r}, name={self.name!r}, "
+            f"tier={self.tier!r}, replacements={sorted(self._replacements)})"
+        )

@@ -1,0 +1,272 @@
+"""Built-in stack profiles for the repository's four stack shapes.
+
+Each profile declares, once, the sublayer order its hand-rolled
+construction site used to hard-code: the reliable point-to-point data
+link ("hdlc"), the broadcast data link ("wireless"), the Fig 5
+sublayered TCP ("tcp"), and the Section 5 mini-QUIC ("quic").  The
+construction sites (:mod:`repro.datalink.stacks`,
+:mod:`repro.transport.sublayered.host`,
+:mod:`repro.transport.quic.host`) now instantiate these profiles via
+:class:`~repro.compose.builder.StackBuilder`.
+
+Protocol-tier imports happen inside the slot factories, not at module
+level: ``compose`` sits above every protocol tier, so the factories may
+reach down freely, but the construction sites import ``compose`` back
+up, and module-level imports here would close that loop at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.errors import ConfigurationError
+from .builder import SlotSpec, StackProfile, register_profile
+
+
+# ----------------------------------------------------------------------
+# Data link: reliable point-to-point (HDLC-like)
+# ----------------------------------------------------------------------
+def _hdlc_arq(params: dict[str, Any]) -> Any:
+    from ..datalink.arq import ARQ_SCHEMES
+
+    arq = params["arq"]
+    if arq not in ARQ_SCHEMES:
+        raise ConfigurationError(
+            f"unknown ARQ scheme {arq!r}; choose from {sorted(ARQ_SCHEMES)}"
+        )
+    scheme = ARQ_SCHEMES[arq]
+    if arq == "stop-and-wait":
+        return scheme("recovery", retransmit_timeout=params["retransmit_timeout"])
+    return scheme(
+        "recovery",
+        retransmit_timeout=params["retransmit_timeout"],
+        window=params["window"],
+    )
+
+
+def _errordetect(params: dict[str, Any]) -> Any:
+    from ..datalink.errordetect import CrcCode, ErrorDetectSublayer
+
+    return ErrorDetectSublayer("errordetect", params["code"] or CrcCode())
+
+
+def _framing(params: dict[str, Any]) -> Any:
+    from ..datalink.framing.cobs import CobsFramingSublayer
+    from ..datalink.framing.rules import HDLC_RULE
+    from ..datalink.framing.sublayers import FlagSublayer, StuffingSublayer
+
+    framing = params["framing"]
+    rule = params["rule"] or HDLC_RULE
+    if framing == "bitstuff":
+        return [StuffingSublayer("stuffing", rule), FlagSublayer("flags", rule)]
+    if framing == "cobs":
+        return CobsFramingSublayer("framing")
+    raise ConfigurationError(
+        f"unknown framing {framing!r}; choose 'bitstuff' or 'cobs'"
+    )
+
+
+def _encoding(params: dict[str, Any]) -> Any:
+    from ..phys.encodings import NRZ
+    from ..phys.sublayer import EncodingSublayer
+
+    return EncodingSublayer("encoding", params["line_code"] or NRZ())
+
+
+HDLC_PROFILE = register_profile(
+    StackProfile(
+        name="hdlc",
+        slots=(
+            SlotSpec("arq", _hdlc_arq, "error recovery (retransmission)"),
+            SlotSpec("errordetect", _errordetect, "error detection code"),
+            SlotSpec("framing", _framing, "frame delimiting (may be a pair)"),
+            SlotSpec("encoding", _encoding, "line coding"),
+        ),
+        defaults={
+            "arq": "go-back-n",
+            "retransmit_timeout": 0.2,
+            "window": 8,
+            "code": None,
+            "framing": "bitstuff",
+            "rule": None,
+            "line_code": None,
+        },
+        doc="Reliable point-to-point data link: ARQ over detection over "
+        "framing over encoding (Fig 2, left branch).",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Data link: broadcast (wireless station)
+# ----------------------------------------------------------------------
+def _mac(params: dict[str, Any]) -> Any:
+    import random
+
+    from ..datalink.mac import MAC_SCHEMES
+
+    mac = params["mac"]
+    if mac not in MAC_SCHEMES:
+        raise ConfigurationError(
+            f"unknown MAC scheme {mac!r}; choose from {sorted(MAC_SCHEMES)}"
+        )
+    address = params["address"]
+    if address is None or params["channel"] is None:
+        raise ConfigurationError(
+            "the wireless profile needs 'address' and 'channel' parameters"
+        )
+    return MAC_SCHEMES[mac](
+        "mac",
+        address=address,
+        channel=params["channel"],
+        rng=params["rng"] or random.Random(address),
+    )
+
+
+def _stuffing(params: dict[str, Any]) -> Any:
+    from ..datalink.framing.rules import HDLC_RULE
+    from ..datalink.framing.sublayers import StuffingSublayer
+
+    return StuffingSublayer("stuffing", params["rule"] or HDLC_RULE)
+
+
+def _flags(params: dict[str, Any]) -> Any:
+    from ..datalink.framing.rules import HDLC_RULE
+    from ..datalink.framing.sublayers import FlagSublayer
+
+    return FlagSublayer("flags", params["rule"] or HDLC_RULE)
+
+
+WIRELESS_PROFILE = register_profile(
+    StackProfile(
+        name="wireless",
+        slots=(
+            SlotSpec("mac", _mac, "media access control"),
+            SlotSpec("errordetect", _errordetect, "error detection code"),
+            SlotSpec("stuffing", _stuffing, "bit stuffing"),
+            SlotSpec("flags", _flags, "flag delimiting"),
+            SlotSpec("encoding", _encoding, "line coding"),
+        ),
+        defaults={
+            "mac": "csma",
+            "address": None,
+            "channel": None,
+            "rng": None,
+            "code": None,
+            "rule": None,
+            "line_code": None,
+        },
+        doc="Broadcast data link: MAC over detection over framing over "
+        "encoding (Fig 2, right branch; no error recovery).",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Transport: sublayered TCP (Fig 5)
+# ----------------------------------------------------------------------
+def _tcp_config(params: dict[str, Any]) -> Any:
+    from ..transport.config import TcpConfig
+
+    return params["config"] or TcpConfig()
+
+
+def _osr(params: dict[str, Any]) -> Any:
+    from ..transport.sublayered.osr import OsrSublayer
+
+    config = _tcp_config(params)
+    return OsrSublayer(
+        "osr",
+        mss=config.mss,
+        recv_buffer=config.recv_buffer,
+        cc_factory=params["cc_factory"],
+    )
+
+
+def _rd(params: dict[str, Any]) -> Any:
+    from ..transport.sublayered.rd import RdSublayer
+
+    config = _tcp_config(params)
+    return RdSublayer(
+        "rd",
+        rto_initial=config.rto_initial,
+        rto_min=config.rto_min,
+        rto_max=config.rto_max,
+        dupack_threshold=config.dupack_threshold,
+    )
+
+
+def _cm(params: dict[str, Any]) -> Any:
+    from ..transport.sublayered.cm import CmSublayer
+
+    config = _tcp_config(params)
+    return CmSublayer(
+        "cm",
+        isn_scheme=config.isn_scheme,
+        handshake_timeout=config.rto_initial,
+        max_retries=config.max_syn_retries,
+    )
+
+
+def _dm(params: dict[str, Any]) -> Any:
+    from ..transport.sublayered.dm import DmSublayer
+
+    return DmSublayer("dm")
+
+
+def _shim(params: dict[str, Any]) -> Any:
+    return params["shim"]
+
+
+TCP_PROFILE = register_profile(
+    StackProfile(
+        name="tcp",
+        slots=(
+            SlotSpec("osr", _osr, "ordering, streams, and rate"),
+            SlotSpec("rd", _rd, "reliable delivery"),
+            SlotSpec("cm", _cm, "connection management"),
+            SlotSpec("dm", _dm, "demultiplexing (ports)"),
+            SlotSpec("shim", _shim, "optional RFC 793 interop shim"),
+        ),
+        defaults={"config": None, "cc_factory": None, "shim": None},
+        doc="Fig 5 sublayered TCP: OSR > RD > CM > DM (+ optional shim).",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Transport: mini-QUIC (Section 5)
+# ----------------------------------------------------------------------
+def _quic_stream(params: dict[str, Any]) -> Any:
+    from ..transport.quic.stream import StreamSublayer
+
+    return StreamSublayer("stream", max_frame_data=params["max_frame_data"])
+
+
+def _quic_connection(params: dict[str, Any]) -> Any:
+    from ..transport.quic.connection import ConnectionSublayer
+
+    return ConnectionSublayer(
+        "connection", mtu=params["mtu"], cc_factory=params["cc_factory"]
+    )
+
+
+def _quic_record(params: dict[str, Any]) -> Any:
+    from ..transport.quic.record import RecordSublayer
+
+    return RecordSublayer("record")
+
+
+QUIC_PROFILE = register_profile(
+    StackProfile(
+        name="quic",
+        slots=(
+            SlotSpec("stream", _quic_stream, "per-stream ordering/segmenting"),
+            SlotSpec("connection", _quic_connection, "handshake, acks, loss, cc"),
+            SlotSpec("record", _quic_record, "authenticated encryption"),
+            SlotSpec("dm", _dm, "demultiplexing (ports)"),
+        ),
+        defaults={"mtu": 1200, "max_frame_data": 1000, "cc_factory": None},
+        doc="Mini-QUIC: stream > connection > record > DM.",
+    )
+)

@@ -39,12 +39,20 @@ from .errors import (
     VerificationError,
 )
 from .header import Field, HeaderFormat, concat_formats
-from .instrument import Access, AccessLog, InstrumentedState, acting_as, current_actor
+from .instrument import (
+    Access,
+    AccessLog,
+    InstrumentedState,
+    NullAccessLog,
+    acting_as,
+    current_actor,
+)
 from .interface import (
     BoundPort,
     InterfaceCall,
     InterfaceLog,
     Notification,
+    NullInterfaceLog,
     Primitive,
     ServiceInterface,
 )
@@ -61,8 +69,20 @@ from .litmus import (
 from .pdu import Pdu, unwrap
 from .report import CheckResult, Report
 from .shim import IdentityShim, ShimSublayer
-from .stack import APP, WIRE, Stack
+from .stack import Stack
 from .sublayer import PassthroughSublayer, Sublayer
+from .wiring import (
+    APP,
+    TIER_FULL,
+    TIER_METRICS,
+    TIER_OFF,
+    TIERS,
+    WIRE,
+    HopCounters,
+    TapList,
+    WiringPlan,
+    validate_tier,
+)
 
 __all__ = [
     "APP",
@@ -85,6 +105,7 @@ __all__ = [
     "FramingError",
     "HeaderError",
     "HeaderFormat",
+    "HopCounters",
     "IdentityShim",
     "InOrderDelivery",
     "InstrumentedState",
@@ -96,6 +117,8 @@ __all__ = [
     "ManualClock",
     "NoCorruption",
     "Notification",
+    "NullAccessLog",
+    "NullInterfaceLog",
     "Observation",
     "PassthroughSublayer",
     "Pdu",
@@ -108,10 +131,16 @@ __all__ = [
     "SimulationError",
     "Stack",
     "Sublayer",
+    "TIERS",
+    "TIER_FULL",
+    "TIER_METRICS",
+    "TIER_OFF",
+    "TapList",
     "TestResult",
     "TimerHandle",
     "VerificationError",
     "WireTap",
+    "WiringPlan",
     "acting_as",
     "all_bitstrings",
     "all_bitstrings_up_to",
@@ -123,4 +152,5 @@ __all__ = [
     "evaluate_contracts",
     "run_litmus",
     "unwrap",
+    "validate_tier",
 ]

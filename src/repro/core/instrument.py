@@ -139,6 +139,25 @@ class AccessLog:
         }
 
 
+class NullAccessLog(AccessLog):
+    """An access log that drops everything.
+
+    Installed into every :class:`InstrumentedState` by the ``metrics``
+    and ``off`` wiring tiers: state containers keep their logging calls,
+    but each one is a no-op method dispatch instead of a conditional
+    plus a dataclass allocation plus a list append.  Litmus analyses
+    over a null log see an empty record set, which is why litmus tests
+    must run at the ``full`` tier (see DESIGN.md).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def record(self, actor: str | None, target: str, field: str, kind: str) -> None:
+        pass
+
+
 class InstrumentedState:
     """An attribute container that logs every read and write.
 

@@ -110,6 +110,28 @@ class InterfaceLog:
         return {(r.caller, r.provider) for r in self.records}
 
 
+class NullInterfaceLog(InterfaceLog):
+    """An interface log that records nothing and reports zero.
+
+    Installed by the ``metrics`` and ``off`` wiring tiers so ports,
+    notifications, and hops can keep calling ``log.record(...)``
+    unconditionally while the per-crossing allocation and append
+    disappear.  Unlike ``InterfaceLog(enabled=False)``, ``record`` here
+    does not even build the :class:`InterfaceCall` it ignores — callers
+    that know they hold a null log (the compiled hops) skip the whole
+    expression.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(records=[], enabled=False)
+
+    def record(self, call: InterfaceCall) -> None:
+        pass
+
+    def crossings(self) -> int:
+        return 0
+
+
 class BoundPort:
     """A caller's handle on a provider's service interface.
 

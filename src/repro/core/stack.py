@@ -14,10 +14,15 @@ and wires each to exactly its neighbours:
   auto-connects a lower sublayer's notifications to ``nf_<channel>``
   methods on the sublayer immediately above.
 
-Every callback runs under :func:`repro.core.instrument.acting_as` for
-the sublayer's own name, and every data-path hop is logged as a
-crossing, which is what makes the T2/T3 litmus tests and the C3 tuning
-benchmark measurements rather than assertions.
+The data-path hops themselves are *compiled*, not interpreted: a
+:class:`repro.core.wiring.WiringPlan` builds one closure per hop at an
+explicit instrumentation tier (``full``/``metrics``/``off``) and
+recompiles whenever an observer changes — a span hook is attached or
+detached, a tap is added or removed, or an endpoint sink is set.  At
+the ``full`` tier (the default) every callback runs under
+:func:`repro.core.instrument.acting_as` for the sublayer's own name and
+every hop is logged as a crossing, which is what makes the T2/T3 litmus
+tests and the C3 tuning benchmark measurements rather than assertions.
 """
 
 from __future__ import annotations
@@ -26,13 +31,20 @@ from typing import Any, Callable
 
 from .clock import Clock, ManualClock
 from .errors import ConfigurationError
-from .instrument import AccessLog, InstrumentedState, acting_as
-from .interface import BoundPort, InterfaceCall, InterfaceLog, Notification
+from .instrument import AccessLog, InstrumentedState, NullAccessLog, acting_as
+from .interface import BoundPort, InterfaceLog, Notification, NullInterfaceLog
 from .metrics import MetricsSink, scoped
 from .sublayer import Sublayer
-
-APP = "_app"
-WIRE = "_wire"
+from .wiring import (  # noqa: F401  (APP/WIRE re-exported for callers)
+    APP,
+    TIER_FULL,
+    TIERS,
+    WIRE,
+    HopCounters,
+    TapList,
+    WiringPlan,
+    validate_tier,
+)
 
 
 class Stack:
@@ -46,36 +58,137 @@ class Stack:
         access_log: AccessLog | None = None,
         interface_log: InterfaceLog | None = None,
         metrics: MetricsSink | None = None,
+        tier: str = TIER_FULL,
+        lossy_delivery: bool = False,
     ):
         if not sublayers:
             raise ConfigurationError("a stack needs at least one sublayer")
         names = [s.name for s in sublayers]
         if len(names) != len(set(names)):
             raise ConfigurationError(f"duplicate sublayer names in stack {name!r}")
+        validate_tier(tier)
         self.name = name
         self.sublayers: list[Sublayer] = list(sublayers)  # top -> bottom
+        self._index: dict[str, Sublayer] = {s.name: s for s in self.sublayers}
         self.clock: Clock = clock if clock is not None else ManualClock()
-        self.access_log = access_log if access_log is not None else AccessLog()
-        self.interface_log = (
+        # The "real" logs survive tier changes; at the metrics/off tiers
+        # the public access_log/interface_log attributes point at null
+        # implementations instead (set_tier swaps them back).
+        self._full_access_log = access_log if access_log is not None else AccessLog()
+        self._full_interface_log = (
             interface_log if interface_log is not None else InterfaceLog()
         )
+        self._null_access_log = NullAccessLog()
+        self._null_interface_log = NullInterfaceLog()
+        self._tier = tier
+        if tier == TIER_FULL:
+            self.access_log: AccessLog = self._full_access_log
+            self.interface_log: InterfaceLog = self._full_interface_log
+        else:
+            self.access_log = self._null_access_log
+            self.interface_log = self._null_interface_log
         self.metrics = metrics
-        self.on_deliver: Callable[..., None] | None = None
-        self.on_transmit: Callable[..., None] | None = None
+        self.lossy_delivery = lossy_delivery
+        self._on_deliver: Callable[..., None] | None = None
+        self._on_transmit: Callable[..., None] | None = None
         # Observers of every data-path hop: fn(direction, caller, provider, sdu, meta).
-        # Contract monitors and the litmus checker attach here.
-        self.taps: list[Callable[[str, str, str, Any, dict], None]] = []
+        # Contract monitors and the litmus checker attach here; every
+        # mutation recompiles the wiring plan.
+        self._taps: TapList = TapList(on_change=self._recompile)
         # Optional span factory: fn(direction, caller, provider, sdu, meta)
         # returning a context manager that brackets the receiving
         # sublayer's processing of the hop.  Installed from outside
-        # (repro.obs.SpanTracer.attach); when None, hops pay only this
-        # attribute's None check.
-        self.span_hook: Callable[[str, str, str, Any, dict], Any] | None = None
+        # (repro.obs.SpanTracer.attach); the compiled hops include the
+        # span bracket only while a hook is attached.
+        self._span_hook: Callable[[str, str, str, Any, dict], Any] | None = None
+        self._plan = WiringPlan(self, tier)
         self._wire()
 
-    def _tap(self, direction: str, caller: str, provider: str, sdu: Any, meta: dict) -> None:
-        for tap in self.taps:
-            tap(direction, caller, provider, sdu, meta)
+    # ------------------------------------------------------------------
+    # Observable configuration — every setter recompiles the plan
+    # ------------------------------------------------------------------
+    def _recompile(self) -> None:
+        plan = getattr(self, "_plan", None)
+        if plan is not None:
+            plan.compile()
+
+    @property
+    def tier(self) -> str:
+        """The current instrumentation tier (``full``/``metrics``/``off``)."""
+        return self._tier
+
+    @property
+    def hop_counters(self) -> HopCounters:
+        """Cheap crossing counters, maintained at the ``metrics`` tier."""
+        return self._plan.counters
+
+    @property
+    def wiring_plan(self) -> WiringPlan:
+        return self._plan
+
+    @property
+    def taps(self) -> TapList:
+        return self._taps
+
+    @taps.setter
+    def taps(self, value: Any) -> None:
+        self._taps = TapList(value, on_change=self._recompile)
+        self._recompile()
+
+    @property
+    def span_hook(self) -> Callable[[str, str, str, Any, dict], Any] | None:
+        return self._span_hook
+
+    @span_hook.setter
+    def span_hook(self, hook: Callable[[str, str, str, Any, dict], Any] | None) -> None:
+        self._span_hook = hook
+        self._recompile()
+
+    @property
+    def on_transmit(self) -> Callable[..., None] | None:
+        return self._on_transmit
+
+    @on_transmit.setter
+    def on_transmit(self, sink: Callable[..., None] | None) -> None:
+        self._on_transmit = sink
+        self._recompile()
+
+    @property
+    def on_deliver(self) -> Callable[..., None] | None:
+        return self._on_deliver
+
+    @on_deliver.setter
+    def on_deliver(self, sink: Callable[..., None] | None) -> None:
+        self._on_deliver = sink
+        self._recompile()
+
+    def set_tier(self, tier: str) -> "Stack":
+        """Switch instrumentation tier in place and recompile the hops.
+
+        Swaps the access/interface logs between the real instances
+        (``full``) and null implementations (``metrics``/``off``) in
+        every state container, notification, and port, then recompiles
+        the wiring plan.  Hop counters are preserved across switches.
+        """
+        validate_tier(tier)
+        if tier == self._tier:
+            return self
+        self._tier = tier
+        if tier == TIER_FULL:
+            self.access_log = self._full_access_log
+            self.interface_log = self._full_interface_log
+        else:
+            self.access_log = self._null_access_log
+            self.interface_log = self._null_interface_log
+        for sublayer in self.sublayers:
+            sublayer.state._log = self.access_log
+            for notification in sublayer.notifications.values():
+                notification._log = self.interface_log
+            if sublayer.below is not None:
+                sublayer.below._log = self.interface_log
+        self._plan.tier = tier
+        self._plan.compile()
+        return self
 
     # ------------------------------------------------------------------
     # Wiring
@@ -92,14 +205,11 @@ class Stack:
             }
 
         for index, sublayer in enumerate(self.sublayers):
-            above = self.sublayers[index - 1] if index > 0 else None
             below = (
                 self.sublayers[index + 1]
                 if index + 1 < len(self.sublayers)
                 else None
             )
-            sublayer._send_down = self._make_down_hop(sublayer, below)
-            sublayer._deliver_up = self._make_up_hop(sublayer, above)
             if below is not None and below.SERVICE is not None:
                 sublayer.below = BoundPort(
                     below.SERVICE,
@@ -111,6 +221,8 @@ class Stack:
             if below is not None:
                 self._connect_notifications(user=sublayer, provider=below)
 
+        self._plan.compile()
+
         for sublayer in self.sublayers:
             with acting_as(sublayer.name):
                 sublayer.on_attach()
@@ -120,93 +232,6 @@ class Stack:
             handler = getattr(user, f"nf_{channel}", None)
             if callable(handler):
                 notification.connect(user.name, handler)
-
-    def _make_down_hop(
-        self, sender: Sublayer, below: Sublayer | None
-    ) -> Callable[..., None]:
-        def hop(sdu: Any, **meta: Any) -> None:
-            if below is not None:
-                self.interface_log.record(
-                    InterfaceCall(
-                        interface=f"data:{self.name}",
-                        primitive="send",
-                        caller=sender.name,
-                        provider=below.name,
-                        arg_count=1,
-                    )
-                )
-                self._tap("down", sender.name, below.name, sdu, meta)
-                if self.span_hook is None:
-                    with acting_as(below.name):
-                        below.from_above(sdu, **meta)
-                else:
-                    with self.span_hook("down", sender.name, below.name, sdu, meta):
-                        with acting_as(below.name):
-                            below.from_above(sdu, **meta)
-            else:
-                self.interface_log.record(
-                    InterfaceCall(
-                        interface=f"data:{self.name}",
-                        primitive="send",
-                        caller=sender.name,
-                        provider=WIRE,
-                        arg_count=1,
-                    )
-                )
-                self._tap("down", sender.name, WIRE, sdu, meta)
-                if self.on_transmit is None:
-                    raise ConfigurationError(
-                        f"stack {self.name!r} has no on_transmit sink"
-                    )
-                if self.span_hook is None:
-                    self.on_transmit(sdu, **meta)
-                else:
-                    with self.span_hook("down", sender.name, WIRE, sdu, meta):
-                        self.on_transmit(sdu, **meta)
-
-        return hop
-
-    def _make_up_hop(
-        self, sender: Sublayer, above: Sublayer | None
-    ) -> Callable[..., None]:
-        def hop(sdu: Any, **meta: Any) -> None:
-            if above is not None:
-                self.interface_log.record(
-                    InterfaceCall(
-                        interface=f"data:{self.name}",
-                        primitive="deliver",
-                        caller=sender.name,
-                        provider=above.name,
-                        arg_count=1,
-                    )
-                )
-                self._tap("up", sender.name, above.name, sdu, meta)
-                if self.span_hook is None:
-                    with acting_as(above.name):
-                        above.from_below(sdu, **meta)
-                else:
-                    with self.span_hook("up", sender.name, above.name, sdu, meta):
-                        with acting_as(above.name):
-                            above.from_below(sdu, **meta)
-            else:
-                self.interface_log.record(
-                    InterfaceCall(
-                        interface=f"data:{self.name}",
-                        primitive="deliver",
-                        caller=sender.name,
-                        provider=APP,
-                        arg_count=1,
-                    )
-                )
-                self._tap("up", sender.name, APP, sdu, meta)
-                if self.on_deliver is not None:
-                    if self.span_hook is None:
-                        self.on_deliver(sdu, **meta)
-                    else:
-                        with self.span_hook("up", sender.name, APP, sdu, meta):
-                            self.on_deliver(sdu, **meta)
-
-        return hop
 
     # ------------------------------------------------------------------
     # Application / wire endpoints
@@ -220,50 +245,20 @@ class Stack:
         return self.sublayers[-1]
 
     def sublayer(self, name: str) -> Sublayer:
-        for sublayer in self.sublayers:
-            if sublayer.name == name:
-                return sublayer
-        raise ConfigurationError(f"no sublayer {name!r} in stack {self.name!r}")
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no sublayer {name!r} in stack {self.name!r}"
+            ) from None
 
     def send(self, data: Any, **meta: Any) -> None:
         """Application hands data to the top sublayer."""
-        self.interface_log.record(
-            InterfaceCall(
-                interface=f"data:{self.name}",
-                primitive="send",
-                caller=APP,
-                provider=self.top.name,
-                arg_count=1,
-            )
-        )
-        self._tap("down", APP, self.top.name, data, meta)
-        if self.span_hook is None:
-            with acting_as(self.top.name):
-                self.top.from_above(data, **meta)
-        else:
-            with self.span_hook("down", APP, self.top.name, data, meta):
-                with acting_as(self.top.name):
-                    self.top.from_above(data, **meta)
+        self._plan.app_send(data, **meta)
 
     def receive(self, pdu: Any, **meta: Any) -> None:
         """The wire hands a PDU to the bottom sublayer."""
-        self.interface_log.record(
-            InterfaceCall(
-                interface=f"data:{self.name}",
-                primitive="deliver",
-                caller=WIRE,
-                provider=self.bottom.name,
-                arg_count=1,
-            )
-        )
-        self._tap("up", WIRE, self.bottom.name, pdu, meta)
-        if self.span_hook is None:
-            with acting_as(self.bottom.name):
-                self.bottom.from_below(pdu, **meta)
-        else:
-            with self.span_hook("up", WIRE, self.bottom.name, pdu, meta):
-                with acting_as(self.bottom.name):
-                    self.bottom.from_below(pdu, **meta)
+        self._plan.wire_receive(pdu, **meta)
 
     # ------------------------------------------------------------------
     def order(self) -> list[str]:
@@ -276,7 +271,10 @@ class Stack:
         This is the paper's *fungibility* operation (challenge 5): any
         sublayer can be replaced by an implementation honouring the same
         service interface and header contract, without touching the
-        others.  The original stack is left untouched.
+        others.  The original stack is left untouched; the new stack
+        inherits the full wiring configuration — clock, logs, metrics,
+        tier, taps, span hook, and both endpoint sinks — so a swap in
+        the middle of an instrumented experiment keeps its telemetry.
         """
         replaced = False
         new_layers: list[Sublayer] = []
@@ -290,7 +288,21 @@ class Stack:
             raise ConfigurationError(
                 f"no sublayer {old_name!r} to replace in stack {self.name!r}"
             )
-        return Stack(self.name, new_layers, clock=self.clock)
+        twin = Stack(
+            self.name,
+            new_layers,
+            clock=self.clock,
+            access_log=self._full_access_log,
+            interface_log=self._full_interface_log,
+            metrics=self.metrics,
+            tier=self._tier,
+            lossy_delivery=self.lossy_delivery,
+        )
+        twin.taps = list(self._taps)
+        twin.span_hook = self._span_hook
+        twin.on_transmit = self._on_transmit
+        twin.on_deliver = self._on_deliver
+        return twin
 
     def __repr__(self) -> str:
         return f"Stack({self.name!r}, {' > '.join(self.order())})"

@@ -7,10 +7,11 @@ branch, which "dispenses with error recovery and does Media Access
 Control": MAC over error detection over framing over encoding, bound
 to a shared :class:`~repro.sim.medium.BroadcastMedium`.
 
-Every knob is a sublayer-local swap: the ARQ scheme, the detection
-code, the stuffing rule, the line code, and the MAC scheme can each be
-replaced without touching any other sublayer — the F2 benchmark
-exercises exactly these swaps.
+Both assemblies instantiate :mod:`repro.compose` profiles ("hdlc" and
+"wireless"): the sublayer order lives in the profile, every knob is a
+profile parameter, and whole-slot swaps go through
+``StackBuilder.with_replacement`` — the F2 benchmark exercises exactly
+these swaps.
 """
 
 from __future__ import annotations
@@ -18,20 +19,17 @@ from __future__ import annotations
 import random
 from typing import Any
 
+from ..compose import StackBuilder
 from ..core.bits import Bits
-from ..core.errors import ConfigurationError
 from ..core.stack import Stack
-from ..phys.encodings import LineCode, NRZ
-from ..phys.sublayer import EncodingSublayer
+from ..core.wiring import TIER_FULL
+from ..phys.encodings import LineCode
 from ..sim.engine import Simulator
 from ..sim.link import DuplexLink, LinkConfig
 from ..sim.medium import BroadcastMedium
-from .arq import ARQ_SCHEMES
-from .errordetect import CrcCode, DetectionCode, ErrorDetectSublayer
-from .framing.cobs import CobsFramingSublayer
+from .errordetect import DetectionCode
 from .framing.rules import HDLC_RULE, StuffingRule
-from .framing.sublayers import FlagSublayer, StuffingSublayer
-from .mac import MAC_SCHEMES, ChannelView
+from .mac import ChannelView
 
 
 def build_hdlc_stack(
@@ -44,45 +42,30 @@ def build_hdlc_stack(
     retransmit_timeout: float = 0.2,
     window: int = 8,
     framing: str = "bitstuff",
+    tier: str = TIER_FULL,
+    replacements: dict[str, Any] | None = None,
 ) -> Stack:
     """A reliable point-to-point data link (HDLC-like).
 
     ``framing`` selects the framing decomposition: ``"bitstuff"`` is
     the paper's nested pair (stuffing over flags); ``"cobs"`` replaces
     the pair with a single COBS sublayer — the re-partitioning swap.
+    ``replacements`` maps profile slot names ("arq", "errordetect",
+    "framing", "encoding") to ready sublayers or factories.
     """
-    if arq not in ARQ_SCHEMES:
-        raise ConfigurationError(
-            f"unknown ARQ scheme {arq!r}; choose from {sorted(ARQ_SCHEMES)}"
-        )
-    scheme = ARQ_SCHEMES[arq]
-    if arq == "stop-and-wait":
-        recovery = scheme("recovery", retransmit_timeout=retransmit_timeout)
-    else:
-        recovery = scheme(
-            "recovery", retransmit_timeout=retransmit_timeout, window=window
-        )
-    if framing == "bitstuff":
-        framing_sublayers = [
-            StuffingSublayer("stuffing", rule),
-            FlagSublayer("flags", rule),
-        ]
-    elif framing == "cobs":
-        framing_sublayers = [CobsFramingSublayer("framing")]
-    else:
-        raise ConfigurationError(
-            f"unknown framing {framing!r}; choose 'bitstuff' or 'cobs'"
-        )
-    return Stack(
-        name,
-        [
-            recovery,
-            ErrorDetectSublayer("errordetect", code or CrcCode()),
-            *framing_sublayers,
-            EncodingSublayer("encoding", line_code or NRZ()),
-        ],
-        clock=clock,
+    builder = StackBuilder("hdlc", name=name, clock=clock, tier=tier)
+    builder.with_params(
+        rule=rule,
+        code=code,
+        arq=arq,
+        line_code=line_code,
+        retransmit_timeout=retransmit_timeout,
+        window=window,
+        framing=framing,
     )
+    for slot, replacement in (replacements or {}).items():
+        builder.with_replacement(slot, replacement)
+    return builder.build()
 
 
 def connect_hdlc_pair(
@@ -114,28 +97,27 @@ def build_wireless_station(
     code: DetectionCode | None = None,
     line_code: LineCode | None = None,
     rng: random.Random | None = None,
+    tier: str = TIER_FULL,
+    replacements: dict[str, Any] | None = None,
 ) -> Stack:
     """One station of the broadcast branch, attached to a shared medium."""
-    if mac not in MAC_SCHEMES:
-        raise ConfigurationError(
-            f"unknown MAC scheme {mac!r}; choose from {sorted(MAC_SCHEMES)}"
-        )
     port = medium.attach(f"station-{address}")
     channel = ChannelView(port.carrier_sense)
-    mac_sublayer = MAC_SCHEMES[mac](
-        "mac", address=address, channel=channel, rng=rng or random.Random(address)
+    builder = StackBuilder(
+        "wireless", name=f"wl-{address}", clock=sim.clock(), tier=tier
     )
-    stack = Stack(
-        f"wl-{address}",
-        [
-            mac_sublayer,
-            ErrorDetectSublayer("errordetect", code or CrcCode()),
-            StuffingSublayer("stuffing", rule),
-            FlagSublayer("flags", rule),
-            EncodingSublayer("encoding", line_code or NRZ()),
-        ],
-        clock=sim.clock(),
+    builder.with_params(
+        mac=mac,
+        address=address,
+        channel=channel,
+        rng=rng,
+        rule=rule,
+        code=code,
+        line_code=line_code,
     )
+    for slot, replacement in (replacements or {}).items():
+        builder.with_replacement(slot, replacement)
+    stack = builder.build()
     stack.on_transmit = lambda bits, **meta: port.transmit(bits, len(bits))
     port.on_receive = lambda frame: stack.receive(frame)
     port.on_transmit_done = channel._transmit_done

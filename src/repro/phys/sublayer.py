@@ -27,7 +27,9 @@ class EncodingSublayer(Sublayer):
         self.code = code if code is not None else NRZ()
 
     def clone_fresh(self) -> "EncodingSublayer":
-        return EncodingSublayer(self.name, type(self.code)())
+        # Share the line code: it is a stateless codec, and rebuilding it
+        # with type(...)() would silently drop any constructor config.
+        return EncodingSublayer(self.name, self.code)
 
     def on_attach(self) -> None:
         self.state.encoded = 0

@@ -33,6 +33,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "verify": 5,
     "analysis": 5,
     "staticcheck": 5,
+    "compose": 5,
     "obs": 6,
 }
 
@@ -47,11 +48,19 @@ DEFAULT_LAYERS: dict[str, int] = {
 #: * ``repro.datalink.framing.lemmas`` states the verified bit-stuffing
 #:   properties of Section 4.1 in the verifier's lemma vocabulary; the
 #:   framing *mechanisms* do not depend on the verifier.
+#: * the three stack construction sites (``repro.datalink.stacks``,
+#:   ``repro.transport.sublayered.host``, ``repro.transport.quic.host``)
+#:   build through the ``repro.compose`` profile registry; like the
+#:   assembly exception above, they orchestrate composition without the
+#:   protocol *sublayers* ever seeing the builder.
 DEFAULT_ALLOWLIST: frozenset[str] = frozenset(
     {
         "repro.datalink.stacks -> repro.sim",
         "repro.network.topology -> repro.sim",
         "repro.datalink.framing.lemmas -> repro.verify",
+        "repro.datalink.stacks -> repro.compose",
+        "repro.transport.sublayered.host -> repro.compose",
+        "repro.transport.quic.host -> repro.compose",
     }
 )
 

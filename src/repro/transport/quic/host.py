@@ -13,13 +13,12 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ...compose import StackBuilder
 from ...core.clock import Clock
 from ...core.instrument import AccessLog, acting_as
 from ...core.interface import InterfaceLog
-from ...core.stack import Stack
-from ..sublayered.dm import DmSublayer
-from .connection import ConnectionSublayer, ConnId
-from .record import RecordSublayer
+from ...core.wiring import TIER_FULL
+from .connection import ConnId
 from .stream import QuicConnCallbacks, StreamSublayer
 
 
@@ -104,22 +103,26 @@ class QuicHost:
         cc_factory: Any | None = None,
         access_log: AccessLog | None = None,
         interface_log: InterfaceLog | None = None,
+        metrics: Any | None = None,
+        tier: str = TIER_FULL,
+        replacements: dict[str, Any] | None = None,
     ):
         self.name = name
-        self.stack = Stack(
-            f"quic:{name}",
-            [
-                StreamSublayer("stream", max_frame_data=max_frame_data),
-                ConnectionSublayer(
-                    "connection", mtu=mtu, cc_factory=cc_factory
-                ),
-                RecordSublayer("record"),
-                DmSublayer("dm"),
-            ],
+        builder = StackBuilder(
+            "quic",
+            name=f"quic:{name}",
             clock=clock,
             access_log=access_log,
             interface_log=interface_log,
+            metrics=metrics,
+            tier=tier,
         )
+        builder.with_params(
+            mtu=mtu, max_frame_data=max_frame_data, cc_factory=cc_factory
+        )
+        for slot, replacement in (replacements or {}).items():
+            builder.with_replacement(slot, replacement)
+        self.stack = builder.build()
         self.stream: StreamSublayer = self.stack.sublayer("stream")  # type: ignore[assignment]
         self._connections: dict[ConnId, QuicConnection] = {}
         self.on_accept: Callable[[QuicConnection], None] | None = None

@@ -12,14 +12,15 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ...compose import StackBuilder
 from ...core.clock import Clock
 from ...core.instrument import AccessLog, acting_as
 from ...core.interface import InterfaceLog
-from ...core.stack import Stack
+from ...core.wiring import TIER_FULL
 from ..config import TcpConfig
 from .cm import CmSublayer
 from .congestion import CongestionControl
-from .dm import ConnId, DmSublayer
+from .dm import ConnId
 from .osr import OsrSublayer
 from .rd import RdSublayer
 
@@ -111,44 +112,34 @@ class SublayeredTcpHost:
         osr_factory: Callable[[TcpConfig], OsrSublayer] | None = None,
         rd_factory: Callable[[TcpConfig], RdSublayer] | None = None,
         cm_factory: Callable[[TcpConfig], CmSublayer] | None = None,
+        tier: str = TIER_FULL,
+        replacements: dict[str, Any] | None = None,
     ):
         self.name = name
         self.config = config or TcpConfig()
-        # Factory hooks exist for the F5 bug-injection experiment and
-        # for user-supplied sublayer variants; the defaults are the
-        # stock Fig 5 sublayers.
-        sublayers = [
-            osr_factory(self.config) if osr_factory is not None else OsrSublayer(
-                "osr",
-                mss=self.config.mss,
-                recv_buffer=self.config.recv_buffer,
-                cc_factory=cc_factory,
-            ),
-            rd_factory(self.config) if rd_factory is not None else RdSublayer(
-                "rd",
-                rto_initial=self.config.rto_initial,
-                rto_min=self.config.rto_min,
-                rto_max=self.config.rto_max,
-                dupack_threshold=self.config.dupack_threshold,
-            ),
-            cm_factory(self.config) if cm_factory is not None else CmSublayer(
-                "cm",
-                isn_scheme=self.config.isn_scheme,
-                handshake_timeout=self.config.rto_initial,
-                max_retries=self.config.max_syn_retries,
-            ),
-            DmSublayer("dm"),
-        ]
-        if shim is not None:
-            sublayers.append(shim)
-        self.stack = Stack(
-            f"tcp:{name}",
-            sublayers,
+        builder = StackBuilder(
+            "tcp",
+            name=f"tcp:{name}",
             clock=clock,
             access_log=access_log,
             interface_log=interface_log,
             metrics=metrics,
+            tier=tier,
         )
+        builder.with_params(config=self.config, cc_factory=cc_factory, shim=shim)
+        # Factory hooks exist for the F5 bug-injection experiment and
+        # for user-supplied sublayer variants; they (and the generic
+        # ``replacements`` mapping) become slot replacements on the
+        # "tcp" profile.
+        if osr_factory is not None:
+            builder.with_replacement("osr", lambda p: osr_factory(self.config))
+        if rd_factory is not None:
+            builder.with_replacement("rd", lambda p: rd_factory(self.config))
+        if cm_factory is not None:
+            builder.with_replacement("cm", lambda p: cm_factory(self.config))
+        for slot, replacement in (replacements or {}).items():
+            builder.with_replacement(slot, replacement)
+        self.stack = builder.build()
         self.osr: OsrSublayer = self.stack.sublayer("osr")  # type: ignore[assignment]
         self._sockets: dict[ConnId, SubTcpSocket] = {}
         self.on_accept: Callable[[SubTcpSocket], None] | None = None

@@ -1,0 +1,274 @@
+"""StackBuilder, the profile registry, and the three construction sites."""
+
+import pytest
+
+from repro.compose import (
+    SlotSpec,
+    StackBuilder,
+    StackProfile,
+    available_profiles,
+    get_profile,
+    register_profile,
+    validate_layer_order,
+)
+from repro.compose import builder as builder_module
+from repro.core import ConfigurationError, PassthroughSublayer
+from repro.core.clock import ManualClock
+
+
+@pytest.fixture
+def registry_snapshot():
+    saved = dict(builder_module._PROFILES)
+    yield
+    builder_module._PROFILES.clear()
+    builder_module._PROFILES.update(saved)
+
+
+def passthrough_profile(name="pp", depth=2):
+    return StackProfile(
+        name=name,
+        slots=tuple(
+            SlotSpec(f"p{i}", lambda params, i=i: PassthroughSublayer(f"p{i}"))
+            for i in range(depth)
+        ),
+        defaults={"knob": 1},
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"hdlc", "wireless", "tcp", "quic"} <= set(available_profiles())
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigurationError, match="unknown stack profile"):
+            get_profile("doesnotexist")
+
+    def test_duplicate_rejected_unless_replace(self, registry_snapshot):
+        profile = passthrough_profile("dup-test")
+        register_profile(profile)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_profile(profile)
+        register_profile(passthrough_profile("dup-test"), replace=True)
+
+    def test_profile_validates_slots(self):
+        with pytest.raises(ConfigurationError, match="no slots"):
+            StackProfile(name="empty", slots=())
+        slot = SlotSpec("a", lambda p: PassthroughSublayer("a"))
+        with pytest.raises(ConfigurationError, match="duplicate slot"):
+            StackProfile(name="twice", slots=(slot, slot))
+
+
+class TestBuilder:
+    def test_build_from_profile_object(self):
+        stack = StackBuilder(passthrough_profile(), name="s").build()
+        assert stack.order() == ["p0", "p1"]
+        assert stack.tier == "full"
+
+    def test_unknown_param_rejected(self):
+        builder = StackBuilder(passthrough_profile(), name="s")
+        with pytest.raises(ConfigurationError, match="no parameters"):
+            builder.with_params(frobnicate=2)
+
+    def test_unknown_slot_rejected(self):
+        builder = StackBuilder(passthrough_profile(), name="s")
+        with pytest.raises(ConfigurationError, match="no slot"):
+            builder.with_replacement("p7", PassthroughSublayer("p7"))
+
+    def test_replacement_instance_and_factory(self):
+        profile = passthrough_profile()
+        seen_params = {}
+
+        def factory(params):
+            seen_params.update(params)
+            return PassthroughSublayer("custom1")
+
+        stack = (
+            StackBuilder(profile, name="s")
+            .with_params(knob=5)
+            .with_replacement("p0", PassthroughSublayer("custom0"))
+            .with_replacement("p1", factory)
+            .build()
+        )
+        assert stack.order() == ["custom0", "custom1"]
+        assert seen_params == {"knob": 5}
+
+    def test_replacement_none_empties_slot(self):
+        stack = (
+            StackBuilder(passthrough_profile(), name="s")
+            .with_replacement("p0", None)
+            .build()
+        )
+        assert stack.order() == ["p1"]
+
+    def test_empty_stack_rejected(self):
+        builder = StackBuilder(passthrough_profile(depth=1), name="s")
+        builder.with_replacement("p0", None)
+        with pytest.raises(ConfigurationError, match="empty stack"):
+            builder.build()
+
+    def test_bad_slot_result_rejected(self):
+        profile = StackProfile(
+            name="bad", slots=(SlotSpec("x", lambda p: 42),)
+        )
+        with pytest.raises(ConfigurationError, match="expected a Sublayer"):
+            StackBuilder(profile, name="s").build()
+
+    def test_threads_tier_clock_logs_metrics(self):
+        from repro.core.instrument import AccessLog
+        from repro.core.interface import InterfaceLog
+
+        clock = ManualClock()
+        access_log, interface_log = AccessLog(), InterfaceLog()
+
+        class Sink:
+            def inc(self, name, by=1):
+                pass
+
+        metrics = Sink()
+        stack = StackBuilder(
+            passthrough_profile(),
+            name="s",
+            clock=clock,
+            access_log=access_log,
+            interface_log=interface_log,
+            metrics=metrics,
+            tier="metrics",
+            lossy_delivery=True,
+        ).build()
+        assert stack.clock is clock
+        assert stack.tier == "metrics"
+        assert stack.lossy_delivery is True
+        assert stack.metrics is metrics
+        # real logs are held for set_tier("full") even though the
+        # metrics tier starts on the null implementations
+        stack.set_tier("full")
+        assert stack.access_log is access_log
+        assert stack.interface_log is interface_log
+
+    def test_with_tier(self):
+        stack = (
+            StackBuilder(passthrough_profile(), name="s")
+            .with_tier("off")
+            .build()
+        )
+        assert stack.tier == "off"
+
+
+class TestLayerOrderValidation:
+    def test_upside_down_stack_rejected(self):
+        from repro.datalink.arq import GoBackNArq
+        from repro.phys.sublayer import EncodingSublayer
+
+        # encoding (phys, tier 1) above ARQ (datalink, tier 2): upside down
+        with pytest.raises(ConfigurationError, match="layer order"):
+            validate_layer_order(
+                [EncodingSublayer("enc"), GoBackNArq("arq")]
+            )
+
+    def test_correct_order_and_foreign_sublayers_pass(self):
+        from repro.datalink.arq import GoBackNArq
+        from repro.phys.sublayer import EncodingSublayer
+
+        class LocalSublayer(PassthroughSublayer):
+            pass
+
+        validate_layer_order(
+            [GoBackNArq("arq"), LocalSublayer("x"), EncodingSublayer("enc")]
+        )
+
+    def test_builder_validates_at_build_time(self):
+        from repro.datalink.arq import GoBackNArq
+        from repro.phys.sublayer import EncodingSublayer
+
+        profile = StackProfile(
+            name="upside-down",
+            slots=(
+                SlotSpec("enc", lambda p: EncodingSublayer("enc")),
+                SlotSpec("arq", lambda p: GoBackNArq("arq")),
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="layer order"):
+            StackBuilder(profile, name="s").build()
+
+
+class TestConstructionSites:
+    def test_hdlc_profile_order(self):
+        from repro.datalink.stacks import build_hdlc_stack
+
+        stack = build_hdlc_stack("dl", ManualClock())
+        assert stack.order() == [
+            "recovery", "errordetect", "stuffing", "flags", "encoding",
+        ]
+
+    def test_hdlc_cobs_and_replacements(self):
+        from repro.datalink.arq import SelectiveRepeatArq
+        from repro.datalink.stacks import build_hdlc_stack
+
+        stack = build_hdlc_stack(
+            "dl",
+            ManualClock(),
+            framing="cobs",
+            replacements={
+                "arq": SelectiveRepeatArq("recovery", window=4),
+            },
+        )
+        assert stack.order() == ["recovery", "errordetect", "framing", "encoding"]
+        assert isinstance(stack.sublayer("recovery"), SelectiveRepeatArq)
+        assert stack.sublayer("recovery").window == 4
+
+    def test_hdlc_bad_knobs_still_raise(self):
+        from repro.datalink.stacks import build_hdlc_stack
+
+        with pytest.raises(ConfigurationError, match="ARQ"):
+            build_hdlc_stack("dl", ManualClock(), arq="wishful")
+        with pytest.raises(ConfigurationError, match="framing"):
+            build_hdlc_stack("dl", ManualClock(), framing="magic")
+
+    def test_tcp_host_builds_through_profile(self):
+        from repro.transport import SublayeredTcpHost
+
+        host = SublayeredTcpHost("h", ManualClock())
+        assert host.stack.order() == ["osr", "rd", "cm", "dm"]
+
+    def test_tcp_host_shim_and_tier(self):
+        from repro.transport import Rfc793Shim, SublayeredTcpHost
+
+        host = SublayeredTcpHost(
+            "h", ManualClock(), shim=Rfc793Shim(), tier="off"
+        )
+        assert host.stack.order() == ["osr", "rd", "cm", "dm", "shim"]
+        assert host.stack.tier == "off"
+        assert host.stack.interface_log.crossings() == 0
+
+    def test_tcp_host_replacements_kwarg(self):
+        from repro.transport import SublayeredTcpHost
+        from repro.transport.sublayered.cm_timer import TimerCmSublayer
+
+        host = SublayeredTcpHost(
+            "h",
+            ManualClock(),
+            replacements={"cm": TimerCmSublayer("cm", quiet_interval=9.0)},
+        )
+        cm = host.stack.sublayer("cm")
+        assert isinstance(cm, TimerCmSublayer)
+        assert cm.quiet_interval == 9.0
+
+    def test_quic_host_builds_through_profile(self):
+        from repro.transport.quic import QuicHost
+
+        host = QuicHost("q", ManualClock(), tier="metrics")
+        assert host.stack.order() == ["stream", "connection", "record", "dm"]
+        assert host.stack.tier == "metrics"
+
+    def test_wireless_station_builds_through_profile(self):
+        from repro.datalink.stacks import build_wireless_station
+        from repro.sim import Simulator
+        from repro.sim.medium import BroadcastMedium
+
+        sim = Simulator()
+        medium = BroadcastMedium(sim, rate_bps=1_000_000)
+        stack = build_wireless_station(sim, medium, address=3)
+        assert stack.order() == [
+            "mac", "errordetect", "stuffing", "flags", "encoding",
+        ]
+        assert stack.sublayer("mac").address == 3

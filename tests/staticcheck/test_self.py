@@ -50,4 +50,6 @@ def test_default_allowlist_is_load_bearing(src_repro):
         "repro.datalink.stacks",
         "repro.network.topology",
         "repro.datalink.framing.lemmas",
+        "repro.transport.sublayered.host",
+        "repro.transport.quic.host",
     }
