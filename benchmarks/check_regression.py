@@ -42,12 +42,16 @@ WATCHED: dict[str, dict[str, str]] = {
         "full_over_off_x": "up",
         "metrics_over_off_x": "up",
     },
+    "c8_faultcost": {
+        "noop_over_plain_hop_x": "up",
+    },
 }
 
 #: Context shown alongside the gate (never gated: hardware-dependent).
 REPORTED: dict[str, list[str]] = {
     "c3_tune": ["wall_s", "span_overhead_disabled"],
     "c7_hopcost": ["ns_per_hop_full", "ns_per_hop_off"],
+    "c8_faultcost": ["ns_per_send_plain", "ns_per_send_noop"],
 }
 
 

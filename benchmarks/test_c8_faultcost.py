@@ -1,0 +1,133 @@
+"""C8 — the cost of a fault position.
+
+Fault injection as sublayering is only honest if *having* a fault slot
+is cheap: a transparent :class:`~repro.faults.sublayers.NoOpFault`
+spliced mid-chain must cost no more than an ordinary passthrough hop,
+because that is exactly what it compiles to at ``tier=off`` — no
+schedule check, no rng draw, no branch left on the hot path.
+
+The same 8-deep passthrough chain from C7 is timed with and without a
+NoOpFault inserted at mid-depth; the gated metric is the *extra* cost
+per send expressed in plain-hop units.  The acceptance bound is 1.5
+plain hops: the fault position may pay for its own crossing (1 hop)
+plus headroom, but any scheduling logic leaking into the transparent
+no-op would push it past that.
+"""
+
+import time
+
+from _util import table, write_bench_json, write_result
+
+from repro.compose import SlotSpec, StackBuilder, StackProfile
+from repro.core import PassthroughSublayer
+from repro.faults import NoOpFault
+
+DEPTH = 8
+#: app->top plus one hop per inter-sublayer boundary plus bottom->wire.
+HOPS_PER_SEND = DEPTH + 1
+SENDS = 3_000
+ROUNDS = 25
+
+CHAIN_PROFILE = StackProfile(
+    name="c8-chain",
+    slots=tuple(
+        SlotSpec(f"p{i}", lambda params, i=i: PassthroughSublayer(f"p{i}"))
+        for i in range(DEPTH)
+    ),
+    doc=f"{DEPTH} passthrough sublayers; every hop is pure overhead.",
+)
+
+
+def build_chain(with_fault: bool):
+    builder = StackBuilder(
+        CHAIN_PROFILE,
+        name=f"c8-{'noop' if with_fault else 'plain'}",
+        tier="off",
+    )
+    if with_fault:
+        builder.with_fault(NoOpFault("noop"), after=f"p{DEPTH // 2}")
+    stack = builder.build()
+    stack.on_transmit = lambda sdu, **meta: None
+    return stack
+
+
+def _batch(send, payload, sends: int) -> float:
+    start = time.perf_counter()
+    for _ in range(sends):
+        send(payload)
+    return time.perf_counter() - start
+
+
+def time_pair(plain, faulted, sends: int = SENDS) -> tuple[float, float]:
+    """Best wall seconds per send for each chain, rounds interleaved.
+
+    Interleaving keeps both chains exposed to the same cpu-frequency
+    and scheduler drift; the minimum is the least noise-contaminated
+    estimate of the true cost, which is what a ratio gate needs.
+    """
+    payload = b"x" * 64
+    for stack in (plain, faulted):
+        for _ in range(200):  # warm-up
+            stack.send(payload)
+    plain_samples, faulted_samples = [], []
+    for _ in range(ROUNDS):
+        plain_samples.append(_batch(plain.send, payload, sends))
+        faulted_samples.append(_batch(faulted.send, payload, sends))
+    return min(plain_samples) / sends, min(faulted_samples) / sends
+
+
+def test_c8_faultcost(benchmark):
+    plain = build_chain(with_fault=False)
+    faulted = build_chain(with_fault=True)
+    assert faulted.order().count("noop") == 1
+
+    per_send_plain, per_send_faulted = benchmark.pedantic(
+        lambda: time_pair(plain, faulted), rounds=1, iterations=1
+    )
+
+    per_hop_plain = per_send_plain / HOPS_PER_SEND
+    extra_per_send = per_send_faulted - per_send_plain
+    noop_over_plain_hop = extra_per_send / per_hop_plain
+
+    rows = [
+        {
+            "chain": "plain",
+            "hops": HOPS_PER_SEND,
+            "ns_per_send": round(per_send_plain * 1e9, 1),
+        },
+        {
+            "chain": "with noop fault",
+            "hops": HOPS_PER_SEND + 1,
+            "ns_per_send": round(per_send_faulted * 1e9, 1),
+        },
+    ]
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        f"{DEPTH}-sublayer passthrough chain at tier=off, {SENDS} "
+        f"sends/round, median of {ROUNDS} rounds"
+    )
+    lines.append(
+        f"a transparent no-op fault position costs "
+        f"{noop_over_plain_hop:.2f} plain hops per send (bound: 1.5) — "
+        "fault injection compiles down to one more passthrough crossing"
+    )
+    write_result("c8_faultcost", lines)
+    write_bench_json(
+        "c8_faultcost",
+        wall_s=per_send_faulted * SENDS,
+        extra={
+            "ns_per_send_plain": round(per_send_plain * 1e9, 1),
+            "ns_per_send_noop": round(per_send_faulted * 1e9, 1),
+            "ns_per_hop_plain": round(per_hop_plain * 1e9, 1),
+            "noop_over_plain_hop_x": round(noop_over_plain_hop, 3),
+            "hops_per_send": HOPS_PER_SEND,
+        },
+    )
+
+    # the satellite acceptance bound: a transparent fault is (at most)
+    # one ordinary hop plus headroom, never a toll booth
+    assert noop_over_plain_hop < 1.5, (
+        f"no-op fault position costs {noop_over_plain_hop:.2f} plain hops "
+        "per send (bound 1.5): fault logic is leaking onto the hot path"
+    )

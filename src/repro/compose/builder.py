@@ -126,6 +126,11 @@ def validate_layer_order(
         module = type(sublayer).__module__
         if not module.startswith(root + "."):
             continue
+        if sublayer.TRANSPARENT:
+            # Transparent sublayers (fault injectors) sit outside the
+            # layering contract by definition: they may land anywhere
+            # in the order without constraining their neighbours.
+            continue
         tier = config.tier_of(module, root)
         if previous_tier is not None and tier > previous_tier:
             raise ConfigurationError(
@@ -166,6 +171,8 @@ class StackBuilder:
         self.check_config = check_config
         self._params: dict[str, Any] = dict(self.profile.defaults)
         self._replacements: dict[str, Any] = {}
+        # (slot, where, value, require_transparent) in call order.
+        self._insertions: list[tuple[str, str, Any, bool]] = []
 
     # ------------------------------------------------------------------
     def with_params(self, **params: Any) -> "StackBuilder":
@@ -192,6 +199,58 @@ class StackBuilder:
                 f"slots: {self.profile.slot_names()}"
             )
         self._replacements[slot] = replacement
+        return self
+
+    def with_insertion(
+        self, slot: str, extra: Any, where: str = "after"
+    ) -> "StackBuilder":
+        """Splice an *extra* sublayer next to a slot, replacing nothing.
+
+        Where :meth:`with_replacement` swaps a slot's implementation,
+        ``with_insertion`` adds a position: ``extra`` (a ready
+        :class:`Sublayer`, a list of them, or a factory over the
+        parameter dict) lands immediately ``"before"`` (above) or
+        ``"after"`` (below) the named slot.  Repeated insertions at the
+        same anchor stack in call order, top to bottom.  The result
+        still passes layer-order validation, so an opaque insertion
+        (e.g. an ARQ above a MAC) must respect the tier table;
+        transparent sublayers may land anywhere.
+        """
+        if slot not in self.profile.slot_names():
+            raise ConfigurationError(
+                f"profile {self.profile.name!r} has no slot {slot!r}; "
+                f"slots: {self.profile.slot_names()}"
+            )
+        if where not in ("before", "after"):
+            raise ConfigurationError(
+                f"insertion position must be 'before' or 'after', got {where!r}"
+            )
+        self._insertions.append((slot, where, extra, False))
+        return self
+
+    def with_fault(
+        self, fault: Any, *, before: str | None = None, after: str | None = None
+    ) -> "StackBuilder":
+        """Insert a fault sublayer — injection as a sublayering operation.
+
+        Sugar over :meth:`with_insertion` that additionally requires the
+        inserted sublayer(s) to be :attr:`~Sublayer.TRANSPARENT`, i.e.
+        invisible to the control plane and the litmus adjacency checks.
+        Pass exactly one of ``before=``/``after=`` naming the anchor
+        slot.
+        """
+        if (before is None) == (after is None):
+            raise ConfigurationError(
+                "with_fault() takes exactly one of before=/after="
+            )
+        slot = before if before is not None else after
+        where = "before" if before is not None else "after"
+        if slot not in self.profile.slot_names():
+            raise ConfigurationError(
+                f"profile {self.profile.name!r} has no slot {slot!r}; "
+                f"slots: {self.profile.slot_names()}"
+            )
+        self._insertions.append((slot, where, fault, True))
         return self
 
     def with_tier(self, tier: str) -> "StackBuilder":
@@ -221,10 +280,50 @@ class StackBuilder:
             f"{built!r}; expected a Sublayer, a list of Sublayers, or None"
         )
 
+    def _realise_value(self, value: Any, origin: str) -> list[Sublayer]:
+        """Normalise a Sublayer / list / factory to a list of sublayers."""
+        if not (value is None or isinstance(value, (Sublayer, list, tuple))):
+            value = value(self._params)
+        if value is None:
+            return []
+        if isinstance(value, Sublayer):
+            return [value]
+        if isinstance(value, (list, tuple)) and all(
+            isinstance(s, Sublayer) for s in value
+        ):
+            return list(value)
+        raise ConfigurationError(
+            f"{origin} of profile {self.profile.name!r} produced "
+            f"{value!r}; expected a Sublayer, a list of Sublayers, or None"
+        )
+
+    def _realise_insertions(self, slot: str) -> tuple[list[Sublayer], list[Sublayer]]:
+        """Sublayers inserted above / below one slot, in call order."""
+        above: list[Sublayer] = []
+        below: list[Sublayer] = []
+        for anchor, where, value, require_transparent in self._insertions:
+            if anchor != slot:
+                continue
+            built = self._realise_value(value, f"insertion at slot {slot!r}")
+            if require_transparent:
+                for sublayer in built:
+                    if not sublayer.TRANSPARENT:
+                        raise ConfigurationError(
+                            f"with_fault() requires TRANSPARENT sublayers; "
+                            f"{sublayer.name!r} "
+                            f"({type(sublayer).__name__}) is opaque — "
+                            "use with_insertion() for opaque extras"
+                        )
+            (above if where == "before" else below).extend(built)
+        return above, below
+
     def build(self) -> Stack:
         sublayers: list[Sublayer] = []
         for slot in self.profile.slots:
+            above, below = self._realise_insertions(slot.name)
+            sublayers.extend(above)
             sublayers.extend(self._realise(slot))
+            sublayers.extend(below)
         if not sublayers:
             raise ConfigurationError(
                 f"profile {self.profile.name!r} produced an empty stack "
@@ -249,5 +348,6 @@ class StackBuilder:
     def __repr__(self) -> str:
         return (
             f"StackBuilder({self.profile.name!r}, name={self.name!r}, "
-            f"tier={self.tier!r}, replacements={sorted(self._replacements)})"
+            f"tier={self.tier!r}, replacements={sorted(self._replacements)}, "
+            f"insertions={[(s, w) for s, w, _, _ in self._insertions]})"
         )

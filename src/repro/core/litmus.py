@@ -73,14 +73,27 @@ class WireTap:
             self.pdus.append(sdu)
 
 
+def _opaque_order(stack: Stack) -> list[str]:
+    """Sublayer names that take part in the layering contract.
+
+    Transparent sublayers (fault injectors) sit on the data path
+    without offering a service or owning a header; the litmus tests
+    look straight through them — T1 compares the opaque orders (so one
+    endpoint may carry a fault the other does not) and T2 treats the
+    sublayers around a transparent one as adjacent.
+    """
+    return [s.name for s in stack.sublayers if not s.TRANSPARENT]
+
+
 def check_t1_ordering(tx: Stack, rx: Stack, wire: WireTap) -> TestResult:
     """T1: same ordered sublayers at both ends; headers nest in stack order."""
     details: list[str] = []
-    if tx.order() != rx.order():
+    if _opaque_order(tx) != _opaque_order(rx):
         details.append(
-            f"endpoint sublayer orders differ: {tx.order()} vs {rx.order()}"
+            f"endpoint sublayer orders differ: "
+            f"{_opaque_order(tx)} vs {_opaque_order(rx)}"
         )
-    order = tx.order()
+    order = _opaque_order(tx)
     position = {name: i for i, name in enumerate(order)}
     seen_owner_chains: set[tuple[str, ...]] = set()
     for pdu in wire.pdus:
@@ -114,8 +127,9 @@ def check_t2_interfaces(
     details: list[str] = []
     widths: dict[str, int] = {}
     for stack in (tx, rx):
-        order = [APP] + stack.order() + [WIRE]
-        index = {name: i for i, name in enumerate(order)}
+        full = [APP] + stack.order() + [WIRE]
+        transparent = {s.name for s in stack.sublayers if s.TRANSPARENT}
+        index = {name: i for i, name in enumerate(full)}
         for caller, provider in stack.interface_log.pairs():
             if caller not in index or provider not in index:
                 details.append(
@@ -123,7 +137,12 @@ def check_t2_interfaces(
                     f"{caller!r} -> {provider!r}"
                 )
                 continue
-            if abs(index[caller] - index[provider]) != 1:
+            lo, hi = sorted((index[caller], index[provider]))
+            # Adjacent iff everything strictly between the two parties
+            # is transparent (an inserted fault does not break
+            # adjacency: its neighbours cannot tell it is there).
+            skipped = [n for n in full[lo + 1 : hi] if n not in transparent]
+            if skipped:
                 details.append(
                     f"{stack.name}: non-adjacent interaction "
                     f"{caller!r} -> {provider!r} (skips sublayers)"

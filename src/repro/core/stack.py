@@ -195,22 +195,44 @@ class Stack:
     # ------------------------------------------------------------------
     def _wire(self) -> None:
         for sublayer in self.sublayers:
-            sublayer.stack_name = self.name
-            sublayer.clock = self.clock
-            sublayer.metrics = scoped(self.metrics, f"{self.name}/{sublayer.name}")
-            sublayer.state = InstrumentedState(sublayer.name, log=self.access_log)
+            self._install(sublayer)
+
+        self._wire_control()
+        self._plan.compile()
+
+        for sublayer in self.sublayers:
+            with acting_as(sublayer.name):
+                sublayer.on_attach()
+
+    def _install(self, sublayer: Sublayer) -> None:
+        """Give one sublayer its per-stack wiring attributes."""
+        sublayer.stack_name = self.name
+        sublayer.clock = self.clock
+        sublayer.metrics = scoped(self.metrics, f"{self.name}/{sublayer.name}")
+        sublayer.state = InstrumentedState(sublayer.name, log=self.access_log)
+
+    def _wire_control(self) -> None:
+        """(Re)build the control plane: service ports + notifications.
+
+        Control wiring is computed over the *opaque* sublayers only:
+        a :attr:`Sublayer.TRANSPARENT` sublayer sits on the data path
+        but offers no service and fires no notifications, so the
+        sublayers around it stay control-adjacent — inserting one must
+        not sever an existing port binding or notification connection.
+        """
+        for sublayer in self.sublayers:
+            sublayer.below = None
             sublayer.notifications = {
                 channel: Notification(channel, sublayer.name, self.interface_log)
                 for channel in sublayer.NOTIFICATIONS
             }
 
-        for index, sublayer in enumerate(self.sublayers):
-            below = (
-                self.sublayers[index + 1]
-                if index + 1 < len(self.sublayers)
-                else None
-            )
-            if below is not None and below.SERVICE is not None:
+        opaque = [s for s in self.sublayers if not s.TRANSPARENT]
+        for index, sublayer in enumerate(opaque):
+            below = opaque[index + 1] if index + 1 < len(opaque) else None
+            if below is None:
+                continue
+            if below.SERVICE is not None:
                 sublayer.below = BoundPort(
                     below.SERVICE,
                     below,
@@ -218,14 +240,7 @@ class Stack:
                     sublayer.name,
                     self.interface_log,
                 )
-            if below is not None:
-                self._connect_notifications(user=sublayer, provider=below)
-
-        self._plan.compile()
-
-        for sublayer in self.sublayers:
-            with acting_as(sublayer.name):
-                sublayer.on_attach()
+            self._connect_notifications(user=sublayer, provider=below)
 
     def _connect_notifications(self, user: Sublayer, provider: Sublayer) -> None:
         for channel, notification in provider.notifications.items():
@@ -303,6 +318,42 @@ class Stack:
         twin.on_transmit = self._on_transmit
         twin.on_deliver = self._on_deliver
         return twin
+
+    def insert(
+        self, anchor: str, new_sublayer: Sublayer, where: str = "after"
+    ) -> "Stack":
+        """Splice an extra sublayer next to ``anchor``, in place.
+
+        Where :meth:`replace` swaps an implementation, ``insert`` adds a
+        slot — the sublayering operation behind fault injection
+        (:mod:`repro.faults`): the newcomer lands ``"before"`` (above)
+        or ``"after"`` (below) the named sublayer, the control plane is
+        rewired over the resulting order (transparent sublayers are
+        skipped, so an inserted fault never severs a service port or a
+        notification connection), and the wiring plan recompiles at the
+        current tier.  Existing sublayers keep their state; only the
+        newcomer's :meth:`~Sublayer.on_attach` runs.
+        """
+        if where not in ("before", "after"):
+            raise ConfigurationError(
+                f"insert position must be 'before' or 'after', got {where!r}"
+            )
+        if new_sublayer.name in self._index:
+            raise ConfigurationError(
+                f"duplicate sublayer name {new_sublayer.name!r} "
+                f"in stack {self.name!r}"
+            )
+        position = self.sublayers.index(self.sublayer(anchor))
+        if where == "after":
+            position += 1
+        self._install(new_sublayer)
+        self.sublayers.insert(position, new_sublayer)
+        self._index[new_sublayer.name] = new_sublayer
+        self._wire_control()
+        self._plan.compile()
+        with acting_as(new_sublayer.name):
+            new_sublayer.on_attach()
+        return self
 
     def __repr__(self) -> str:
         return f"Stack({self.name!r}, {' > '.join(self.order())})"

@@ -53,11 +53,21 @@ class Sublayer:
     ``HEADER``
         The :class:`HeaderFormat` for this sublayer's peer-to-peer
         header (``None`` for header-less sublayers).
+    ``TRANSPARENT``
+        ``True`` for sublayers that sit on the data path without taking
+        part in the layering contract: they offer no service, own no
+        header, and their neighbours must not be able to tell they are
+        there.  Control wiring (service ports, notifications) skips
+        over transparent sublayers, the litmus adjacency checks treat
+        the sublayers around them as adjacent, and the compose-time
+        layer-order validation ignores them.  Fault-injection sublayers
+        (:mod:`repro.faults`) are the canonical use.
     """
 
     SERVICE: ServiceInterface | None = None
     NOTIFICATIONS: tuple[str, ...] = ()
     HEADER: HeaderFormat | None = None
+    TRANSPARENT: bool = False
 
     def __init__(self, name: str):
         if not name:

@@ -44,6 +44,8 @@ def build_hdlc_stack(
     framing: str = "bitstuff",
     tier: str = TIER_FULL,
     replacements: dict[str, Any] | None = None,
+    insertions: list[tuple[str, str, Any]] | None = None,
+    metrics: Any | None = None,
 ) -> Stack:
     """A reliable point-to-point data link (HDLC-like).
 
@@ -51,9 +53,14 @@ def build_hdlc_stack(
     the paper's nested pair (stuffing over flags); ``"cobs"`` replaces
     the pair with a single COBS sublayer — the re-partitioning swap.
     ``replacements`` maps profile slot names ("arq", "errordetect",
-    "framing", "encoding") to ready sublayers or factories.
+    "framing", "encoding") to ready sublayers or factories;
+    ``insertions`` is a list of ``(slot, where, sublayer)`` extras
+    spliced ``"before"``/``"after"`` a slot (fault injection enters
+    here).
     """
-    builder = StackBuilder("hdlc", name=name, clock=clock, tier=tier)
+    builder = StackBuilder(
+        "hdlc", name=name, clock=clock, tier=tier, metrics=metrics
+    )
     builder.with_params(
         rule=rule,
         code=code,
@@ -65,6 +72,8 @@ def build_hdlc_stack(
     )
     for slot, replacement in (replacements or {}).items():
         builder.with_replacement(slot, replacement)
+    for slot, where, extra in insertions or []:
+        builder.with_insertion(slot, extra, where=where)
     return builder.build()
 
 
@@ -99,12 +108,18 @@ def build_wireless_station(
     rng: random.Random | None = None,
     tier: str = TIER_FULL,
     replacements: dict[str, Any] | None = None,
+    insertions: list[tuple[str, str, Any]] | None = None,
+    metrics: Any | None = None,
 ) -> Stack:
     """One station of the broadcast branch, attached to a shared medium."""
     port = medium.attach(f"station-{address}")
     channel = ChannelView(port.carrier_sense)
     builder = StackBuilder(
-        "wireless", name=f"wl-{address}", clock=sim.clock(), tier=tier
+        "wireless",
+        name=f"wl-{address}",
+        clock=sim.clock(),
+        tier=tier,
+        metrics=metrics,
     )
     builder.with_params(
         mac=mac,
@@ -117,6 +132,8 @@ def build_wireless_station(
     )
     for slot, replacement in (replacements or {}).items():
         builder.with_replacement(slot, replacement)
+    for slot, where, extra in insertions or []:
+        builder.with_insertion(slot, extra, where=where)
     stack = builder.build()
     stack.on_transmit = lambda bits, **meta: port.transmit(bits, len(bits))
     port.on_receive = lambda frame: stack.receive(frame)

@@ -1,0 +1,223 @@
+"""Invariant monitors: what must survive the injected adversity.
+
+A monitor is a pure check over the :class:`Evidence` one scenario trial
+leaves behind — the traffic ledger (what each flow sent and received),
+the :class:`~repro.obs.MetricsRegistry` every stack and link reported
+into, any exceptions that escaped a sublayer, and scenario extras
+(e.g. routing convergence observations).  Monitors return
+:class:`Violation` records; an empty list means the invariant held.
+
+The telemetry the monitors consume is the same the repo already
+collects (``Sublayer.count`` → metrics registry, link counters): the
+harness adds no private instrumentation channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..obs import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach in one trial."""
+
+    monitor: str
+    detail: str
+
+    def as_dict(self) -> dict[str, str]:
+        return {"monitor": self.monitor, "detail": self.detail}
+
+
+@dataclass
+class Evidence:
+    """Everything one scenario trial exposes to the monitors.
+
+    ``sent``/``received`` map a flow label to either a list of message
+    payloads (datagram-style flows) or a single ``bytes`` stream
+    (stream-style flows); a monitor handles both shapes.
+    """
+
+    scenario: str
+    seed: int
+    metrics: MetricsRegistry
+    sent: dict[str, Any] = field(default_factory=dict)
+    received: dict[str, Any] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+    links: list[Any] = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+class Monitor:
+    """Base: a named invariant check over one trial's evidence."""
+
+    name = "monitor"
+
+    def check(self, evidence: Evidence) -> list[Violation]:
+        raise NotImplementedError
+
+    def _violation(self, detail: str) -> Violation:
+        return Violation(self.name, detail)
+
+
+def _counts(items: list[Any]) -> dict[Any, int]:
+    out: dict[Any, int] = {}
+    for item in items:
+        out[item] = out.get(item, 0) + 1
+    return out
+
+
+class NoDataLossMonitor(Monitor):
+    """Everything sent above the faulted sublayer arrives at the peer.
+
+    For message flows: every sent payload must be received at least as
+    many times as it was sent (loss shows as a missing copy; duplicate
+    delivery is :class:`InOrderDeliveryMonitor`'s business).  For
+    stream flows: the received byte stream must be at least as long as
+    the sent one and start with it.
+    """
+
+    name = "no-data-loss"
+
+    def check(self, evidence: Evidence) -> list[Violation]:
+        violations: list[Violation] = []
+        for flow, sent in evidence.sent.items():
+            received = evidence.received.get(flow)
+            if isinstance(sent, (bytes, bytearray)):
+                got = bytes(received or b"")
+                if len(got) < len(sent) or not got.startswith(bytes(sent)):
+                    violations.append(
+                        self._violation(
+                            f"flow {flow!r}: sent {len(sent)} bytes, "
+                            f"received {len(got)} "
+                            f"({'prefix mismatch' if got else 'nothing'})"
+                        )
+                    )
+                continue
+            have = _counts(list(received or []))
+            missing = 0
+            for payload, copies in _counts(list(sent)).items():
+                if have.get(payload, 0) < copies:
+                    missing += copies - have.get(payload, 0)
+            if missing:
+                violations.append(
+                    self._violation(
+                        f"flow {flow!r}: {missing} of {len(sent)} "
+                        "sent units never delivered"
+                    )
+                )
+        return violations
+
+
+class InOrderDeliveryMonitor(Monitor):
+    """Exactly-once, in-order delivery: received equals sent, exactly."""
+
+    name = "in-order-delivery"
+
+    def check(self, evidence: Evidence) -> list[Violation]:
+        violations: list[Violation] = []
+        for flow, sent in evidence.sent.items():
+            received = evidence.received.get(flow)
+            if isinstance(sent, (bytes, bytearray)):
+                if bytes(received or b"") != bytes(sent):
+                    violations.append(
+                        self._violation(
+                            f"flow {flow!r}: received stream "
+                            f"({len(received or b'')} bytes) != sent "
+                            f"({len(sent)} bytes)"
+                        )
+                    )
+            elif list(received or []) != list(sent):
+                violations.append(
+                    self._violation(
+                        f"flow {flow!r}: received sequence differs from "
+                        f"sent ({len(received or [])} vs {len(sent)} units)"
+                    )
+                )
+        return violations
+
+
+class NoEscapeMonitor(Monitor):
+    """No exception escapes a sublayer into the event loop."""
+
+    name = "no-exception-escape"
+
+    def check(self, evidence: Evidence) -> list[Violation]:
+        return [self._violation(error) for error in evidence.errors]
+
+
+class FaultsInjectedMonitor(Monitor):
+    """The adversity actually happened (non-vacuity guard).
+
+    Sums every ``*/faults_injected`` counter in the registry; a trial
+    whose faults never fired would vacuously pass the other monitors.
+    """
+
+    name = "faults-injected"
+
+    def __init__(self, minimum: int = 1):
+        self.minimum = minimum
+
+    def check(self, evidence: Evidence) -> list[Violation]:
+        snapshot = evidence.metrics.snapshot()
+        total = sum(
+            value
+            for name, value in snapshot.get("counters", {}).items()
+            if name.endswith("/faults_injected")
+        )
+        if total < self.minimum:
+            return [
+                self._violation(
+                    f"only {int(total)} faults fired "
+                    f"(expected >= {self.minimum}): the trial proves nothing"
+                )
+            ]
+        return []
+
+
+class LinkCorruptionVisibleMonitor(Monitor):
+    """Link bit-error corruption is visible to metrics.
+
+    Cross-checks every link's ``stats.corrupted`` against the
+    ``link/<name>/bit_errors`` counter the link reports — the metrics
+    pipeline may not under-count the adversity it is evidence for.
+    """
+
+    name = "link-corruption-visible"
+
+    def check(self, evidence: Evidence) -> list[Violation]:
+        counters = evidence.metrics.snapshot().get("counters", {})
+        violations: list[Violation] = []
+        for link in evidence.links:
+            reported = counters.get(f"link/{link.name}/bit_errors", 0)
+            if int(reported) != link.stats.corrupted:
+                violations.append(
+                    self._violation(
+                        f"link {link.name!r}: stats.corrupted="
+                        f"{link.stats.corrupted} but metrics report "
+                        f"{int(reported)} bit_errors"
+                    )
+                )
+        return violations
+
+
+class ReconvergenceMonitor(Monitor):
+    """Routing reconverges (and routes correctly) after a blackhole.
+
+    The routing scenario records named boolean observations in
+    ``extras["convergence"]``; each must be true.
+    """
+
+    name = "reconvergence"
+
+    def check(self, evidence: Evidence) -> list[Violation]:
+        observations = evidence.extras.get("convergence", {})
+        if not observations:
+            return [self._violation("no convergence observations recorded")]
+        return [
+            self._violation(f"{label} failed")
+            for label, ok in observations.items()
+            if not ok
+        ]

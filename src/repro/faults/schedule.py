@@ -1,0 +1,126 @@
+"""Declarative fault schedules: *when* a fault sublayer misbehaves.
+
+A :class:`FaultSchedule` is a frozen value deciding, per unit crossing
+the fault sublayer, whether the fault fires.  The gates compose (all
+must pass):
+
+* a unit-count window (``start_unit`` ≤ index < ``stop_unit``);
+* a virtual-time window (``start_time`` ≤ now < ``stop_time``);
+* a stride (every ``every``-th eligible unit);
+* a predicate over ``(unit, meta)``;
+* a probability drawn from the fault's own named rng stream.
+
+The probability draw happens *last* and only when ``probability < 1``,
+so adding a deterministic window to a schedule never shifts the rng
+stream of another fault — campaigns stay a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """When a fault fires, as a conjunction of declarative gates."""
+
+    probability: float = 1.0
+    start_unit: int = 0
+    stop_unit: int | None = None
+    every: int = 1
+    start_time: float | None = None
+    stop_time: float | None = None
+    predicate: Callable[[Any, dict[str, Any]], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.start_unit < 0:
+            raise ConfigurationError("start_unit must be non-negative")
+        if self.stop_unit is not None and self.stop_unit <= self.start_unit:
+            raise ConfigurationError("stop_unit must exceed start_unit")
+        if self.every < 1:
+            raise ConfigurationError("every must be >= 1")
+        if (
+            self.start_time is not None
+            and self.stop_time is not None
+            and self.stop_time <= self.start_time
+        ):
+            raise ConfigurationError("stop_time must exceed start_time")
+
+    # ------------------------------------------------------------------
+    def in_window(self, index: int, now: float) -> bool:
+        """The unit-count and virtual-time gates alone.
+
+        :class:`~repro.faults.sublayers.StallFault` uses this to decide
+        window membership without consuming a probability draw.
+        """
+        if index < self.start_unit:
+            return False
+        if self.stop_unit is not None and index >= self.stop_unit:
+            return False
+        if self.start_time is not None and now < self.start_time:
+            return False
+        if self.stop_time is not None and now >= self.stop_time:
+            return False
+        return True
+
+    def fires(
+        self,
+        index: int,
+        now: float,
+        rng: random.Random,
+        unit: Any = None,
+        meta: dict[str, Any] | None = None,
+    ) -> bool:
+        """Does the fault fire for the ``index``-th unit at time ``now``?"""
+        if not self.in_window(index, now):
+            return False
+        if (index - self.start_unit) % self.every != 0:
+            return False
+        if self.predicate is not None and not self.predicate(unit, meta or {}):
+            return False
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Common shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def always(cls) -> "FaultSchedule":
+        return cls()
+
+    @classmethod
+    def with_probability(cls, probability: float) -> "FaultSchedule":
+        return cls(probability=probability)
+
+    @classmethod
+    def once(cls, at_unit: int) -> "FaultSchedule":
+        """Fire exactly once, on the ``at_unit``-th crossing."""
+        return cls(start_unit=at_unit, stop_unit=at_unit + 1)
+
+    @classmethod
+    def every_nth(cls, n: int, start: int = 0) -> "FaultSchedule":
+        return cls(every=n, start_unit=start)
+
+    @classmethod
+    def unit_window(cls, start: int, stop: int) -> "FaultSchedule":
+        return cls(start_unit=start, stop_unit=stop)
+
+    @classmethod
+    def time_window(cls, start: float, stop: float) -> "FaultSchedule":
+        """Fire for every unit inside a virtual-time window."""
+        return cls(start_time=start, stop_time=stop)
+
+    @classmethod
+    def when(
+        cls, predicate: Callable[[Any, dict[str, Any]], bool]
+    ) -> "FaultSchedule":
+        return cls(predicate=predicate)

@@ -25,6 +25,7 @@ it keeps forwarding out of routing's state.
 from .export import (
     ExportError,
     load_jsonl,
+    load_jsonl_with_meta,
     spans_to_jsonl,
     summarize,
     to_chrome_trace,
@@ -43,6 +44,7 @@ __all__ = [
     "SpanTracer",
     "UNATTRIBUTED",
     "load_jsonl",
+    "load_jsonl_with_meta",
     "pdu_id",
     "pdu_label",
     "spans_to_jsonl",

@@ -17,7 +17,7 @@ import sys
 
 from .export import (
     ExportError,
-    load_jsonl,
+    load_jsonl_with_meta,
     summarize,
     validate_chrome_trace,
     write_chrome_trace,
@@ -25,13 +25,13 @@ from .export import (
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    spans = load_jsonl(args.file)
-    print(summarize(spans))
+    spans, meta = load_jsonl_with_meta(args.file)
+    print(summarize(spans, dropped=int(meta.get("dropped_events", 0))))
     return 0
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
-    spans = load_jsonl(args.file)
+    spans, _ = load_jsonl_with_meta(args.file)
     trace = write_chrome_trace(spans, args.output, clock=args.clock)
     print(
         f"wrote {len(trace['traceEvents'])} trace events "

@@ -38,6 +38,9 @@ REQUIRED_SPAN_FIELDS = (
 
 CLOCKS = ("wall", "virtual")
 
+#: Key of the optional metadata record a JSONL file may lead with.
+META_KEY = "_meta"
+
 
 class ExportError(ValueError):
     """A span record or trace file does not have the expected shape."""
@@ -46,19 +49,36 @@ class ExportError(ValueError):
 # ----------------------------------------------------------------------
 # JSON-lines
 # ----------------------------------------------------------------------
-def spans_to_jsonl(spans: Iterable[dict[str, Any]], path: Any) -> int:
-    """Write spans one-JSON-object-per-line; returns the span count."""
+def spans_to_jsonl(
+    spans: Iterable[dict[str, Any]], path: Any, dropped: int = 0
+) -> int:
+    """Write spans one-JSON-object-per-line; returns the span count.
+
+    When ``dropped`` is non-zero (the tracer's ring buffer truncated
+    the trace) a leading ``{"_meta": {"dropped_events": N}}`` record is
+    written so downstream consumers cannot mistake a truncated trace
+    for a complete one.
+    """
     count = 0
     with open(Path(path), "w", encoding="utf-8") as fp:
+        if dropped:
+            fp.write(
+                json.dumps({META_KEY: {"dropped_events": dropped}}) + "\n"
+            )
         for span in spans:
             fp.write(json.dumps(span, sort_keys=True) + "\n")
             count += 1
     return count
 
 
-def load_jsonl(path: Any) -> list[dict[str, Any]]:
-    """Read a span JSON-lines file, validating each record's shape."""
+def load_jsonl_with_meta(path: Any) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Read a span JSONL file; returns ``(spans, meta)``.
+
+    ``meta`` is the content of the optional leading ``_meta`` record
+    (``{}`` when absent); every other record is validated as a span.
+    """
     spans: list[dict[str, Any]] = []
+    meta: dict[str, Any] = {}
     with open(Path(path), "r", encoding="utf-8") as fp:
         for lineno, line in enumerate(fp, start=1):
             line = line.strip()
@@ -68,12 +88,21 @@ def load_jsonl(path: Any) -> list[dict[str, Any]]:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ExportError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if isinstance(record, dict) and set(record) == {META_KEY}:
+                meta.update(record[META_KEY])
+                continue
             missing = [f for f in REQUIRED_SPAN_FIELDS if f not in record]
             if missing:
                 raise ExportError(
                     f"{path}:{lineno}: span missing fields {missing}"
                 )
             spans.append(record)
+    return spans, meta
+
+
+def load_jsonl(path: Any) -> list[dict[str, Any]]:
+    """Read a span JSON-lines file, validating each record's shape."""
+    spans, _ = load_jsonl_with_meta(path)
     return spans
 
 

@@ -166,7 +166,12 @@ class SpanTracer:
         return {s["actor"] for s in self.spans()}
 
     def write_jsonl(self, path: Any) -> int:
-        """Dump spans to a JSON-lines file; returns the span count."""
+        """Dump spans to a JSON-lines file; returns the span count.
+
+        If the ring buffer truncated the trace, the file leads with a
+        ``_meta`` record carrying ``dropped_events`` so summaries can't
+        silently under-count.
+        """
         from .export import spans_to_jsonl  # local import keeps span.py light
 
-        return spans_to_jsonl(self.spans(), path)
+        return spans_to_jsonl(self.spans(), path, dropped=self.dropped_spans)

@@ -19,6 +19,7 @@ from typing import Any, Callable
 
 from ..core.bits import Bits
 from ..core.errors import ConfigurationError, SimulationError
+from ..core.metrics import MetricsSink, scoped
 from ..core.pdu import Pdu
 from .engine import Simulator
 
@@ -107,12 +108,16 @@ class Link:
         config: LinkConfig | None = None,
         rng: random.Random | None = None,
         name: str = "link",
+        metrics: MetricsSink | None = None,
     ):
         self.sim = sim
         self.config = config or LinkConfig()
         self.rng = rng or random.Random(0)
         self.name = name
         self.stats = LinkStats()
+        # Counters land under "link/<name>/..." in whatever registry the
+        # caller passes; the default null sink keeps the hot path free.
+        self.metrics: MetricsSink = scoped(metrics, f"link/{name}")
         self._sink: Callable[..., None] | None = None
         self._busy_until = 0.0
 
@@ -217,6 +222,7 @@ class Link:
                     corrupted = True
             if corrupted:
                 self.stats.corrupted += 1
+                self.metrics.inc("bit_errors")
                 return Bits(flipped)
             return unit
         if isinstance(unit, (bytes, bytearray)):
@@ -229,6 +235,7 @@ class Link:
                         corrupted = True
             if corrupted:
                 self.stats.corrupted += 1
+                self.metrics.inc("bit_errors")
                 return bytes(data)
             return bytes(data)
         # Structured units (Pdus) don't take bit errors; datalink
@@ -254,15 +261,17 @@ class DuplexLink:
         rng_forward: random.Random | None = None,
         rng_reverse: random.Random | None = None,
         name: str = "duplex",
+        metrics: MetricsSink | None = None,
     ):
         self.forward = Link(
-            sim, config, rng_forward, name=f"{name}:fwd"
+            sim, config, rng_forward, name=f"{name}:fwd", metrics=metrics
         )
         self.reverse = Link(
             sim,
             reverse_config if reverse_config is not None else config,
             rng_reverse,
             name=f"{name}:rev",
+            metrics=metrics,
         )
 
     def attach(self, a: Any, b: Any) -> None:

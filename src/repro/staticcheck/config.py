@@ -22,7 +22,11 @@ from ..core.litmus import DEFAULT_MAX_INTERFACE_WIDTH
 #: DAG: it may observe (import) every layer, and no layer — protocol or
 #: substrate — may import it back; sublayers reach it only through the
 #: duck-typed hooks in ``core`` (``metrics`` sink, ``span_hook``,
-#: ``Simulator.profiler``).
+#: ``Simulator.profiler``).  Fault injection (``faults``) sits above
+#: *everything*, including obs: its scenario harness drives whole
+#: stacks and reads their telemetry as evidence, so it may import any
+#: layer while nothing may import it back — and its fault *sublayers*
+#: are ``TRANSPARENT``, exempting them from the composition-order rule.
 DEFAULT_LAYERS: dict[str, int] = {
     "core": 0,
     "phys": 1,
@@ -35,6 +39,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "staticcheck": 5,
     "compose": 5,
     "obs": 6,
+    "faults": 7,
 }
 
 #: Deliberate exceptions to the layer-order rule, as

@@ -106,6 +106,7 @@ class QuicHost:
         metrics: Any | None = None,
         tier: str = TIER_FULL,
         replacements: dict[str, Any] | None = None,
+        insertions: list[tuple[str, str, Any]] | None = None,
     ):
         self.name = name
         builder = StackBuilder(
@@ -122,6 +123,8 @@ class QuicHost:
         )
         for slot, replacement in (replacements or {}).items():
             builder.with_replacement(slot, replacement)
+        for slot, where, extra in insertions or []:
+            builder.with_insertion(slot, extra, where=where)
         self.stack = builder.build()
         self.stream: StreamSublayer = self.stack.sublayer("stream")  # type: ignore[assignment]
         self._connections: dict[ConnId, QuicConnection] = {}

@@ -114,6 +114,7 @@ class SublayeredTcpHost:
         cm_factory: Callable[[TcpConfig], CmSublayer] | None = None,
         tier: str = TIER_FULL,
         replacements: dict[str, Any] | None = None,
+        insertions: list[tuple[str, str, Any]] | None = None,
     ):
         self.name = name
         self.config = config or TcpConfig()
@@ -139,6 +140,8 @@ class SublayeredTcpHost:
             builder.with_replacement("cm", lambda p: cm_factory(self.config))
         for slot, replacement in (replacements or {}).items():
             builder.with_replacement(slot, replacement)
+        for slot, where, extra in insertions or []:
+            builder.with_insertion(slot, extra, where=where)
         self.stack = builder.build()
         self.osr: OsrSublayer = self.stack.sublayer("osr")  # type: ignore[assignment]
         self._sockets: dict[ConnId, SubTcpSocket] = {}

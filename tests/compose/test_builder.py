@@ -154,6 +154,133 @@ class TestBuilder:
         assert stack.tier == "off"
 
 
+class TestInsertions:
+    def test_insertion_before_and_after(self):
+        stack = (
+            StackBuilder(passthrough_profile(), name="s")
+            .with_insertion("p0", PassthroughSublayer("above"), where="before")
+            .with_insertion("p0", PassthroughSublayer("below"), where="after")
+            .build()
+        )
+        assert stack.order() == ["above", "p0", "below", "p1"]
+
+    def test_repeated_insertions_stack_in_call_order(self):
+        stack = (
+            StackBuilder(passthrough_profile(), name="s")
+            .with_insertion("p1", PassthroughSublayer("first"), where="before")
+            .with_insertion("p1", PassthroughSublayer("second"), where="before")
+            .build()
+        )
+        assert stack.order() == ["p0", "first", "second", "p1"]
+
+    def test_insertion_factory_sees_params(self):
+        seen = {}
+
+        def factory(params):
+            seen.update(params)
+            return PassthroughSublayer("extra")
+
+        stack = (
+            StackBuilder(passthrough_profile(), name="s")
+            .with_params(knob=3)
+            .with_insertion("p0", factory)
+            .build()
+        )
+        assert stack.order() == ["p0", "extra", "p1"]
+        assert seen == {"knob": 3}
+
+    def test_insertion_list_value(self):
+        stack = (
+            StackBuilder(passthrough_profile(), name="s")
+            .with_insertion(
+                "p0",
+                [PassthroughSublayer("x"), PassthroughSublayer("y")],
+            )
+            .build()
+        )
+        assert stack.order() == ["p0", "x", "y", "p1"]
+
+    def test_insertion_unknown_slot(self):
+        builder = StackBuilder(passthrough_profile(), name="s")
+        with pytest.raises(ConfigurationError, match="no slot"):
+            builder.with_insertion("p7", PassthroughSublayer("x"))
+
+    def test_insertion_bad_where(self):
+        builder = StackBuilder(passthrough_profile(), name="s")
+        with pytest.raises(ConfigurationError, match="before.*after"):
+            builder.with_insertion(
+                "p0", PassthroughSublayer("x"), where="around"
+            )
+
+    def test_insertion_at_emptied_slot_still_lands(self):
+        # The anchor slot realises to nothing (replacement None), but
+        # its insertions keep their position in the order.
+        stack = (
+            StackBuilder(passthrough_profile(), name="s")
+            .with_replacement("p0", None)
+            .with_insertion("p0", PassthroughSublayer("extra"), where="after")
+            .build()
+        )
+        assert stack.order() == ["extra", "p1"]
+
+    def test_with_fault_requires_transparent(self):
+        from repro.faults import DropFault
+
+        builder = StackBuilder(passthrough_profile(), name="s")
+        builder.with_fault(DropFault("f"), after="p0")
+        stack = builder.build()
+        assert stack.order() == ["p0", "f", "p1"]
+        with pytest.raises(ConfigurationError, match="TRANSPARENT"):
+            (
+                StackBuilder(passthrough_profile(), name="s")
+                .with_fault(PassthroughSublayer("opaque"), after="p0")
+                .build()
+            )
+
+    def test_with_fault_exactly_one_anchor(self):
+        from repro.faults import DropFault
+
+        builder = StackBuilder(passthrough_profile(), name="s")
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            builder.with_fault(DropFault("f"))
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            builder.with_fault(DropFault("f"), before="p0", after="p1")
+        with pytest.raises(ConfigurationError, match="no slot"):
+            builder.with_fault(DropFault("f"), after="p9")
+
+    @pytest.mark.parametrize("tier", ["full", "metrics", "off"])
+    def test_inserted_stack_carries_data_at_every_tier(self, tier):
+        from repro.faults import NoOpFault
+
+        stack = (
+            StackBuilder(passthrough_profile(), name="s")
+            .with_tier(tier)
+            .with_fault(NoOpFault("fault"), after="p0")
+            .build()
+        )
+        wire = []
+        stack.on_transmit = lambda unit, **meta: wire.append(unit)
+        stack.send(b"x")
+        assert wire == [b"x"]
+        assert stack.tier == tier
+
+    def test_extra_hop_counted_at_metrics_tier(self):
+        def build(with_extra):
+            builder = StackBuilder(
+                passthrough_profile(), name="s", tier="metrics"
+            )
+            if with_extra:
+                from repro.faults import NoOpFault
+
+                builder.with_fault(NoOpFault("fault"), after="p0")
+            stack = builder.build()
+            stack.on_transmit = lambda unit, **meta: None
+            stack.send(b"x")
+            return stack.hop_counters.down
+
+        assert build(with_extra=True) == build(with_extra=False) + 1
+
+
 class TestLayerOrderValidation:
     def test_upside_down_stack_rejected(self):
         from repro.datalink.arq import GoBackNArq

@@ -40,7 +40,12 @@ def all_sublayer_classes() -> list[type[Sublayer]]:
 
 #: Framework base classes: not meant to be composed directly, their
 #: concrete subclasses are tested instead.
-BASE_CLASSES = {"ArqSublayerBase", "MacSublayerBase", "ShimSublayer"}
+BASE_CLASSES = {
+    "ArqSublayerBase",
+    "MacSublayerBase",
+    "ShimSublayer",
+    "FaultSublayer",
+}
 
 
 def build_cases() -> dict[type[Sublayer], Sublayer]:
@@ -53,6 +58,17 @@ def build_cases() -> dict[type[Sublayer], Sublayer]:
     from repro.datalink.framing.rules import prefix_rule
     from repro.datalink.framing.sublayers import FlagSublayer, StuffingSublayer
     from repro.datalink.mac import ChannelView, CsmaMac, PureAlohaMac
+    from repro.faults.schedule import FaultSchedule
+    from repro.faults.sublayers import (
+        CorruptBitsFault,
+        DelayFault,
+        DropFault,
+        DuplicateFault,
+        NoOpFault,
+        ReorderFault,
+        StallFault,
+        TruncateFault,
+    )
     from repro.phys.encodings import Manchester
     from repro.phys.sublayer import EncodingSublayer
     from repro.transport.isn import TimerIsn
@@ -74,8 +90,35 @@ def build_cases() -> dict[type[Sublayer], Sublayer]:
         raise AssertionError("cc_factory should not run at construction")
 
     isn = TimerIsn(max_segment_lifetime=2.5)
+    fault_schedule = FaultSchedule(probability=0.3, start_unit=2, every=3)
+    fault_rng = random.Random(17)
 
     instances = [
+        NoOpFault("fnoop", schedule=fault_schedule, rng=fault_rng, direction="up"),
+        DropFault("fdrop", schedule=fault_schedule, rng=fault_rng, direction="both"),
+        DuplicateFault(
+            "fdup", schedule=fault_schedule, rng=fault_rng, direction="up"
+        ),
+        ReorderFault(
+            "fre", schedule=fault_schedule, rng=fault_rng,
+            direction="both", max_hold=0.2,
+        ),
+        CorruptBitsFault(
+            "fcor", schedule=fault_schedule, rng=fault_rng,
+            direction="up", flips=5,
+        ),
+        TruncateFault(
+            "ftru", schedule=fault_schedule, rng=fault_rng,
+            direction="both", keep=0.25,
+        ),
+        DelayFault(
+            "fdel", schedule=fault_schedule, rng=fault_rng,
+            direction="up", delay=0.15, jitter=0.05,
+        ),
+        StallFault(
+            "fsta", schedule=fault_schedule, rng=fault_rng,
+            direction="both", blackhole=True,
+        ),
         PassthroughSublayer("pt"),
         IdentityShim("idshim"),
         Rfc793Shim("rfcshim"),

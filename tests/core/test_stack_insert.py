@@ -1,0 +1,157 @@
+"""Stack.insert: splicing a sublayer into a live, wired stack."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    PassthroughSublayer,
+    Primitive,
+    ServiceInterface,
+    Stack,
+    Sublayer,
+)
+from repro.faults import DropFault, FaultSchedule, NoOpFault
+
+
+class Top(Sublayer):
+    def on_attach(self):
+        self.state.sent = 0
+        self.events = []
+
+    def from_above(self, sdu, **meta):
+        self.state.sent = self.state.sent + 1
+        isn = self.below.get_isn("conn") if self.below else None
+        self.send_down(sdu, isn=isn)
+
+    def from_below(self, pdu, **meta):
+        self.deliver_up(pdu)
+
+    def nf_event(self, k):
+        self.events.append(k)
+
+
+class Bottom(Sublayer):
+    SERVICE = ServiceInterface("bottom-service", [Primitive("get_isn")])
+    NOTIFICATIONS = ("event",)
+
+    def on_attach(self):
+        self.state.isn = 42
+
+    def srv_get_isn(self, conn):
+        return self.state.isn
+
+    def from_above(self, sdu, **meta):
+        self.send_down(sdu)
+
+    def from_below(self, pdu, **meta):
+        self.deliver_up(pdu)
+        self.notify("event", pdu)
+
+
+def make_stack(tier="full"):
+    stack = Stack("s", [Top("top"), Bottom("bot")], tier=tier)
+    wire, delivered = [], []
+    stack.on_transmit = lambda unit, **meta: wire.append(unit)
+    stack.on_deliver = lambda unit, **meta: delivered.append(unit)
+    return stack, wire, delivered
+
+
+class TestPlacement:
+    def test_insert_after(self):
+        stack, _, _ = make_stack()
+        stack.insert("top", PassthroughSublayer("mid"), where="after")
+        assert stack.order() == ["top", "mid", "bot"]
+
+    def test_insert_before(self):
+        stack, _, _ = make_stack()
+        stack.insert("bot", PassthroughSublayer("mid"), where="before")
+        assert stack.order() == ["top", "mid", "bot"]
+
+    def test_insert_at_top(self):
+        stack, _, _ = make_stack()
+        stack.insert("top", PassthroughSublayer("above"), where="before")
+        assert stack.order() == ["above", "top", "bot"]
+        assert stack.top.name == "above"
+
+    def test_insert_at_bottom(self):
+        stack, wire, _ = make_stack()
+        stack.insert("bot", PassthroughSublayer("below"), where="after")
+        assert stack.order() == ["top", "bot", "below"]
+        assert stack.bottom.name == "below"
+        stack.send(b"x")
+        assert wire == [b"x"]
+
+    def test_returns_self_for_chaining(self):
+        stack, _, _ = make_stack()
+        assert stack.insert("top", PassthroughSublayer("mid")) is stack
+
+
+class TestValidation:
+    def test_unknown_anchor(self):
+        stack, _, _ = make_stack()
+        with pytest.raises(ConfigurationError, match="no sublayer"):
+            stack.insert("nope", PassthroughSublayer("mid"))
+
+    def test_duplicate_name(self):
+        stack, _, _ = make_stack()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            stack.insert("top", PassthroughSublayer("bot"))
+
+    def test_bad_where(self):
+        stack, _, _ = make_stack()
+        with pytest.raises(ConfigurationError, match="before.*after"):
+            stack.insert("top", PassthroughSublayer("mid"), where="inside")
+
+
+class TestRewiring:
+    def test_transparent_insert_preserves_service_port(self):
+        stack, wire, _ = make_stack()
+        stack.insert("top", NoOpFault("fault"), where="after")
+        # top must still reach bottom-service straight through the fault
+        assert stack.sublayer("top").below is not None
+        assert stack.sublayer("top").below.provider_name == "bot"
+        stack.send(b"x")
+        assert wire == [b"x"]
+
+    def test_transparent_insert_preserves_notifications(self):
+        stack, _, _ = make_stack()
+        stack.insert("top", NoOpFault("fault"), where="after")
+        stack.receive(b"ping")
+        assert stack.sublayer("top").events == [b"ping"]
+
+    def test_opaque_insert_rewires_to_new_neighbour(self):
+        stack, _, _ = make_stack()
+        stack.insert("top", Bottom("mid"), where="after")
+        # top now binds to mid's identical service, not bot's
+        assert stack.sublayer("top").below.provider_name == "mid"
+
+    def test_plan_recompiled(self):
+        stack, _, _ = make_stack()
+        before = stack.wiring_plan.compilations
+        stack.insert("top", NoOpFault("fault"))
+        assert stack.wiring_plan.compilations == before + 1
+
+    def test_existing_state_preserved_newcomer_attached(self):
+        stack, _, _ = make_stack()
+        stack.send(b"a")
+        assert stack.sublayer("top").state.sent == 1
+        fault = DropFault("fault", schedule=FaultSchedule.once(0))
+        stack.insert("top", fault, where="after")
+        # untouched sublayers keep their state; only the newcomer attached
+        assert stack.sublayer("top").state.sent == 1
+        assert stack.sublayer("bot").state.isn == 42
+        assert fault.state.units_seen == 0
+        stack.send(b"b")
+        assert stack.sublayer("top").state.sent == 2
+        assert fault.state.dropped == 1
+
+
+@pytest.mark.parametrize("tier", ["full", "metrics", "off"])
+def test_insert_works_at_every_tier(tier):
+    stack, wire, delivered = make_stack(tier=tier)
+    stack.insert("top", NoOpFault("fault"), where="after")
+    assert stack.tier == tier
+    stack.send(b"down")
+    stack.receive(b"up")
+    assert wire == [b"down"]
+    assert delivered == [b"up"]

@@ -1,0 +1,105 @@
+"""FaultSchedule: declarative gates, determinism, and validation."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.faults import FaultSchedule
+
+
+def fires_at(schedule, indices, now=0.0, seed=1):
+    rng = random.Random(seed)
+    return [i for i in indices if schedule.fires(i, now, rng)]
+
+
+class TestGates:
+    def test_always(self):
+        schedule = FaultSchedule.always()
+        assert fires_at(schedule, range(5)) == [0, 1, 2, 3, 4]
+
+    def test_once(self):
+        schedule = FaultSchedule.once(at_unit=3)
+        assert fires_at(schedule, range(8)) == [3]
+
+    def test_unit_window(self):
+        schedule = FaultSchedule.unit_window(2, 5)
+        assert fires_at(schedule, range(8)) == [2, 3, 4]
+
+    def test_every_nth_anchored_at_start(self):
+        schedule = FaultSchedule.every_nth(3, start=2)
+        assert fires_at(schedule, range(10)) == [2, 5, 8]
+
+    def test_time_window(self):
+        schedule = FaultSchedule.time_window(1.0, 2.0)
+        rng = random.Random(0)
+        assert not schedule.fires(0, 0.5, rng)
+        assert schedule.fires(0, 1.0, rng)
+        assert schedule.fires(0, 1.99, rng)
+        assert not schedule.fires(0, 2.0, rng)
+
+    def test_in_window_ignores_stride_and_probability(self):
+        schedule = FaultSchedule(probability=0.0, every=7, start_unit=1)
+        assert not schedule.in_window(0, 0.0)
+        assert schedule.in_window(1, 0.0)
+        assert schedule.in_window(2, 0.0)  # stride not consulted
+
+    def test_predicate(self):
+        schedule = FaultSchedule.when(lambda unit, meta: meta.get("mark", False))
+        rng = random.Random(0)
+        assert not schedule.fires(0, 0.0, rng, unit=b"x", meta={})
+        assert schedule.fires(0, 0.0, rng, unit=b"x", meta={"mark": True})
+
+    def test_probability_draw(self):
+        schedule = FaultSchedule.with_probability(0.5)
+        fired = fires_at(schedule, range(200), seed=42)
+        assert 60 < len(fired) < 140  # roughly half, not all or none
+
+
+class TestDeterminism:
+    def test_same_seed_same_firings(self):
+        schedule = FaultSchedule.with_probability(0.3)
+        assert fires_at(schedule, range(50), seed=7) == fires_at(
+            schedule, range(50), seed=7
+        )
+
+    def test_probability_one_consumes_no_draws(self):
+        """Deterministic schedules never touch the rng stream, so adding
+        one next to a probabilistic fault cannot shift its draws."""
+        rng = random.Random(5)
+        deterministic = FaultSchedule.unit_window(0, 10)
+        for i in range(10):
+            deterministic.fires(i, 0.0, rng)
+        after_deterministic = rng.random()
+        assert after_deterministic == random.Random(5).random()
+
+    def test_out_of_window_consumes_no_draws(self):
+        rng = random.Random(9)
+        schedule = FaultSchedule(probability=0.5, start_unit=100)
+        for i in range(10):
+            schedule.fires(i, 0.0, rng)
+        assert rng.random() == random.Random(9).random()
+
+
+class TestValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultSchedule(probability=1.5)
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultSchedule(probability=-0.1)
+
+    def test_negative_start_unit(self):
+        with pytest.raises(ConfigurationError, match="start_unit"):
+            FaultSchedule(start_unit=-1)
+
+    def test_empty_unit_window(self):
+        with pytest.raises(ConfigurationError, match="stop_unit"):
+            FaultSchedule(start_unit=5, stop_unit=5)
+
+    def test_bad_stride(self):
+        with pytest.raises(ConfigurationError, match="every"):
+            FaultSchedule(every=0)
+
+    def test_empty_time_window(self):
+        with pytest.raises(ConfigurationError, match="stop_time"):
+            FaultSchedule(start_time=2.0, stop_time=1.0)

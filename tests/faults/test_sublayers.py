@@ -1,0 +1,319 @@
+"""Each fault kind, exercised in a live three-sublayer stack.
+
+The harness builds ``top > fault > bottom`` passthrough stacks so the
+fault sits mid-stack exactly as a campaign inserts it; litmus coverage
+shows a transparent fault leaves T1/T2/T3 green at the full tier.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    Field,
+    HeaderFormat,
+    PassthroughSublayer,
+    Stack,
+    Sublayer,
+    unwrap,
+)
+from repro.core.bits import Bits
+from repro.core.clock import ManualClock
+from repro.core.litmus import WireTap, run_litmus
+from repro.faults import (
+    CorruptBitsFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultSchedule,
+    NoOpFault,
+    ReorderFault,
+    StallFault,
+    TruncateFault,
+)
+from repro.obs import MetricsRegistry
+
+
+def make_chain(fault, clock=None, metrics=None):
+    """``top > fault > bottom`` stack; returns (stack, wire, delivered)."""
+    stack = Stack(
+        "chain",
+        [PassthroughSublayer("top"), fault, PassthroughSublayer("bot")],
+        clock=clock or ManualClock(),
+        metrics=metrics,
+    )
+    wire, delivered = [], []
+    stack.on_transmit = lambda unit, **meta: wire.append(unit)
+    stack.on_deliver = lambda unit, **meta: delivered.append(unit)
+    return stack, wire, delivered
+
+
+class TestBase:
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ConfigurationError, match="direction"):
+            DropFault("f", direction="sideways")
+
+    def test_books_kept_and_metered(self):
+        registry = MetricsRegistry()
+        fault = DropFault("f", schedule=FaultSchedule.once(1))
+        stack, wire, _ = make_chain(fault, metrics=registry)
+        for i in range(4):
+            stack.send(bytes([i]))
+        assert fault.state.units_seen == 4
+        assert fault.state.faults_injected == 1
+        assert fault.state.dropped == 1
+        counters = registry.snapshot()["counters"]
+        assert counters["chain/f/faults_injected"] == 1
+        assert counters["chain/f/units_seen"] == 4
+
+    def test_direction_up_leaves_tx_path_alone(self):
+        fault = DropFault("f", direction="up")
+        stack, wire, delivered = make_chain(fault)
+        stack.send(b"down")
+        stack.receive(b"up")
+        assert wire == [b"down"]
+        assert delivered == []  # the receive-side unit was dropped
+        assert fault.state.units_seen == 1  # only the up crossing counted
+
+    def test_direction_both(self):
+        fault = DropFault("f", direction="both")
+        stack, wire, delivered = make_chain(fault)
+        stack.send(b"down")
+        stack.receive(b"up")
+        assert wire == [] and delivered == []
+        assert fault.state.dropped == 2
+
+
+class TestNoOp:
+    def test_pure_passthrough_no_bookkeeping(self):
+        fault = NoOpFault("f")
+        stack, wire, delivered = make_chain(fault)
+        stack.send(b"a")
+        stack.receive(b"b")
+        assert wire == [b"a"] and delivered == [b"b"]
+        assert fault.state.units_seen == 0
+        assert fault.state.faults_injected == 0
+
+
+class TestDrop:
+    def test_drops_scheduled_units(self):
+        fault = DropFault("f", schedule=FaultSchedule.every_nth(2))
+        stack, wire, _ = make_chain(fault)
+        for i in range(6):
+            stack.send(bytes([i]))
+        assert wire == [bytes([1]), bytes([3]), bytes([5])]
+        assert fault.state.dropped == 3
+
+
+class TestDuplicate:
+    def test_forwards_twice(self):
+        fault = DuplicateFault("f", schedule=FaultSchedule.once(0))
+        stack, wire, _ = make_chain(fault)
+        stack.send(b"a")
+        stack.send(b"b")
+        assert wire == [b"a", b"a", b"b"]
+        assert fault.state.duplicated == 1
+
+
+class TestReorder:
+    def test_swaps_with_next_unit(self):
+        fault = ReorderFault("f", schedule=FaultSchedule.once(0))
+        stack, wire, _ = make_chain(fault)
+        stack.send(b"a")
+        assert wire == []  # held
+        stack.send(b"b")
+        assert wire == [b"b", b"a"]
+
+    def test_tail_flushes_after_max_hold(self):
+        clock = ManualClock()
+        fault = ReorderFault(
+            "f", schedule=FaultSchedule.once(0), max_hold=0.2
+        )
+        stack, wire, _ = make_chain(fault, clock=clock)
+        stack.send(b"last")
+        assert wire == []
+        clock.advance(0.2)
+        assert wire == [b"last"]
+
+    def test_bad_max_hold(self):
+        with pytest.raises(ConfigurationError, match="max_hold"):
+            ReorderFault("f", max_hold=0.0)
+
+
+class TestCorruptBits:
+    def test_flips_bits_in_bytes(self):
+        fault = CorruptBitsFault("f", rng=random.Random(3), flips=2)
+        stack, wire, _ = make_chain(fault)
+        stack.send(b"\x00" * 8)
+        assert len(wire) == 1
+        assert len(wire[0]) == 8
+        assert sum(bin(b).count("1") for b in wire[0]) == 2
+        assert fault.state.corrupted == 1
+
+    def test_flips_bits_in_bits(self):
+        fault = CorruptBitsFault("f", rng=random.Random(3), flips=1)
+        stack, wire, _ = make_chain(fault)
+        stack.send(Bits([0] * 16))
+        assert isinstance(wire[0], Bits)
+        assert sum(wire[0]) == 1
+
+    def test_structured_units_pass_unchanged(self):
+        fault = CorruptBitsFault("f")
+        stack, wire, _ = make_chain(fault)
+        unit = {"not": "serialized"}
+        stack.send(unit)
+        assert wire == [unit]
+        assert fault.state.corrupted == 0
+
+    def test_bad_flips(self):
+        with pytest.raises(ConfigurationError, match="flips"):
+            CorruptBitsFault("f", flips=0)
+
+
+class TestTruncate:
+    def test_cuts_to_keep_fraction(self):
+        fault = TruncateFault("f", keep=0.5)
+        stack, wire, _ = make_chain(fault)
+        stack.send(b"0123456789")
+        assert wire == [b"01234"]
+        assert fault.state.truncated == 1
+
+    def test_keep_zero_empties_unit(self):
+        fault = TruncateFault("f", keep=0.0)
+        stack, wire, _ = make_chain(fault)
+        stack.send(b"abcd")
+        assert wire == [b""]
+
+    def test_bad_keep(self):
+        with pytest.raises(ConfigurationError, match="keep"):
+            TruncateFault("f", keep=1.0)
+
+
+class TestDelay:
+    def test_holds_for_delay(self):
+        clock = ManualClock()
+        fault = DelayFault("f", delay=0.5)
+        stack, wire, _ = make_chain(fault, clock=clock)
+        stack.send(b"slow")
+        assert wire == []
+        clock.advance(0.49)
+        assert wire == []
+        clock.advance(0.01)
+        assert wire == [b"slow"]
+        assert fault.state.delayed == 1
+
+    def test_jitter_bounded(self):
+        clock = ManualClock()
+        fault = DelayFault("f", rng=random.Random(1), delay=0.1, jitter=0.2)
+        stack, wire, _ = make_chain(fault, clock=clock)
+        stack.send(b"x")
+        clock.advance(0.3)  # delay + max jitter
+        assert wire == [b"x"]
+
+    def test_bad_delay(self):
+        with pytest.raises(ConfigurationError, match="delay"):
+            DelayFault("f", delay=-1.0)
+
+
+class TestStall:
+    def test_buffers_then_releases_in_order(self):
+        fault = StallFault("f", schedule=FaultSchedule.unit_window(0, 2))
+        stack, wire, _ = make_chain(fault)
+        stack.send(b"a")
+        stack.send(b"b")
+        assert wire == []
+        stack.send(b"c")  # first post-window unit flushes the buffer
+        assert wire == [b"a", b"b", b"c"]
+        assert fault.state.stalled == 2
+
+    def test_timer_flush_at_declared_stop_time(self):
+        clock = ManualClock()
+        fault = StallFault("f", schedule=FaultSchedule.time_window(0.0, 1.0))
+        stack, wire, _ = make_chain(fault, clock=clock)
+        stack.send(b"a")
+        stack.send(b"b")
+        assert wire == []
+        clock.advance(1.0)
+        assert wire == [b"a", b"b"]
+
+    def test_blackhole_discards(self):
+        fault = StallFault(
+            "f", schedule=FaultSchedule.unit_window(0, 2), blackhole=True
+        )
+        stack, wire, _ = make_chain(fault)
+        for unit in (b"a", b"b", b"c"):
+            stack.send(unit)
+        assert wire == [b"c"]
+        assert fault.state.blackholed == 2
+
+
+# ----------------------------------------------------------------------
+# Transparency: litmus tests stay green around an inserted fault
+# ----------------------------------------------------------------------
+class Upper(Sublayer):
+    HEADER = HeaderFormat("up", [Field("n", 8)], owner="up")
+
+    def on_attach(self):
+        self.state.sent = 0
+
+    def from_above(self, sdu, **meta):
+        self.state.sent = self.state.sent + 1
+        self.send_down(self.wrap({"n": self.state.sent % 256}, sdu))
+
+    def from_below(self, pdu, **meta):
+        values, inner = unwrap(pdu, "up")
+        self.deliver_up(inner, n=values["n"])
+
+
+class LowerWithHeader(Sublayer):
+    HEADER = HeaderFormat("low", [Field("k", 8)], owner="low")
+
+    def from_above(self, sdu, **meta):
+        self.send_down(self.wrap({"k": 9}, sdu))
+
+    def from_below(self, pdu, **meta):
+        values, inner = unwrap(pdu, "low")
+        self.deliver_up(inner)
+
+
+class TestTransparency:
+    def make_pair(self, tx_extra=None):
+        tx_layers = [Upper("up"), LowerWithHeader("low")]
+        if tx_extra is not None:
+            tx_layers.insert(1, tx_extra)
+        tx = Stack("tx", tx_layers)
+        rx = Stack("rx", [Upper("up"), LowerWithHeader("low")])
+        delivered = []
+        rx.on_deliver = lambda d, **m: delivered.append(d)
+        tx.on_transmit = lambda p, **m: rx.receive(p)
+        return tx, rx, delivered
+
+    def test_litmus_green_with_fault_on_one_endpoint(self):
+        fault = NoOpFault("fault")
+        tx, rx, delivered = self.make_pair(tx_extra=fault)
+        wire = WireTap(tx, rx)
+        tx.send(b"payload")
+        assert delivered == [b"payload"]
+        report = run_litmus(tx, rx, wire)
+        report.require()  # raises LitmusFailure on any red test
+
+    def test_litmus_red_with_opaque_extra_on_one_endpoint(self):
+        tx, rx, delivered = self.make_pair(
+            tx_extra=PassthroughSublayer("extra")
+        )
+        wire = WireTap(tx, rx)
+        tx.send(b"payload")
+        report = run_litmus(tx, rx, wire)
+        t1 = next(r for r in report.results if r.name == "T1")
+        assert not t1.passed  # opaque orders differ between endpoints
+
+    def test_active_fault_keeps_control_plane_intact(self):
+        """A fault that actually fires still leaves T2 adjacency green."""
+        fault = DropFault("fault", schedule=FaultSchedule.every_nth(2))
+        tx, rx, delivered = self.make_pair(tx_extra=fault)
+        wire = WireTap(tx, rx)
+        for i in range(4):
+            tx.send(bytes([i]))
+        assert delivered == [bytes([1]), bytes([3])]
+        run_litmus(tx, rx, wire).require()

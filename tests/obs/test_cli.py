@@ -20,6 +20,14 @@ class TestSummarize:
         assert "3 spans" in out
         assert "tcp:a" in out
 
+    def test_reports_dropped_events(self, tmp_path, capsys):
+        path = tmp_path / "truncated.jsonl"
+        spans_to_jsonl(fixed_spans(), path, dropped=9)
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 spans" in out
+        assert "(9 dropped)" in out
+
     def test_missing_file_fails(self, tmp_path, capsys):
         assert main(["summarize", str(tmp_path / "absent.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err

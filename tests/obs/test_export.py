@@ -75,6 +75,51 @@ class TestJsonl:
         assert load_jsonl(path) == tracer.spans()
 
 
+class TestDroppedMeta:
+    def test_meta_record_written_when_dropped(self, tmp_path):
+        from repro.obs import load_jsonl_with_meta
+
+        path = tmp_path / "spans.jsonl"
+        spans_to_jsonl(fixed_spans(), path, dropped=5)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"_meta": {"dropped_events": 5}}
+        spans, meta = load_jsonl_with_meta(path)
+        assert spans == fixed_spans()
+        assert meta == {"dropped_events": 5}
+
+    def test_no_meta_record_without_drops(self, tmp_path):
+        from repro.obs import load_jsonl_with_meta
+
+        path = tmp_path / "spans.jsonl"
+        spans_to_jsonl(fixed_spans(), path, dropped=0)
+        assert len(path.read_text().splitlines()) == 3
+        _, meta = load_jsonl_with_meta(path)
+        assert meta == {}
+
+    def test_load_jsonl_skips_meta(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        spans_to_jsonl(fixed_spans(), path, dropped=7)
+        assert load_jsonl(path) == fixed_spans()
+
+    def test_ring_buffer_tracer_writes_meta(self, tmp_path):
+        sim, a, b, _link = make_pair()
+        tracer = SpanTracer(max_spans=4).attach(a.stack).attach(b.stack)
+        transfer(sim, a, b, nbytes=100)
+        assert tracer.dropped_spans > 0
+        path = tmp_path / "run.jsonl"
+        tracer.write_jsonl(path)
+        from repro.obs import load_jsonl_with_meta
+
+        spans, meta = load_jsonl_with_meta(path)
+        assert len(spans) == 4
+        assert meta["dropped_events"] == tracer.dropped_spans
+
+    def test_summarize_reports_drops(self):
+        text = summarize(fixed_spans(), dropped=12)
+        assert "(12 dropped)" in text
+        assert "dropped" not in summarize(fixed_spans())
+
+
 class TestChromeTrace:
     def test_structure(self):
         trace = to_chrome_trace(fixed_spans())

@@ -151,6 +151,32 @@ class TestImpairments:
         assert received[0][1] == payload
         assert link.stats.corrupted == 0
 
+    def test_bit_errors_visible_in_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator()
+        link = Link(
+            sim,
+            LinkConfig(bit_error_rate=0.5),
+            rng=random.Random(7),
+            name="noisy",
+            metrics=registry,
+        )
+        link.connect(lambda u, **m: None)
+        for i in range(5):
+            link.send(bytes([i]) * 8)
+        sim.run_until_idle()
+        assert link.stats.corrupted > 0
+        counters = registry.snapshot()["counters"]
+        assert counters["link/noisy/bit_errors"] == link.stats.corrupted
+
+    def test_no_metrics_sink_still_counts_stats(self):
+        sim, link, received = make_link(bit_error_rate=0.5)
+        link.send(b"\x00" * 8)
+        sim.run_until_idle()
+        assert link.stats.corrupted == 1  # NULL_METRICS absorbed the inc
+
     def test_stats_dict(self):
         sim, link, _ = make_link()
         link.send(b"x")
@@ -197,6 +223,31 @@ class TestDuplexLink:
         sim.run_until_idle()
         assert b.received == [b"ok"]
         assert a.received == []
+
+    def test_metrics_threaded_to_both_directions(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator()
+        a, b = FakeStack(), FakeStack()
+        duplex = DuplexLink(
+            sim,
+            LinkConfig(bit_error_rate=0.5),
+            rng_forward=random.Random(3),
+            rng_reverse=random.Random(4),
+            name="wan",
+            metrics=registry,
+        )
+        duplex.attach(a, b)
+        for i in range(5):
+            a.on_transmit(bytes([i]) * 8)
+            b.on_transmit(bytes([i]) * 8)
+        sim.run_until_idle()
+        counters = registry.snapshot()["counters"]
+        assert counters["link/wan:fwd/bit_errors"] == duplex.forward.stats.corrupted
+        assert counters["link/wan:rev/bit_errors"] == duplex.reverse.stats.corrupted
+        assert duplex.forward.stats.corrupted > 0
+        assert duplex.reverse.stats.corrupted > 0
 
 
 class TestDropTailQueue:

@@ -1,0 +1,43 @@
+"""Golden values for the seed-derivation function.
+
+``derive_seed`` defines every named rng stream in the repo; campaign
+results (``python -m repro.faults``) replay bit-for-bit only while
+these values stay fixed.  If this test fails, the derivation changed
+and every recorded seed/result pair in benchmarks and reports is
+invalidated — that is a breaking change, not a refactor.
+"""
+
+from repro.sim.rng import RngFactory, derive_seed
+
+#: (root_seed, label) -> first 8 bytes, big-endian, of
+#: sha256(f"{root_seed}:{label}").  Computed once and pinned.
+GOLDEN = {
+    (0, "link"): 2987595919447247027,
+    (0, "mac:1"): 13720221149681381142,
+    (1, "link"): 16018041945262248193,
+    (42, "fault:a:drop"): 5273469679366998936,
+    (7, "fork:child"): 13874204831551527475,
+}
+
+
+def test_derive_seed_golden_values():
+    for (root, label), expected in GOLDEN.items():
+        assert derive_seed(root, label) == expected, (
+            f"derive_seed({root}, {label!r}) changed — this breaks "
+            "replay of every recorded campaign"
+        )
+
+
+def test_factory_stream_uses_derived_seed():
+    import random
+
+    stream = RngFactory(42).stream("fault:a:drop")
+    reference = random.Random(GOLDEN[(42, "fault:a:drop")])
+    assert [stream.random() for _ in range(5)] == [
+        reference.random() for _ in range(5)
+    ]
+
+
+def test_fork_uses_fork_prefixed_label():
+    fork = RngFactory(7).fork("child")
+    assert fork.root_seed == GOLDEN[(7, "fork:child")]

@@ -3,9 +3,20 @@
 from repro.staticcheck import DEFAULT_LAYERS, run_staticcheck
 
 
-def test_obs_registered_above_every_layer():
+def test_obs_registered_above_every_protocol_layer():
+    # Only the fault-injection harness (which consumes obs telemetry as
+    # its evidence source) sits above obs; every protocol and substrate
+    # layer stays strictly below.
     assert DEFAULT_LAYERS["obs"] > max(
-        tier for name, tier in DEFAULT_LAYERS.items() if name != "obs"
+        tier
+        for name, tier in DEFAULT_LAYERS.items()
+        if name not in ("obs", "faults")
+    )
+
+
+def test_faults_registered_above_everything():
+    assert DEFAULT_LAYERS["faults"] > max(
+        tier for name, tier in DEFAULT_LAYERS.items() if name != "faults"
     )
 
 
