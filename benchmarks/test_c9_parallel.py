@@ -1,0 +1,151 @@
+"""C9 — parallel proving and the warm proof cache.
+
+The paper's modularity claim (lesson 1: per-sublayer lemmas are
+independent) is what makes verification parallelizable and cacheable.
+This benchmark proves four framing lemma libraries — four stuffing
+rules, 14 lemmas each — three ways:
+
+* cold and serial (the baseline a single core pays),
+* cold on 4 forked workers (`prove_libraries(jobs=4)` pools dependency
+  waves *across* libraries, so independent lemmas from different rules
+  share the same wave),
+* warm from the content-hash proof cache (every lemma unchanged, so
+  nothing is re-proved).
+
+Gated metrics: ``speedup_jobs4_x`` (serial/parallel wall) and
+``warm_over_cold_x`` (warm/serial wall — the fraction of a cold run a
+cached re-verification still costs).  The determinism contract is
+asserted alongside: all three reports are JSON-identical.
+"""
+
+import json
+import os
+import time
+
+from _util import table, write_bench_json, write_result
+
+from repro.core.bits import Bits
+from repro.datalink.framing.lemmas import build_framing_library
+from repro.datalink.framing.rules import (
+    HDLC_RULE,
+    LOW_OVERHEAD_RULE,
+    prefix_rule,
+)
+from repro.par import ProofCache
+from repro.verify import prove_libraries
+
+MAX_LEN = 9
+JOBS = 4
+RULES = [
+    HDLC_RULE,
+    LOW_OVERHEAD_RULE,
+    prefix_rule(Bits.from_string("10000001"), 7),
+    prefix_rule(Bits.from_string("01000001"), 6),
+]
+
+
+def build_libraries():
+    return [build_framing_library(rule, max_len=MAX_LEN) for rule in RULES]
+
+
+def report_json(reports):
+    return json.dumps(
+        {name: report.as_dict() for name, report in reports.items()},
+        sort_keys=True,
+    )
+
+
+def run_all(tmp_path):
+    """Time the three strategies; returns (rows, metrics)."""
+    libraries = build_libraries()
+
+    start = time.perf_counter()
+    serial = prove_libraries(libraries)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = prove_libraries(build_libraries(), jobs=JOBS)
+    parallel_s = time.perf_counter() - start
+
+    cache = ProofCache(root=tmp_path / "c9-cache")
+    prove_libraries(build_libraries(), cache=cache)  # populate
+    misses_cold = cache.stats()["misses"]
+    start = time.perf_counter()
+    warm = prove_libraries(build_libraries(), cache=cache)
+    warm_s = time.perf_counter() - start
+
+    assert all(report.proved for report in serial.values())
+    assert report_json(serial) == report_json(parallel) == report_json(warm)
+    misses_warm = cache.stats()["misses"] - misses_cold
+    assert misses_warm == 0, f"warm run re-proved {misses_warm} lemmas"
+
+    lemmas = sum(len(report.results) for report in serial.values())
+    cases = sum(report.total_cases for report in serial.values())
+    return {
+        "lemmas": lemmas,
+        "cases": cases,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "warm_s": warm_s,
+        "speedup": serial_s / parallel_s,
+        "warm_over_cold": warm_s / serial_s,
+    }
+
+
+def test_c9_parallel(benchmark, tmp_path):
+    m = benchmark.pedantic(lambda: run_all(tmp_path), rounds=1, iterations=1)
+
+    rows = [
+        {
+            "strategy": "cold, serial",
+            "wall_ms": round(m["serial_s"] * 1e3, 1),
+            "vs serial": "1.00x",
+        },
+        {
+            "strategy": f"cold, {JOBS} workers",
+            "wall_ms": round(m["parallel_s"] * 1e3, 1),
+            "vs serial": f"{m['speedup']:.2f}x faster",
+        },
+        {
+            "strategy": "warm cache",
+            "wall_ms": round(m["warm_s"] * 1e3, 1),
+            "vs serial": f"{m['warm_over_cold']:.1%} of cold",
+        },
+    ]
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        f"{len(RULES)} framing libraries, {m['lemmas']} lemmas, "
+        f"{m['cases']} cases at max_len={MAX_LEN}; "
+        f"{os.cpu_count()} CPUs on this host"
+    )
+    lines.append(
+        "reports from all three strategies are JSON-identical "
+        "(the determinism contract CI also checks byte-for-byte)"
+    )
+    write_result("c9_parallel", lines)
+    write_bench_json(
+        "c9_parallel",
+        wall_s=m["serial_s"],
+        extra={
+            "lemmas": m["lemmas"],
+            "cases": m["cases"],
+            "serial_ms": round(m["serial_s"] * 1e3, 1),
+            "parallel_ms": round(m["parallel_s"] * 1e3, 1),
+            "warm_ms": round(m["warm_s"] * 1e3, 1),
+            "speedup_jobs4_x": round(m["speedup"], 3),
+            "warm_over_cold_x": round(m["warm_over_cold"], 4),
+            "cpus": os.cpu_count(),
+        },
+    )
+
+    # Warm cache must make re-verification nearly free everywhere.
+    assert m["warm_over_cold"] < 0.10, (
+        f"warm cache run cost {m['warm_over_cold']:.1%} of cold (bound: 10%)"
+    )
+    # The >=2x parallel bound only means something with real cores.
+    if (os.cpu_count() or 1) >= JOBS:
+        assert m["speedup"] >= 2.0, (
+            f"4-worker speedup {m['speedup']:.2f}x < 2x on "
+            f"{os.cpu_count()} CPUs"
+        )

@@ -67,6 +67,7 @@ class StackProfile:
             )
 
     def slot_names(self) -> list[str]:
+        """The profile's slot names, top to bottom."""
         return [s.name for s in self.slots]
 
 
@@ -88,6 +89,7 @@ def register_profile(profile: StackProfile, replace: bool = False) -> StackProfi
 
 
 def get_profile(name: str) -> StackProfile:
+    """Look up a registered profile by name (ConfigurationError if absent)."""
     try:
         return _PROFILES[name]
     except KeyError:
@@ -98,6 +100,7 @@ def get_profile(name: str) -> StackProfile:
 
 
 def available_profiles() -> list[str]:
+    """Names of every registered stack profile, sorted."""
     return sorted(_PROFILES)
 
 
@@ -160,6 +163,11 @@ class StackBuilder:
         lossy_delivery: bool = False,
         check_config: StaticCheckConfig | None = None,
     ):
+        """Prepare a builder for ``profile`` (a name or profile value).
+
+        The keyword arguments are the :class:`~repro.core.stack.Stack`
+        construction parameters, passed through at :meth:`build` time.
+        """
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
         self.name = name
         self.clock = clock
@@ -254,6 +262,7 @@ class StackBuilder:
         return self
 
     def with_tier(self, tier: str) -> "StackBuilder":
+        """Select the built stack's instrumentation tier."""
         self.tier = validate_tier(tier)
         return self
 
@@ -318,6 +327,7 @@ class StackBuilder:
         return above, below
 
     def build(self) -> Stack:
+        """Realise every slot (with replacements/insertions) into a Stack."""
         sublayers: list[Sublayer] = []
         for slot in self.profile.slots:
             above, below = self._realise_insertions(slot.name)

@@ -61,6 +61,13 @@ class Stack:
         tier: str = TIER_FULL,
         lossy_delivery: bool = False,
     ):
+        """Compose ``sublayers`` (listed top to bottom) into one stack.
+
+        ``tier`` selects the instrumentation level (``full`` keeps the
+        access/interface logs live, ``metrics``/``off`` swap in null
+        logs); ``lossy_delivery`` marks stacks whose delivery contract
+        tolerates loss (the litmus checks consult it).
+        """
         if not sublayers:
             raise ConfigurationError("a stack needs at least one sublayer")
         names = [s.name for s in sublayers]
@@ -124,41 +131,50 @@ class Stack:
 
     @property
     def wiring_plan(self) -> WiringPlan:
+        """The compiled hop plan this stack currently runs on."""
         return self._plan
 
     @property
     def taps(self) -> TapList:
+        """Observers of every data-path hop (monitors, litmus checks)."""
         return self._taps
 
     @taps.setter
     def taps(self, value: Any) -> None:
+        """Replace the tap list wholesale and recompile the hops."""
         self._taps = TapList(value, on_change=self._recompile)
         self._recompile()
 
     @property
     def span_hook(self) -> Callable[[str, str, str, Any, dict], Any] | None:
+        """The span factory bracketing each hop (``SpanTracer.attach``)."""
         return self._span_hook
 
     @span_hook.setter
     def span_hook(self, hook: Callable[[str, str, str, Any, dict], Any] | None) -> None:
+        """Install (or clear) the span factory and recompile the hops."""
         self._span_hook = hook
         self._recompile()
 
     @property
     def on_transmit(self) -> Callable[..., None] | None:
+        """The wire sink the bottom sublayer transmits into."""
         return self._on_transmit
 
     @on_transmit.setter
     def on_transmit(self, sink: Callable[..., None] | None) -> None:
+        """Attach the stack to a wire (link/medium) and recompile."""
         self._on_transmit = sink
         self._recompile()
 
     @property
     def on_deliver(self) -> Callable[..., None] | None:
+        """The application sink the top sublayer delivers into."""
         return self._on_deliver
 
     @on_deliver.setter
     def on_deliver(self, sink: Callable[..., None] | None) -> None:
+        """Attach the application delivery sink and recompile."""
         self._on_deliver = sink
         self._recompile()
 
@@ -253,13 +269,16 @@ class Stack:
     # ------------------------------------------------------------------
     @property
     def top(self) -> Sublayer:
+        """The sublayer facing the application."""
         return self.sublayers[0]
 
     @property
     def bottom(self) -> Sublayer:
+        """The sublayer facing the wire."""
         return self.sublayers[-1]
 
     def sublayer(self, name: str) -> Sublayer:
+        """Look up a sublayer by name (ConfigurationError if absent)."""
         try:
             return self._index[name]
         except KeyError:

@@ -70,6 +70,7 @@ class Sublayer:
     TRANSPARENT: bool = False
 
     def __init__(self, name: str):
+        """Create an unattached sublayer; wiring is installed by ``Stack``."""
         if not name:
             raise ConfigurationError("sublayer name must be non-empty")
         self.name = name

@@ -4,11 +4,19 @@ Runs a named scenario matrix over N seeds and emits a JSON resilience
 report.  Exit status is 0 only when every invariant monitor stayed
 green in every trial — CI uses this as the fault-scenario smoke gate.
 
+``--jobs`` fans the campaign's (scenario, seed) trials out over forked
+workers; trials are reassembled in scenario/seed order and per-worker
+metric snapshots are merged deterministically, so the report is
+byte-identical to a serial run.  ``--cache`` memoises green trials by
+content hash — a re-run with unchanged scenario code replays from the
+cache.
+
 Examples::
 
     python -m repro.faults --matrix default --seeds 5
     python -m repro.faults --matrix smoke --seeds 1 --out resilience.json
     python -m repro.faults --scenario tcp-drop-dup --seeds 3
+    python -m repro.faults --matrix smoke --jobs 4 --cache
     python -m repro.faults --list
 """
 
@@ -17,15 +25,45 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import Any
 
 from ..core.errors import ConfigurationError
-from .scenarios import MATRICES, build_matrix
+from ..obs import MetricsRegistry
+from ..par import (
+    DEFAULT_CACHE_DIR,
+    ForkPool,
+    ProofCache,
+    callable_fingerprint,
+)
+from .scenarios import MATRICES, Scenario, ScenarioResult, TrialResult, build_matrix
+
+#: Scenarios inherited by forked campaign workers for the current run.
+_SCENARIOS: list[Scenario] = []
+
+
+def _campaign_trial(item: tuple[int, int]) -> tuple[TrialResult, dict[str, Any]]:
+    """Worker-side: run trial ``item = (scenario_index, seed)``."""
+    index, seed = item
+    return _SCENARIOS[index].run_trial_with_metrics(seed)
 
 
 def run_campaign(
-    matrix: str, seeds: list[int], only: list[str] | None = None
+    matrix: str,
+    seeds: list[int],
+    only: list[str] | None = None,
+    jobs: int | None = None,
+    cache: ProofCache | None = None,
 ) -> dict:
-    """Run the matrix; returns the JSON-serializable resilience report."""
+    """Run the matrix; returns the JSON-serializable resilience report.
+
+    All (scenario, seed) trials go through one worker pool, so slow
+    scenarios don't serialize behind fast ones.  Results are
+    reassembled in scenario/seed order and trial metric snapshots are
+    merged into the report's ``metrics`` aggregate in that same order,
+    making the report identical for any ``jobs`` value.  With
+    ``cache``, green trials are memoised keyed by the scenario's
+    content hash (code + parameters); red trials always re-run.
+    """
     scenarios = build_matrix(matrix)
     if only:
         names = {s.name for s in scenarios}
@@ -36,12 +74,77 @@ def run_campaign(
                 f"{sorted(names)}"
             )
         scenarios = [s for s in scenarios if s.name in only]
-    results = [scenario.run(seeds) for scenario in scenarios]
+
+    items = [
+        (index, seed) for index, _ in enumerate(scenarios) for seed in seeds
+    ]
+    outcomes: dict[tuple[int, int], tuple[TrialResult, dict[str, Any]]] = {}
+    keys: dict[tuple[int, int], str] = {}
+    fps: dict[tuple[int, int], str] = {}
+    if cache is not None:
+        scenario_fps = [
+            callable_fingerprint(s.run_trial_with_metrics, s.monitors())
+            for s in scenarios
+        ]
+        for index, seed in items:
+            scenario = scenarios[index]
+            keys[(index, seed)] = f"trial:{matrix}:{scenario.name}:{seed}"
+            fps[(index, seed)] = scenario_fps[index]
+            hit = cache.get(keys[(index, seed)], fps[(index, seed)])
+            if hit is not None:
+                outcomes[(index, seed)] = (
+                    TrialResult(seed=seed, violations=[], info=hit["info"]),
+                    hit["metrics"],
+                )
+
+    pending = [item for item in items if item not in outcomes]
+    if pending:
+        _SCENARIOS.clear()
+        _SCENARIOS.extend(scenarios)
+        try:
+            with ForkPool(_campaign_trial, jobs=jobs) as pool:
+                for item, outcome in zip(pending, pool.map(pending)):
+                    outcomes[item] = outcome
+                    trial, snapshot = outcome
+                    if cache is not None and trial.ok:
+                        cache.put(
+                            keys[item],
+                            fps[item],
+                            {"info": trial.info, "metrics": snapshot},
+                        )
+        finally:
+            _SCENARIOS.clear()
+
+    registry = MetricsRegistry()
+    results: list[ScenarioResult] = []
+    for index, scenario in enumerate(scenarios):
+        trials = []
+        for seed in seeds:
+            trial, snapshot = outcomes[(index, seed)]
+            trials.append(trial)
+            registry.merge_snapshot(snapshot)
+        results.append(
+            ScenarioResult(
+                name=scenario.name, profile=scenario.profile, trials=trials
+            )
+        )
+    counters = registry.snapshot()["counters"]
     return {
         "matrix": matrix,
         "seeds": seeds,
         "ok": all(r.ok for r in results),
         "scenarios": [r.as_dict() for r in results],
+        "metrics": {
+            "faults_injected": int(
+                sum(
+                    value
+                    for name, value in counters.items()
+                    if name.endswith("/faults_injected")
+                )
+            ),
+            "counters": len(counters),
+            "histograms": len(registry.histograms),
+        },
     }
 
 
@@ -70,6 +173,7 @@ def _print_summary(report: dict) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults",
         description="Run fault-injection scenario campaigns.",
@@ -100,6 +204,22 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the named scenario (repeatable)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for trials; 0 = all CPUs (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoise green trials in the content-hash cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"trial cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
         "--out",
         metavar="FILE.json",
         help="write the JSON resilience report here",
@@ -121,8 +241,17 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--seeds must be >= 1")
 
     seeds = list(range(args.base_seed, args.base_seed + args.seeds))
+    cache = (
+        ProofCache(root=args.cache_dir, domain="trials") if args.cache else None
+    )
     try:
-        report = run_campaign(args.matrix, seeds, only=args.scenario)
+        report = run_campaign(
+            args.matrix,
+            seeds,
+            only=args.scenario,
+            jobs=args.jobs,
+            cache=cache,
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -131,6 +260,12 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, fp, indent=1, sort_keys=True)
             fp.write("\n")
     _print_summary(report)
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"trial cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['entries']} entries"
+        )
     return 0 if report["ok"] else 1
 
 

@@ -40,6 +40,7 @@ from ..datalink.stacks import (
 )
 from ..network import LinkState, Topology
 from ..obs import MetricsRegistry
+from ..par import fork_map
 from ..sim import (
     BroadcastMedium,
     DuplexLink,
@@ -96,15 +97,19 @@ def _insertions(
 # ----------------------------------------------------------------------
 @dataclass
 class TrialResult:
+    """One seeded trial's verdict: monitor violations plus run info."""
+
     seed: int
     violations: list[Violation]
     info: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
+        """True when no invariant monitor fired."""
         return not self.violations
 
     def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (deterministic for a given seed)."""
         return {
             "seed": self.seed,
             "ok": self.ok,
@@ -115,15 +120,19 @@ class TrialResult:
 
 @dataclass
 class ScenarioResult:
+    """All trials of one scenario, in seed order."""
+
     name: str
     profile: str
     trials: list[TrialResult]
 
     @property
     def ok(self) -> bool:
+        """True when every trial stayed green."""
         return all(t.ok for t in self.trials)
 
     def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (trial dicts in seed order)."""
         return {
             "name": self.name,
             "profile": self.profile,
@@ -150,12 +159,20 @@ def run_until(
 
 
 class Scenario:
-    """Base: N seeded trials, each checked by the invariant monitors."""
+    """Base: N seeded trials, each checked by the invariant monitors.
+
+    A trial is a pure function of ``(scenario, seed)`` — every random
+    choice draws from a named stream of the trial seed — which is what
+    makes trials safe to fan out over forked workers (:meth:`run` with
+    ``jobs``) and to memoise by content hash (the campaign cache in
+    :mod:`repro.faults.__main__`).
+    """
 
     name = "scenario"
     profile = "?"
 
     def monitors(self) -> list[Monitor]:
+        """The invariant monitors that judge each trial's evidence."""
         raise NotImplementedError
 
     def execute(self, seed: int) -> Evidence:
@@ -163,6 +180,20 @@ class Scenario:
         raise NotImplementedError
 
     def run_trial(self, seed: int) -> TrialResult:
+        """Execute one seeded trial and judge it with the monitors."""
+        trial, _ = self.run_trial_with_metrics(seed)
+        return trial
+
+    def run_trial_with_metrics(
+        self, seed: int
+    ) -> tuple[TrialResult, dict[str, Any]]:
+        """One trial plus the metrics snapshot its run left behind.
+
+        The snapshot (JSON-serializable, picklable) is what crosses the
+        pipe from forked workers; the parent folds the snapshots into a
+        campaign-wide registry via
+        :meth:`~repro.obs.MetricsRegistry.merge_snapshot`.
+        """
         evidence = self.execute(seed)
         violations = [
             violation
@@ -170,21 +201,27 @@ class Scenario:
             for violation in monitor.check(evidence)
         ]
         info = dict(evidence.extras.get("info", {}))
-        counters = evidence.metrics.snapshot()["counters"]
+        snapshot = evidence.metrics.snapshot()
         info["faults_injected"] = int(
             sum(
                 value
-                for name, value in counters.items()
+                for name, value in snapshot["counters"].items()
                 if name.endswith("/faults_injected")
             )
         )
-        return TrialResult(seed=seed, violations=violations, info=info)
+        return TrialResult(seed=seed, violations=violations, info=info), snapshot
 
-    def run(self, seeds: list[int]) -> ScenarioResult:
+    def run(self, seeds: list[int], jobs: int | None = None) -> ScenarioResult:
+        """Run one trial per seed; ``jobs`` fans trials over forked workers.
+
+        Trials are returned in seed order whatever finishes first, so a
+        parallel run's :class:`ScenarioResult` is identical to a serial
+        run's.
+        """
         return ScenarioResult(
             name=self.name,
             profile=self.profile,
-            trials=[self.run_trial(seed) for seed in seeds],
+            trials=fork_map(self.run_trial, seeds, jobs=jobs),
         )
 
     # ------------------------------------------------------------------
@@ -210,6 +247,8 @@ class Scenario:
 # HDLC: drop + duplicate + corruption below the ARQ sublayer
 # ----------------------------------------------------------------------
 class HdlcScenario(Scenario):
+    """Point-to-point HDLC under drop, duplication, and bit corruption."""
+
     name = "hdlc-drop-dup-corrupt"
     profile = "hdlc"
 
@@ -221,6 +260,7 @@ class HdlcScenario(Scenario):
         corrupt: float = 0.1,
         timeout: float = 240.0,
     ):
+        """Configure traffic volume, fault probabilities, and timeout."""
         self.messages = messages
         self.drop = drop
         self.duplicate = duplicate
@@ -228,6 +268,7 @@ class HdlcScenario(Scenario):
         self.timeout = timeout
 
     def plan(self) -> list[FaultSpec]:
+        """Drop + duplicate below ARQ, corruption below the CRC."""
         return [
             FaultSpec(
                 "arq", "after", "drop",
@@ -259,6 +300,7 @@ class HdlcScenario(Scenario):
         ]
 
     def monitors(self) -> list[Monitor]:
+        """Loss, ordering, escape, injection, and corruption-visibility."""
         return [
             NoDataLossMonitor(),
             InOrderDeliveryMonitor(),
@@ -268,6 +310,7 @@ class HdlcScenario(Scenario):
         ]
 
     def execute(self, seed: int) -> Evidence:
+        """Two HDLC stacks over a noisy duplex link; a sends, b collects."""
         sim = Simulator()
         rng = RngFactory(seed)
         registry = MetricsRegistry()
@@ -332,6 +375,7 @@ class WirelessScenario(Scenario):
         arq: bool = True,
         timeout: float = 120.0,
     ):
+        """Configure traffic, drop probability, and the ARQ control."""
         self.messages = messages
         self.drop = drop
         self.arq = arq
@@ -339,6 +383,7 @@ class WirelessScenario(Scenario):
         self.name = "wireless-drop-arq" if arq else "wireless-drop-noarq"
 
     def monitors(self) -> list[Monitor]:
+        """Loss, ordering, escape, and injection-evidence monitors."""
         return [
             NoDataLossMonitor(),
             InOrderDeliveryMonitor(),
@@ -347,6 +392,7 @@ class WirelessScenario(Scenario):
         ]
 
     def execute(self, seed: int) -> Evidence:
+        """Two stations on a broadcast medium; 0 sends, 1 collects."""
         from ..datalink.arq import GoBackNArq
 
         sim = Simulator()
@@ -355,6 +401,7 @@ class WirelessScenario(Scenario):
         medium = BroadcastMedium(sim, rate_bps=200_000.0)
 
         def station(address: int) -> Any:
+            """One station stack with the ARQ/fault insertions applied."""
             insertions: list[tuple[str, str, Any]] = []
             if self.arq:
                 insertions.append(
@@ -413,6 +460,8 @@ class WirelessScenario(Scenario):
 # TCP: drop + duplicate between RD and CM
 # ----------------------------------------------------------------------
 class TcpScenario(Scenario):
+    """Sublayered TCP transferring a byte stream under drop + duplication."""
+
     name = "tcp-drop-dup"
     profile = "tcp"
 
@@ -423,12 +472,14 @@ class TcpScenario(Scenario):
         duplicate: float = 0.05,
         timeout: float = 300.0,
     ):
+        """Configure transfer size, fault probabilities, and timeout."""
         self.nbytes = nbytes
         self.drop = drop
         self.duplicate = duplicate
         self.timeout = timeout
 
     def plan(self) -> list[FaultSpec]:
+        """Drop + duplicate between RD and CM (data path, not handshake)."""
         # Below RD (whose job is reliable delivery), above CM: data
         # segments and acks take the faults, the connection handshake
         # (CM's own segments) does not — the invariant under test is
@@ -453,6 +504,7 @@ class TcpScenario(Scenario):
         ]
 
     def monitors(self) -> list[Monitor]:
+        """Loss, ordering, escape, and injection-evidence monitors."""
         return [
             NoDataLossMonitor(),
             InOrderDeliveryMonitor(),
@@ -461,6 +513,7 @@ class TcpScenario(Scenario):
         ]
 
     def execute(self, seed: int) -> Evidence:
+        """One TCP transfer a->b over a faulty link; evidence is the bytes."""
         sim = Simulator()
         rng = RngFactory(seed)
         registry = MetricsRegistry()
@@ -492,6 +545,7 @@ class TcpScenario(Scenario):
         received: dict[str, bytes] = {"a->b": b""}
 
         def accept(peer_sock: Any) -> None:
+            """Track the receiver-side byte stream as it grows."""
             peer_sock.on_data = lambda _chunk: received.__setitem__(
                 "a->b", peer_sock.bytes_received()
             )
@@ -521,6 +575,8 @@ class TcpScenario(Scenario):
 # QUIC: drop below the record sublayer (loss recovery lives above)
 # ----------------------------------------------------------------------
 class QuicScenario(Scenario):
+    """QUIC streams transferring under packet drop below the record layer."""
+
     name = "quic-drop"
     profile = "quic"
 
@@ -531,12 +587,14 @@ class QuicScenario(Scenario):
         drop: float = 0.1,
         timeout: float = 300.0,
     ):
+        """Configure per-stream size, stream count, drop rate, timeout."""
         self.nbytes = nbytes
         self.streams = streams
         self.drop = drop
         self.timeout = timeout
 
     def plan(self) -> list[FaultSpec]:
+        """Drop every encrypted packet with probability ``drop``."""
         # Below record = every encrypted packet.  start_unit=2 lets the
         # first handshake flight through so trials measure steady-state
         # loss recovery, not handshake-retry luck.
@@ -552,6 +610,7 @@ class QuicScenario(Scenario):
         ]
 
     def monitors(self) -> list[Monitor]:
+        """Loss, ordering, escape, and injection-evidence monitors."""
         return [
             NoDataLossMonitor(),
             InOrderDeliveryMonitor(),
@@ -560,6 +619,7 @@ class QuicScenario(Scenario):
         ]
 
     def execute(self, seed: int) -> Evidence:
+        """A multi-stream QUIC transfer a->b over a lossy link."""
         sim = Simulator()
         rng = RngFactory(seed)
         registry = MetricsRegistry()
@@ -595,6 +655,7 @@ class QuicScenario(Scenario):
         ]
 
         def done() -> bool:
+            """All stream payloads fully received on the b side."""
             peer = hosts["b"].connection_for(443, 5000)
             return peer is not None and all(
                 len(peer.stream_bytes(sid)) >= len(data)
@@ -636,12 +697,15 @@ class RoutingScenario(Scenario):
     EDGES = [(1, 2), (2, 4), (1, 3), (3, 4)]
 
     def __init__(self, converge_timeout: float = 30.0):
+        """Configure the per-phase convergence timeout."""
         self.converge_timeout = converge_timeout
 
     def monitors(self) -> list[Monitor]:
+        """Reconvergence observations plus the no-escape check."""
         return [ReconvergenceMonitor(), NoEscapeMonitor()]
 
     def execute(self, seed: int) -> Evidence:
+        """Fail and repair a diamond-topology link, recording convergence."""
         sim = Simulator()
         registry = MetricsRegistry()
         evidence = Evidence(
@@ -724,6 +788,7 @@ MATRICES: dict[str, Callable[[], list[Scenario]]] = {
 
 
 def build_matrix(name: str) -> list[Scenario]:
+    """Instantiate a named scenario matrix (ConfigurationError if unknown)."""
     try:
         return MATRICES[name]()
     except KeyError:

@@ -95,10 +95,12 @@ class FaultSchedule:
     # ------------------------------------------------------------------
     @classmethod
     def always(cls) -> "FaultSchedule":
+        """Fire on every crossing."""
         return cls()
 
     @classmethod
     def with_probability(cls, probability: float) -> "FaultSchedule":
+        """Fire on each crossing independently with this probability."""
         return cls(probability=probability)
 
     @classmethod
@@ -108,10 +110,12 @@ class FaultSchedule:
 
     @classmethod
     def every_nth(cls, n: int, start: int = 0) -> "FaultSchedule":
+        """Fire on every ``n``-th crossing, beginning at ``start``."""
         return cls(every=n, start_unit=start)
 
     @classmethod
     def unit_window(cls, start: int, stop: int) -> "FaultSchedule":
+        """Fire for crossings numbered ``start`` up to (not incl.) ``stop``."""
         return cls(start_unit=start, stop_unit=stop)
 
     @classmethod
@@ -123,4 +127,5 @@ class FaultSchedule:
     def when(
         cls, predicate: Callable[[Any, dict[str, Any]], bool]
     ) -> "FaultSchedule":
+        """Fire whenever ``predicate(sdu, meta)`` holds."""
         return cls(predicate=predicate)

@@ -26,6 +26,7 @@ from .export import (
     ExportError,
     load_jsonl,
     load_jsonl_with_meta,
+    merge_jsonl,
     spans_to_jsonl,
     summarize,
     to_chrome_trace,
@@ -44,6 +45,7 @@ __all__ = [
     "SpanTracer",
     "UNATTRIBUTED",
     "load_jsonl",
+    "merge_jsonl",
     "load_jsonl_with_meta",
     "pdu_id",
     "pdu_label",

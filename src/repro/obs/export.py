@@ -106,6 +106,35 @@ def load_jsonl(path: Any) -> list[dict[str, Any]]:
     return spans
 
 
+def merge_jsonl(paths: Iterable[Any], out: Any) -> int:
+    """Merge per-worker span JSONL files into one; returns the span count.
+
+    Each forked worker traces with its own :class:`SpanTracer`, whose
+    span ids start at 0 — merging naively would collide.  Spans from
+    each input keep their relative structure but have ``sid`` (and
+    ``parent``) rebased past the previous inputs' ids, exactly like
+    linking object files.  Inputs are merged in the order given, so a
+    deterministic input order gives a byte-deterministic merge.
+    Dropped-event counts from the inputs' ``_meta`` records are summed.
+    """
+    merged: list[dict[str, Any]] = []
+    dropped = 0
+    base = 0
+    for path in paths:
+        spans, meta = load_jsonl_with_meta(path)
+        dropped += int(meta.get("dropped_events", 0))
+        top = base
+        for span in spans:
+            rebased = dict(span)
+            rebased["sid"] = span["sid"] + base
+            if span.get("parent") is not None:
+                rebased["parent"] = span["parent"] + base
+            top = max(top, rebased["sid"] + 1)
+            merged.append(rebased)
+        base = top
+    return spans_to_jsonl(merged, out, dropped=dropped)
+
+
 # ----------------------------------------------------------------------
 # Chrome trace-event format
 # ----------------------------------------------------------------------

@@ -74,6 +74,29 @@ class MetricsRegistry:
             },
         }
 
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add, gauges last-write-wins, histograms combine via
+        :meth:`~repro.sim.stats.RunningStats.merge` — so a parent
+        process can aggregate the registries of forked workers (each
+        trial's snapshot crosses the pipe; the live registry cannot).
+        Merging the same snapshots in the same order always yields the
+        same aggregate, which keeps parallel campaign reports
+        deterministic.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            incoming = RunningStats.from_dict(data)
+            stats = self.histograms.get(name)
+            if stats is None:
+                self.histograms[name] = incoming
+            else:
+                stats.merge(incoming)
+
     def clear(self) -> None:
         self.counters.clear()
         self.gauges.clear()

@@ -1,0 +1,40 @@
+"""``repro.par`` — parallel execution and content-hash proof caching.
+
+The paper's core claim is that sublayering makes verification
+*modular*: each sublayer carries its own independent correctness
+lemmas.  Independence is exactly what makes the heavy workloads in this
+repository parallelizable and cacheable, and this package is the shared
+substrate all of them fan out through:
+
+* :mod:`repro.par.pool` — a deterministic fork-based process pool
+  (:class:`ForkPool` / :func:`fork_map`): results come back in item
+  order and workers inherit closed-over state by address-space
+  inheritance, so parallel runs are bit-identical to serial runs;
+* :mod:`repro.par.fingerprint` — content hashes over a work unit's
+  implementing source (closures, root-package globals it calls, bound
+  parameters, seeds) via :func:`callable_fingerprint`;
+* :mod:`repro.par.cache` — :class:`ProofCache`, the fingerprint-guarded
+  JSONL memo under ``.repro-cache/``: unchanged lemmas are skipped on
+  re-runs, edited ones are silently re-proved.
+
+The package sits at tier 0 next to ``core`` — pure infrastructure with
+no protocol knowledge — so any layer may use it.  The workload adapters
+live with their domains: ``LemmaLibrary.prove_all(parallel=, cache=)``
+and :func:`repro.verify.runner.prove_libraries` for lemma DAGs,
+``find_valid_rules(jobs=, cache=)`` for the stuffing-rule search, and
+``run_campaign(jobs=, cache=)`` for fault-resilience trials.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ProofCache
+from .fingerprint import callable_fingerprint, value_fingerprint
+from .pool import ForkPool, effective_jobs, fork_map
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ForkPool",
+    "ProofCache",
+    "callable_fingerprint",
+    "effective_jobs",
+    "fork_map",
+    "value_fingerprint",
+]

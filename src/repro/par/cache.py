@@ -1,0 +1,158 @@
+"""The content-hash proof cache: JSONL records under ``.repro-cache/``.
+
+A :class:`ProofCache` memoizes the results of deterministic work units
+— lemma proofs, stuffing-rule validity decisions, fault-campaign trials
+— keyed by a *name* (which unit) and guarded by a *fingerprint* (the
+content hash of the implementing source and bound parameters, see
+:mod:`repro.par.fingerprint`).  A lookup hits only when both match, so
+editing a lemma body, a decision procedure, or a scenario parameter
+silently invalidates exactly the affected entries; nothing is ever
+explicitly flushed.
+
+Persistence is append-only JSON lines, one domain per file
+(``.repro-cache/proofs.jsonl``, ``search.jsonl``, ``campaign.jsonl``):
+crash-safe (a torn last line is skipped on load), diff-able, and
+trivially mergeable across machines by concatenation — the newest
+record for a key wins.  :meth:`ProofCache.compact` rewrites the file
+with only live entries when the append log grows past
+``compact_factor`` times the live size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+#: Default cache directory, relative to the working directory (CI keys
+#: its cache step off this path).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ProofCache:
+    """Fingerprint-guarded result memo, persisted as JSON lines.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache files (created on first write).
+    domain:
+        File stem within ``root``; independent workloads use separate
+        domains so campaign entries never bloat proof lookups.
+    compact_factor:
+        Rewrite the JSONL file when it holds more than this many times
+        the number of live entries (superseded records accumulate
+        because writes append).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str] = DEFAULT_CACHE_DIR,
+        domain: str = "proofs",
+        compact_factor: int = 4,
+    ) -> None:
+        """Open (creating lazily) the cache at ``root``/``domain``.jsonl."""
+        self.path = Path(root) / f"{domain}.jsonl"
+        self.compact_factor = compact_factor
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._records_on_disk = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fp:
+            for line in fp:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn/corrupt line: treat as absent
+                if not isinstance(record, dict) or "key" not in record:
+                    continue
+                self._entries[record["key"]] = record
+                self._records_on_disk += 1
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fp:
+            fp.write(json.dumps(record, sort_keys=True) + "\n")
+        self._records_on_disk += 1
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, fingerprint: str) -> Any | None:
+        """The cached result for ``key``, or ``None``.
+
+        A stored entry whose fingerprint differs from ``fingerprint``
+        is stale — the implementing source or parameters changed — and
+        counts as a miss.
+        """
+        record = self._entries.get(key)
+        if record is not None and record.get("fingerprint") == fingerprint:
+            self.hits += 1
+            return record["result"]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, fingerprint: str, result: Any) -> None:
+        """Store a JSON-serializable ``result`` under ``key``."""
+        record = {"key": key, "fingerprint": fingerprint, "result": result}
+        self._entries[key] = record
+        self._append(record)
+        if self._records_on_disk > self.compact_factor * max(
+            len(self._entries), 1
+        ):
+            self.compact()
+
+    def __contains__(self, key: str) -> bool:
+        """Membership by key alone (fingerprint not checked)."""
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters and entry count for reports and CI gates."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+    def compact(self) -> int:
+        """Rewrite the file with live entries only; returns the count."""
+        if not self._entries:
+            if self.path.exists():
+                self.path.unlink()
+            self._records_on_disk = 0
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with tmp.open("w", encoding="utf-8") as fp:
+            for key in sorted(self._entries):
+                fp.write(json.dumps(self._entries[key], sort_keys=True) + "\n")
+        tmp.replace(self.path)
+        self._records_on_disk = len(self._entries)
+        return self._records_on_disk
+
+    def clear(self) -> None:
+        """Drop every entry, in memory and on disk."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self._records_on_disk = 0
+        if self.path.exists():
+            self.path.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProofCache({str(self.path)!r}, {len(self._entries)} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )

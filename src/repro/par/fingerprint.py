@@ -1,0 +1,231 @@
+"""Content-hash fingerprints of work units.
+
+A cached result is only reusable while the *code that produced it* is
+unchanged.  :func:`callable_fingerprint` walks a callable the way an
+incremental build system walks a dependency graph: it hashes the
+callable's own source (via :func:`inspect.getsource`), then recurses
+into everything the result could depend on —
+
+* **closure cells** — a lemma's ``lambda d: unstuff(stuff(d, rule),
+  rule) == d`` captures ``rule``; change the rule and the fingerprint
+  changes;
+* **referenced globals** — the same lambda *also* calls ``stuff`` and
+  ``unstuff`` through module globals; editing either body changes the
+  fingerprint even though the lambda text is untouched;
+* **default arguments** — a ``samples=500, seed=0`` tactic default is
+  part of what was proved.
+
+Recursion is bounded to functions and classes defined under a root
+package (``repro`` by default): the standard library and third-party
+code are treated as part of the interpreter, exactly like a compiler
+version in a build cache.  Data values contribute their ``repr``, so
+anything with a stable, value-like ``repr`` (ints, strings, ``Bits``,
+frozen dataclasses like ``StuffingRule``) keys correctly.
+
+The hash is order-deterministic: walks follow definition order
+(closure cell order, ``co_names`` order), never set/dict iteration of
+unordered inputs, so the same code yields the same fingerprint across
+processes and runs regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import types
+from typing import Any
+
+#: Only objects defined under this package prefix are walked; everything
+#: else contributes its repr (data) or qualified name (foreign code).
+DEFAULT_ROOT = "repro"
+
+
+def _module_of(obj: Any) -> str:
+    return getattr(obj, "__module__", None) or ""
+
+
+def _in_root(obj: Any, root: str) -> bool:
+    module = _module_of(obj)
+    return module == root or module.startswith(root + ".")
+
+
+#: Memo for :func:`_source_of`, keyed by code object (functions) or the
+#: class itself.  ``inspect.getsource`` re-tokenizes its file on every
+#: call, which would dominate warm-cache runs; a code object is born
+#: from exactly one source text, so the memo can never go stale.
+_SOURCE_CACHE: dict[Any, str] = {}
+
+
+def _source_of(fn: Any) -> str:
+    """Source text of a function/class, falling back to bytecode."""
+    key = getattr(fn, "__code__", fn)
+    try:
+        return _SOURCE_CACHE[key]
+    except (KeyError, TypeError):
+        pass
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):
+        code = getattr(fn, "__code__", None)
+        source = code.co_code.hex() if code is not None else repr(fn)
+    try:
+        _SOURCE_CACHE[key] = source
+    except TypeError:
+        pass  # unhashable key: skip the memo
+    return source
+
+
+def _walk(obj: Any, root: str, seen: set[int], parts: list[str]) -> None:
+    """Append hashable description lines for ``obj`` to ``parts``."""
+    if id(obj) in seen:
+        return
+    seen.add(id(obj))
+
+    if isinstance(obj, functools.partial):
+        parts.append("partial:")
+        _walk(obj.func, root, seen, parts)
+        for arg in obj.args:
+            _walk_value(arg, root, seen, parts)
+        for key in sorted(obj.keywords):
+            parts.append(f"kw:{key}")
+            _walk_value(obj.keywords[key], root, seen, parts)
+        return
+
+    if inspect.ismethod(obj):
+        _walk(obj.__func__, root, seen, parts)
+        _walk_value(obj.__self__, root, seen, parts)
+        return
+
+    if isinstance(obj, types.FunctionType):
+        parts.append(f"fn:{_module_of(obj)}.{obj.__qualname__}")
+        parts.append(_source_of(obj))
+        for cell in obj.__closure__ or ():
+            try:
+                value = cell.cell_contents
+            except ValueError:  # empty cell (still being defined)
+                parts.append("cell:<empty>")
+                continue
+            _walk_value(value, root, seen, parts)
+        for default in obj.__defaults__ or ():
+            _walk_value(default, root, seen, parts)
+        code = obj.__code__
+        for name in code.co_names:
+            value = obj.__globals__.get(name)
+            if isinstance(value, (types.FunctionType, type)) and _in_root(
+                value, root
+            ):
+                _walk(value, root, seen, parts)
+        return
+
+    if isinstance(obj, type):
+        if _in_root(obj, root):
+            parts.append(f"cls:{_module_of(obj)}.{obj.__qualname__}")
+            parts.append(_source_of(obj))
+        else:
+            parts.append(f"foreign-cls:{_module_of(obj)}.{obj.__qualname__}")
+        return
+
+    _walk_value(obj, root, seen, parts)
+
+
+def _walk_value(value: Any, root: str, seen: set[int], parts: list[str]) -> None:
+    """A non-callable dependency, described without memory addresses.
+
+    Code objects recurse through :func:`_walk`; containers are walked
+    structurally (their repr could embed function addresses); instances
+    of root-package classes contribute their class source plus either
+    their custom ``repr`` or, when they only have the address-bearing
+    default ``repr``, their attribute dict walked recursively.
+    """
+    if isinstance(
+        value, (types.FunctionType, types.MethodType, functools.partial, type)
+    ):
+        _walk(value, root, seen, parts)
+        return
+    if isinstance(value, (tuple, list)):
+        parts.append(f"seq:{type(value).__name__}:{len(value)}")
+        for item in value:
+            _walk_value(item, root, seen, parts)
+        return
+    if isinstance(value, dict):
+        parts.append(f"map:{len(value)}")
+        for key in sorted(value, key=repr):
+            parts.append(f"key:{key!r}")
+            _walk_value(value[key], root, seen, parts)
+        return
+    if isinstance(value, (set, frozenset)):
+        parts.append(f"set:{len(value)}")
+        for item in sorted(value, key=repr):
+            _walk_value(item, root, seen, parts)
+        return
+    cls = type(value)
+    if _in_root(cls, root):
+        if id(value) in seen:
+            return
+        seen.add(id(value))
+        _walk(cls, root, seen, parts)
+        if cls.__repr__ is object.__repr__:
+            state = getattr(value, "__dict__", None)
+            if state is None:
+                slots = getattr(cls, "__slots__", ())
+                state = {
+                    name: getattr(value, name)
+                    for name in slots
+                    if hasattr(value, name)
+                }
+            parts.append(f"obj:{_module_of(cls)}.{cls.__qualname__}")
+            for key in sorted(state):
+                parts.append(f"attr:{key}")
+                _walk_value(state[key], root, seen, parts)
+        else:
+            parts.append(f"val:{value!r}")
+        return
+    if callable(value):
+        # Builtin functions/methods repr with an address; name them.
+        name = getattr(value, "__qualname__", type(value).__qualname__)
+        parts.append(f"callable:{_module_of(value)}.{name}")
+        return
+    parts.append(f"val:{value!r}")
+
+
+def callable_fingerprint(
+    fn: Any, *extra: Any, root: str = DEFAULT_ROOT
+) -> str:
+    """Hex digest over ``fn``'s transitive source and bound values.
+
+    Parameters
+    ----------
+    fn:
+        The callable (function, lambda, method, partial, or class) whose
+        implementing source — including closures, root-package globals
+        it calls, and defaults — determines the fingerprint.
+    extra:
+        Additional parameters bound into the work unit (seeds, bounds);
+        each is walked like a closure value.
+    root:
+        Package prefix inside which code is walked recursively.
+    """
+    parts: list[str] = []
+    seen: set[int] = set()
+    _walk(fn, root, seen, parts)
+    for value in extra:
+        _walk_value(value, root, seen, parts)
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8", "backslashreplace"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def value_fingerprint(*values: Any, root: str = DEFAULT_ROOT) -> str:
+    """Hex digest over plain values (each walked like a closure value)."""
+    parts: list[str] = []
+    seen: set[int] = set()
+    for value in values:
+        _walk_value(value, root, seen, parts)
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8", "backslashreplace"))
+        digest.update(b"\x00")
+    return digest.hexdigest()

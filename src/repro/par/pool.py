@@ -1,0 +1,134 @@
+"""Deterministic process-pool execution over forked workers.
+
+The heavy workloads this engine fans out — lemma proofs, stuffing-rule
+decisions, fault-campaign trials — are *closures over unpicklable
+state*: a :class:`~repro.verify.lemma.Lemma` captures lambdas, a
+scenario trial captures a scenario object holding callables.  Sending
+such work through the usual ``ProcessPoolExecutor`` pickling channel is
+impossible, so :class:`ForkPool` relies on address-space inheritance
+instead: the work function is parked in a module global *before* the
+workers are forked, each forked child inherits it, and only the
+per-item arguments and results cross the pipe (both must be picklable,
+which strings, seeds, and result dataclasses are).
+
+Determinism contract: :meth:`ForkPool.map` returns results in **item
+order**, regardless of which worker finished first, and every work
+function runs with exactly the state it closed over at fork time —
+seeded RNG streams included.  A parallel run is therefore
+bit-identical to a serial run of the same items, which the campaign
+and proof determinism tests assert literally.
+
+Where ``fork`` is unavailable (non-POSIX platforms) the pool degrades
+to in-process serial execution — same results, no speedup — so callers
+never need a platform branch.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from ..core.errors import ConfigurationError
+
+#: Work function inherited by forked workers.  One ForkPool is active
+#: per process at a time (guarded in __enter__); workers are forked
+#: after this is set and never observe a different value.
+_INHERITED_FN: Callable[[Any], Any] | None = None
+
+
+def _call_inherited(item: Any) -> Any:
+    """Run one work item through the fork-inherited function (worker side)."""
+    if _INHERITED_FN is None:
+        raise ConfigurationError(
+            "worker has no inherited work function; "
+            "ForkPool must be entered before submitting"
+        )
+    return _INHERITED_FN(item)
+
+
+def effective_jobs(jobs: int | None) -> int:
+    """Resolve a ``--jobs`` value: ``None``/1 serial, 0 = all CPUs.
+
+    Returns 1 (serial) when forked workers are unsupported on this
+    platform, so callers can pass user input straight through.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs > 1 and not _fork_available():
+        return 1
+    return jobs
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ForkPool:
+    """A pool of forked workers sharing one in-memory work function.
+
+    Use as a context manager; :meth:`map` may be called repeatedly
+    (wave-by-wave DAG scheduling reuses the same workers)::
+
+        with ForkPool(lambda name: library.lemma(name).prove(), jobs=4) as pool:
+            results = pool.map(names)       # in `names` order
+
+    With ``jobs <= 1`` no processes are created and ``map`` runs the
+    function inline — the degenerate pool is the serial baseline.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], jobs: int | None = None):
+        """A pool running ``fn`` over items on ``jobs`` forked workers."""
+        self.fn = fn
+        self.jobs = effective_jobs(jobs)
+        self._executor: ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> "ForkPool":
+        global _INHERITED_FN
+        if self.jobs > 1:
+            if _INHERITED_FN is not None:
+                raise ConfigurationError(
+                    "nested ForkPools are not supported: workers would "
+                    "inherit the wrong work function"
+                )
+            import multiprocessing
+
+            _INHERITED_FN = self.fn
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _INHERITED_FN
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            _INHERITED_FN = None
+
+    def map(self, items: Iterable[Any]) -> list[Any]:
+        """Apply the work function to every item; results in item order.
+
+        A worker exception propagates to the caller (re-raised from the
+        future), after letting the remaining items finish.
+        """
+        work: Sequence[Any] = list(items)
+        if self._executor is None:
+            return [self.fn(item) for item in work]
+        futures = [self._executor.submit(_call_inherited, item) for item in work]
+        return [future.result() for future in futures]
+
+
+def fork_map(
+    fn: Callable[[Any], Any], items: Iterable[Any], jobs: int | None = None
+) -> list[Any]:
+    """One-shot :class:`ForkPool`: map ``fn`` over ``items`` deterministically."""
+    with ForkPool(fn, jobs=jobs) as pool:
+        return pool.map(items)

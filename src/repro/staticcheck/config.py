@@ -15,7 +15,10 @@ from dataclasses import dataclass, field
 from ..core.litmus import DEFAULT_MAX_INTERFACE_WIDTH
 
 #: The declared layer order of the repository, bottom-up: a module in
-#: tier *t* may only import from tiers <= *t*.  The simulator substrate,
+#: tier *t* may only import from tiers <= *t*.  ``par`` (parallel
+#: execution + proof caching) is pure infrastructure like ``core``:
+#: it knows nothing about protocols, so every layer may fan work out
+#: through it.  The simulator substrate,
 #: verifier, and analyses sit together at the top — they orchestrate
 #: protocol stacks and may therefore see everything below them.
 #: Observability (``obs``) sits above even those, *outside* the protocol
@@ -29,6 +32,7 @@ from ..core.litmus import DEFAULT_MAX_INTERFACE_WIDTH
 #: are ``TRANSPARENT``, exempting them from the composition-order rule.
 DEFAULT_LAYERS: dict[str, int] = {
     "core": 0,
+    "par": 0,
     "phys": 1,
     "datalink": 2,
     "network": 3,

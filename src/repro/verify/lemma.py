@@ -31,6 +31,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 from ..core.errors import VerificationError
+from ..par import ProofCache, callable_fingerprint
+
+#: The batch proof runner, injected by :mod:`repro.verify` at import
+#: time (dependency inversion: :mod:`repro.verify.runner` imports this
+#: module, so this module must not import it back — the static
+#: import-cycle check enforces that).  ``prove_all(parallel=/cache=)``
+#: delegates through this hook.
+_prove_batch: Callable[..., dict[str, "LibraryReport"]] | None = None
 
 
 @dataclass
@@ -45,7 +53,29 @@ class ProofResult:
     elapsed: float = 0.0
 
     def __bool__(self) -> bool:
+        """Truthiness is the verdict: ``bool(result)`` is ``proved``."""
         return self.proved
+
+    def as_dict(self) -> dict[str, Any]:
+        """Canonical JSON-able form — everything except wall time.
+
+        Wall time is the one field that differs between two runs of the
+        same proof, so leaving it out makes reports byte-comparable
+        across serial, parallel, and cached runs.  Counterexample
+        elements are rendered with ``repr`` (case tuples may hold
+        non-JSON types like :class:`~repro.core.bits.Bits`).
+        """
+        return {
+            "lemma": self.lemma,
+            "proved": self.proved,
+            "cases_checked": self.cases_checked,
+            "counterexample": (
+                None
+                if self.counterexample is None
+                else [repr(item) for item in self.counterexample]
+            ),
+            "detail": self.detail,
+        }
 
 
 CaseSource = Callable[[], Iterable[tuple]]
@@ -85,6 +115,7 @@ class Lemma:
         sublayer: str,
         depends_on: Iterable[str] = (),
     ):
+        """See the class docstring for the parameter meanings."""
         self.name = name
         self.statement = statement
         self.prop = prop
@@ -94,7 +125,20 @@ class Lemma:
 
     @property
     def crosses_sublayers(self) -> bool:
+        """True when the lemma spans an interface (``"stuffing/flags"``)."""
         return "/" in self.sublayer
+
+    def fingerprint(self) -> str:
+        """Content hash of everything this proof's outcome depends on.
+
+        Covers the property and case source transitively — their source
+        text, closed-over values (rules, automata), defaults (sample
+        counts, seeds), and any ``repro``-package code they call through
+        module globals.  Two lemmas with the same fingerprint would
+        produce the same :class:`ProofResult`, which is what lets
+        :class:`~repro.par.ProofCache` skip re-proving unchanged lemmas.
+        """
+        return callable_fingerprint(self.prop, self.cases)
 
     def prove(self) -> ProofResult:
         """Check the property over every case; stop at the first failure."""
@@ -130,7 +174,10 @@ def exhaustive(*domains: Callable[[], Iterable[Any]]) -> CaseSource:
     """Cartesian product of fully-enumerated domains."""
 
     def source() -> Iterator[tuple]:
+        """Enumerate the full cartesian product, leftmost domain slowest."""
+
         def recurse(prefix: tuple, remaining: tuple) -> Iterator[tuple]:
+            """Extend ``prefix`` with every value of each remaining domain."""
             if not remaining:
                 yield prefix
                 return
@@ -151,6 +198,7 @@ def sampled(
     """Seeded random cases for domains too large to enumerate."""
 
     def source() -> Iterator[tuple]:
+        """Yield ``samples`` cases from a freshly-seeded generator."""
         rng = random.Random(seed)
         for _ in range(samples):
             yield generator(rng)
@@ -161,29 +209,54 @@ def sampled(
 # ----------------------------------------------------------------------
 @dataclass
 class LibraryReport:
-    """Aggregate result of proving a lemma library."""
+    """Aggregate result of proving a lemma library.
+
+    ``results`` are kept sorted by lemma name (see :meth:`sort`) so a
+    report renders identically no matter what order the proofs finished
+    in — serial, parallel, or partially cached.  ``order`` preserves
+    the dependency-respecting order the proofs were *scheduled* in.
+    """
 
     results: list[ProofResult] = field(default_factory=list)
     order: list[str] = field(default_factory=list)
 
     @property
     def proved(self) -> bool:
+        """True when every checked lemma held."""
         return all(r.proved for r in self.results)
 
     @property
     def total_cases(self) -> int:
+        """Total cases checked across all lemmas."""
         return sum(r.cases_checked for r in self.results)
 
     def failures(self) -> list[ProofResult]:
+        """The results that did not hold, sorted by lemma name."""
         return [r for r in self.results if not r.proved]
 
     def result(self, name: str) -> ProofResult:
+        """The result for lemma ``name`` (raises ``KeyError`` if absent)."""
         for r in self.results:
             if r.lemma == name:
                 return r
         raise KeyError(name)
 
+    def sort(self) -> "LibraryReport":
+        """Sort ``results`` by lemma name, in place; returns self."""
+        self.results.sort(key=lambda r: r.lemma)
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        """Canonical JSON-able form (no wall time; see ProofResult.as_dict)."""
+        return {
+            "proved": self.proved,
+            "total_cases": self.total_cases,
+            "order": list(self.order),
+            "results": [r.as_dict() for r in self.results],
+        }
+
     def summary(self) -> str:
+        """Human-readable one-line-per-lemma report."""
         lines = [
             f"{len(self.results)} lemmas, {self.total_cases} cases, "
             f"{'ALL PROVED' if self.proved else 'FAILURES PRESENT'}"
@@ -195,13 +268,23 @@ class LibraryReport:
 
 
 class LemmaLibrary:
-    """An ordered collection of lemmas with dependency tracking."""
+    """An ordered collection of lemmas with dependency tracking.
+
+    Mirrors the paper's Coq artifact organisation: lemmas are added in
+    dependency order (``add`` rejects unknown dependencies, so insertion
+    order is always topological), proved via :meth:`prove_all` — serially,
+    in parallel waves, or against a :class:`~repro.par.ProofCache` —
+    and summarised by the modularity metrics of the paper's lesson 1
+    (:meth:`modularity_report`).
+    """
 
     def __init__(self, name: str):
+        """An empty library named ``name``."""
         self.name = name
         self._lemmas: dict[str, Lemma] = {}
 
     def add(self, lemma: Lemma) -> Lemma:
+        """Register ``lemma``; its dependencies must already be present."""
         if lemma.name in self._lemmas:
             raise VerificationError(f"duplicate lemma {lemma.name!r}")
         for dep in lemma.depends_on:
@@ -214,15 +297,19 @@ class LemmaLibrary:
         return lemma
 
     def __len__(self) -> int:
+        """Number of lemmas in the library."""
         return len(self._lemmas)
 
     def __contains__(self, name: str) -> bool:
+        """True when a lemma named ``name`` is registered."""
         return name in self._lemmas
 
     def lemma(self, name: str) -> Lemma:
+        """The lemma named ``name`` (raises ``KeyError`` if absent)."""
         return self._lemmas[name]
 
     def lemmas(self) -> list[Lemma]:
+        """All lemmas, in insertion (= topological) order."""
         return list(self._lemmas.values())
 
     # ------------------------------------------------------------------
@@ -231,19 +318,73 @@ class LemmaLibrary:
         topological because ``add`` requires dependencies to exist)."""
         return list(self._lemmas)
 
-    def prove_all(self, stop_on_failure: bool = False) -> LibraryReport:
+    def proof_waves(self) -> list[list[str]]:
+        """Partition lemmas into dependency waves for parallel proving.
+
+        A lemma's *level* is 1 + the maximum level of its dependencies
+        (0 for lemmas with none).  All lemmas in one wave are mutually
+        independent, so a pool may prove a whole wave concurrently;
+        within a wave, insertion order is preserved.
+        """
+        levels: dict[str, int] = {}
+        for name, lemma in self._lemmas.items():
+            levels[name] = 1 + max(
+                (levels[dep] for dep in lemma.depends_on), default=-1
+            )
+        waves: list[list[str]] = [[] for _ in range(max(levels.values(), default=-1) + 1)]
+        for name in self._lemmas:
+            waves[levels[name]].append(name)
+        return waves
+
+    def prove_all(
+        self,
+        stop_on_failure: bool = False,
+        parallel: int | None = None,
+        cache: "ProofCache | None" = None,
+    ) -> LibraryReport:
+        """Prove every lemma in dependency order.
+
+        Parameters
+        ----------
+        stop_on_failure:
+            Stop scheduling further proofs once a lemma fails (with
+            ``parallel``, the already-running wave still completes).
+        parallel:
+            Number of worker processes (``None``/1 serial, 0 = all
+            CPUs); waves of independent lemmas are proved concurrently
+            through :class:`~repro.par.ForkPool`.
+        cache:
+            A :class:`~repro.par.ProofCache`; lemmas whose fingerprint
+            matches a cached *proved* result are skipped, failures are
+            always re-proved.
+
+        Results in the returned report are sorted by lemma name, so the
+        report is identical whichever execution strategy ran it.
+        """
+        if parallel is not None or cache is not None:
+            if _prove_batch is None:
+                raise VerificationError(
+                    "no batch runner installed; import repro.verify first"
+                )
+            return _prove_batch(
+                [self],
+                jobs=parallel,
+                cache=cache,
+                stop_on_failure=stop_on_failure,
+            )[self.name]
         report = LibraryReport(order=self.topological_order())
         for name in report.order:
             result = self._lemmas[name].prove()
             report.results.append(result)
             if stop_on_failure and not result.proved:
                 break
-        return report
+        return report.sort()
 
     # ------------------------------------------------------------------
     # Modularity metrics (the paper's lesson 1)
     # ------------------------------------------------------------------
     def lemmas_per_sublayer(self) -> dict[str, int]:
+        """Lemma counts keyed by the sublayer (or interface) they reason about."""
         counts: dict[str, int] = {}
         for lemma in self._lemmas.values():
             counts[lemma.sublayer] = counts.get(lemma.sublayer, 0) + 1
@@ -265,6 +406,7 @@ class LemmaLibrary:
         return count
 
     def modularity_report(self) -> dict[str, Any]:
+        """The paper's lesson-1 metrics: how modular is this proof library?"""
         per = self.lemmas_per_sublayer()
         cross = self.cross_sublayer_lemmas()
         return {

@@ -1,0 +1,167 @@
+"""Batch proof runner: many libraries, one worker pool, one cache.
+
+A single library's speedup is capped by its dependency critical path —
+the E2 framing library spends most of its wall time in one long
+``stream_back_to_back`` chain.  Proving *several* rule libraries at
+once (the C9 benchmark proves four) keeps every worker busy because
+independent libraries' waves interleave freely: the global wave *k*
+holds every library's level-*k* lemmas, and all of those are mutually
+independent by construction.
+
+Workers are forked once, before the first wave, and inherit all the
+libraries by address-space inheritance (lemma closures are not
+picklable); only ``(library, lemma)`` name pairs and
+:class:`~repro.verify.lemma.ProofResult` values cross the pipe.
+
+The cache (when given) is consulted before scheduling: a lemma whose
+fingerprint matches a cached *proved* entry is reconstructed without
+running.  Failures are never cached — a failing lemma is always
+re-proved so its counterexample reflects the current code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.errors import VerificationError
+from ..par import ForkPool, ProofCache
+from .lemma import LemmaLibrary, LibraryReport, ProofResult
+
+#: Libraries inherited by forked workers for the current run.
+_LIBRARIES: dict[str, LemmaLibrary] = {}
+
+
+def _prove_one(item: tuple[str, str]) -> ProofResult:
+    """Worker-side: prove lemma ``item = (library_name, lemma_name)``."""
+    library_name, lemma_name = item
+    return _LIBRARIES[library_name].lemma(lemma_name).prove()
+
+
+def _cache_key(library: LemmaLibrary, lemma_name: str) -> str:
+    return f"lemma:{library.name}:{lemma_name}"
+
+
+def prove_libraries(
+    libraries: Iterable[LemmaLibrary],
+    jobs: int | None = None,
+    cache: ProofCache | None = None,
+    stop_on_failure: bool = False,
+) -> dict[str, LibraryReport]:
+    """Prove every lemma of every library; returns reports keyed by name.
+
+    Lemmas are scheduled in global dependency waves — wave *k* pools the
+    level-*k* lemmas of **all** libraries — through one
+    :class:`~repro.par.ForkPool`, so independent libraries' proofs
+    interleave and the speedup is not capped by any single library's
+    critical path.
+
+    Parameters
+    ----------
+    libraries:
+        The lemma libraries to prove; names must be unique.
+    jobs:
+        Worker processes (``None``/1 serial, 0 = all CPUs).
+    cache:
+        Optional :class:`~repro.par.ProofCache`.  Only *proved* results
+        are stored; a fingerprint mismatch (edited lemma) is a miss.
+    stop_on_failure:
+        Stop scheduling new waves after a wave containing a failure;
+        serially (``jobs <= 1``) the stop is immediate, mid-wave,
+        matching ``LemmaLibrary.prove_all(stop_on_failure=True)``.
+
+    Reports' ``results`` are sorted by lemma name, so the output is
+    byte-identical across serial, parallel, and cached runs.
+    """
+    batch: list[LemmaLibrary] = list(libraries)
+    by_name: dict[str, LemmaLibrary] = {}
+    for library in batch:
+        if library.name in by_name:
+            raise VerificationError(
+                f"duplicate library name {library.name!r} in batch"
+            )
+        by_name[library.name] = library
+
+    reports = {
+        library.name: LibraryReport(order=library.topological_order())
+        for library in batch
+    }
+
+    # Global waves: wave k = concatenation of every library's wave k.
+    per_library_waves = {name: lib.proof_waves() for name, lib in by_name.items()}
+    depth = max((len(w) for w in per_library_waves.values()), default=0)
+    waves: list[list[tuple[str, str]]] = []
+    for level in range(depth):
+        wave = [
+            (name, lemma_name)
+            for name, lib_waves in per_library_waves.items()
+            if level < len(lib_waves)
+            for lemma_name in lib_waves[level]
+        ]
+        waves.append(wave)
+
+    _LIBRARIES.clear()
+    _LIBRARIES.update(by_name)
+    failed = False
+    try:
+        with ForkPool(_prove_one, jobs=jobs) as pool:
+            for wave in waves:
+                if failed and stop_on_failure:
+                    break
+                pending: list[tuple[str, str]] = []
+                for library_name, lemma_name in wave:
+                    library = by_name[library_name]
+                    hit = None
+                    if cache is not None:
+                        hit = cache.get(
+                            _cache_key(library, lemma_name),
+                            library.lemma(lemma_name).fingerprint(),
+                        )
+                    if hit is not None:
+                        reports[library_name].results.append(
+                            ProofResult(
+                                lemma=lemma_name,
+                                proved=True,
+                                cases_checked=hit["cases_checked"],
+                            )
+                        )
+                    else:
+                        pending.append((library_name, lemma_name))
+
+                if pool.jobs <= 1 and stop_on_failure:
+                    # Serial stop semantics: halt mid-wave at the first
+                    # failure, exactly like the plain prove_all loop.
+                    for item in pending:
+                        result = _prove_one(item)
+                        _record(reports, cache, by_name, item, result)
+                        if not result.proved:
+                            failed = True
+                            break
+                else:
+                    for item, result in zip(pending, pool.map(pending)):
+                        _record(reports, cache, by_name, item, result)
+                        if not result.proved:
+                            failed = True
+    finally:
+        _LIBRARIES.clear()
+
+    for report in reports.values():
+        report.sort()
+    return reports
+
+
+def _record(
+    reports: dict[str, LibraryReport],
+    cache: ProofCache | None,
+    by_name: dict[str, LemmaLibrary],
+    item: tuple[str, str],
+    result: ProofResult,
+) -> None:
+    """Append ``result`` to its report and memoise it if it proved."""
+    library_name, lemma_name = item
+    reports[library_name].results.append(result)
+    if cache is not None and result.proved:
+        cache.put(
+            _cache_key(by_name[library_name], lemma_name),
+            by_name[library_name].lemma(lemma_name).fingerprint(),
+            {"proved": True, "cases_checked": result.cases_checked},
+        )

@@ -1,0 +1,82 @@
+"""Golden ``--help`` tests for the four CLIs, plus a docs-drift check.
+
+The golden files pin each CLI's flag surface; ``docs/CLI.md`` must
+mention every long flag the help output advertises.  Adding or
+renaming a flag therefore forces both the golden file and the docs to
+be updated in the same change.
+
+Regenerate a golden after an intentional change with::
+
+    COLUMNS=80 PYTHONPATH=src python -m repro.<cli> --help \
+        > tests/cli/golden/<cli>.txt
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+GOLDEN = Path(__file__).parent / "golden"
+CLIS = ["verify", "faults", "obs", "staticcheck"]
+
+
+def run_help(module, *subcommand):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["COLUMNS"] = "80"  # argparse wraps to the terminal width
+    proc = subprocess.run(
+        [sys.executable, "-m", f"repro.{module}", *subcommand, "--help"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.fixture(scope="module")
+def help_texts():
+    return {module: run_help(module) for module in CLIS}
+
+
+@pytest.mark.parametrize("module", CLIS)
+def test_help_matches_golden(module, help_texts):
+    golden = (GOLDEN / f"{module}.txt").read_text()
+    assert help_texts[module] == golden, (
+        f"--help for repro.{module} drifted from its golden; if the "
+        f"change is intentional, regenerate tests/cli/golden/{module}.txt "
+        f"and update docs/CLI.md"
+    )
+
+
+@pytest.mark.parametrize("module", CLIS)
+def test_docs_mention_every_flag(module, help_texts):
+    docs = (REPO / "docs" / "CLI.md").read_text()
+    text = help_texts[module]
+    if module == "obs":  # flags live on the subcommands
+        text += "".join(
+            run_help("obs", sub) for sub in ("summarize", "convert", "validate")
+        )
+    flags = set(re.findall(r"--[a-z][a-z-]*", text)) - {"--help"}
+    assert flags, f"no flags parsed from repro.{module} --help"
+    missing = sorted(flag for flag in flags if flag not in docs)
+    assert not missing, (
+        f"docs/CLI.md does not mention {missing} from repro.{module} --help"
+    )
+
+
+@pytest.mark.parametrize("module", CLIS)
+def test_docs_mention_every_cli(module):
+    docs = (REPO / "docs" / "CLI.md").read_text()
+    assert f"python -m repro.{module}" in docs
+
+
+def test_obs_subcommands_documented():
+    docs = (REPO / "docs" / "CLI.md").read_text()
+    for sub in ("summarize", "convert", "validate"):
+        assert sub in docs

@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro.verify`` CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.verify.__main__ import main, parse_rule
+
+FORKING = os.name == "posix"
+
+
+def run(tmp_path, name, *argv):
+    out = tmp_path / f"{name}.json"
+    status = main([*argv, "--out", str(out)])
+    return status, out.read_bytes()
+
+
+class TestVerifyCli:
+    def test_jobs4_output_byte_identical_to_jobs1(self, tmp_path):
+        if not FORKING:
+            pytest.skip("fork-only")
+        status1, serial = run(
+            tmp_path, "serial", "--max-len", "5", "--jobs", "1"
+        )
+        status4, parallel = run(
+            tmp_path, "parallel", "--max-len", "5", "--jobs", "4"
+        )
+        assert status1 == status4 == 0
+        assert serial == parallel
+
+    def test_report_shape(self, tmp_path):
+        status, raw = run(tmp_path, "shape", "--max-len", "5", "--rule", "hdlc")
+        report = json.loads(raw)
+        assert status == 0
+        assert report["proved"] is True
+        assert report["max_len"] == 5
+        assert len(report["libraries"]) == 1
+        (library,) = report["libraries"].values()
+        names = [result["lemma"] for result in library["results"]]
+        assert names == sorted(names)
+
+    def test_cache_stats_reported_and_warm_run_hits(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        args = (
+            "--max-len", "5", "--rule", "hdlc",
+            "--cache", "--cache-dir", str(cache_dir),
+        )
+        _, cold = run(tmp_path, "cold", *args)
+        _, warm = run(tmp_path, "warm", *args)
+        cold_stats = json.loads(cold)["cache"]
+        warm_stats = json.loads(warm)["cache"]
+        assert cold_stats["hits"] == 0
+        assert warm_stats["misses"] == 0
+        assert warm_stats["hits"] == warm_stats["entries"] > 0
+
+    def test_invalid_rule_fails(self, tmp_path):
+        # flag 0110 / trigger 11 / stuff 0 is a known-bad rule: the
+        # stuffed bit can complete a flag with following data.
+        status, raw = run(
+            tmp_path, "broken", "--max-len", "6", "--rule", "0110:11:0"
+        )
+        report = json.loads(raw)
+        assert status == 1
+        assert report["proved"] is False
+        failed = [
+            result
+            for library in report["libraries"].values()
+            for result in library["results"]
+            if not result["proved"]
+        ]
+        assert failed and all(
+            result["counterexample"] for result in failed
+        )
+
+
+class TestParseRule:
+    def test_named_rules(self):
+        assert parse_rule("hdlc").label().startswith("flag=01111110")
+        assert parse_rule("low-overhead").label().startswith("flag=00000010")
+
+    def test_triple(self):
+        rule = parse_rule("0110:11:0")
+        assert rule.label() == "flag=0110 trigger=11 stuff=0"
+
+    def test_garbage_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_rule("not-a-rule")

@@ -1,0 +1,51 @@
+"""Parallel/cached rule search: same rules as serial, cache round-trips."""
+
+import os
+
+import pytest
+
+from repro.datalink.framing.search import find_valid_rules, prefix_rule_space
+from repro.par import ProofCache
+
+FORKING = os.name == "posix"
+
+
+def labels(result):
+    return [rule.label() for rule in result.valid]
+
+
+class TestParallelSearch:
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_parallel_matches_serial(self):
+        serial = find_valid_rules(prefix_rule_space(flag_bits=5))
+        parallel = find_valid_rules(prefix_rule_space(flag_bits=5), jobs=2)
+        assert serial.candidates == parallel.candidates
+        assert labels(serial) == labels(parallel)
+
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_parallel_stream_semantics(self):
+        serial = find_valid_rules(prefix_rule_space(flag_bits=5), "stream")
+        parallel = find_valid_rules(
+            prefix_rule_space(flag_bits=5), "stream", jobs=2
+        )
+        assert labels(serial) == labels(parallel)
+
+
+class TestCachedSearch:
+    def test_warm_cache_decides_nothing(self, tmp_path):
+        cache = ProofCache(root=tmp_path, domain="search")
+        cold = find_valid_rules(prefix_rule_space(flag_bits=5), cache=cache)
+        assert cache.stats()["hits"] == 0
+        candidates = cache.stats()["entries"]
+        assert candidates == cold.candidates  # both verdicts cached
+        warm = find_valid_rules(prefix_rule_space(flag_bits=5), cache=cache)
+        assert labels(cold) == labels(warm)
+        assert cache.stats()["misses"] == candidates  # only the cold run
+        assert cache.stats()["hits"] == candidates
+
+    def test_semantics_have_separate_keys(self, tmp_path):
+        cache = ProofCache(root=tmp_path, domain="search")
+        find_valid_rules(prefix_rule_space(flag_bits=4), "frame", cache=cache)
+        hits_before = cache.hits
+        find_valid_rules(prefix_rule_space(flag_bits=4), "stream", cache=cache)
+        assert cache.hits == hits_before  # no cross-semantics reuse

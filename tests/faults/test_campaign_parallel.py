@@ -1,0 +1,58 @@
+"""Parallel/cached campaign determinism: report JSON identical to serial."""
+
+import json
+import os
+
+import pytest
+
+from repro.par import ProofCache
+from repro.faults.__main__ import run_campaign
+
+FORKING = os.name == "posix"
+
+
+def as_json(report):
+    return json.dumps(report, sort_keys=True)
+
+
+class TestCampaignDeterminism:
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_parallel_json_equals_serial_json(self):
+        serial = run_campaign("smoke", [0, 1])
+        parallel = run_campaign("smoke", [0, 1], jobs=2)
+        assert as_json(serial) == as_json(parallel)
+
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_jobs_count_does_not_matter(self):
+        reports = {
+            as_json(run_campaign("smoke", [0], jobs=jobs)) for jobs in (1, 2, 4)
+        }
+        assert len(reports) == 1
+
+    def test_metrics_aggregate_present(self):
+        report = run_campaign("smoke", [0])
+        assert report["ok"]
+        assert report["metrics"]["faults_injected"] > 0
+        assert report["metrics"]["counters"] > 0
+
+
+class TestCampaignCache:
+    def test_warm_cache_replays_identically(self, tmp_path):
+        cache = ProofCache(root=tmp_path, domain="trials")
+        cold = run_campaign("smoke", [0], cache=cache)
+        assert cache.stats()["hits"] == 0
+        trials = cache.stats()["entries"]
+        assert trials > 0
+        warm = run_campaign("smoke", [0], cache=cache)
+        assert as_json(cold) == as_json(warm)
+        assert cache.stats()["hits"] == trials
+        assert cache.stats()["misses"] == trials  # all from the cold run
+
+    def test_cache_and_jobs_compose(self, tmp_path):
+        if not FORKING:
+            pytest.skip("fork-only")
+        cache = ProofCache(root=tmp_path, domain="trials")
+        cold = run_campaign("smoke", [0], jobs=2, cache=cache)
+        warm = run_campaign("smoke", [0], jobs=2, cache=cache)
+        assert as_json(cold) == as_json(warm)
+        assert cache.stats()["hits"] == cache.stats()["entries"]

@@ -1,0 +1,102 @@
+"""Tests for per-worker telemetry merging (spans and metric snapshots)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_jsonl
+from repro.obs.export import load_jsonl_with_meta, spans_to_jsonl
+
+
+def span(sid, parent=None, actor="dm"):
+    return {
+        "sid": sid,
+        "parent": parent,
+        "stack": "dl",
+        "direction": "down",
+        "caller": "test",
+        "actor": actor,
+        "t0": 0.0,
+        "t1": 1.0,
+        "w0": 0.0,
+        "w1": 1.0,
+    }
+
+
+class TestMergeJsonl:
+    def test_sids_rebased_past_previous_inputs(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        spans_to_jsonl([span(0), span(1, parent=0)], a)
+        spans_to_jsonl([span(0), span(1, parent=0)], b)
+        out = tmp_path / "merged.jsonl"
+        assert merge_jsonl([a, b], out) == 4
+        merged, _ = load_jsonl_with_meta(out)
+        assert [s["sid"] for s in merged] == [0, 1, 2, 3]
+        # Relative structure survives: each file's child still points
+        # at its own root.
+        assert [s["parent"] for s in merged] == [None, 0, None, 2]
+
+    def test_dropped_counts_summed(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        spans_to_jsonl([span(0)], a, dropped=3)
+        spans_to_jsonl([span(0)], b, dropped=4)
+        out = tmp_path / "merged.jsonl"
+        merge_jsonl([a, b], out)
+        _, meta = load_jsonl_with_meta(out)
+        assert meta["dropped_events"] == 7
+
+    def test_merge_is_deterministic(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        spans_to_jsonl([span(0), span(1, parent=0)], a)
+        spans_to_jsonl([span(0)], b)
+        one = tmp_path / "one.jsonl"
+        two = tmp_path / "two.jsonl"
+        merge_jsonl([a, b], one)
+        merge_jsonl([a, b], two)
+        assert one.read_bytes() == two.read_bytes()
+
+
+class TestMergeSnapshot:
+    def test_counters_add_gauges_last_write_wins(self):
+        worker1, worker2 = MetricsRegistry(), MetricsRegistry()
+        worker1.inc("dl/hops", 3)
+        worker1.gauge("dl/cwnd", 10.0)
+        worker2.inc("dl/hops", 4)
+        worker2.gauge("dl/cwnd", 20.0)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker1.snapshot())
+        parent.merge_snapshot(worker2.snapshot())
+        assert parent.counter("dl/hops") == 7
+        assert parent.gauges["dl/cwnd"] == 20.0
+
+    def test_histograms_merge_like_one_stream(self):
+        whole, worker1, worker2 = (
+            MetricsRegistry(), MetricsRegistry(), MetricsRegistry(),
+        )
+        values = [1.0, 2.0, 4.0, 8.0, 16.0]
+        for value in values:
+            whole.observe("rtt", value)
+        for value in values[:2]:
+            worker1.observe("rtt", value)
+        for value in values[2:]:
+            worker2.observe("rtt", value)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker1.snapshot())
+        parent.merge_snapshot(worker2.snapshot())
+        direct = whole.histograms["rtt"]
+        merged = parent.histograms["rtt"]
+        assert merged.count == direct.count
+        assert merged.mean == pytest.approx(direct.mean)
+        assert merged.stddev == pytest.approx(direct.stddev)
+
+    def test_merge_same_snapshots_is_deterministic(self):
+        worker = MetricsRegistry()
+        worker.inc("n", 2)
+        worker.observe("h", 1.5)
+        snapshots = [worker.snapshot() for _ in range(2)]
+        one, two = MetricsRegistry(), MetricsRegistry()
+        for snapshot in snapshots:
+            one.merge_snapshot(snapshot)
+            two.merge_snapshot(snapshot)
+        assert one.snapshot() == two.snapshot()

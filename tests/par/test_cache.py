@@ -1,0 +1,65 @@
+"""Tests for the JSONL proof cache."""
+
+import json
+
+from repro.par import ProofCache
+
+
+class TestProofCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ProofCache(root=tmp_path)
+        assert cache.get("k", "fp") is None
+        cache.put("k", "fp", {"proved": True})
+        assert cache.get("k", "fp") == {"proved": True}
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_fingerprint_mismatch_is_miss(self, tmp_path):
+        cache = ProofCache(root=tmp_path)
+        cache.put("k", "old-fp", {"proved": True})
+        assert cache.get("k", "new-fp") is None
+        assert "k" in cache  # key still present, entry just stale
+
+    def test_persists_across_instances(self, tmp_path):
+        ProofCache(root=tmp_path).put("k", "fp", [1, 2])
+        reopened = ProofCache(root=tmp_path)
+        assert reopened.get("k", "fp") == [1, 2]
+
+    def test_domains_are_independent_files(self, tmp_path):
+        ProofCache(root=tmp_path, domain="proofs").put("k", "fp", 1)
+        ProofCache(root=tmp_path, domain="trials").put("k", "fp", 2)
+        assert (tmp_path / "proofs.jsonl").exists()
+        assert (tmp_path / "trials.jsonl").exists()
+        assert ProofCache(root=tmp_path, domain="proofs").get("k", "fp") == 1
+        assert ProofCache(root=tmp_path, domain="trials").get("k", "fp") == 2
+
+    def test_newest_record_wins(self, tmp_path):
+        cache = ProofCache(root=tmp_path)
+        cache.put("k", "fp", "old")
+        cache.put("k", "fp", "new")
+        assert ProofCache(root=tmp_path).get("k", "fp") == "new"
+
+    def test_corrupt_line_skipped(self, tmp_path):
+        cache = ProofCache(root=tmp_path)
+        cache.put("good", "fp", True)
+        with cache.path.open("a", encoding="utf-8") as fp:
+            fp.write('{"key": "torn", "fingerprint": "fp", "resu\n')
+            fp.write("not json at all\n")
+        reopened = ProofCache(root=tmp_path)
+        assert reopened.get("good", "fp") is True
+        assert len(reopened) == 1
+
+    def test_compaction_drops_superseded_records(self, tmp_path):
+        cache = ProofCache(root=tmp_path, compact_factor=3)
+        for round_ in range(10):
+            cache.put("k", "fp", round_)
+        lines = cache.path.read_text().strip().splitlines()
+        assert len(lines) < 10  # auto-compacted along the way
+        assert json.loads(lines[-1])["result"] == cache.get("k", "fp") == 9
+
+    def test_clear(self, tmp_path):
+        cache = ProofCache(root=tmp_path)
+        cache.put("k", "fp", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.path.exists()
+        assert cache.get("k", "fp") is None

@@ -1,0 +1,111 @@
+"""Tests for content-hash fingerprints of work units."""
+
+import importlib.util
+import linecache
+import subprocess
+import sys
+import textwrap
+
+from repro.core.bits import Bits
+from repro.datalink.framing.rules import HDLC_RULE, StuffingRule
+from repro.par import callable_fingerprint, value_fingerprint
+
+
+def rule(flag, trigger, stuff_bit):
+    return StuffingRule(
+        flag=Bits.from_string(flag),
+        trigger=Bits.from_string(trigger),
+        stuff_bit=stuff_bit,
+    )
+
+
+def _load_prop(path, body):
+    """Write and import a module whose ``prop`` has ``body`` as its source."""
+    path.write_text(
+        textwrap.dedent(
+            f"""
+            def prop(x):
+                return {body}
+            """
+        )
+    )
+    linecache.checkcache()
+    spec = importlib.util.spec_from_file_location("fpmod", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.prop
+
+
+class TestCallableFingerprint:
+    def test_stable_across_calls(self):
+        fn = lambda x: x + 1  # noqa: E731
+        assert callable_fingerprint(fn) == callable_fingerprint(fn)
+
+    def test_edited_body_changes_fingerprint(self, tmp_path):
+        path = tmp_path / "fpmod.py"
+        before = callable_fingerprint(_load_prop(path, "x >= 0"))
+        unchanged = callable_fingerprint(_load_prop(path, "x >= 0"))
+        after = callable_fingerprint(_load_prop(path, "x + 0 >= 0"))
+        assert before == unchanged
+        assert before != after
+
+    def test_closure_value_matters(self):
+        def make(rule):
+            return lambda data: (data, rule)
+
+        a = callable_fingerprint(make(HDLC_RULE))
+        b = callable_fingerprint(make(HDLC_RULE))
+        c = callable_fingerprint(make(rule("0110", "11", 0)))
+        assert a == b
+        assert a != c
+
+    def test_default_argument_matters(self):
+        def make(n):
+            def fn(x, samples=n):
+                return x < samples
+
+            return fn
+
+        assert callable_fingerprint(make(10)) != callable_fingerprint(make(20))
+
+    def test_extra_parameters_matter(self):
+        fn = lambda x: x  # noqa: E731
+        assert callable_fingerprint(fn, 9) != callable_fingerprint(fn, 10)
+
+    def test_stable_across_processes(self):
+        # A fingerprint over real repo code must not depend on memory
+        # addresses or PYTHONHASHSEED: recompute in a fresh interpreter.
+        script = (
+            "from repro.datalink.framing.rules import HDLC_RULE\n"
+            "from repro.datalink.framing.stuffing import stuff\n"
+            "from repro.par import callable_fingerprint\n"
+            "print(callable_fingerprint(stuff, HDLC_RULE))\n"
+        )
+        runs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            ).stdout.strip()
+            for seed in ("0", "424242")
+        }
+        from repro.datalink.framing.stuffing import stuff
+
+        runs.add(callable_fingerprint(stuff, HDLC_RULE))
+        assert len(runs) == 1
+
+
+class TestValueFingerprint:
+    def test_value_identity(self):
+        assert value_fingerprint(1, "a") == value_fingerprint(1, "a")
+        assert value_fingerprint(1, "a") != value_fingerprint(1, "b")
+
+    def test_containers_walked_structurally(self):
+        assert value_fingerprint([1, (2, 3)]) == value_fingerprint([1, (2, 3)])
+        assert value_fingerprint([1, (2, 3)]) != value_fingerprint([1, (2, 4)])
+
+    def test_rule_instances_key_by_content(self):
+        same = rule("01111110", "11111", 0)
+        assert value_fingerprint(HDLC_RULE) == value_fingerprint(same)

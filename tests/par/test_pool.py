@@ -1,0 +1,78 @@
+"""Tests for the fork-based deterministic process pool."""
+
+import os
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.par import ForkPool, effective_jobs, fork_map
+
+FORKING = os.name == "posix"
+
+
+def square(x):
+    return x * x
+
+
+def close_over(offset):
+    # Unpicklable work function (closure): the whole point of fork
+    # inheritance is that this still runs on workers.
+    return lambda x: x + offset
+
+
+class TestEffectiveJobs:
+    def test_none_and_one_are_serial(self):
+        assert effective_jobs(None) == 1
+        assert effective_jobs(1) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert effective_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            effective_jobs(-2)
+
+    def test_explicit_count_passes_through(self):
+        if FORKING:
+            assert effective_jobs(3) == 3
+
+
+class TestForkPool:
+    def test_serial_map_in_order(self):
+        with ForkPool(square, jobs=1) as pool:
+            assert pool.map(range(6)) == [0, 1, 4, 9, 16, 25]
+
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_parallel_map_in_item_order(self):
+        with ForkPool(square, jobs=2) as pool:
+            assert pool.map(range(20)) == [x * x for x in range(20)]
+
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_closure_work_function_inherited(self):
+        fn = close_over(100)
+        assert fork_map(fn, [1, 2, 3], jobs=2) == [101, 102, 103]
+
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_repeated_map_reuses_pool(self):
+        with ForkPool(square, jobs=2) as pool:
+            assert pool.map([2, 3]) == [4, 9]
+            assert pool.map([4]) == [16]
+
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_nested_pools_rejected(self):
+        with ForkPool(square, jobs=2):
+            with pytest.raises(ConfigurationError, match="nested"):
+                ForkPool(square, jobs=2).__enter__()
+
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_worker_exception_propagates(self):
+        def boom(x):
+            raise ValueError(f"bad item {x}")
+
+        with pytest.raises(ValueError, match="bad item"):
+            fork_map(boom, [1], jobs=2)
+
+    def test_parallel_equals_serial(self):
+        serial = fork_map(square, range(15), jobs=1)
+        parallel = fork_map(square, range(15), jobs=2)
+        assert serial == parallel

@@ -1,0 +1,62 @@
+"""Tests for parallel-merge support on RunningStats."""
+
+import random
+
+import pytest
+
+from repro.sim.stats import RunningStats
+
+
+def filled(values):
+    stats = RunningStats()
+    for value in values:
+        stats.add(value)
+    return stats
+
+
+class TestMerge:
+    def test_merge_equals_single_stream(self):
+        rng = random.Random(7)
+        values = [rng.gauss(10, 3) for _ in range(200)]
+        whole = filled(values)
+        merged = filled(values[:70]).merge(filled(values[70:]))
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.variance == pytest.approx(whole.variance)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+
+    def test_merge_into_empty_and_from_empty(self):
+        stats = filled([1.0, 2.0, 3.0])
+        assert RunningStats().merge(stats).as_dict() == stats.as_dict()
+        assert filled([1.0, 2.0, 3.0]).merge(RunningStats()).as_dict() == (
+            stats.as_dict()
+        )
+
+    def test_merge_returns_self(self):
+        stats = RunningStats()
+        assert stats.merge(filled([5.0])) is stats
+
+
+class TestFromDict:
+    def test_roundtrip_preserves_moments(self):
+        stats = filled([3.0, 5.0, 9.0, 1.5])
+        rebuilt = RunningStats.from_dict(stats.as_dict())
+        assert rebuilt.count == stats.count
+        assert rebuilt.mean == pytest.approx(stats.mean)
+        assert rebuilt.stddev == pytest.approx(stats.stddev)
+
+    def test_roundtrip_then_merge_matches_direct_merge(self):
+        left, right = filled([1.0, 2.0, 4.0]), filled([8.0, 16.0])
+        direct = filled([1.0, 2.0, 4.0]).merge(filled([8.0, 16.0]))
+        via_snapshot = RunningStats.from_dict(left.as_dict()).merge(
+            RunningStats.from_dict(right.as_dict())
+        )
+        assert via_snapshot.count == direct.count
+        assert via_snapshot.mean == pytest.approx(direct.mean)
+        assert via_snapshot.stddev == pytest.approx(direct.stddev)
+
+    def test_empty_roundtrip(self):
+        rebuilt = RunningStats.from_dict(RunningStats().as_dict())
+        assert rebuilt.count == 0
+        assert rebuilt.mean == 0.0

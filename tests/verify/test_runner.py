@@ -1,0 +1,150 @@
+"""Tests for the parallel/cached batch proof runner and report ordering."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.par import ProofCache
+from repro.verify import prove_libraries
+from repro.verify.lemma import (
+    Lemma,
+    LemmaLibrary,
+    LibraryReport,
+    ProofResult,
+    exhaustive,
+)
+
+FORKING = os.name == "posix"
+
+
+def domain():
+    return lambda: range(6)
+
+
+def build_library(name="lib", body=lambda x: x * x >= 0):
+    """A small library with a dependency chain and unsorted insertion order."""
+    lib = LemmaLibrary(name)
+    lib.add(Lemma("zebra", "last alphabetically, first inserted",
+                  lambda x: x + 1 > x, exhaustive(domain()), sublayer="a"))
+    lib.add(Lemma("mid", "depends on zebra", body,
+                  exhaustive(domain()), sublayer="a", depends_on=["zebra"]))
+    lib.add(Lemma("alpha", "depends on mid", lambda x: 2 * x == x + x,
+                  exhaustive(domain()), sublayer="b", depends_on=["mid"]))
+    return lib
+
+
+class TestReportOrdering:
+    def test_sort_orders_results_by_lemma_name(self):
+        report = LibraryReport(order=["zebra", "mid", "alpha"])
+        for name in ["zebra", "mid", "alpha"]:
+            report.results.append(
+                ProofResult(lemma=name, proved=True, cases_checked=1)
+            )
+        assert [r.lemma for r in report.sort().results] == [
+            "alpha", "mid", "zebra",
+        ]
+
+    def test_serial_prove_all_returns_sorted_results(self):
+        report = build_library().prove_all()
+        names = [r.lemma for r in report.results]
+        assert names == sorted(names) == ["alpha", "mid", "zebra"]
+        # `order` keeps the dependency-respecting proof order.
+        assert report.order == ["zebra", "mid", "alpha"]
+
+    def test_as_dict_is_json_stable(self):
+        one = json.dumps(build_library().prove_all().as_dict(), sort_keys=True)
+        two = json.dumps(build_library().prove_all().as_dict(), sort_keys=True)
+        assert one == two
+
+
+class TestProveLibraries:
+    def test_serial_batch_matches_prove_all(self):
+        batch = prove_libraries([build_library()])["lib"]
+        assert batch.as_dict() == build_library().prove_all().as_dict()
+
+    @pytest.mark.skipif(not FORKING, reason="fork-only")
+    def test_parallel_report_identical_to_serial(self):
+        serial = prove_libraries([build_library()])["lib"].as_dict()
+        parallel = prove_libraries([build_library()], jobs=2)["lib"].as_dict()
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+
+    def test_duplicate_library_names_rejected(self):
+        with pytest.raises(VerificationError, match="duplicate"):
+            prove_libraries([build_library(), build_library()])
+
+    def test_prove_all_delegates_to_runner(self):
+        report = build_library().prove_all(parallel=1)
+        assert report.proved and len(report.results) == 3
+
+    def test_stop_on_failure_parity(self):
+        def broken(x):
+            return x < 1  # fails on x == 1
+
+        serial = build_library(body=broken).prove_all(stop_on_failure=True)
+        batch = prove_libraries(
+            [build_library(body=broken)], stop_on_failure=True
+        )["lib"]
+        assert not serial.proved and not batch.proved
+        assert [r.lemma for r in serial.results] == [
+            r.lemma for r in batch.results
+        ]
+
+
+class TestCacheBehaviour:
+    def test_unchanged_library_hits_cache(self, tmp_path):
+        cache = ProofCache(root=tmp_path)
+        prove_libraries([build_library()], cache=cache)
+        assert cache.stats()["misses"] == 3
+        warm = ProofCache(root=tmp_path)
+        report = prove_libraries([build_library()], cache=warm)["lib"]
+        assert warm.stats() == {"hits": 3, "misses": 0, "entries": 3}
+        assert report.proved and report.total_cases > 0
+
+    def test_cached_report_identical_to_cold(self, tmp_path):
+        cache = ProofCache(root=tmp_path)
+        cold = prove_libraries([build_library()], cache=cache)["lib"].as_dict()
+        warm = prove_libraries([build_library()], cache=cache)["lib"].as_dict()
+        assert json.dumps(cold, sort_keys=True) == json.dumps(
+            warm, sort_keys=True
+        )
+
+    def test_edited_lemma_body_invalidates(self, tmp_path):
+        cache = ProofCache(root=tmp_path)
+        prove_libraries([build_library(body=lambda x: x * x >= 0)], cache=cache)
+        edited = build_library(body=lambda x: x * x >= 0 * x)
+        hits_before = cache.hits
+        report = prove_libraries([edited], cache=cache)["lib"]
+        assert report.proved
+        # zebra and alpha are unchanged (hits); mid was edited (miss).
+        assert cache.hits - hits_before == 2
+        assert cache.misses == 3 + 1
+
+    def test_failures_never_cached(self, tmp_path):
+        cache = ProofCache(root=tmp_path)
+
+        def broken(x):
+            return x < 5
+
+        for _ in range(2):
+            report = prove_libraries(
+                [build_library(body=broken)], cache=cache
+            )["lib"]
+            assert not report.proved
+        # mid missed both times; its red result was never stored.
+        assert cache.stats()["entries"] == 2
+        assert cache.misses >= 2
+
+    def test_prove_all_cache_requires_runner_hook(self, tmp_path):
+        from repro.verify import lemma as lemma_module
+
+        hook = lemma_module._prove_batch
+        try:
+            lemma_module._prove_batch = None
+            with pytest.raises(VerificationError, match="batch runner"):
+                build_library().prove_all(parallel=2)
+        finally:
+            lemma_module._prove_batch = hook
