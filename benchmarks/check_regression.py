@@ -54,6 +54,12 @@ WATCHED: dict[str, dict[str, str]] = {
         "warm_over_cold_x": "up",
         "speedup_jobs4_x": "down",
     },
+    # C10: cost of a warm-cache symbolic flow verification of the
+    # 64-node grid, as a fraction of the cold proof (up = regression;
+    # the hard <25% bound lives inside the benchmark itself).
+    "c10_flowscale": {
+        "warm_over_cold_x": "up",
+    },
 }
 
 #: Context shown alongside the gate (never gated: hardware-dependent).
@@ -62,6 +68,7 @@ REPORTED: dict[str, list[str]] = {
     "c7_hopcost": ["ns_per_hop_full", "ns_per_hop_off"],
     "c8_faultcost": ["ns_per_send_plain", "ns_per_send_noop"],
     "c9_parallel": ["serial_ms", "parallel_ms", "warm_ms", "cpus"],
+    "c10_flowscale": ["nodes", "wall_s"],
 }
 
 

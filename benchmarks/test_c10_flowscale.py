@@ -1,0 +1,109 @@
+"""C10 — symbolic flow analysis: scaling and the warm proof cache.
+
+The static data-plane gate only earns its place in CI if (a) analysis
+time grows gracefully with topology size and (b) re-verifying an
+unchanged forwarding plane is nearly free.  This benchmark analyzes
+square grids at 16, 36, and 64 nodes (the largest comfortably past the
+50-node mark), cold and then warm from the content-hash proof cache
+keyed by the FIB+topology fingerprint.
+
+Gated metric: ``warm_over_cold_x`` on the 64-node grid — a warm
+re-verification must cost under 25% of a cold proof (in practice it is
+one fingerprint plus one cache read, i.e. a few percent).  The cached
+report must also be byte-identical to the computed one.
+"""
+
+import json
+import time
+
+from _util import table, write_bench_json, write_result
+
+from repro.flow.examples import grid
+from repro.flow.properties import analyze
+from repro.par import ProofCache
+
+SIDES = [4, 6, 8]  # 16, 36, 64 nodes
+GATED_SIDE = 8
+
+
+def run_all(tmp_path):
+    """Analyze each grid cold then warm; returns per-size measurements."""
+    cache = ProofCache(root=tmp_path / "c10-cache", domain="flow")
+    sizes = []
+    for side in SIDES:
+        spec = grid(side)
+
+        start = time.perf_counter()
+        cold = analyze(spec, cache=cache)
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = analyze(spec, cache=cache)
+        warm_s = time.perf_counter() - start
+
+        assert cold.passed, f"grid{side}x{side} refuted a property"
+        assert json.dumps(cold.as_dict(), sort_keys=True) == json.dumps(
+            warm.as_dict(), sort_keys=True
+        ), "cached report diverged from the computed one"
+        sizes.append(
+            {
+                "side": side,
+                "nodes": len(spec.nodes),
+                "iterations": cold.stats["iterations"],
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "warm_over_cold": warm_s / cold_s,
+            }
+        )
+    stats = cache.stats()
+    assert stats["misses"] == len(SIDES) and stats["hits"] == len(SIDES)
+    return sizes
+
+
+def test_c10_flowscale(benchmark, tmp_path):
+    sizes = benchmark.pedantic(
+        lambda: run_all(tmp_path), rounds=1, iterations=1
+    )
+
+    rows = [
+        {
+            "topology": f"grid{m['side']}x{m['side']}",
+            "nodes": m["nodes"],
+            "fixpoint steps": m["iterations"],
+            "cold_ms": round(m["cold_s"] * 1e3, 1),
+            "warm_ms": round(m["warm_s"] * 1e3, 1),
+            "warm/cold": f"{m['warm_over_cold']:.1%}",
+        }
+        for m in sizes
+    ]
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        "four properties (no-escape, blackhole-freedom, loop-freedom, "
+        "isolation) proved per topology; warm runs replay the cached "
+        "verdict keyed by the FIB+topology fingerprint"
+    )
+    write_result("c10_flowscale", lines)
+
+    gated = next(m for m in sizes if m["side"] == GATED_SIDE)
+    write_bench_json(
+        "c10_flowscale",
+        wall_s=gated["cold_s"],
+        extra={
+            "nodes": gated["nodes"],
+            "cold_ms_by_nodes": {
+                str(m["nodes"]): round(m["cold_s"] * 1e3, 1) for m in sizes
+            },
+            "warm_ms_by_nodes": {
+                str(m["nodes"]): round(m["warm_s"] * 1e3, 1) for m in sizes
+            },
+            "warm_over_cold_x": round(gated["warm_over_cold"], 4),
+        },
+    )
+
+    # A warm re-verification of an unchanged 64-node forwarding plane
+    # must cost well under a cold proof.
+    assert gated["warm_over_cold"] < 0.25, (
+        f"warm cache run cost {gated['warm_over_cold']:.1%} of cold "
+        f"(bound: 25%) on {gated['nodes']} nodes"
+    )

@@ -1,0 +1,185 @@
+"""Shipped example topologies, as statically-built flow specs.
+
+No simulation runs here: FIBs are computed by the same shortest-path
+discipline the routing sublayers converge to (BFS distances, next hop
+chosen as the neighbor minimising ``(distance-to-dst, address)`` — the
+deterministic tie-break `Topology`'s oracle uses), so these specs are
+what a converged control plane *would* install.  They give the CLI and
+CI something real to prove: every registry entry satisfies all four
+properties, and the grid builder scales to the C10 benchmark sizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..core.errors import ConfigurationError
+from ..network.packets import Address
+from .spec import FlowSpec
+
+
+def shortest_path_fibs(
+    nodes: list[Address], edges: list[tuple[Address, Address]]
+) -> dict[Address, dict[Address, Address]]:
+    """Converged-state FIBs over an undirected edge list.
+
+    For each node: BFS distances from every destination, next hop =
+    the neighbor minimising ``(dist(nh, dst), nh)``.  Unreachable
+    destinations get no entry (the static analogue of a routing
+    sublayer that never heard of them).
+    """
+    adjacency: dict[Address, list[Address]] = {n: [] for n in nodes}
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    for peers in adjacency.values():
+        peers.sort()
+
+    def distances(source: Address) -> dict[Address, int]:
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for peer in adjacency[node]:
+                if peer not in dist:
+                    dist[peer] = dist[node] + 1
+                    queue.append(peer)
+        return dist
+
+    dist_from = {n: distances(n) for n in nodes}
+    fibs: dict[Address, dict[Address, Address]] = {}
+    for node in nodes:
+        table: dict[Address, Address] = {}
+        for dst in nodes:
+            if dst == node or dst not in dist_from[node]:
+                continue
+            table[dst] = min(
+                (nh for nh in adjacency[node] if dst in dist_from[nh]),
+                key=lambda nh: (dist_from[nh][dst], nh),
+            )
+        fibs[node] = table
+    return fibs
+
+
+def _spec(
+    name: str,
+    edges: list[tuple[Address, Address]],
+    zones: list[dict] | None = None,
+    tenants: list[dict] | None = None,
+) -> FlowSpec:
+    nodes = sorted({n for edge in edges for n in edge})
+    return FlowSpec.from_dict(
+        {
+            "name": name,
+            "nodes": nodes,
+            "edges": [list(e) for e in edges],
+            "fibs": {
+                str(node): {str(d): nh for d, nh in table.items()}
+                for node, table in shortest_path_fibs(nodes, edges).items()
+            },
+            "zones": zones or [],
+            "tenants": tenants or [],
+        }
+    )
+
+
+def mesh6() -> FlowSpec:
+    """The ``examples/routed_network.py`` mesh, with west/east zones and
+    two tenants on the directly-linked pairs."""
+    edges = [(1, 2), (2, 5), (5, 6), (6, 3), (3, 2), (3, 4), (4, 1)]
+    return _spec(
+        "mesh6",
+        edges,
+        zones=[
+            {"name": "west", "nodes": [1, 4]},
+            {"name": "east", "nodes": [5, 6]},
+        ],
+        tenants=[
+            {"name": "alpha", "nodes": [1, 4]},
+            {"name": "beta", "nodes": [5, 6]},
+        ],
+    )
+
+
+def star9() -> FlowSpec:
+    """Hub-and-spoke: hub 1, leaves 2..9; the zone includes the hub
+    because every leaf-to-leaf path transits it."""
+    edges = [(1, leaf) for leaf in range(2, 10)]
+    return _spec(
+        "star9",
+        edges,
+        zones=[{"name": "pod", "nodes": [1, 2, 3]}],
+        tenants=[
+            {"name": "alpha", "nodes": [2, 3]},
+            {"name": "beta", "nodes": [8, 9]},
+        ],
+    )
+
+
+def ring8() -> FlowSpec:
+    """An 8-node ring; the zone is a contiguous arc (shortest paths
+    between arc members stay on the arc)."""
+    edges = [(i, i % 8 + 1) for i in range(1, 9)]
+    return _spec(
+        "ring8",
+        edges,
+        zones=[{"name": "arc", "nodes": [1, 2, 3]}],
+        tenants=[
+            {"name": "alpha", "nodes": [1, 2]},
+            {"name": "beta", "nodes": [5, 6]},
+        ],
+    )
+
+
+def grid(side: int) -> FlowSpec:
+    """A ``side`` × ``side`` grid (row-major addresses from 1), zoned by
+    first row and last row — shortest paths within a row stay in the
+    row under the deterministic tie-break, so both zones hold."""
+    if side < 2:
+        raise ConfigurationError("grid side must be >= 2")
+
+    def addr(row: int, col: int) -> Address:
+        return row * side + col + 1
+
+    edges: list[tuple[Address, Address]] = []
+    for row in range(side):
+        for col in range(side):
+            if col + 1 < side:
+                edges.append((addr(row, col), addr(row, col + 1)))
+            if row + 1 < side:
+                edges.append((addr(row, col), addr(row + 1, col)))
+    first_row = [addr(0, c) for c in range(side)]
+    last_row = [addr(side - 1, c) for c in range(side)]
+    return _spec(
+        f"grid{side}x{side}",
+        edges,
+        zones=[
+            {"name": "north", "nodes": first_row},
+            {"name": "south", "nodes": last_row},
+        ],
+        tenants=[
+            {"name": "alpha", "nodes": first_row},
+            {"name": "beta", "nodes": last_row},
+        ],
+    )
+
+
+#: The registry the CLI, staticcheck ``--flow``, and CI iterate.
+EXAMPLE_SPECS: dict[str, Callable[[], FlowSpec]] = {
+    "mesh6": mesh6,
+    "star9": star9,
+    "ring8": ring8,
+    "grid4": lambda: grid(4),
+}
+
+
+def example_spec(name: str) -> FlowSpec:
+    """Build one registry entry by name."""
+    try:
+        builder = EXAMPLE_SPECS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown example topology {name!r}; have {sorted(EXAMPLE_SPECS)}"
+        ) from None
+    return builder()

@@ -1,0 +1,253 @@
+"""The four data-plane properties, decided symbolically.
+
+Each check reads the shared :class:`~repro.flow.reach.ReachResult`
+(one fixed point per spec, not per property) and returns violations
+with witness packet sets small enough to paste into a bug report.
+:func:`analyze` is the cached entry point: verdicts are memoised in a
+:class:`~repro.par.ProofCache` keyed by the spec name and guarded by
+the FIB+topology fingerprint, so re-verifying an unchanged forwarding
+plane costs one hash lookup (the C10 benchmark gates this).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..par.cache import ProofCache
+from .reach import ReachResult, default_injections, find_loops, reachability
+from .report import ALL_PROPERTIES, FlowReport, FlowViolation, build_flow_report
+from .sets import IntervalSet, PacketSet, cube
+from .spec import FlowSpec, spec_fingerprint
+from .transfer import DROP_NO_INTERFACE, DROP_NO_ROUTE
+
+
+def check_no_escape(spec: FlowSpec, reach: ReachResult) -> list[FlowViolation]:
+    """Packets addressed inside a zone never reach nodes outside it.
+
+    For every zone: the set {src ∈ zone nodes, dst ∈ zone space} must
+    have empty intersection with the ``seen`` set of every non-member
+    node.  A non-empty meet is the escape witness.
+    """
+    violations: list[FlowViolation] = []
+    for zone in spec.zones:
+        if zone.space.is_empty or not zone.nodes:
+            continue
+        internal = cube(
+            src=IntervalSet.of(*zone.nodes), dst=zone.space
+        )
+        for node in spec.nodes:
+            if node in zone.nodes:
+                continue
+            escaped = reach.seen[node].intersect(internal)
+            if not escaped.is_empty:
+                sample = escaped.sample()
+                violations.append(
+                    FlowViolation(
+                        property="no-escape",
+                        spec=spec.name,
+                        node=node,
+                        message=(
+                            f"zone {zone.name!r} traffic reaches outside "
+                            f"node {node} (e.g. src={sample['src']} "
+                            f"dst={sample['dst']})"
+                        ),
+                        witness=escaped.as_dict(),
+                    )
+                )
+    return violations
+
+
+def check_blackhole_freedom(
+    spec: FlowSpec, reach: ReachResult
+) -> list[FlowViolation]:
+    """Every deliverable address has a path: no packet addressed to an
+    assigned node address is dropped for want of a route or interface.
+
+    (TTL expiry from FIB cycles is the loop check's finding — reported
+    once, there.)
+    """
+    deliverable = spec.deliverable()
+    violations: list[FlowViolation] = []
+    for node in spec.nodes:
+        lost = PacketSet.empty()
+        for kind in (DROP_NO_ROUTE, DROP_NO_INTERFACE):
+            lost = lost.union(reach.dropped[node][kind])
+        lost = lost.constrain("dst", deliverable)
+        if lost.is_empty:
+            continue
+        sample = lost.sample()
+        dsts = lost.project("dst")
+        violations.append(
+            FlowViolation(
+                property="blackhole-freedom",
+                spec=spec.name,
+                node=node,
+                message=(
+                    f"node {node} blackholes deliverable destinations "
+                    f"{dsts!r} (e.g. src={sample['src']} "
+                    f"dst={sample['dst']})"
+                ),
+                witness=lost.as_dict(),
+            )
+        )
+    return violations
+
+
+def check_loop_freedom(spec: FlowSpec) -> list[FlowViolation]:
+    """No packet set re-enters a node it already traversed.
+
+    Decided on destination classes: inside one class forwarding is a
+    functional graph, so loops are exactly its cycles (see
+    :func:`~repro.flow.reach.find_loops`).
+    """
+    violations: list[FlowViolation] = []
+    for loop in find_loops(spec):
+        violations.append(
+            FlowViolation(
+                property="loop-freedom",
+                spec=spec.name,
+                node=loop.cycle[0],
+                message=(
+                    f"FIB loop {' -> '.join(map(str, loop.cycle))} -> "
+                    f"{loop.cycle[0]} for destinations {loop.destinations!r}"
+                ),
+                witness=loop.as_dict(),
+            )
+        )
+    return violations
+
+
+def check_isolation(spec: FlowSpec, reach: ReachResult) -> list[FlowViolation]:
+    """Two tenants' packet sets never meet at the same node/port.
+
+    Two obligations: claimed address spaces are pairwise disjoint (an
+    overlap means one delivered packet set belongs to both tenants —
+    they meet at the delivery port by construction), and one tenant's
+    intra-tenant traffic is never seen at a node owned exclusively by
+    another tenant.
+    """
+    violations: list[FlowViolation] = []
+    for i, a in enumerate(spec.tenants):
+        for b in spec.tenants[i + 1:]:
+            overlap = a.space.intersect(b.space)
+            if not overlap.is_empty:
+                violations.append(
+                    FlowViolation(
+                        property="isolation",
+                        spec=spec.name,
+                        node=None,
+                        message=(
+                            f"tenants {a.name!r} and {b.name!r} claim "
+                            f"overlapping address space {overlap!r}: their "
+                            f"packet sets meet at every delivery port in it"
+                        ),
+                        witness=[list(p) for p in overlap.intervals],
+                    )
+                )
+    for a in spec.tenants:
+        if not a.nodes or a.space.is_empty:
+            continue
+        intra = cube(src=IntervalSet.of(*a.nodes), dst=a.space)
+        for b in spec.tenants:
+            if b.name == a.name:
+                continue
+            exclusive = b.nodes - a.nodes
+            for node in sorted(exclusive):
+                met = reach.seen[node].intersect(intra)
+                if not met.is_empty:
+                    sample = met.sample()
+                    violations.append(
+                        FlowViolation(
+                            property="isolation",
+                            spec=spec.name,
+                            node=node,
+                            message=(
+                                f"tenant {a.name!r} traffic meets tenant "
+                                f"{b.name!r} at node {node} (e.g. "
+                                f"src={sample['src']} dst={sample['dst']})"
+                            ),
+                            witness=met.as_dict(),
+                        )
+                    )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# The cached entry point
+# ----------------------------------------------------------------------
+def _analyze_uncached(spec: FlowSpec) -> FlowReport:
+    reach = reachability(spec, default_injections(spec))
+    violations = (
+        check_no_escape(spec, reach)
+        + check_blackhole_freedom(spec, reach)
+        + check_loop_freedom(spec)
+        + check_isolation(spec, reach)
+    )
+    stats = {
+        "nodes": len(spec.nodes),
+        "edges": len({(min(a, b), max(a, b)) for a, b in spec.edges}),
+        "iterations": reach.iterations,
+        "seen_cubes": sum(len(s.cubes) for s in reach.seen.values()),
+        "delivered_packets": sum(
+            s.count() for s in reach.delivered.values()
+        ),
+    }
+    return build_flow_report(spec.name, violations, stats)
+
+
+def analyze(spec: FlowSpec, cache: ProofCache | None = None) -> FlowReport:
+    """Prove (or refute) all four properties for one spec.
+
+    With ``cache``, the canonical report dict is memoised under
+    ``flow:<spec name>`` guarded by :func:`spec_fingerprint` — any FIB,
+    wiring, or annotation change invalidates exactly this entry.  Both
+    green and red verdicts are cached: the witness is part of the
+    report, so a cached refutation replays its evidence.
+    """
+    if cache is None:
+        return _analyze_uncached(spec)
+    key = f"flow:{spec.name}"
+    fingerprint = spec_fingerprint(spec)
+    hit = cache.get(key, fingerprint)
+    if hit is not None:
+        return _report_from_dict(hit)
+    report = _analyze_uncached(spec)
+    cache.put(key, fingerprint, report.as_dict())
+    return report
+
+
+def analyze_all(
+    specs: list[FlowSpec], cache: ProofCache | None = None
+) -> dict[str, FlowReport]:
+    """Analyze several specs; reports keyed by spec name, input order."""
+    return {spec.name: analyze(spec, cache=cache) for spec in specs}
+
+
+def _report_from_dict(data: dict[str, Any]) -> FlowReport:
+    """Rebuild a :class:`FlowReport` from its canonical dict (cache hit)."""
+    violations = [
+        FlowViolation(
+            property=v["property"],
+            spec=v["spec"],
+            node=v["node"],
+            message=v["message"],
+            witness=v["witness"],
+        )
+        for v in data.get("violations", [])
+    ]
+    return build_flow_report(
+        data.get("spec", ""), violations, dict(data.get("stats", {}))
+    )
+
+
+__all__ = [
+    "ALL_PROPERTIES",
+    "FlowReport",
+    "FlowViolation",
+    "analyze",
+    "analyze_all",
+    "check_blackhole_freedom",
+    "check_isolation",
+    "check_loop_freedom",
+    "check_no_escape",
+]

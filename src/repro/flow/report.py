@@ -1,0 +1,105 @@
+"""The flow analyzer's report: property verdicts in the shared format.
+
+Same pattern as the static checker and the litmus harness: one
+:class:`~repro.core.report.CheckResult` per property folded into a
+:class:`~repro.core.report.Report` subclass, plus the flat violation
+list with symbolic witnesses.  ``as_dict()`` is canonical (sorted, no
+wall-clock), so reports are diff-clean and cacheable byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.report import CheckResult, Report
+
+#: The four properties, in report order, with the staticcheck rule each
+#: feeds (T4 = reachability family, T5 = isolation).
+ALL_PROPERTIES: tuple[tuple[str, str], ...] = (
+    ("no-escape", "T4"),
+    ("blackhole-freedom", "T4"),
+    ("loop-freedom", "T4"),
+    ("isolation", "T5"),
+)
+
+
+@dataclass(frozen=True)
+class FlowViolation:
+    """One refuted property, with its symbolic witness."""
+
+    property: str  # one of ALL_PROPERTIES names
+    spec: str  # spec name
+    node: int | None  # node the violation manifests at (None: spec-wide)
+    message: str
+    #: JSON-shaped witness packet set / cycle (already canonical).
+    witness: Any = None
+
+    def format(self) -> str:
+        """One-line rendering for text reports."""
+        where = f"node {self.node}" if self.node is not None else "spec"
+        return f"{self.spec}: {where}: [{self.property}] {self.message}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """Canonical JSON form."""
+        return {
+            "property": self.property,
+            "spec": self.spec,
+            "node": self.node,
+            "message": self.message,
+            "witness": self.witness,
+        }
+
+
+@dataclass
+class FlowReport(Report):
+    """Per-property results plus the flat violation list for one spec."""
+
+    spec_name: str = ""
+    violations: list[FlowViolation] = field(default_factory=list)
+    #: Engine statistics (iterations, cubes, classes) — informational.
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Canonical JSON form (stable across runs and machines)."""
+        return {
+            "spec": self.spec_name,
+            "passed": self.passed,
+            "results": [r.to_dict() for r in self.results],
+            "violations": [v.as_dict() for v in self.violations],
+            "stats": dict(sorted(self.stats.items())),
+        }
+
+    def text(self) -> str:
+        """Human-readable emitter: one line per violation, then summary."""
+        lines = [v.format() for v in self.violations]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+
+def build_flow_report(
+    spec_name: str,
+    violations: list[FlowViolation],
+    stats: dict[str, Any],
+) -> FlowReport:
+    """Fold violations into per-property :class:`CheckResult` entries."""
+    ordered = sorted(
+        violations, key=lambda v: (v.property, v.node is None, v.node, v.message)
+    )
+    results = []
+    for prop, litmus in ALL_PROPERTIES:
+        mine = [v for v in ordered if v.property == prop]
+        results.append(
+            CheckResult(
+                name=prop,
+                passed=not mine,
+                details=[v.format() for v in mine],
+                metrics={"litmus": litmus, "violations": len(mine)},
+            )
+        )
+    return FlowReport(
+        results=results,
+        spec_name=spec_name,
+        violations=ordered,
+        stats=stats,
+    )

@@ -16,8 +16,15 @@ from __future__ import annotations
 from typing import Callable
 
 from ..core.instrument import AccessLog, InstrumentedState
-from ..core.metrics import NULL_METRICS, MetricsSink
+from ..core.metrics import MetricsSink, scoped
 from .packets import Address, DataPacket
+
+#: Metric aliases shared with the symbolic flow analyzer: the runtime
+#: counter and the static drop kind carry the same name, so a
+#: :class:`~repro.flow.reach.ReachResult` drop set and a
+#: ``forwarding/<addr>/...`` counter are directly comparable.
+TTL_EXPIRED = "ttl_expired"
+NO_ROUTE = "no_route"
 
 
 class ForwardingSublayer:
@@ -34,7 +41,9 @@ class ForwardingSublayer:
         self.address = address
         self._send = send_on_interface
         self._resolve_interface = resolve_interface
-        self.metrics = metrics if metrics is not None else NULL_METRICS
+        # Scope our own names (the sim.link pattern): callers hand in the
+        # raw sink and counters land at ``forwarding/<addr>/...``.
+        self.metrics = scoped(metrics, f"forwarding/{address}")
         self.state = InstrumentedState(
             "forwarding",
             log=access_log,
@@ -47,10 +56,16 @@ class ForwardingSublayer:
         )
         self.on_deliver: Callable[[DataPacket], None] | None = None
 
+    #: Drops that dual-count under the flow analyzer's drop-kind names.
+    _ALIASES = {"dropped_ttl": TTL_EXPIRED, "dropped_no_route": NO_ROUTE}
+
     def _count(self, field: str) -> None:
         """State counter + metrics mirror (same pattern as Sublayer.count)."""
         setattr(self.state, field, getattr(self.state, field) + 1)
         self.metrics.inc(field)
+        alias = self._ALIASES.get(field)
+        if alias is not None:
+            self.metrics.inc(alias)
 
     # ------------------------------------------------------------------
     def install(self, routes: dict[Address, Address]) -> None:

@@ -92,7 +92,10 @@ class Router:
             self._send_data_on_interface,
             self._resolve_interface,
             access_log=self.access_log,
-            metrics=scoped(metrics, f"router:{address}/forwarding"),
+            # Raw sink: the sublayer scopes itself as forwarding/<addr>/
+            # (the sim.link pattern), so drop counters line up with the
+            # flow analyzer's drop-kind names.
+            metrics=metrics,
         )
         self._wire_interfaces_between_sublayers()
         self.on_deliver: Callable[[DataPacket], None] | None = None

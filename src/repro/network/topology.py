@@ -188,5 +188,46 @@ class Topology:
         return None
 
     # ------------------------------------------------------------------
+    # Export for static analysis (repro.flow reads this; the dependency
+    # arrow points downward — network never imports the analyzer).
+    # ------------------------------------------------------------------
+    def fib_snapshots(self) -> dict[Address, dict[Address, Address]]:
+        """The installed FIB of every router, as plain dicts."""
+        return {
+            address: router.forwarding.fib()
+            for address, router in self.routers.items()
+        }
+
+    def flow_spec(
+        self,
+        name: str = "topology",
+        zones: list[dict[str, Any]] | None = None,
+        tenants: list[dict[str, Any]] | None = None,
+        ttl: int | None = None,
+    ) -> dict[str, Any]:
+        """This topology's *installed* forwarding state in the declarative
+        flow-spec shape (see ``repro.flow.spec.FlowSpec.from_dict``).
+
+        Live edges only: a failed link is absent, so a FIB entry still
+        pointing across it shows up statically as an unresolvable next
+        hop.  Zones/tenants are annotations the caller supplies; the
+        data plane does not know about them.
+        """
+        document: dict[str, Any] = {
+            "name": name,
+            "nodes": sorted(self.routers),
+            "edges": [list(edge) for edge in sorted(self.alive_edges())],
+            "fibs": {
+                str(address): {str(dst): hop for dst, hop in fib.items()}
+                for address, fib in sorted(self.fib_snapshots().items())
+            },
+            "zones": zones or [],
+            "tenants": tenants or [],
+        }
+        if ttl is not None:
+            document["ttl"] = ttl
+        return document
+
+    # ------------------------------------------------------------------
     def send_data(self, src: Address, dst: Address, payload: Any) -> None:
         self.routers[src].send_data(dst, payload)

@@ -7,6 +7,7 @@ Exit status: 0 when the corpus is clean (warnings allowed unless
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..core.errors import ConfigurationError
@@ -19,7 +20,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.staticcheck",
         description=(
             "Statically verify the sublayering discipline (litmus tests "
-            "T1/T2/T3) over a package's source."
+            "T1/T2/T3) over a package's source; --flow adds the symbolic "
+            "data-plane properties (T4/T5)."
         ),
     )
     parser.add_argument(
@@ -27,9 +29,32 @@ def main(argv: list[str] | None = None) -> int:
         help="package directory to check (e.g. src/repro)",
     )
     parser.add_argument(
-        "--json",
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="report format: human-readable text, the canonical JSON "
+        "document, or GitHub workflow-command annotations",
+    )
+    parser.add_argument(
+        "--flow",
         action="store_true",
-        help="emit the full report as JSON instead of text",
+        help="also run the symbolic reachability/isolation analysis "
+        "(rules flow-reachability/flow-isolation) over the example "
+        "topologies",
+    )
+    parser.add_argument(
+        "--flow-topology",
+        action="append",
+        metavar="NAME",
+        help="with --flow: analyze only this example topology (repeatable)",
+    )
+    parser.add_argument(
+        "--flow-spec",
+        action="append",
+        default=[],
+        metavar="FILE.json",
+        help="also analyze a declarative flow-spec file (repeatable; "
+        "implies the flow rules)",
     )
     parser.add_argument(
         "--strict",
@@ -65,13 +90,22 @@ def main(argv: list[str] | None = None) -> int:
     config = StaticCheckConfig(**overrides)
 
     try:
-        report = run_staticcheck(args.package, config, base_dir=".")
+        report = run_staticcheck(
+            args.package,
+            config,
+            base_dir=".",
+            flow=args.flow,
+            flow_topologies=args.flow_topology,
+            flow_specs=args.flow_spec,
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.json:
-        print(report.to_json())
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+    elif args.format == "github":
+        print(report.github())
     else:
         print(report.text())
     return 0 if report.passed else 1

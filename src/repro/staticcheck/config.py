@@ -41,6 +41,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "verify": 5,
     "analysis": 5,
     "staticcheck": 5,
+    "flow": 5,
     "compose": 5,
     "obs": 6,
     "faults": 7,

@@ -43,39 +43,54 @@ def check_state_reach(model: CorpusModel) -> list[Violation]:
 
 def _state_reach_in_class(decl: ClassDecl) -> list[Violation]:
     violations: list[Violation] = []
-    for node in ast.walk(decl.node):
-        if isinstance(node, ast.Attribute) and _is_self_below(node.value):
-            attr = node.attr
-            if attr in ("state", "below") or (
-                attr.startswith("_") and attr not in PORT_PUBLIC_ATTRS
-            ):
-                what = {
-                    "state": "the provider's private state",
-                    "below": "a non-adjacent sublayer",
-                }.get(attr, "the port's internals")
-                violations.append(
-                    Violation(
-                        rule="state-reach",
-                        severity=ERROR,
-                        module=decl.module,
-                        path=decl.path,
-                        line=node.lineno,
-                        message=(
-                            f"{decl.name}: `self.below.{attr}` reaches {what}; "
-                            f"only declared service primitives may cross the "
-                            f"interface (T3)"
-                        ),
-                    )
+    self_names, below_names = _collect_aliases(decl.node)
+
+    def port_reach(attr: str, rendered: str, line: int) -> None:
+        if attr in ("state", "below") or (
+            attr.startswith("_") and attr not in PORT_PUBLIC_ATTRS
+        ):
+            what = {
+                "state": "the provider's private state",
+                "below": "a non-adjacent sublayer",
+            }.get(attr, "the port's internals")
+            violations.append(
+                Violation(
+                    rule="state-reach",
+                    severity=ERROR,
+                    module=decl.module,
+                    path=decl.path,
+                    line=line,
+                    message=(
+                        f"{decl.name}: `{rendered}` reaches {what}; "
+                        f"only declared service primitives may cross the "
+                        f"interface (T3)"
+                    ),
                 )
+            )
+
+    for node in ast.walk(decl.node):
+        if isinstance(node, ast.Attribute) and _is_port(
+            node.value, self_names, below_names
+        ):
+            port_reach(node.attr, ast.unparse(node), node.lineno)
+        # getattr(self.below, "state") — same reach, spelled dynamically
+        # but with a statically known name.
+        if isinstance(node, ast.Call):
+            name = _getattr_literal_name(node)
+            if name is not None and _is_port(
+                node.args[0], self_names, below_names
+            ):
+                port_reach(name, ast.unparse(node), node.lineno)
         for target in _write_targets(node):
             # other.state.field = ...  (a write into a foreign
-            # InstrumentedState; self.state.field writes are the
-            # sublayer's own business)
+            # InstrumentedState; self.state.field writes — through
+            # `self` or any alias of it — are the sublayer's own
+            # business)
             if (
                 isinstance(target, ast.Attribute)
                 and isinstance(target.value, ast.Attribute)
                 and target.value.attr == "state"
-                and not _is_self(target.value.value)
+                and not _is_self(target.value.value, self_names)
             ):
                 violations.append(
                     Violation(
@@ -258,8 +273,10 @@ def _functions(
     ]
 
 
-def _is_self(node: ast.expr) -> bool:
-    return isinstance(node, ast.Name) and node.id == "self"
+def _is_self(
+    node: ast.expr, self_names: frozenset[str] | set[str] = frozenset({"self"})
+) -> bool:
+    return isinstance(node, ast.Name) and node.id in self_names
 
 
 def _is_self_below(node: ast.expr) -> bool:
@@ -268,6 +285,70 @@ def _is_self_below(node: ast.expr) -> bool:
         and node.attr == "below"
         and _is_self(node.value)
     )
+
+
+def _is_port(
+    node: ast.expr, self_names: set[str], below_names: set[str]
+) -> bool:
+    """Does ``node`` denote this sublayer's ``below`` port?
+
+    Either ``<self-ish>.below`` or a local name previously bound to it
+    (``port = self.below``).
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr == "below" and _is_self(node.value, self_names)
+    return isinstance(node, ast.Name) and node.id in below_names
+
+
+def _collect_aliases(root: ast.AST) -> tuple[set[str], set[str]]:
+    """Names rebinding ``self`` and ``self.below`` anywhere in the class.
+
+    A straight-line dataflow approximation: ``me = self`` makes ``me``
+    self-ish, ``port = me.below`` makes ``port`` a port name.  Iterated
+    to a fixed point so chained rebindings in any statement order
+    resolve; scoping is class-wide (collisions over-approximate, which
+    for a checker errs on the reporting side).
+    """
+    self_names: set[str] = {"self"}
+    below_names: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if (
+                    _is_self(value, self_names)
+                    and target.id not in self_names
+                ):
+                    self_names.add(target.id)
+                    changed = True
+                elif (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "below"
+                    and _is_self(value.value, self_names)
+                    and target.id not in below_names
+                ):
+                    below_names.add(target.id)
+                    changed = True
+    return self_names, below_names
+
+
+def _getattr_literal_name(node: ast.Call) -> str | None:
+    """The attribute name of a ``getattr(x, "literal", ...)`` call."""
+    if (
+        isinstance(node.func, ast.Name)
+        and node.func.id == "getattr"
+        and len(node.args) >= 2
+        and isinstance(node.args[1], ast.Constant)
+        and isinstance(node.args[1].value, str)
+    ):
+        return node.args[1].value
+    return None
 
 
 def _is_unwrap_self(node: ast.expr) -> bool:

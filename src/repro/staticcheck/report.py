@@ -30,6 +30,14 @@ ALL_RULES: tuple[tuple[str, str], ...] = (
     ("interface-width", "T2"),
 )
 
+#: The symbolic data-plane rules (``--flow``): reachability properties
+#: (no-escape, blackhole-freedom, loop-freedom) roll up under T4,
+#: tenant isolation under T5.
+FLOW_RULES: tuple[tuple[str, str], ...] = (
+    ("flow-reachability", "T4"),
+    ("flow-isolation", "T5"),
+)
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -82,6 +90,20 @@ class StaticReport(Report):
         data["violations"] = [v.to_dict() for v in self.violations]
         return data
 
+    def as_dict(self) -> dict[str, Any]:
+        """Canonical machine-readable form (the ``--format json`` payload).
+
+        Deterministically ordered: rules in declaration order, violations
+        sorted by (rule, path, line) — diff-clean across runs.
+        """
+        return {
+            "passed": self.passed,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "results": [r.to_dict() for r in self.results],
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
     def text(self) -> str:
         """Human-readable emitter: one line per violation, then summary."""
         lines = [v.format() for v in self.violations]
@@ -91,24 +113,49 @@ class StaticReport(Report):
         )
         return "\n".join(lines)
 
+    def github(self) -> str:
+        """GitHub Actions workflow-command emitter (``--format github``).
+
+        One ``::error``/``::warning`` annotation per violation — the
+        Checks UI pins each finding to its file and line — plus a
+        ``::notice`` summary so a clean run still leaves a mark.
+        """
+        lines = []
+        for v in self.violations:
+            command = "error" if v.severity == ERROR else "warning"
+            location = f"file={v.path}" + (f",line={v.line}" if v.line else "")
+            lines.append(
+                f"::{command} {location},title=staticcheck {v.rule}::"
+                f"{_escape_property(v.message)}"
+            )
+        passing = sum(1 for r in self.results if r.passed)
+        lines.append(
+            f"::notice title=staticcheck::{passing}/{len(self.results)} "
+            f"rules passed — {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
 
 def build_report(
     violations: list[Violation],
     checked_modules: int,
     strict: bool = False,
     base_dir: str | Path | None = None,
+    rules: tuple[tuple[str, str], ...] = ALL_RULES,
 ) -> StaticReport:
     """Fold violations into per-rule :class:`CheckResult` entries.
 
     A rule fails on any error-severity violation (or any violation at
     all under ``strict``).  ``base_dir`` relativises paths for stable,
-    machine-independent output.
+    machine-independent output.  ``rules`` is the set reported on —
+    ``ALL_RULES`` plus ``FLOW_RULES`` when the flow analyzer ran.
     """
     if base_dir is not None:
         violations = [_relativize(v, Path(base_dir)) for v in violations]
     ordered = sorted(violations, key=lambda v: (v.rule, v.path, v.line))
     results: list[CheckResult] = []
-    for rule, litmus in ALL_RULES:
+    for rule, litmus in rules:
         mine = [v for v in ordered if v.rule == rule]
         failing = [
             v for v in mine if v.severity == ERROR or (strict and mine)
@@ -127,6 +174,13 @@ def build_report(
             )
         )
     return StaticReport(results=results, violations=ordered)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (GitHub's own rules)."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
 
 
 def _relativize(violation: Violation, base: Path) -> Violation:

@@ -1,4 +1,4 @@
-"""Golden ``--help`` tests for the four CLIs, plus a docs-drift check.
+"""Golden ``--help`` tests for the five CLIs, plus a docs-drift check.
 
 The golden files pin each CLI's flag surface; ``docs/CLI.md`` must
 mention every long flag the help output advertises.  Adding or
@@ -21,7 +21,7 @@ import pytest
 
 REPO = Path(__file__).resolve().parents[2]
 GOLDEN = Path(__file__).parent / "golden"
-CLIS = ["verify", "faults", "obs", "staticcheck"]
+CLIS = ["verify", "faults", "obs", "staticcheck", "flow"]
 
 
 def run_help(module, *subcommand):

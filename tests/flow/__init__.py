@@ -1,0 +1,1 @@
+"""Tests for the symbolic flow-analysis engine."""

@@ -1,0 +1,12 @@
+"""Shared paths for the flow-analysis tests."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixtures() -> Path:
+    return FIXTURES

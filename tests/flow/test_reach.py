@@ -1,0 +1,107 @@
+"""The fixed point: seen/delivered/drop sets, classes, loop detection."""
+
+from repro.flow.reach import (
+    default_injections,
+    destination_classes,
+    find_loops,
+    reachability,
+)
+from repro.flow.sets import IntervalSet, cube
+from repro.flow.spec import FlowSpec
+from repro.flow.transfer import DROP_TTL
+
+
+def line3() -> FlowSpec:
+    return FlowSpec.from_dict(
+        {
+            "name": "line",
+            "nodes": [1, 2, 3],
+            "edges": [[1, 2], [2, 3]],
+            "fibs": {
+                "1": {"2": 2, "3": 2},
+                "2": {"1": 1, "3": 3},
+                "3": {"1": 2, "2": 2},
+            },
+        }
+    )
+
+
+def looped() -> FlowSpec:
+    return FlowSpec.from_dict(
+        {
+            "name": "loop",
+            "nodes": [1, 2, 3],
+            "edges": [[1, 2], [2, 3]],
+            "fibs": {
+                "1": {"2": 2, "3": 2},
+                "2": {"1": 1, "3": 1},  # dst 3 bounces between 1 and 2
+                "3": {"1": 2, "2": 2},
+            },
+        }
+    )
+
+
+class TestReachability:
+    def test_every_node_delivers_everyone_elses_traffic(self):
+        reach = reachability(line3())
+        for node in (1, 2, 3):
+            # each node consumes packets addressed to it from every
+            # source, including the set it originated itself
+            srcs = set(reach.delivered[node].project("src"))
+            assert srcs == {1, 2, 3}
+
+    def test_transit_traffic_is_seen_at_the_middle(self):
+        reach = reachability(line3())
+        crossing = reach.seen[2].intersect(cube(src=1, dst=3))
+        assert not crossing.is_empty
+
+    def test_flows_follow_the_line(self):
+        reach = reachability(line3())
+        assert (1, 2) in reach.flows and (2, 3) in reach.flows
+        assert (1, 3) not in reach.flows  # no such link
+
+    def test_custom_injection_restricts_the_analysis(self):
+        spec = line3()
+        reach = reachability(spec, {1: cube(src=1, dst=3, ttl=spec.ttl)})
+        assert reach.delivered[3].count() == 1
+        assert reach.delivered[2].is_empty
+
+    def test_loopy_fib_terminates_via_ttl(self):
+        reach = reachability(looped())
+        expired = reach.dropped_total(DROP_TTL)
+        assert not expired.intersect(cube(dst=3)).is_empty
+        # bounded by TTL: strictly more iterations than the clean line
+        assert reach.iterations > reachability(line3()).iterations
+
+
+class TestDestinationClasses:
+    def test_partition_covers_and_separates(self):
+        classes = destination_classes(line3())
+        total = IntervalSet.empty()
+        for cls in classes:
+            assert total.intersect(cls).is_empty
+            total = total.union(cls)
+        assert total.intervals == ((0, 0xFFFF),)
+
+    def test_each_node_address_is_a_singleton_class(self):
+        classes = destination_classes(line3())
+        singletons = [c.intervals for c in classes if len(c) == 1]
+        for node in (1, 2, 3):
+            assert ((node, node),) in singletons
+
+
+class TestFindLoops:
+    def test_clean_spec_has_no_loops(self):
+        assert find_loops(line3()) == []
+
+    def test_two_node_bounce_is_found_with_its_destinations(self):
+        loops = find_loops(looped())
+        assert len(loops) == 1
+        assert loops[0].cycle == (1, 2)
+        assert 3 in loops[0].destinations
+
+    def test_default_injections_pin_src_and_ttl(self):
+        spec = line3()
+        injections = default_injections(spec)
+        sample = injections[2].sample()
+        assert sample["src"] == 2 and sample["ttl"] == spec.ttl

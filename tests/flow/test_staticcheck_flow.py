@@ -1,0 +1,80 @@
+"""The staticcheck bridge: flow properties as T4/T5 rules."""
+
+import json
+from pathlib import Path
+
+from repro.staticcheck import run_staticcheck
+from repro.staticcheck.__main__ import main
+from repro.staticcheck.flowcheck import check_flow_properties
+from repro.staticcheck.report import ALL_RULES, FLOW_RULES
+
+SRC_REPRO = str(Path(__file__).parents[2] / "src" / "repro")
+
+
+def test_flow_rules_absent_without_the_flag():
+    report = run_staticcheck(SRC_REPRO)
+    assert [r.name for r in report.results] == [rule for rule, _ in ALL_RULES]
+
+
+def test_flow_flag_appends_the_two_rules():
+    report = run_staticcheck(SRC_REPRO, flow=True)
+    names = [r.name for r in report.results]
+    assert names == [rule for rule, _ in ALL_RULES + FLOW_RULES]
+    assert report.passed  # the shipped examples prove everything
+
+
+def test_flow_spec_findings_become_violations(fixtures):
+    report = run_staticcheck(
+        SRC_REPRO, flow_specs=[fixtures / "loop.json"]
+    )
+    assert not report.passed
+    flow_violations = [
+        v for v in report.violations if v.rule == "flow-reachability"
+    ]
+    assert len(flow_violations) == 1
+    assert "[loop-freedom]" in flow_violations[0].message
+    assert flow_violations[0].path.endswith("loop.json")
+
+
+def test_isolation_findings_use_the_t5_rule(fixtures):
+    violations = check_flow_properties(
+        topologies=[], spec_files=[fixtures / "overlap.json"]
+    )
+    assert [v.rule for v in violations] == ["flow-isolation"]
+
+
+def test_example_topologies_are_clean():
+    assert check_flow_properties() == []
+
+
+def test_cli_flow_spec_json_format(fixtures, capsys):
+    exit_code = main(
+        [
+            "--format",
+            "json",
+            "--flow-spec",
+            str(fixtures / "escape.json"),
+            SRC_REPRO,
+        ]
+    )
+    assert exit_code == 1
+    data = json.loads(capsys.readouterr().out)
+    rules = {r["name"]: r["passed"] for r in data["results"]}
+    assert rules["flow-reachability"] is False
+    assert rules["flow-isolation"] is True
+
+
+def test_cli_flow_github_annotations(fixtures, capsys):
+    exit_code = main(
+        [
+            "--format",
+            "github",
+            "--flow-spec",
+            str(fixtures / "blackhole.json"),
+            SRC_REPRO,
+        ]
+    )
+    assert exit_code == 1
+    out = capsys.readouterr().out
+    assert "title=staticcheck flow-reachability" in out
+    assert "[blackhole-freedom]" in out

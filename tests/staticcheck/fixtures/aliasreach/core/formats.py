@@ -1,0 +1,10 @@
+"""Header declaration for the alias-reach fixture."""
+
+from repro.core.header import Field, HeaderFormat
+
+TINY_HEADER = HeaderFormat(
+    "tiny",
+    [
+        Field("seq", 16, owner="tiny"),
+    ],
+)

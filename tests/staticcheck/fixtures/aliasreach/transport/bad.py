@@ -1,0 +1,57 @@
+"""Deliberate T3 violations hidden behind aliases and dynamic access."""
+
+from typing import Any
+
+from repro.core.pdu import unwrap
+from repro.core.sublayer import Sublayer
+
+from ..core.formats import TINY_HEADER
+
+
+class AliasedSublayer(Sublayer):
+    """Reaches foreign state through rebound names, not `self` directly."""
+
+    HEADER = TINY_HEADER
+
+    def from_above(self, sdu: Any, **meta: Any) -> None:
+        # `me` is just `self`; the reach is the same.
+        me = self
+        if me.below.state.window > 0:
+            self.send_down(sdu)
+
+    def from_below(self, pdu: Any, **meta: Any) -> None:
+        # `port` is the below port; `.state` through it is still a reach.
+        port = self.below
+        port.state.flush()
+        self.deliver_up(pdu)
+
+    def chained(self) -> None:
+        # Two rebindings deep: me = self, port = me.below.
+        me = self
+        port = me.below
+        port._buffer.clear()
+
+    def dynamic(self) -> None:
+        # getattr with a literal name is statically the same access.
+        getattr(self.below, "state").reset()
+
+    def own_state_is_fine(self) -> None:
+        # Aliased *own* state writes are not foreign (no violation).
+        me = self
+        me.state.count = 1
+
+
+class AugmentedSublayer(Sublayer):
+    """Header-field abuse via augmented assignment and .get reads."""
+
+    HEADER = TINY_HEADER
+
+    def from_below(self, pdu: Any, **meta: Any) -> None:
+        values, inner = unwrap(pdu, self.name)
+        # Augmented assignment to an undeclared field is still a touch.
+        values["hops"] -= 1
+        self.deliver_up(inner, seq=values.get("seq"))
+
+    def poke_peer(self, peer: Any) -> None:
+        # Foreign-state write via augmented assignment.
+        peer.state.count += 1

@@ -18,10 +18,26 @@ def test_cli_violations_exit_one(fixtures, capsys):
 
 
 def test_cli_json_output(fixtures, capsys):
-    assert main(["--json", str(fixtures / "undeclared")]) == 1
+    assert main(["--format", "json", str(fixtures / "undeclared")]) == 1
     data = json.loads(capsys.readouterr().out)
     assert data["passed"] is False
     assert any(v["rule"] == "undeclared-primitive" for v in data["violations"])
+
+
+def test_cli_github_output(fixtures, capsys):
+    assert main(["--format", "github", str(fixtures / "statereach")]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=staticcheck state-reach" in out
+    assert out.strip().splitlines()[-1].startswith("::notice title=staticcheck::")
+
+
+def test_cli_github_output_clean(fixtures, capsys):
+    assert main(["--format", "github", str(fixtures / "cleanpkg")]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out.splitlines() == [
+        "::notice title=staticcheck::6/6 rules passed — 0 error(s), 0 warning(s)"
+    ]
 
 
 def test_cli_strict_flips_warnings(fixtures, capsys):

@@ -38,3 +38,34 @@ def test_own_header_fields_are_not_flagged(fixtures):
     assert [
         v for v in report.violations if v.rule == "foreign-header-field"
     ] == []
+
+
+def test_state_reach_through_aliases(fixtures):
+    report = run_staticcheck(fixtures / "aliasreach")
+    assert not report.passed
+    violations = [v for v in report.violations if v.rule == "state-reach"]
+    messages = "\n".join(v.message for v in violations)
+    # me = self; me.below.state ...
+    assert "me.below.state" in messages
+    # port = self.below; port.state ...
+    assert "port.state" in messages
+    # me = self; port = me.below; port._buffer (chained rebinding)
+    assert "port._buffer" in messages
+    # getattr(self.below, "state") with a literal name
+    assert "getattr(self.below, 'state')" in messages
+    # peer.state.count += 1 (augmented foreign-state write)
+    assert "peer.state.count" in messages
+    # aliased *own* state write is not foreign
+    assert "me.state.count" not in messages
+
+
+def test_augmented_assignment_to_foreign_header_field(fixtures):
+    report = run_staticcheck(fixtures / "aliasreach")
+    violations = [
+        v for v in report.violations if v.rule == "foreign-header-field"
+    ]
+    messages = "\n".join(v.message for v in violations)
+    # values["hops"] -= 1 on an unwrap() result
+    assert "'hops'" in messages
+    # declared field read via .get() stays clean
+    assert "'seq'" not in messages
