@@ -60,6 +60,18 @@ WATCHED: dict[str, dict[str, str]] = {
     "c10_flowscale": {
         "warm_over_cold_x": "up",
     },
+    # C12: the cost of watching.  sampled001_over_untraced_x: a
+    # campaign-style trial with sampled tracing at rate 0.01 over the
+    # same trial untraced (the hard <=1.05 bound lives inside the
+    # benchmark).  hist_observe_over_inc_x: observe_hist hot path over
+    # a counter inc (hard <=1.5 inside).  hist_hop_over_plain_x: a
+    # metrics-tier chain with the per-traversal latency histogram over
+    # the same chain without it.
+    "c12_obscost": {
+        "sampled001_over_untraced_x": "up",
+        "hist_observe_over_inc_x": "up",
+        "hist_hop_over_plain_x": "up",
+    },
 }
 
 #: Context shown alongside the gate (never gated: hardware-dependent).
@@ -69,6 +81,13 @@ REPORTED: dict[str, list[str]] = {
     "c8_faultcost": ["ns_per_send_plain", "ns_per_send_noop"],
     "c9_parallel": ["serial_ms", "parallel_ms", "warm_ms", "cpus"],
     "c10_flowscale": ["nodes", "wall_s"],
+    "c12_obscost": [
+        "ns_per_send_untraced",
+        "ns_per_send_sample001",
+        "ns_per_inc",
+        "ns_per_observe",
+        "ns_per_flush_sample",
+    ],
 }
 
 

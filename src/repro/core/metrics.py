@@ -37,7 +37,15 @@ class MetricsSink(Protocol):
         ...
 
     def observe(self, name: str, value: float) -> None:
-        """Add one sample to the distribution ``name``."""
+        """Add one sample to the streaming-moments distribution ``name``."""
+        ...
+
+    def observe_hist(self, name: str, value: float) -> None:
+        """Add one sample to the log-bucket histogram ``name``.
+
+        Histograms answer quantile questions (p50/p90/p99/max) that
+        streaming moments cannot; latency-shaped sites report here.
+        """
         ...
 
 
@@ -53,6 +61,9 @@ class NullMetrics:
         pass
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    def observe_hist(self, name: str, value: float) -> None:
         pass
 
     def scoped(self, prefix: str) -> "NullMetrics":
@@ -83,6 +94,9 @@ class ScopedMetrics:
 
     def observe(self, name: str, value: float) -> None:
         self._sink.observe(self.prefix + SEPARATOR + name, value)
+
+    def observe_hist(self, name: str, value: float) -> None:
+        self._sink.observe_hist(self.prefix + SEPARATOR + name, value)
 
     def scoped(self, prefix: str) -> "ScopedMetrics":
         return ScopedMetrics(self._sink, self.prefix + SEPARATOR + prefix)

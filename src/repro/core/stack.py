@@ -108,6 +108,10 @@ class Stack:
         # (repro.obs.SpanTracer.attach); the compiled hops include the
         # span bracket only while a hook is attached.
         self._span_hook: Callable[[str, str, str, Any, dict], Any] | None = None
+        # Optional per-traversal latency histogram (any object with an
+        # ``observe(seconds)`` method): compiled into the metrics-tier
+        # endpoint hops as one perf_counter pair per PDU crossing.
+        self._hop_latency: Any | None = None
         self._plan = WiringPlan(self, tier)
         self._wire()
 
@@ -154,6 +158,24 @@ class Stack:
     def span_hook(self, hook: Callable[[str, str, str, Any, dict], Any] | None) -> None:
         """Install (or clear) the span factory and recompile the hops."""
         self._span_hook = hook
+        self._recompile()
+
+    @property
+    def hop_latency(self) -> Any | None:
+        """Wall-clock per-traversal latency sink (``metrics`` tier only).
+
+        Set it to a :class:`repro.obs.Histogram` (anything with
+        ``observe(seconds)``) and every PDU crossing of the stack at
+        ``tier="metrics"`` is timed with one ``perf_counter`` pair at
+        the entry hop.  Wall-clock values are non-deterministic, so
+        campaign scenarios leave this off.
+        """
+        return self._hop_latency
+
+    @hop_latency.setter
+    def hop_latency(self, sink: Any | None) -> None:
+        """Install (or clear) the latency sink and recompile the hops."""
+        self._hop_latency = sink
         self._recompile()
 
     @property
@@ -334,6 +356,7 @@ class Stack:
         )
         twin.taps = list(self._taps)
         twin.span_hook = self._span_hook
+        twin.hop_latency = self._hop_latency
         twin.on_transmit = self._on_transmit
         twin.on_deliver = self._on_deliver
         return twin

@@ -43,6 +43,7 @@ same virtual-time behaviour); only per-crossing host work changes.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable
 
 from .errors import ConfigurationError
@@ -295,10 +296,58 @@ class WiringPlan:
 
         if hook is not None:
             spanned = call
+            # A sampling hook returns None for crossings it is not
+            # keeping (head-sampled out): the hop then skips the
+            # context-manager protocol entirely.  Sampling hooks also
+            # expose a ``gate`` — ``[dropping, skipped]`` — that is
+            # True for the whole dynamic extent of a head-dropped
+            # activation, letting these hops skip even the hook call:
+            # two list indexings instead of a frame, which is what
+            # keeps sampled tracing within the C12 overhead budget.
+            gate = getattr(hook, "gate", None)
 
-            def call(sdu: Any, **meta: Any) -> None:
-                with hook(direction, caller, provider, sdu, meta):
-                    spanned(sdu, **meta)
+            if gate is None:
+
+                def call(sdu: Any, **meta: Any) -> None:
+                    span = hook(direction, caller, provider, sdu, meta)
+                    if span is None:
+                        spanned(sdu, **meta)
+                    else:
+                        with span:
+                            spanned(sdu, **meta)
+
+            else:
+
+                def call(sdu: Any, **meta: Any) -> None:
+                    if gate[0]:
+                        gate[1] += 1
+                        spanned(sdu, **meta)
+                        return
+                    span = hook(direction, caller, provider, sdu, meta)
+                    if span is None:
+                        spanned(sdu, **meta)
+                    else:
+                        with span:
+                            spanned(sdu, **meta)
+
+        # Per-traversal latency clock pair: metrics tier only, endpoint
+        # entry hops only (app_send going down, wire_receive coming
+        # up), so each PDU costs exactly one perf_counter pair however
+        # deep the stack is.  Because hops are synchronous, the pair
+        # brackets the PDU's full crossing of this stack — "hop" in the
+        # network sense.  Wall-clock, hence strictly opt-in: campaign
+        # scenarios must not enable it or their reports stop being
+        # deterministic.
+        if self.tier == TIER_METRICS and caller in (APP, WIRE):
+            latency = getattr(stack, "hop_latency", None)
+            if latency is not None:
+                observe = latency.observe
+                timed = call
+
+                def call(sdu: Any, **meta: Any) -> None:
+                    start = perf_counter()
+                    timed(sdu, **meta)
+                    observe(perf_counter() - start)
 
         taps = tuple(stack.taps)
 

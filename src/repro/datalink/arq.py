@@ -82,6 +82,35 @@ class ArqSublayerBase(Sublayer):
         self.state.corrupt_dropped = 0
         self.state.delivered = 0
         self.state.given_up = 0
+        # Measurement-side bookkeeping (like the retransmit timers,
+        # deliberately *not* protocol state): first-transmission time
+        # per outstanding seq, and which seqs were ever retransmitted —
+        # Karn's rule: an RTT sample is only taken from a frame that
+        # went out exactly once, so retransmission ambiguity never
+        # pollutes the distribution.
+        self._sent_at: dict[int, float] = {}
+        self._resent: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Latency observation (virtual time, so campaign histograms merge
+    # deterministically across workers)
+    # ------------------------------------------------------------------
+    def _note_sent(self, seq: int) -> None:
+        self._sent_at[seq] = self.clock.now()
+
+    def _note_retransmit(self, seq: int) -> None:
+        self._resent.add(seq)
+        sent = self._sent_at.get(seq)
+        if sent is not None:
+            self.metrics.observe_hist(
+                "retransmit_delay", self.clock.now() - sent
+            )
+
+    def _note_acked(self, seq: int) -> None:
+        sent = self._sent_at.pop(seq, None)
+        if sent is not None and seq not in self._resent:
+            self.metrics.observe_hist("rtt", self.clock.now() - sent)
+        self._resent.discard(seq)
 
     # ------------------------------------------------------------------
     def _encode(self, kind: int, seq: int, ack: int, payload: Bits) -> Bits:
@@ -149,6 +178,7 @@ class StopAndWaitArq(ArqSublayerBase):
         self.state.awaiting_ack = True
         self.state.retries = 0
         self.count("data_sent")
+        self._note_sent(self.state.snd_seq)
         self._transmit_data(self.state.snd_seq, payload)
         self._arm_timer()
 
@@ -166,6 +196,7 @@ class StopAndWaitArq(ArqSublayerBase):
             return
         self.state.retries = self.state.retries + 1
         self.count("data_retransmitted")
+        self._note_retransmit(self.state.snd_seq)
         self._transmit_data(self.state.snd_seq, self.state.inflight)
         self._arm_timer()
 
@@ -174,6 +205,7 @@ class StopAndWaitArq(ArqSublayerBase):
             return  # stale ack
         if self._timer is not None:
             self._timer.cancel()
+        self._note_acked(self.state.snd_seq)
         self.state.awaiting_ack = False
         self.state.inflight = None
         self.state.snd_seq = self.state.snd_seq + 1
@@ -244,6 +276,7 @@ class GoBackNArq(ArqSublayerBase):
             self.state.unacked = unacked
             self.state.next_seq = seq + 1
             self.count("data_sent")
+            self._note_sent(seq)
             self._transmit_data(seq, payload)
             if self._timer is None or self._timer.cancelled:
                 self._arm_timer()
@@ -263,6 +296,7 @@ class GoBackNArq(ArqSublayerBase):
         unacked = self.state.unacked
         for seq in range(self.state.base, self.state.next_seq):
             self.count("data_retransmitted")
+            self._note_retransmit(seq)
             self._transmit_data(seq, unacked[seq])
         self._arm_timer()
 
@@ -276,6 +310,7 @@ class GoBackNArq(ArqSublayerBase):
         unacked = dict(self.state.unacked)
         for seq in range(self.state.base, acked_through):
             unacked.pop(seq, None)
+            self._note_acked(seq)
         self.state.unacked = unacked
         self.state.base = acked_through
         self.state.retries = 0
@@ -346,6 +381,7 @@ class SelectiveRepeatArq(ArqSublayerBase):
             self.state.retries = retries
             self.state.next_seq = seq + 1
             self.count("data_sent")
+            self._note_sent(seq)
             self._transmit_data(seq, payload)
             self._arm_timer(seq)
 
@@ -368,6 +404,7 @@ class SelectiveRepeatArq(ArqSublayerBase):
         retries[seq] = retries.get(seq, 0) + 1
         self.state.retries = retries
         self.count("data_retransmitted")
+        self._note_retransmit(seq)
         self._transmit_data(seq, self.state.unacked[seq])
         self._arm_timer(seq)
 
@@ -378,6 +415,7 @@ class SelectiveRepeatArq(ArqSublayerBase):
         unacked = dict(self.state.unacked)
         unacked.pop(seq)
         self.state.unacked = unacked
+        self._note_acked(seq)
         timer = self._timers.pop(seq, None)
         if timer is not None:
             timer.cancel()

@@ -27,8 +27,10 @@ import json
 import sys
 from typing import Any
 
+from pathlib import Path
+
 from ..core.errors import ConfigurationError
-from ..obs import MetricsRegistry
+from ..obs import FlightRecorder, MetricsRegistry
 from ..par import (
     DEFAULT_CACHE_DIR,
     ForkPool,
@@ -40,11 +42,27 @@ from .scenarios import MATRICES, Scenario, ScenarioResult, TrialResult, build_ma
 #: Scenarios inherited by forked campaign workers for the current run.
 _SCENARIOS: list[Scenario] = []
 
+#: Flight-recorder bundle root for the current run (None = off),
+#: likewise inherited by forked workers.
+_RECORDER_DIR: str | None = None
+
 
 def _campaign_trial(item: tuple[int, int]) -> tuple[TrialResult, dict[str, Any]]:
-    """Worker-side: run trial ``item = (scenario_index, seed)``."""
+    """Worker-side: run trial ``item = (scenario_index, seed)``.
+
+    With recording on, each trial gets its own :class:`FlightRecorder`
+    aimed at a per-(scenario, seed) bundle directory — workers share a
+    filesystem, not memory, so the bundle is written worker-side and
+    only its path crosses the pipe (in the trial info).
+    """
     index, seed = item
-    return _SCENARIOS[index].run_trial_with_metrics(seed)
+    scenario = _SCENARIOS[index]
+    recorder = None
+    if _RECORDER_DIR is not None:
+        recorder = FlightRecorder(
+            directory=Path(_RECORDER_DIR) / f"{scenario.name}-seed{seed}"
+        )
+    return scenario.run_trial_with_metrics(seed, recorder=recorder)
 
 
 def run_campaign(
@@ -53,6 +71,7 @@ def run_campaign(
     only: list[str] | None = None,
     jobs: int | None = None,
     cache: ProofCache | None = None,
+    recorder_dir: str | None = None,
 ) -> dict:
     """Run the matrix; returns the JSON-serializable resilience report.
 
@@ -60,10 +79,17 @@ def run_campaign(
     scenarios don't serialize behind fast ones.  Results are
     reassembled in scenario/seed order and trial metric snapshots are
     merged into the report's ``metrics`` aggregate in that same order,
-    making the report identical for any ``jobs`` value.  With
-    ``cache``, green trials are memoised keyed by the scenario's
-    content hash (code + parameters); red trials always re-run.
+    making the report identical for any ``jobs`` value — including its
+    merged histogram snapshots, whose integer log-buckets merge
+    exactly.  With ``cache``, green trials are memoised keyed by the
+    scenario's content hash (code + parameters); red trials always
+    re-run.  ``recorder_dir`` arms a per-trial flight recorder: red
+    trials leave a post-mortem bundle under
+    ``recorder_dir/<scenario>-seed<seed>/`` (green trials leave
+    nothing; note a cache hit replays a previous green verdict without
+    re-running, so it never writes a bundle either).
     """
+    global _RECORDER_DIR
     scenarios = build_matrix(matrix)
     if only:
         names = {s.name for s in scenarios}
@@ -101,6 +127,7 @@ def run_campaign(
     if pending:
         _SCENARIOS.clear()
         _SCENARIOS.extend(scenarios)
+        _RECORDER_DIR = recorder_dir
         try:
             with ForkPool(_campaign_trial, jobs=jobs) as pool:
                 for item, outcome in zip(pending, pool.map(pending)):
@@ -114,6 +141,7 @@ def run_campaign(
                         )
         finally:
             _SCENARIOS.clear()
+            _RECORDER_DIR = None
 
     registry = MetricsRegistry()
     results: list[ScenarioResult] = []
@@ -128,7 +156,8 @@ def run_campaign(
                 name=scenario.name, profile=scenario.profile, trials=trials
             )
         )
-    counters = registry.snapshot()["counters"]
+    merged = registry.snapshot()
+    counters = merged["counters"]
     return {
         "matrix": matrix,
         "seeds": seeds,
@@ -144,6 +173,12 @@ def run_campaign(
             ),
             "counters": len(counters),
             "histograms": len(registry.histograms),
+            # The campaign-wide latency distributions (ARQ RTT,
+            # handshake time, queue residency…), merged exactly from
+            # per-trial snapshots in scenario/seed order — so this
+            # section is byte-identical for any --jobs value, which CI
+            # checks with a straight file compare.
+            "hists": merged["hists"],
         },
     }
 
@@ -168,6 +203,11 @@ def _print_summary(report: dict) -> None:
                 print(
                     f"    seed {trial['seed']}: {violation['monitor']}: "
                     f"{violation['detail']}"
+                )
+            if "bundle" in trial["info"]:
+                print(
+                    f"    seed {trial['seed']}: flight bundle: "
+                    f"{trial['info']['bundle']}"
                 )
     print("resilient" if report["ok"] else "INVARIANT VIOLATIONS")
 
@@ -220,6 +260,12 @@ def main(argv: list[str] | None = None) -> int:
         help=f"trial cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
+        "--flight-recorder",
+        metavar="DIR",
+        help="arm a per-trial flight recorder; red trials dump a "
+        "post-mortem bundle (spans + metrics + trigger) under DIR",
+    )
+    parser.add_argument(
         "--out",
         metavar="FILE.json",
         help="write the JSON resilience report here",
@@ -251,6 +297,7 @@ def main(argv: list[str] | None = None) -> int:
             only=args.scenario,
             jobs=args.jobs,
             cache=cache,
+            recorder_dir=args.flight_recorder,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)

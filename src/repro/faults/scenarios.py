@@ -171,6 +171,10 @@ class Scenario:
     name = "scenario"
     profile = "?"
 
+    #: The trial's flight recorder, set by :meth:`run_trial_with_metrics`
+    #: for the duration of one :meth:`execute` (None = not recording).
+    recorder: Any = None
+
     def monitors(self) -> list[Monitor]:
         """The invariant monitors that judge each trial's evidence."""
         raise NotImplementedError
@@ -179,13 +183,23 @@ class Scenario:
         """Build the world, run the traffic, return the evidence."""
         raise NotImplementedError
 
+    def _observe(self, registry: Any, *stacks: Any) -> None:
+        """Hand the trial's registry and stacks to the flight recorder.
+
+        Every ``execute`` calls this once its world is built; with no
+        recorder installed it is a no-op, so scenarios pay nothing in
+        the common unrecorded case.
+        """
+        if self.recorder is not None:
+            self.recorder.observe(registry, *stacks)
+
     def run_trial(self, seed: int) -> TrialResult:
         """Execute one seeded trial and judge it with the monitors."""
         trial, _ = self.run_trial_with_metrics(seed)
         return trial
 
     def run_trial_with_metrics(
-        self, seed: int
+        self, seed: int, recorder: Any = None
     ) -> tuple[TrialResult, dict[str, Any]]:
         """One trial plus the metrics snapshot its run left behind.
 
@@ -193,8 +207,18 @@ class Scenario:
         pipe from forked workers; the parent folds the snapshots into a
         campaign-wide registry via
         :meth:`~repro.obs.MetricsRegistry.merge_snapshot`.
+
+        ``recorder`` (a :class:`~repro.obs.FlightRecorder`) rides along
+        for the trial: ``execute`` attaches it to the trial's stacks
+        and registry, and a red verdict — monitor violations, collected
+        errors, or an exception a sublayer let escape — triggers the
+        post-mortem bundle dump.  Green trials write nothing.
         """
-        evidence = self.execute(seed)
+        self.recorder = recorder
+        try:
+            evidence = self.execute(seed)
+        finally:
+            self.recorder = None
         violations = [
             violation
             for monitor in self.monitors()
@@ -209,6 +233,18 @@ class Scenario:
                 if name.endswith("/faults_injected")
             )
         )
+        if recorder is not None:
+            recorder.detach()
+            if violations or evidence.errors:
+                bundle = recorder.dump(
+                    {
+                        "scenario": self.name,
+                        "seed": seed,
+                        "violations": [v.as_dict() for v in violations],
+                        "errors": list(evidence.errors),
+                    }
+                )
+                info["bundle"] = str(bundle)
         return TrialResult(seed=seed, violations=violations, info=info), snapshot
 
     def run(self, seeds: list[int], jobs: int | None = None) -> ScenarioResult:
@@ -335,6 +371,7 @@ class HdlcScenario(Scenario):
             metrics=registry,
         )
         duplex.attach(stacks[0], stacks[1])
+        self._observe(registry, *stacks)
         inbox = collect_bytes(stacks[1])
         messages = [f"frame-{seed}-{i}".encode() for i in range(self.messages)]
         for message in messages:
@@ -438,6 +475,7 @@ class WirelessScenario(Scenario):
             )
 
         stacks = [station(0), station(1)]
+        self._observe(registry, *stacks)
         inbox = collect_bytes(stacks[1])
         collect_bytes(stacks[0])  # sink station 0's deliveries too
         messages = [f"wl-{seed}-{i}".encode() for i in range(self.messages)]
@@ -539,6 +577,7 @@ class TcpScenario(Scenario):
             metrics=registry,
         )
         duplex.attach(hosts["a"], hosts["b"])
+        self._observe(registry, hosts["a"], hosts["b"])
 
         hosts["b"].listen(80)
         data = bytes((seed + i) % 251 for i in range(self.nbytes))
@@ -643,6 +682,7 @@ class QuicScenario(Scenario):
             metrics=registry,
         )
         duplex.attach(hosts["a"], hosts["b"])
+        self._observe(registry, hosts["a"], hosts["b"])
 
         hosts["b"].listen(443)
         payloads = {
@@ -708,6 +748,9 @@ class RoutingScenario(Scenario):
         """Fail and repair a diamond-topology link, recording convergence."""
         sim = Simulator()
         registry = MetricsRegistry()
+        # Routed topologies drive router stacks internally; the
+        # recorder still gets the registry for its metric checkpoints.
+        self._observe(registry)
         evidence = Evidence(
             scenario=self.name, seed=seed, metrics=registry
         )
@@ -781,8 +824,22 @@ def smoke_matrix() -> list[Scenario]:
     ]
 
 
+def negative_matrix() -> list[Scenario]:
+    """The deliberately-red control: recovery removed, monitors must
+    fire.  Kept out of ``default``/``smoke`` so a green campaign stays
+    meaningful; CI runs it separately to prove the flight recorder
+    dumps a bundle when trials go red.  ``drop=0.4`` makes the medium
+    hostile enough that every early seed actually loses data, so the
+    red comes from the loss monitors rather than the injection-evidence
+    backstop."""
+    return [
+        WirelessScenario(messages=8, drop=0.4, arq=False, timeout=90.0),
+    ]
+
+
 MATRICES: dict[str, Callable[[], list[Scenario]]] = {
     "default": default_matrix,
+    "negative": negative_matrix,
     "smoke": smoke_matrix,
 }
 

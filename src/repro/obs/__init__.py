@@ -7,14 +7,23 @@ access logs, ad-hoc counters) behind four pieces:
 
 * :class:`SpanTracer` — a causal span around every sublayer crossing
   of an attached :class:`~repro.core.stack.Stack`, answering "what
-  happened to this one PDU, and where did the time go?";
+  happened to this one PDU, and where did the time go?"; head-sampled
+  with tail retention (:mod:`repro.obs.sample`) when always-on tracing
+  would cost too much;
 * :class:`MetricsRegistry` — namespaced counters/gauges/histograms
   that sublayers reach through the narrow
-  :class:`~repro.core.metrics.MetricsSink` surface;
+  :class:`~repro.core.metrics.MetricsSink` surface, including the
+  mergeable log-bucket :class:`Histogram` behind ``observe_hist``
+  (latency distributions: ARQ RTT, handshake time, queue residency);
 * :class:`CallbackProfiler` — per-actor wall-clock cost of simulator
   callbacks, for finding hot sublayers before optimizing;
-* exporters — JSON-lines, Chrome trace-event JSON (Perfetto-loadable),
-  and text summaries, plus the ``python -m repro.obs`` CLI.
+* :class:`FlightRecorder` — bounded always-on capture (span ring +
+  metric checkpoints) dumped as a post-mortem bundle when a fault
+  campaign goes red;
+* exporters and analysis — JSON-lines, Chrome trace-event JSON
+  (Perfetto-loadable), text summaries, critical-path / self-time /
+  flamegraph analysis (:mod:`repro.obs.analyze`), plus the
+  ``python -m repro.obs`` CLI.
 
 Layering: ``obs`` sits *outside* the protocol layer DAG.  It may
 observe (import) every layer; no protocol layer may import it — the
@@ -22,6 +31,13 @@ static checker (:mod:`repro.staticcheck`) enforces this, the same way
 it keeps forwarding out of routing's state.
 """
 
+from .analyze import (
+    breakdown,
+    critical_path,
+    diff_breakdowns,
+    folded_stacks,
+    self_times,
+)
 from .export import (
     ExportError,
     load_jsonl,
@@ -33,25 +49,37 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .hist import Histogram
 from .metrics import MetricsRegistry
 from .profile import UNATTRIBUTED, CallbackProfiler
+from .recorder import FlightRecorder
+from .sample import default_sample_rng, watch_counters
 from .span import SPAN_CATEGORY, SpanTracer, pdu_id, pdu_label
 
 __all__ = [
     "CallbackProfiler",
     "ExportError",
+    "FlightRecorder",
+    "Histogram",
     "MetricsRegistry",
     "SPAN_CATEGORY",
     "SpanTracer",
     "UNATTRIBUTED",
+    "breakdown",
+    "critical_path",
+    "default_sample_rng",
+    "diff_breakdowns",
+    "folded_stacks",
     "load_jsonl",
-    "merge_jsonl",
     "load_jsonl_with_meta",
+    "merge_jsonl",
     "pdu_id",
     "pdu_label",
+    "self_times",
     "spans_to_jsonl",
     "summarize",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "watch_counters",
     "write_chrome_trace",
 ]

@@ -6,7 +6,10 @@ Commands:
 * ``convert FILE.jsonl -o OUT.json [--clock wall|virtual]`` — produce
   Chrome trace-event JSON loadable in Perfetto / chrome://tracing;
 * ``validate FILE.json`` — schema-check a Chrome trace-event file
-  (exit status 1 on problems), used by CI on exporter output.
+  (exit status 1 on problems), used by CI on exporter output;
+* ``analyze FILE.jsonl`` — critical path, per-sublayer self-time
+  breakdown with latency quantiles, flamegraph folded-stack output
+  (``--folded``), and regression-sorted diffs of two runs (``--diff``).
 """
 
 from __future__ import annotations
@@ -14,7 +17,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
+from .analyze import folded_stacks, render_diff, render_report
 from .export import (
     ExportError,
     load_jsonl_with_meta,
@@ -26,7 +31,11 @@ from .export import (
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
     spans, meta = load_jsonl_with_meta(args.file)
-    print(summarize(spans, dropped=int(meta.get("dropped_events", 0))))
+    print(
+        summarize(
+            spans, dropped=int(meta.get("dropped_events", 0)), meta=meta
+        )
+    )
     return 0
 
 
@@ -57,6 +66,27 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    spans, meta = load_jsonl_with_meta(args.file)
+    if args.diff is not None:
+        baseline, _ = load_jsonl_with_meta(args.diff)
+        print(render_diff(baseline, spans, clock=args.clock, top=args.top))
+    else:
+        if meta.get("sample_rate") is not None:
+            print(
+                f"note: trace sampled at rate {meta['sample_rate']:g} "
+                f"({meta.get('sampled_out', 0)} spans sampled out)"
+            )
+        print(render_report(spans, clock=args.clock, top=args.top))
+    if args.folded is not None:
+        lines = folded_stacks(spans, clock=args.clock)
+        Path(args.folded).write_text(
+            "".join(line + "\n" for line in lines), encoding="utf-8"
+        )
+        print(f"wrote {len(lines)} folded stacks to {args.folded}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -82,6 +112,36 @@ def main(argv: list[str] | None = None) -> int:
     p_val = sub.add_parser("validate", help="schema-check a Chrome trace")
     p_val.add_argument("file", help="Chrome trace-event .json file")
     p_val.set_defaults(fn=_cmd_validate)
+
+    p_an = sub.add_parser(
+        "analyze", help="critical path + per-sublayer latency breakdown"
+    )
+    p_an.add_argument("file", help="span JSON-lines file")
+    p_an.add_argument(
+        "--clock",
+        choices=("wall", "virtual"),
+        default="wall",
+        help="timestamp source: host wall clock or simulated time",
+    )
+    p_an.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows to show in breakdown/diff tables (default: 10)",
+    )
+    p_an.add_argument(
+        "--folded",
+        metavar="OUT.folded",
+        help="also write flamegraph folded-stack lines here",
+    )
+    p_an.add_argument(
+        "--diff",
+        metavar="BASELINE.jsonl",
+        help="diff against a baseline trace: per-sublayer self-time "
+        "deltas, regressions first",
+    )
+    p_an.set_defaults(fn=_cmd_analyze)
 
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,294 @@
+"""Trace analysis: critical paths, self-time breakdowns, flamegraphs.
+
+A span trace says what happened; this module says where the time went.
+All functions work on the plain span dicts produced by
+:class:`~repro.obs.span.SpanTracer` (or loaded from its JSONL files)
+and on either clock — ``wall`` (host cost: what a profiler wants) or
+``virtual`` (simulated latency: what protocol forensics wants):
+
+* :func:`self_times` — each span's duration minus its children's, the
+  time a crossing spent *in* its target sublayer rather than below it;
+* :func:`critical_path` — the chain of maximum-duration spans from the
+  heaviest root down, i.e. the single path a latency fix must touch;
+* :func:`breakdown` — per-(stack, sublayer) totals with p50/p90/p99
+  self-time quantiles from the same log-bucket
+  :class:`~repro.obs.hist.Histogram` the metrics registry uses;
+* :func:`folded_stacks` — ``caller;callee;... value`` lines, the input
+  format of every flamegraph renderer since Gregg's original scripts;
+* :func:`diff_breakdowns` — per-sublayer deltas of two runs, sorted
+  regressions-first, for "what got slower since the baseline?".
+
+The ``python -m repro.obs analyze`` subcommand wraps these for bundle
+and trace files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .export import CLOCKS, ExportError
+from .hist import Histogram
+
+#: Span count guard for the O(n) tree walks below.
+_MAX_DEPTH = 10_000
+
+
+def span_duration(span: dict[str, Any], clock: str = "wall") -> float:
+    """One span's duration in seconds on the chosen clock."""
+    if clock == "wall":
+        return span["w1"] - span["w0"]
+    return span["t1"] - span["t0"]
+
+
+def _check_clock(clock: str) -> None:
+    if clock not in CLOCKS:
+        raise ExportError(f"clock must be one of {CLOCKS}, got {clock!r}")
+
+
+def build_index(
+    spans: Iterable[dict[str, Any]],
+) -> tuple[dict[int, dict[str, Any]], dict[int | None, list[dict[str, Any]]]]:
+    """Index spans: ``(sid -> span, parent sid -> children)``.
+
+    Children whose parent is missing from the trace (sampled out or
+    ring-dropped) are treated as roots — an analysis must not silently
+    lose their subtree's time.
+    """
+    by_sid: dict[int, dict[str, Any]] = {}
+    children: dict[int | None, list[dict[str, Any]]] = {}
+    for span in spans:
+        by_sid[span["sid"]] = span
+    for span in by_sid.values():
+        parent = span.get("parent")
+        if parent is not None and parent not in by_sid:
+            parent = None
+        children.setdefault(parent, []).append(span)
+    return by_sid, children
+
+
+def self_times(
+    spans: Iterable[dict[str, Any]], clock: str = "wall"
+) -> dict[int, float]:
+    """Each span's self time: its duration minus its children's.
+
+    Because hops are synchronous, a span's children run entirely
+    inside it; what remains after subtracting them is the time its
+    target sublayer itself spent on the crossing.  Clamped at zero —
+    clock granularity can make a child appear longer than its parent.
+    """
+    _check_clock(clock)
+    by_sid, children = build_index(spans)
+    out: dict[int, float] = {}
+    for sid, span in by_sid.items():
+        inner = sum(
+            span_duration(child, clock) for child in children.get(sid, ())
+        )
+        out[sid] = max(0.0, span_duration(span, clock) - inner)
+    return out
+
+
+def critical_path(
+    spans: Iterable[dict[str, Any]], clock: str = "wall"
+) -> list[dict[str, Any]]:
+    """The max-duration chain: heaviest root, then heaviest child, down.
+
+    This is the path a latency optimisation must shorten — any span off
+    it is hidden under one that is on it.  Ties break deterministically
+    by span id.
+    """
+    _check_clock(clock)
+    _, children = build_index(spans)
+    roots = children.get(None, [])
+    if not roots:
+        return []
+
+    def weight(span: dict[str, Any]) -> tuple[float, int]:
+        # Negative sid: on equal duration prefer the *earlier* span.
+        return (span_duration(span, clock), -span["sid"])
+
+    path: list[dict[str, Any]] = []
+    node = max(roots, key=weight)
+    for _ in range(_MAX_DEPTH):
+        path.append(node)
+        kids = children.get(node["sid"])
+        if not kids:
+            break
+        node = max(kids, key=weight)
+    return path
+
+
+def breakdown(
+    spans: Iterable[dict[str, Any]], clock: str = "wall"
+) -> list[dict[str, Any]]:
+    """Per-(stack, sublayer) latency rows, heaviest self-time first.
+
+    Each row: ``stack``, ``actor``, ``hops``, ``total_s`` (sum of span
+    durations — double-counts nesting, useful as "time under this
+    sublayer"), ``self_s`` (exclusive), and ``p50_s``/``p90_s``/
+    ``p99_s``/``max_s`` quantiles of per-crossing self time.
+    """
+    _check_clock(clock)
+    spans = list(spans)
+    selfs = self_times(spans, clock)
+    rows: dict[tuple[str, str], dict[str, Any]] = {}
+    hists: dict[tuple[str, str], Histogram] = {}
+    for span in spans:
+        key = (span["stack"], span["actor"])
+        row = rows.setdefault(
+            key,
+            {
+                "stack": key[0],
+                "actor": key[1],
+                "hops": 0,
+                "total_s": 0.0,
+                "self_s": 0.0,
+            },
+        )
+        row["hops"] += 1
+        row["total_s"] += span_duration(span, clock)
+        row["self_s"] += selfs[span["sid"]]
+        hists.setdefault(key, Histogram()).observe(selfs[span["sid"]])
+    for key, row in rows.items():
+        hist = hists[key]
+        row["p50_s"] = hist.quantile(0.5)
+        row["p90_s"] = hist.quantile(0.9)
+        row["p99_s"] = hist.quantile(0.99)
+        row["max_s"] = hist.maximum
+    return sorted(
+        rows.values(), key=lambda r: (-r["self_s"], r["stack"], r["actor"])
+    )
+
+
+def folded_stacks(
+    spans: Iterable[dict[str, Any]], clock: str = "wall"
+) -> list[str]:
+    """Flamegraph-folded lines: ``stack:actor;...;stack:actor N``.
+
+    ``N`` is aggregated self time in integer microseconds; frames are
+    root-to-leaf ancestry, each named ``stack:actor``.  Feed the lines
+    to any ``flamegraph.pl``-compatible renderer.  Lines are sorted
+    for deterministic output; zero-valued paths are kept so the shape
+    of the trace survives even when a clock under-resolves it.
+    """
+    _check_clock(clock)
+    spans = list(spans)
+    by_sid, _ = build_index(spans)
+    selfs = self_times(spans, clock)
+    folded: dict[str, int] = {}
+    for span in spans:
+        frames = []
+        node: dict[str, Any] | None = span
+        for _ in range(_MAX_DEPTH):
+            if node is None:
+                break
+            frames.append(f"{node['stack']}:{node['actor']}")
+            parent = node.get("parent")
+            node = by_sid.get(parent) if parent is not None else None
+        path = ";".join(reversed(frames))
+        folded[path] = folded.get(path, 0) + round(selfs[span["sid"]] * 1e6)
+    return [f"{path} {value}" for path, value in sorted(folded.items())]
+
+
+def diff_breakdowns(
+    baseline: Iterable[dict[str, Any]],
+    current: Iterable[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """Per-sublayer self-time deltas between two breakdowns.
+
+    Rows carry both sides' ``self_s``/``hops`` plus ``delta_s`` and are
+    sorted biggest regression first (new sublayers count fully, removed
+    ones negatively), so the top of the table answers "what got slower".
+    """
+    base = {(r["stack"], r["actor"]): r for r in baseline}
+    cur = {(r["stack"], r["actor"]): r for r in current}
+    out: list[dict[str, Any]] = []
+    for key in sorted(set(base) | set(cur)):
+        b = base.get(key)
+        c = cur.get(key)
+        b_self = b["self_s"] if b else 0.0
+        c_self = c["self_s"] if c else 0.0
+        out.append(
+            {
+                "stack": key[0],
+                "actor": key[1],
+                "base_self_s": b_self,
+                "self_s": c_self,
+                "delta_s": c_self - b_self,
+                "base_hops": b["hops"] if b else 0,
+                "hops": c["hops"] if c else 0,
+            }
+        )
+    return sorted(
+        out, key=lambda r: (-r["delta_s"], r["stack"], r["actor"])
+    )
+
+
+# ----------------------------------------------------------------------
+# Report rendering (the CLI's output)
+# ----------------------------------------------------------------------
+def _us(seconds: float) -> str:
+    return f"{seconds * 1e6:.1f}"
+
+
+def render_report(
+    spans: list[dict[str, Any]], clock: str = "wall", top: int = 10
+) -> str:
+    """The ``obs analyze`` text report: critical path + breakdown."""
+    if not spans:
+        return "(no spans recorded)"
+    selfs = self_times(spans, clock)
+    path = critical_path(spans, clock)
+    lines = [
+        f"{len(spans)} spans, {len(build_index(spans)[1].get(None, []))} "
+        f"activations, {clock} clock",
+        "",
+        f"critical path ({_us(span_duration(path[0], clock))}us "
+        "end-to-end):",
+    ]
+    for span in path:
+        hop = f"{span['caller']}->{span['actor']}"
+        lines.append(
+            f"  {span['direction']:<4} {hop:<28} [{span['stack']}]"
+            f"  total {_us(span_duration(span, clock)):>8}us"
+            f"  self {_us(selfs[span['sid']]):>8}us"
+        )
+    lines += [
+        "",
+        "per-sublayer breakdown (self time, heaviest first):",
+        f"{'stack':<16} {'actor':<12} {'hops':>6} {'total_us':>10} "
+        f"{'self_us':>10} {'p50_us':>8} {'p90_us':>8} {'p99_us':>8} "
+        f"{'max_us':>8}",
+    ]
+    for row in breakdown(spans, clock)[:top]:
+        lines.append(
+            f"{row['stack']:<16} {row['actor']:<12} {row['hops']:>6} "
+            f"{_us(row['total_s']):>10} {_us(row['self_s']):>10} "
+            f"{_us(row['p50_s']):>8} {_us(row['p90_s']):>8} "
+            f"{_us(row['p99_s']):>8} {_us(row['max_s']):>8}"
+        )
+    return "\n".join(lines)
+
+
+def render_diff(
+    baseline_spans: list[dict[str, Any]],
+    current_spans: list[dict[str, Any]],
+    clock: str = "wall",
+    top: int = 10,
+) -> str:
+    """The ``obs analyze --diff`` text report: regressions first."""
+    rows = diff_breakdowns(
+        breakdown(baseline_spans, clock), breakdown(current_spans, clock)
+    )
+    lines = [
+        f"per-sublayer self-time delta ({clock} clock, regressions first):",
+        f"{'stack':<16} {'actor':<12} {'base_us':>10} {'now_us':>10} "
+        f"{'delta_us':>10} {'hops':>11}",
+    ]
+    for row in rows[:top]:
+        lines.append(
+            f"{row['stack']:<16} {row['actor']:<12} "
+            f"{_us(row['base_self_s']):>10} {_us(row['self_s']):>10} "
+            f"{row['delta_s'] * 1e6:>+10.1f} "
+            f"{row['base_hops']:>5}->{row['hops']:<5}"
+        )
+    return "\n".join(lines)

@@ -50,21 +50,26 @@ class ExportError(ValueError):
 # JSON-lines
 # ----------------------------------------------------------------------
 def spans_to_jsonl(
-    spans: Iterable[dict[str, Any]], path: Any, dropped: int = 0
+    spans: Iterable[dict[str, Any]],
+    path: Any,
+    dropped: int = 0,
+    meta: dict[str, Any] | None = None,
 ) -> int:
     """Write spans one-JSON-object-per-line; returns the span count.
 
     When ``dropped`` is non-zero (the tracer's ring buffer truncated
-    the trace) a leading ``{"_meta": {"dropped_events": N}}`` record is
-    written so downstream consumers cannot mistake a truncated trace
-    for a complete one.
+    the trace) or ``meta`` carries extra fields (``sample_rate``,
+    ``sampled_out``, merge provenance…), a leading
+    ``{"_meta": {...}}`` record is written so downstream consumers
+    cannot mistake a truncated or sampled trace for a complete one.
     """
+    header: dict[str, Any] = dict(meta) if meta else {}
+    if dropped:
+        header["dropped_events"] = dropped
     count = 0
     with open(Path(path), "w", encoding="utf-8") as fp:
-        if dropped:
-            fp.write(
-                json.dumps({META_KEY: {"dropped_events": dropped}}) + "\n"
-            )
+        if header:
+            fp.write(json.dumps({META_KEY: header}, sort_keys=True) + "\n")
         for span in spans:
             fp.write(json.dumps(span, sort_keys=True) + "\n")
             count += 1
@@ -115,14 +120,27 @@ def merge_jsonl(paths: Iterable[Any], out: Any) -> int:
     ``parent``) rebased past the previous inputs' ids, exactly like
     linking object files.  Inputs are merged in the order given, so a
     deterministic input order gives a byte-deterministic merge.
-    Dropped-event counts from the inputs' ``_meta`` records are summed.
+
+    The merged ``_meta`` record aggregates the inputs' records:
+    ``dropped_events`` and ``sampled_out`` are summed,
+    ``merged_inputs`` counts the input files, and ``sample_rate`` is
+    kept only when every input that declared one declared the *same*
+    one (mixed rates make a single rate meaningless, so it is omitted
+    rather than averaged).
     """
     merged: list[dict[str, Any]] = []
     dropped = 0
+    sampled_out = 0
+    rates: set[float] = set()
+    inputs = 0
     base = 0
     for path in paths:
+        inputs += 1
         spans, meta = load_jsonl_with_meta(path)
         dropped += int(meta.get("dropped_events", 0))
+        sampled_out += int(meta.get("sampled_out", 0))
+        if "sample_rate" in meta:
+            rates.add(float(meta["sample_rate"]))
         top = base
         for span in spans:
             rebased = dict(span)
@@ -132,7 +150,12 @@ def merge_jsonl(paths: Iterable[Any], out: Any) -> int:
             top = max(top, rebased["sid"] + 1)
             merged.append(rebased)
         base = top
-    return spans_to_jsonl(merged, out, dropped=dropped)
+    meta_out: dict[str, Any] = {"merged_inputs": inputs}
+    if sampled_out:
+        meta_out["sampled_out"] = sampled_out
+    if len(rates) == 1:
+        meta_out["sample_rate"] = rates.pop()
+    return spans_to_jsonl(merged, out, dropped=dropped, meta=meta_out)
 
 
 # ----------------------------------------------------------------------
@@ -150,15 +173,20 @@ def to_chrome_trace(
     if clock not in CLOCKS:
         raise ExportError(f"clock must be one of {CLOCKS}, got {clock!r}")
     spans = list(spans)
-    events: list[dict[str, Any]] = []
 
+    # Metadata first: viewers apply names/sort indices on sight, and a
+    # trace whose M events all precede its X events diffs cleanly in
+    # golden tests.  Sort indices pin the display order to first-seen
+    # order (stacks as processes, sublayers as threads top-to-bottom in
+    # traversal order) instead of the viewer's own heuristics.
+    meta_events: list[dict[str, Any]] = []
     pids: dict[str, int] = {}
     tids: dict[tuple[str, str], int] = {}
     for span in spans:
         stack = span["stack"]
         if stack not in pids:
             pids[stack] = len(pids) + 1
-            events.append(
+            meta_events.append(
                 {
                     "ph": "M",
                     "name": "process_name",
@@ -167,10 +195,19 @@ def to_chrome_trace(
                     "args": {"name": stack},
                 }
             )
+            meta_events.append(
+                {
+                    "ph": "M",
+                    "name": "process_sort_index",
+                    "pid": pids[stack],
+                    "tid": 0,
+                    "args": {"sort_index": pids[stack]},
+                }
+            )
         key = (stack, span["actor"])
         if key not in tids:
             tids[key] = len(tids) + 1
-            events.append(
+            meta_events.append(
                 {
                     "ph": "M",
                     "name": "thread_name",
@@ -179,6 +216,16 @@ def to_chrome_trace(
                     "args": {"name": span["actor"]},
                 }
             )
+            meta_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": pids[stack],
+                    "tid": tids[key],
+                    "args": {"sort_index": tids[key]},
+                }
+            )
+    events: list[dict[str, Any]] = list(meta_events)
 
     if clock == "wall":
         epoch = min((s["w0"] for s in spans), default=0.0)
@@ -259,8 +306,18 @@ def write_chrome_trace(
 # ----------------------------------------------------------------------
 # Human-readable summary
 # ----------------------------------------------------------------------
-def summarize(spans: Iterable[dict[str, Any]], dropped: int = 0) -> str:
-    """Fixed-width per-(stack, actor) hop/time table."""
+def summarize(
+    spans: Iterable[dict[str, Any]],
+    dropped: int = 0,
+    meta: dict[str, Any] | None = None,
+) -> str:
+    """Fixed-width per-(stack, actor) hop/time table.
+
+    ``meta`` is a trace file's ``_meta`` record; sampling and merge
+    provenance it declares is reported above the table so a sampled or
+    merged trace is never mistaken for a complete single-run one.
+    """
+    meta = meta or {}
     spans = list(spans)
     if not spans:
         return "(no spans recorded)"
@@ -274,10 +331,21 @@ def summarize(spans: Iterable[dict[str, Any]], dropped: int = 0) -> str:
     virtual_span = max(s["t1"] for s in spans) - min(s["t0"] for s in spans)
     lines = [
         f"{len(spans)} spans over {virtual_span:.3f} virtual seconds"
-        + (f" ({dropped} dropped)" if dropped else ""),
-        f"{'stack':<16} {'actor':<12} {'hops':>6} {'down':>6} {'up':>6} "
-        f"{'wall_ms':>9}",
+        + (f" ({dropped} dropped)" if dropped else "")
     ]
+    if "sample_rate" in meta or "sampled_out" in meta:
+        parts = []
+        if "sample_rate" in meta:
+            parts.append(f"sampled at rate {meta['sample_rate']:g}")
+        if meta.get("sampled_out"):
+            parts.append(f"{meta['sampled_out']} spans sampled out")
+        lines.append(", ".join(parts))
+    if meta.get("merged_inputs", 0) > 1:
+        lines.append(f"merged from {meta['merged_inputs']} input files")
+    lines.append(
+        f"{'stack':<16} {'actor':<12} {'hops':>6} {'down':>6} {'up':>6} "
+        f"{'wall_ms':>9}"
+    )
     for (stack, actor), row in sorted(
         rows.items(), key=lambda kv: -kv[1]["wall"]
     ):

@@ -8,9 +8,16 @@ ARQ sublayer of host ``a`` and of host ``b`` land at different names
 (``dl:a/arq/data_sent`` vs ``dl:b/arq/data_sent``) while sharing one
 queryable registry.
 
-Histograms are streaming :class:`~repro.sim.stats.RunningStats`
-(count/mean/stddev/min/max), not bucketed — enough for latency and
-size distributions without choosing bucket boundaries up front.
+Two distribution families coexist behind :meth:`observe` and
+:meth:`observe_hist`:
+
+* ``histograms`` — streaming :class:`~repro.sim.stats.RunningStats`
+  (count/mean/stddev/min/max): cheap moments, no quantiles;
+* ``hists`` — log-bucket :class:`~repro.obs.hist.Histogram`
+  (p50/p90/p99/max): what latency-shaped sites (ARQ RTT, queue
+  residency, hop crossing time) report into, and what merges *exactly*
+  across :mod:`repro.par` worker snapshots (integer bucket counts), so
+  a parallel campaign's aggregate is byte-identical to a serial one's.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Any
 from ..core.instrument import InstrumentedState
 from ..core.metrics import SEPARATOR, ScopedMetrics
 from ..sim.stats import RunningStats
+from .hist import _FLUSH_AT, Histogram
 
 
 class MetricsRegistry:
@@ -30,6 +38,7 @@ class MetricsRegistry:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, RunningStats] = {}
+        self.hists: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     # The MetricsSink surface
@@ -46,16 +55,37 @@ class MetricsRegistry:
             stats = self.histograms[name] = RunningStats()
         stats.add(value)
 
+    def observe_hist(self, name: str, value: float) -> None:
+        hist = self.hists.get(name)
+        if hist is None:
+            hist = self.hists[name] = Histogram()
+        # Inlined Histogram.observe: the C12 budget holds this call to
+        # ~1.5x a counter inc, and the observe() frame alone busts it.
+        pending = hist._pending
+        pending.append(value)
+        if len(pending) >= _FLUSH_AT:
+            hist._flush()
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0)
 
+    def hist(self, name: str) -> Histogram:
+        """The named log-bucket histogram, created empty on first use."""
+        hist = self.hists.get(name)
+        if hist is None:
+            hist = self.hists[name] = Histogram()
+        return hist
+
     def names(self, pattern: str = "*") -> list[str]:
         """All metric names matching a glob pattern, sorted."""
         everything = (
-            set(self.counters) | set(self.gauges) | set(self.histograms)
+            set(self.counters)
+            | set(self.gauges)
+            | set(self.histograms)
+            | set(self.hists)
         )
         return sorted(n for n in everything if fnmatch.fnmatch(n, pattern))
 
@@ -71,6 +101,10 @@ class MetricsRegistry:
             "histograms": {
                 name: stats.as_dict()
                 for name, stats in sorted(self.histograms.items())
+            },
+            "hists": {
+                name: hist.as_dict()
+                for name, hist in sorted(self.hists.items())
             },
         }
 
@@ -96,11 +130,18 @@ class MetricsRegistry:
                 self.histograms[name] = incoming
             else:
                 stats.merge(incoming)
+        for name, data in snapshot.get("hists", {}).items():
+            hist = self.hists.get(name)
+            if hist is None:
+                self.hists[name] = Histogram.from_dict(data)
+            else:
+                hist.merge(Histogram.from_dict(data))
 
     def clear(self) -> None:
         self.counters.clear()
         self.gauges.clear()
         self.histograms.clear()
+        self.hists.clear()
 
     # ------------------------------------------------------------------
     # Pull collection — for components that only expose instrumented
@@ -143,10 +184,18 @@ class MetricsRegistry:
                 f"histo    {name}: n={stats.count} mean={stats.mean:.6g} "
                 f"min={stats.minimum:.6g} max={stats.maximum:.6g}"
             )
+        for name in sorted(self.hists):
+            hist = self.hists[name]
+            lines.append(
+                f"hist     {name}: n={hist.count} "
+                f"p50={hist.quantile(0.5):.6g} p90={hist.quantile(0.9):.6g} "
+                f"p99={hist.quantile(0.99):.6g} max={hist.maximum:.6g}"
+            )
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry({len(self.counters)} counters, "
-            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms)"
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms, "
+            f"{len(self.hists)} hists)"
         )

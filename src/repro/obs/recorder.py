@@ -1,0 +1,128 @@
+"""Flight recorder: bounded always-on capture, dumped on trouble.
+
+The campaign problem with tracing is volume: a fault campaign runs
+thousands of trials and only a handful go red, but the trial that goes
+red is only diagnosable if it was being traced *before* the monitor
+fired.  The :class:`FlightRecorder` is the aviation answer — record
+continuously into a bounded ring, throw the ring away when the flight
+lands safely, write it to disk when it doesn't:
+
+* a ring-buffered :class:`~repro.obs.span.SpanTracer` (optionally
+  sampled, with tail retention keeping error/interest activations)
+  holds the most recent spans;
+* :meth:`checkpoint` keeps a bounded history of metric snapshots so a
+  post-mortem can see counter *movement*, not just final totals;
+* :meth:`dump` writes the post-mortem bundle — ``spans.jsonl``,
+  ``metrics.json``, ``trigger.json`` — to a per-incident directory.
+
+:meth:`~repro.faults.scenarios.Scenario.run_trial_with_metrics` wires
+one of these per trial when a campaign runs with ``--flight-recorder``:
+monitor violations, collected errors, and escaping exceptions all
+trigger a dump, and ``python -m repro.obs analyze`` reads the bundle.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from ..core.errors import ConfigurationError
+from .span import SpanTracer
+
+#: Bundle file names, fixed so tooling can find them.
+SPANS_FILE = "spans.jsonl"
+METRICS_FILE = "metrics.json"
+TRIGGER_FILE = "trigger.json"
+
+
+class FlightRecorder:
+    """Continuous bounded capture of spans + metrics, dumped on trigger.
+
+    ``capacity`` bounds the span ring; ``sample``/``rng``/``retain``
+    pass through to the :class:`~repro.obs.span.SpanTracer` (tail mode
+    is always ``"tree"`` — a post-mortem wants whole activations).
+    ``directory`` is where :meth:`dump` writes bundles; ``snapshots``
+    bounds the checkpoint history.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        sample: float = 1.0,
+        rng: Any = None,
+        retain: Any = None,
+        directory: Any = None,
+        snapshots: int = 16,
+    ):
+        if snapshots < 1:
+            raise ConfigurationError("snapshots must be >= 1")
+        self.tracer = SpanTracer(
+            max_spans=capacity, sample=sample, rng=rng, retain=retain
+        )
+        self.directory = Path(directory) if directory is not None else None
+        self.registry: Any = None
+        self._checkpoints: deque[dict[str, Any]] = deque(maxlen=snapshots)
+        #: Path of the last bundle written, if any.
+        self.dumped: Path | None = None
+
+    # ------------------------------------------------------------------
+    def observe(self, registry: Any, *stacks: Any) -> "FlightRecorder":
+        """Watch a metrics registry and trace stacks; returns self.
+
+        Each positional argument may be a :class:`~repro.core.stack.Stack`
+        or anything carrying one as a ``.stack`` attribute (hosts,
+        stations), so scenario code passes whatever it has.
+        """
+        self.registry = registry
+        for item in stacks:
+            self.tracer.attach(getattr(item, "stack", item))
+        return self
+
+    def detach(self) -> None:
+        """Stop tracing every attached stack (keep what was recorded)."""
+        self.tracer.detach_all()
+
+    def checkpoint(self, label: str, time: float | None = None) -> None:
+        """Snapshot the watched registry into the bounded history."""
+        if self.registry is None:
+            return
+        self._checkpoints.append(
+            {
+                "label": label,
+                "time": time,
+                "snapshot": self.registry.snapshot(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def dump(self, trigger: dict[str, Any], directory: Any = None) -> Path:
+        """Write the post-mortem bundle; returns its directory.
+
+        ``trigger`` records *why* (monitor violations, an escaping
+        exception…) and is stored verbatim in ``trigger.json``.
+        ``directory`` overrides the recorder's configured one —
+        campaigns pass a per-(scenario, seed) subdirectory.
+        """
+        where = Path(directory) if directory is not None else self.directory
+        if where is None:
+            raise ConfigurationError(
+                "FlightRecorder has no dump directory (pass directory= to "
+                "the constructor or to dump())"
+            )
+        where.mkdir(parents=True, exist_ok=True)
+        self.tracer.write_jsonl(where / SPANS_FILE)
+        metrics: dict[str, Any] = {"checkpoints": list(self._checkpoints)}
+        if self.registry is not None:
+            metrics["final"] = self.registry.snapshot()
+        (where / METRICS_FILE).write_text(
+            json.dumps(metrics, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        (where / TRIGGER_FILE).write_text(
+            json.dumps(trigger, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        self.dumped = where
+        return where

@@ -37,6 +37,12 @@ class Simulator:
         # the actor that scheduled it; when None the event loop pays
         # only a None check per event.
         self.profiler = None
+        # Duck-typed event-loop lag hook (``repro.obs.Histogram`` or
+        # anything with ``observe(seconds)``).  While installed, each
+        # callback's wall-clock duration is observed — the distribution
+        # of how long the loop is unavailable per event.  Wall-clock,
+        # so deterministic workloads (fault campaigns) leave it None.
+        self.lag_hist = None
 
     # ------------------------------------------------------------------
     @property
@@ -89,14 +95,17 @@ class Simulator:
                     continue
                 self._now = when
                 profiler = self.profiler
-                if profiler is None:
+                lag_hist = self.lag_hist
+                if profiler is None and lag_hist is None:
                     handle.callback()
                 else:
                     wall_start = time.perf_counter()
                     handle.callback()
-                    profiler.record(
-                        handle.actor, time.perf_counter() - wall_start
-                    )
+                    elapsed = time.perf_counter() - wall_start
+                    if profiler is not None:
+                        profiler.record(handle.actor, elapsed)
+                    if lag_hist is not None:
+                        lag_hist.observe(elapsed)
                 self._events_processed += 1
                 processed += 1
                 if processed > max_events:

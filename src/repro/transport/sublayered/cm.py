@@ -83,6 +83,9 @@ class CmSublayer(Sublayer):
         self.state.listening = set()
         self.state.syns_sent = 0
         self.state.fins_sent = 0
+        # Measurement-side bookkeeping (not protocol state): when each
+        # handshake started, for the handshake_latency histogram.
+        self._hs_started: dict[ConnId, float] = {}
 
     # ------------------------------------------------------------------
     # Service primitives (RD calls these)
@@ -106,6 +109,7 @@ class CmSublayer(Sublayer):
             "local_fin_acked": False,
             "remote_fin_rcvd": False,
         })
+        self._hs_started[conn] = self.clock.now()
         self._send_syn(conn)
 
     def srv_listen(self, port: int) -> None:
@@ -195,6 +199,14 @@ class CmSublayer(Sublayer):
         if timer is not None:
             timer.cancel()
 
+    def _note_established(self, conn: ConnId) -> None:
+        """Record open/SYN -> ESTABLISHED latency (virtual time)."""
+        started = self._hs_started.pop(conn, None)
+        if started is not None:
+            self.metrics.observe_hist(
+                "handshake_latency", self.clock.now() - started
+            )
+
     def _on_hs_timeout(self, conn: ConnId) -> None:
         record = self._get(conn)
         if record is None or record["phase"] == P_ESTABLISHED:
@@ -270,6 +282,7 @@ class CmSublayer(Sublayer):
             "local_fin_acked": False,
             "remote_fin_rcvd": False,
         })
+        self._hs_started[conn] = self.clock.now()
         self._send_syn(conn)  # sends SYNACK in SYN_RCVD phase
 
     def _on_synack(self, conn: ConnId, values: dict) -> None:
@@ -288,6 +301,7 @@ class CmSublayer(Sublayer):
         record["phase"] = P_ESTABLISHED
         self._put(conn, record)
         self._cancel(conn, "hs")
+        self._note_established(conn)
         self.send_down(self.wrap(self._cm_packet(conn, CM_HSACK), None), conn=conn)
         self.notify("established", conn)
 
@@ -301,6 +315,7 @@ class CmSublayer(Sublayer):
         record["phase"] = P_ESTABLISHED
         self._put(conn, record)
         self._cancel(conn, "hs")
+        self._note_established(conn)
         self.notify("established", conn)
 
     def _on_data_segment(self, conn: ConnId, values: dict, inner: Any) -> None:
@@ -314,6 +329,7 @@ class CmSublayer(Sublayer):
             record["phase"] = P_ESTABLISHED
             self._put(conn, record)
             self._cancel(conn, "hs")
+            self._note_established(conn)
             self.notify("established", conn)
         if self._get(conn)["phase"] != P_ESTABLISHED:
             return

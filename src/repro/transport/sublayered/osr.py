@@ -82,6 +82,12 @@ class OsrSublayer(Sublayer):
 
     def on_attach(self) -> None:
         self.state.conns = {}
+        # Measurement-side bookkeeping (not protocol state): per-conn
+        # FIFO of (stream end offset, arrival time) for each send()
+        # chunk, consumed as _pump releases segments past it — the
+        # queue_residency histogram is how long app bytes wait in OSR
+        # before RD gets them (virtual time).
+        self._arrivals: dict[ConnId, list[tuple[int, float]]] = {}
         self.state.segments_released = 0
         self.state.bytes_delivered = 0
         self.state.reordered = 0
@@ -155,6 +161,10 @@ class OsrSublayer(Sublayer):
         record = dict(record)
         record["stream"] = record["stream"] + bytes(data)
         self._put(conn, record)
+        if data:
+            self._arrivals.setdefault(conn, []).append(
+                (len(record["stream"]), self.clock.now())
+            )
         self._pump(conn)
 
     def close(self, conn: ConnId) -> None:
@@ -210,6 +220,13 @@ class OsrSublayer(Sublayer):
             self._put(conn, record)
             self.count("segments_released")
             self.metrics.gauge("cwnd", cc.window())
+            released_through = offset + length
+            arrivals = self._arrivals.get(conn)
+            while arrivals and arrivals[0][0] <= released_through:
+                _, arrived = arrivals.pop(0)
+                self.metrics.observe_hist(
+                    "queue_residency", self.clock.now() - arrived
+                )
             assert self.below is not None
             self.below.send(conn, offset, self._segment(conn, payload))
         self._maybe_arm_probe(conn)

@@ -60,7 +60,8 @@ def test_docs_mention_every_flag(module, help_texts):
     text = help_texts[module]
     if module == "obs":  # flags live on the subcommands
         text += "".join(
-            run_help("obs", sub) for sub in ("summarize", "convert", "validate")
+            run_help("obs", sub)
+            for sub in ("summarize", "convert", "validate", "analyze")
         )
     flags = set(re.findall(r"--[a-z][a-z-]*", text)) - {"--help"}
     assert flags, f"no flags parsed from repro.{module} --help"
@@ -78,5 +79,5 @@ def test_docs_mention_every_cli(module):
 
 def test_obs_subcommands_documented():
     docs = (REPO / "docs" / "CLI.md").read_text()
-    for sub in ("summarize", "convert", "validate"):
+    for sub in ("summarize", "convert", "validate", "analyze"):
         assert sub in docs

@@ -1,0 +1,179 @@
+"""Trace analysis against a hand-computed golden three-hop trace.
+
+The trace is one activation crossing a three-sublayer stack ``s``:
+
+    sid 1  _app -> x     wall [0, 10]   virtual [0.0, 0.9]
+    sid 2    x  -> y     wall [1, 9]    virtual [0.1, 0.8]
+    sid 3    y  -> _wire wall [2, 5]    virtual [0.2, 0.3]
+
+Hand-computed (wall clock):
+    durations: 10, 8, 3        self: 10-8=2, 8-3=5, 3
+    critical path: 1 -> 2 -> 3
+    breakdown by self: y (5), _wire (3), x (2)
+    folded: s:x 2s, s:x;s:y 5s, s:x;s:y;s:_wire 3s  (in integer us)
+"""
+
+import pytest
+
+from repro.obs import (
+    SpanTracer,
+    breakdown,
+    critical_path,
+    diff_breakdowns,
+    folded_stacks,
+    self_times,
+)
+from repro.obs.analyze import render_diff, render_report, span_duration
+from tests.transport.helpers import make_pair, transfer
+
+
+def golden_spans():
+    def span(sid, parent, caller, actor, w0, w1, t0, t1):
+        return {
+            "sid": sid,
+            "parent": parent,
+            "stack": "s",
+            "direction": "down",
+            "caller": caller,
+            "actor": actor,
+            "pdu": "bytes[1]",
+            "pdu_id": 1,
+            "w0": w0,
+            "w1": w1,
+            "t0": t0,
+            "t1": t1,
+        }
+
+    return [
+        span(3, 2, "y", "_wire", 2.0, 5.0, 0.2, 0.3),
+        span(2, 1, "x", "y", 1.0, 9.0, 0.1, 0.8),
+        span(1, None, "_app", "x", 0.0, 10.0, 0.0, 0.9),
+    ]
+
+
+class TestSelfTimes:
+    def test_hand_computed_wall(self):
+        selfs = self_times(golden_spans(), clock="wall")
+        assert selfs == {1: 2.0, 2: 5.0, 3: 3.0}
+
+    def test_hand_computed_virtual(self):
+        selfs = self_times(golden_spans(), clock="virtual")
+        assert selfs[1] == pytest.approx(0.2)  # 0.9 - 0.7
+        assert selfs[2] == pytest.approx(0.6)  # 0.7 - 0.1
+        assert selfs[3] == pytest.approx(0.1)
+
+    def test_clock_granularity_clamps_at_zero(self):
+        spans = golden_spans()
+        spans[0]["w1"] = 12.0  # child (sid 3) now "longer" than its parent
+        selfs = self_times(spans, clock="wall")
+        assert selfs[2] == 0.0
+
+    def test_orphan_children_become_roots(self):
+        spans = [s for s in golden_spans() if s["sid"] != 2]
+        selfs = self_times(spans, clock="wall")
+        assert selfs == {1: 10.0, 3: 3.0}  # sid 3 kept, not lost
+
+
+class TestCriticalPath:
+    def test_hand_computed_chain(self):
+        path = critical_path(golden_spans(), clock="wall")
+        assert [s["sid"] for s in path] == [1, 2, 3]
+
+    def test_picks_heaviest_child(self):
+        spans = golden_spans() + [
+            {**golden_spans()[0], "sid": 4, "parent": 2, "w0": 5.0, "w1": 5.5}
+        ]
+        path = critical_path(spans, clock="wall")
+        assert [s["sid"] for s in path] == [1, 2, 3]  # 3.0s beats 0.5s
+
+    def test_picks_heaviest_root(self):
+        extra_root = {**golden_spans()[2], "sid": 9, "w0": 0.0, "w1": 20.0}
+        path = critical_path(golden_spans() + [extra_root], clock="wall")
+        assert path[0]["sid"] == 9
+
+    def test_empty(self):
+        assert critical_path([]) == []
+
+
+class TestBreakdown:
+    def test_hand_computed_rows(self):
+        rows = breakdown(golden_spans(), clock="wall")
+        assert [(r["actor"], r["self_s"]) for r in rows] == [
+            ("y", 5.0),
+            ("_wire", 3.0),
+            ("x", 2.0),
+        ]
+        by_actor = {r["actor"]: r for r in rows}
+        assert by_actor["x"]["total_s"] == 10.0
+        assert by_actor["x"]["hops"] == 1
+        # single observation: quantiles clamp to the exact sample
+        assert by_actor["y"]["p50_s"] == 5.0
+        assert by_actor["y"]["p99_s"] == 5.0
+        assert by_actor["y"]["max_s"] == 5.0
+
+    def test_folded_stacks_hand_computed(self):
+        lines = folded_stacks(golden_spans(), clock="wall")
+        assert lines == [
+            "s:x 2000000",
+            "s:x;s:y 5000000",
+            "s:x;s:y;s:_wire 3000000",
+        ]
+
+    def test_diff_sorts_regressions_first(self):
+        base = breakdown(golden_spans(), clock="wall")
+        slower = golden_spans()
+        slower[0]["w1"] = 8.0  # _wire: 3s -> 6s; y self: 5 -> 2
+        rows = diff_breakdowns(base, breakdown(slower, clock="wall"))
+        assert rows[0]["actor"] == "_wire"
+        assert rows[0]["delta_s"] == pytest.approx(3.0)
+        assert rows[-1]["actor"] == "y"
+        assert rows[-1]["delta_s"] == pytest.approx(-3.0)
+
+    def test_diff_handles_new_and_removed_actors(self):
+        base = breakdown(golden_spans(), clock="wall")
+        current = [r for r in base if r["actor"] != "y"]
+        rows = diff_breakdowns(base, current)
+        y = [r for r in rows if r["actor"] == "y"][0]
+        assert y["delta_s"] == -5.0
+        assert y["hops"] == 0
+
+
+class TestRendering:
+    def test_report_contains_hand_computed_numbers(self):
+        text = render_report(golden_spans(), clock="wall")
+        assert "critical path (10000000.0us" in text
+        assert "3 spans, 1 activations" in text
+        lines = text.splitlines()
+        y_row = next(line for line in lines if line.startswith("s ") and " y " in line)
+        assert "5000000.0" in y_row  # self time us
+
+    def test_report_empty(self):
+        assert render_report([]) == "(no spans recorded)"
+
+    def test_diff_report_renders(self):
+        text = render_diff(golden_spans(), golden_spans(), clock="wall")
+        assert "delta" in text
+        assert "+0.0" in text
+
+
+class TestOnRealTraffic:
+    def test_full_transfer_analysis_is_consistent(self):
+        sim, a, b, _link = make_pair()
+        tracer = SpanTracer().attach(a.stack).attach(b.stack)
+        transfer(sim, a, b, nbytes=2000)
+        spans = tracer.spans()
+        selfs = self_times(spans, clock="wall")
+        # conservation: self times sum to the roots' total duration
+        roots_total = sum(
+            span_duration(s, "wall") for s in spans if s["parent"] is None
+        )
+        assert sum(selfs.values()) == pytest.approx(roots_total, rel=1e-6)
+        # the critical path starts at a root and is properly nested
+        path = critical_path(spans, clock="wall")
+        assert path[0]["parent"] is None
+        for parent, child in zip(path, path[1:]):
+            assert child["parent"] == parent["sid"]
+        # breakdown covers every (stack, actor) pair exactly once
+        rows = breakdown(spans, clock="wall")
+        assert len({(r["stack"], r["actor"]) for r in rows}) == len(rows)
+        assert sum(r["hops"] for r in rows) == len(spans)

@@ -125,8 +125,14 @@ class TestChromeTrace:
         trace = to_chrome_trace(fixed_spans())
         assert validate_chrome_trace(trace) == []
         events = trace["traceEvents"]
-        # 2 process_name + 3 thread_name metadata ((stack, actor) pairs)
-        assert [e["ph"] for e in events].count("M") == 5
+        # (2 process + 3 thread) x (name + sort_index) metadata events
+        assert [e["ph"] for e in events].count("M") == 10
+        # all metadata precedes the first complete event
+        first_x = [e["ph"] for e in events].index("X")
+        assert all(e["ph"] == "M" for e in events[:first_x])
+        sort_events = [e for e in events if e["name"].endswith("_sort_index")]
+        assert len(sort_events) == 5
+        assert all("sort_index" in e["args"] for e in sort_events)
         xs = [e for e in events if e["ph"] == "X"]
         assert len(xs) == 3
         assert xs[0]["name"] == "down:rd->cm"

@@ -1,0 +1,101 @@
+"""FlightRecorder: bounded capture, checkpoint history, bundle dumps."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import FlightRecorder, MetricsRegistry, load_jsonl_with_meta
+from repro.obs.recorder import METRICS_FILE, SPANS_FILE, TRIGGER_FILE
+from tests.transport.helpers import make_pair, transfer
+
+
+def recorded_transfer(tmp_path, **recorder_kwargs):
+    registry = MetricsRegistry()
+    sim, a, b, _link = make_pair(metrics=registry)
+    recorder = FlightRecorder(directory=tmp_path, **recorder_kwargs)
+    recorder.observe(registry, a, b)  # hosts: recorder finds .stack
+    data, received, _sock, _peer = transfer(sim, a, b, nbytes=2000)
+    assert received == data
+    return recorder, registry
+
+
+class TestCapture:
+    def test_observe_accepts_hosts_and_stacks(self, tmp_path):
+        registry = MetricsRegistry()
+        sim, a, b, _link = make_pair(metrics=registry)
+        recorder = FlightRecorder()
+        recorder.observe(registry, a, b.stack)
+        transfer(sim, a, b, nbytes=500)
+        stacks = {s["stack"] for s in recorder.tracer.spans()}
+        assert stacks == {"tcp:a", "tcp:b"}
+
+    def test_capacity_bounds_the_ring(self, tmp_path):
+        recorder, _ = recorded_transfer(tmp_path, capacity=8)
+        assert len(recorder.tracer) == 8
+        assert recorder.tracer.dropped_spans > 0
+
+    def test_detach_stops_recording(self, tmp_path):
+        registry = MetricsRegistry()
+        sim, a, b, _link = make_pair(metrics=registry)
+        recorder = FlightRecorder()
+        recorder.observe(registry, a, b)
+        recorder.detach()
+        transfer(sim, a, b, nbytes=500)
+        assert len(recorder.tracer) == 0
+
+    def test_snapshots_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(snapshots=0)
+
+
+class TestCheckpoints:
+    def test_bounded_history(self, tmp_path):
+        recorder, registry = recorded_transfer(tmp_path, snapshots=3)
+        for index in range(5):
+            registry.inc("ticks")
+            recorder.checkpoint(f"t{index}", time=float(index))
+        recorder.dump({"why": "test"})
+        metrics = json.loads((tmp_path / METRICS_FILE).read_text())
+        labels = [c["label"] for c in metrics["checkpoints"]]
+        assert labels == ["t2", "t3", "t4"]  # oldest evicted
+        assert metrics["checkpoints"][-1]["snapshot"]["counters"]["ticks"] == 5
+
+    def test_checkpoint_without_registry_is_noop(self):
+        recorder = FlightRecorder()
+        recorder.checkpoint("early")  # must not raise
+
+
+class TestDump:
+    def test_bundle_contents(self, tmp_path):
+        recorder, registry = recorded_transfer(tmp_path)
+        trigger = {"scenario": "test", "seed": 3, "violations": ["v"]}
+        bundle = recorder.dump(trigger)
+        assert bundle == tmp_path
+        assert recorder.dumped == tmp_path
+
+        spans, meta = load_jsonl_with_meta(tmp_path / SPANS_FILE)
+        assert spans and all("actor" in s for s in spans)
+
+        metrics = json.loads((tmp_path / METRICS_FILE).read_text())
+        assert "final" in metrics
+        assert metrics["final"]["counters"]  # the transfer counted things
+
+        assert json.loads((tmp_path / TRIGGER_FILE).read_text()) == trigger
+
+    def test_dump_directory_override(self, tmp_path):
+        recorder, _ = recorded_transfer(tmp_path / "default")
+        bundle = recorder.dump({"why": "x"}, directory=tmp_path / "override")
+        assert bundle == tmp_path / "override"
+        assert (bundle / TRIGGER_FILE).exists()
+
+    def test_dump_without_directory_raises(self):
+        recorder = FlightRecorder()
+        with pytest.raises(ConfigurationError, match="directory"):
+            recorder.dump({"why": "x"})
+
+    def test_sampled_recorder_declares_rate_in_bundle(self, tmp_path):
+        recorder, _ = recorded_transfer(tmp_path, sample=0.5)
+        recorder.dump({"why": "x"})
+        _, meta = load_jsonl_with_meta(tmp_path / SPANS_FILE)
+        assert meta["sample_rate"] == 0.5
