@@ -1,0 +1,158 @@
+"""C11 — batched + fused traversal cost vs the scalar chain walk.
+
+C7 prices one *hop*; C11 prices one *unit* through the whole stack,
+four ways, on the same 8-deep passthrough geometry:
+
+* ``scalar/chain``   — today's tier=off baseline: one ``send()`` per
+  unit, per-hop bound-method chain (codegen disabled, exactly what C7
+  times);
+* ``scalar/fused``   — one ``send()`` per unit through the
+  exec-compiled fused function (no per-hop dispatch);
+* ``batch/chain``    — ``send_batch(64)`` decaying to the default
+  per-unit loop (codegen disabled);
+* ``batch/fused``    — ``send_batch(64)`` through the generated
+  ``push_batch``: for a pure passthrough stack with a batch-aware
+  endpoint, the entire traversal of 64 units is one Python call.
+
+The acceptance gate for the tentpole: ``batch/fused`` must move units
+at least 5x faster than ``scalar/chain`` — otherwise the codegen +
+vector machinery does not pay for its complexity.
+"""
+
+import time
+
+from _util import table, write_bench_json, write_result
+
+from repro.compose import SlotSpec, StackBuilder, StackProfile
+from repro.core import PassthroughSublayer
+
+DEPTH = 8
+HOPS_PER_SEND = DEPTH + 1
+BATCH = 64
+SCALAR_SENDS = 2_000
+BATCHES = 100  # 6_400 units per timed round
+ROUNDS = 5
+SPEEDUP_GATE = 5.0
+
+CHAIN_PROFILE = StackProfile(
+    name="c11-chain",
+    slots=tuple(
+        SlotSpec(f"p{i}", lambda params, i=i: PassthroughSublayer(f"p{i}"))
+        for i in range(DEPTH)
+    ),
+    doc=f"{DEPTH} passthrough sublayers; every traversal is pure overhead.",
+)
+
+PAYLOAD = b"x" * 64
+
+
+def build(codegen: bool):
+    stack = StackBuilder(CHAIN_PROFILE, name="c11", tier="off").build()
+    stack.codegen_enabled = codegen
+    stack.on_transmit = lambda sdu, **meta: None
+    stack.on_transmit_batch = lambda units, metas=None: None
+    return stack
+
+
+def time_scalar(stack) -> float:
+    """Median wall seconds per *unit* over ROUNDS timed rounds."""
+    send = stack.send
+    for _ in range(100):
+        send(PAYLOAD)
+    samples = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(SCALAR_SENDS):
+            send(PAYLOAD)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2] / SCALAR_SENDS
+
+
+def time_batch(stack, batches: int = BATCHES) -> float:
+    """Median wall seconds per *unit*, sent as ``BATCH``-unit batches."""
+    batch = [PAYLOAD] * BATCH
+    send_batch = stack.send_batch
+    for _ in range(10):
+        send_batch(batch)
+    samples = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(batches):
+            send_batch(batch)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2] / (batches * BATCH)
+
+
+def test_c11_batch(benchmark):
+    chain = build(codegen=False)
+    fused = build(codegen=True)
+
+    # the configurations really are what they claim
+    assert chain.wiring_plan.fused == {"down": False, "up": False}
+    assert fused.wiring_plan.fused == {"down": True, "up": True}
+    counted = []
+    fused.on_transmit_batch = lambda units, metas=None: counted.append(len(units))
+    fused.send_batch([PAYLOAD] * BATCH)
+    assert counted == [BATCH]
+    fused.on_transmit_batch = lambda units, metas=None: None
+
+    per_unit = {}
+    per_unit["scalar/chain"] = benchmark.pedantic(
+        lambda: time_scalar(chain), rounds=1, iterations=1
+    )
+    per_unit["scalar/fused"] = time_scalar(fused)
+    per_unit["batch/chain"] = time_batch(chain)
+    # the fused batch path is so cheap that a 100-batch round is only a
+    # few microseconds of wall — time 50x more of them for a stable read
+    per_unit["batch/fused"] = time_batch(fused, batches=BATCHES * 50)
+
+    baseline = per_unit["scalar/chain"]
+    speedup = baseline / per_unit["batch/fused"]
+    rows = [
+        {
+            "path": path,
+            "ns_per_unit": round(cost * 1e9, 1),
+            "ns_per_hop": round(cost * 1e9 / HOPS_PER_SEND, 1),
+            "vs_scalar_chain": f"{baseline / cost:.2f}x",
+        }
+        for path, cost in per_unit.items()
+    ]
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        f"{DEPTH}-sublayer passthrough chain at tier=off, batch={BATCH}, "
+        f"median of {ROUNDS} rounds"
+    )
+    lines.append(
+        f"fused batch moves a unit {speedup:.1f}x faster than the scalar "
+        f"chain walk (gate: >= {SPEEDUP_GATE:.0f}x) — the per-crossing "
+        "overhead amortizes to one generated call per batch"
+    )
+    write_result("c11_batch", lines)
+    write_bench_json(
+        "c11_batch",
+        wall_s=per_unit["scalar/chain"] * SCALAR_SENDS,
+        extra={
+            "ns_per_unit_scalar_chain": round(baseline * 1e9, 1),
+            "ns_per_unit_scalar_fused": round(
+                per_unit["scalar/fused"] * 1e9, 1
+            ),
+            "ns_per_unit_batch_chain": round(per_unit["batch/chain"] * 1e9, 1),
+            "ns_per_unit_batch_fused": round(per_unit["batch/fused"] * 1e9, 1),
+            "batch_speedup_x": round(speedup, 3),
+            "scalar_fused_speedup_x": round(
+                baseline / per_unit["scalar/fused"], 3
+            ),
+            "batch": BATCH,
+            "hops_per_send": HOPS_PER_SEND,
+        },
+    )
+
+    # the tentpole acceptance gate
+    assert speedup >= SPEEDUP_GATE, (
+        f"batch/fused is only {speedup:.2f}x over the scalar chain walk"
+    )
+    # and the fused scalar path must itself beat the chain walk
+    assert per_unit["scalar/fused"] < per_unit["scalar/chain"]

@@ -71,6 +71,26 @@ def time_chain(stack, sends: int = SENDS) -> float:
     return min(samples) / sends
 
 
+BATCH = 64
+
+
+def time_chain_batch(stack, sends: int = SENDS) -> float:
+    """Min wall seconds per *unit*, sent as ``BATCH``-unit batches."""
+    payload = b"x" * 64
+    batch = [payload] * BATCH
+    send_batch = stack.send_batch
+    for _ in range(10):  # warm-up
+        send_batch(batch)
+    batches = max(1, sends // BATCH)
+    samples = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(batches):
+            send_batch(batch)
+        samples.append(time.perf_counter() - start)
+    return min(samples) / (batches * BATCH)
+
+
 def hdlc_trial(sample=None, messages=20, loss=0.1) -> float:
     """One campaign-shaped trial; returns its wall seconds."""
     sim = Simulator()
@@ -152,6 +172,21 @@ def test_c12_obscost(benchmark):
     per_send["hop_hist"] = time_chain(hist_chain)
     assert hist_chain.hop_latency.count > 0, "the clock pair must observe"
 
+    # batched hops on the metrics tier: one counter bump and one
+    # count-weighted histogram observation per batch, so a unit in a
+    # batch must never cost more than a scalar send of the same unit
+    per_send["batch64"] = time_chain_batch(build_chain())
+    bhist_chain = build_chain()
+    bhist_chain.hop_latency = Histogram()
+    per_send["batch64_hist"] = time_chain_batch(bhist_chain)
+    before = bhist_chain.hop_latency.count
+    bhist_chain.send_batch([b"y"] * BATCH)
+    assert bhist_chain.hop_latency.count == before + BATCH, (
+        "a batched traversal must weight the latency histogram by count"
+    )
+    batch_over_scalar = per_send["batch64"] / per_send["untraced"]
+    batch_hist_over_scalar = per_send["batch64_hist"] / per_send["hop_hist"]
+
     for rate, key in ((0.0, "sample0"), (0.01, "sample001"), (1.0, "sample1")):
         chain = build_chain()
         SpanTracer(
@@ -206,6 +241,12 @@ def test_c12_obscost(benchmark):
             "ns_per_send_sample0": round(per_send["sample0"] * 1e9, 1),
             "ns_per_send_sample001": round(per_send["sample001"] * 1e9, 1),
             "ns_per_send_sample1": round(per_send["sample1"] * 1e9, 1),
+            "ns_per_unit_batch64": round(per_send["batch64"] * 1e9, 1),
+            "ns_per_unit_batch64_hist": round(
+                per_send["batch64_hist"] * 1e9, 1
+            ),
+            "batch64_over_scalar_x": round(batch_over_scalar, 3),
+            "batch64_hist_over_scalar_x": round(batch_hist_over_scalar, 3),
             "hist_hop_over_plain_x": round(hist_hop_over_plain, 3),
             "sampled001_over_untraced_x": round(sampled001_over_untraced, 3),
             "traced_over_untraced_x": round(traced_over_untraced, 3),
@@ -215,6 +256,17 @@ def test_c12_obscost(benchmark):
             "ns_per_flush_sample": round(flush_s * 1e9, 1),
             "hops_per_send": HOPS_PER_SEND,
         },
+    )
+
+    # a batched unit must stay within the scalar metrics-tier budget —
+    # the count-weighted bump cannot cost more than per-unit bumps did
+    assert batch_over_scalar <= 1.05, (
+        f"batched metrics-tier unit costs {batch_over_scalar:.3f}x a "
+        "scalar send (budget: 1.05x)"
+    )
+    assert batch_hist_over_scalar <= 1.05, (
+        f"batched unit under hop_latency costs {batch_hist_over_scalar:.3f}x "
+        "its scalar counterpart (budget: 1.05x)"
     )
 
     # the ISSUE's acceptance bounds

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Diffrun: dump the complete observable books of a seeded tier=off run.
+
+Runs a fixed, seeded workload — an HDLC transfer with deterministic
+fault sublayers inserted, plus a three-station wireless cell — at
+``tier="off"``, the tier where the codegen fast path replaces the hop
+chain, and writes every observable output (delivered bytes, metrics
+snapshot, per-sublayer state, hop counters) as canonical JSON.
+
+The point is the diff: run it twice, once with ``REPRO_CODEGEN=1`` and
+once with ``REPRO_CODEGEN=0``, and ``cmp`` the files.  The fused
+generated code and the plain chain walk must be byte-identical in
+everything they produce — CI does exactly that.
+
+Run:  python examples/diffrun.py --out books.json
+"""
+
+import argparse
+import json
+import random
+
+from repro.datalink import (
+    NullArq,
+    build_hdlc_stack,
+    build_wireless_station,
+    collect_bytes,
+    send_bytes_batch,
+)
+from repro.faults import DropFault, DuplicateFault, FaultSchedule
+from repro.obs import MetricsRegistry
+from repro.sim import BroadcastMedium, DuplexLink, LinkConfig, Simulator
+
+PAYLOADS = [
+    bytes([i % 251, (i * 7) % 251, (i * 13) % 251]) * 5 for i in range(32)
+]
+
+
+def books(stacks, delivered, metrics):
+    """Everything the run observably produced, JSON-serialisable."""
+    return {
+        "delivered": {
+            name: [unit.hex() for unit in inbox]
+            for name, inbox in delivered.items()
+        },
+        "metrics": metrics.snapshot(),
+        "state": {
+            stack.name: {
+                sublayer.name: sublayer.state.snapshot()
+                for sublayer in stack.sublayers
+            }
+            for stack in stacks
+        },
+        "hops": {
+            stack.name: [stack.hop_counters.down, stack.hop_counters.up]
+            for stack in stacks
+        },
+    }
+
+
+def run_hdlc(metrics) -> dict:
+    sim = Simulator()
+    a = build_hdlc_stack(
+        "dl-a", sim.clock(), tier="off", metrics=metrics,
+        retransmit_timeout=0.23,
+    )
+    b = build_hdlc_stack(
+        "dl-b", sim.clock(), tier="off", metrics=metrics,
+        retransmit_timeout=0.23,
+    )
+    a.insert(
+        "errordetect",
+        DropFault(
+            "drop", schedule=FaultSchedule(every=5),
+            rng=random.Random(11), direction="down",
+        ),
+        where="after",
+    )
+    b.insert(
+        "errordetect",
+        DuplicateFault(
+            "dup", schedule=FaultSchedule(every=7),
+            rng=random.Random(12), direction="up",
+        ),
+        where="before",
+    )
+    duplex = DuplexLink(
+        sim,
+        LinkConfig(delay=0.013, rate_bps=2_000_000),
+        rng_forward=random.Random(3),
+        rng_reverse=random.Random(4),
+        name="hdlc",
+    )
+    duplex.attach(a, b)
+    inbox_a, inbox_b = collect_bytes(a), collect_bytes(b)
+    send_bytes_batch(a, PAYLOADS)
+    send_bytes_batch(b, PAYLOADS[:12])
+    sim.run(until=60)
+    assert inbox_b == PAYLOADS, "ARQ must recover every faulted payload"
+    return books([a, b], {"a": inbox_a, "b": inbox_b}, metrics)
+
+
+def run_hdlc_fused(metrics) -> dict:
+    """The fully-fuseable stack: ARQ swapped for a passthrough.
+
+    With every sublayer fuse-willing, ``REPRO_CODEGEN=1`` really does
+    route this run through exec-generated code — asserted below — so
+    the CI ``cmp`` against the ``REPRO_CODEGEN=0`` chain walk is a
+    genuine differential, not two spellings of the same path.
+    """
+    sim = Simulator()
+    replacements = {"arq": lambda params: NullArq("recovery")}
+    a = build_hdlc_stack(
+        "fz-a", sim.clock(), tier="off", metrics=metrics,
+        replacements=replacements,
+    )
+    b = build_hdlc_stack(
+        "fz-b", sim.clock(), tier="off", metrics=metrics,
+        replacements=replacements,
+    )
+    duplex = DuplexLink(
+        sim,
+        LinkConfig(delay=0.009, rate_bps=1_000_000),
+        rng_forward=random.Random(5),
+        rng_reverse=random.Random(6),
+        name="fz",
+    )
+    duplex.attach(a, b)
+    if a.codegen_enabled:
+        assert a.wiring_plan.fused == {"down": True, "up": True}
+        assert b.wiring_plan.fused == {"down": True, "up": True}
+    inbox_a, inbox_b = collect_bytes(a), collect_bytes(b)
+    send_bytes_batch(a, PAYLOADS)
+    sim.run(until=60)
+    assert inbox_b == PAYLOADS
+    return books([a, b], {"a": inbox_a, "b": inbox_b}, metrics)
+
+
+def run_wireless(metrics) -> dict:
+    sim = Simulator()
+    medium = BroadcastMedium(sim, rate_bps=200_000.0)
+    stacks = [
+        build_wireless_station(
+            sim, medium, address=i, rng=random.Random(40 + i),
+            tier="off", metrics=metrics,
+        )
+        for i in range(3)
+    ]
+    inboxes = [collect_bytes(stack) for stack in stacks]
+    send_bytes_batch(stacks[0], PAYLOADS[:10])
+    send_bytes_batch(stacks[1], PAYLOADS[10:16])
+    sim.run(until=60)
+    return books(
+        stacks, {str(i): inbox for i, inbox in enumerate(inboxes)}, metrics
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", metavar="FILE.json", default="diffrun.json",
+        help="write the canonical books here (default: diffrun.json)",
+    )
+    args, _unknown = parser.parse_known_args()
+
+    report = {
+        "hdlc": run_hdlc(MetricsRegistry()),
+        "hdlc_fused": run_hdlc_fused(MetricsRegistry()),
+        "wireless": run_wireless(MetricsRegistry()),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    delivered = sum(
+        len(inbox)
+        for profile in report.values()
+        for inbox in profile["delivered"].values()
+    )
+    print(f"wrote {args.out}: {delivered} deliveries across "
+          f"{len(report)} profiles")
+
+
+if __name__ == "__main__":
+    main()

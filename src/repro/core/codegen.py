@@ -1,0 +1,214 @@
+"""Fused data-path code generation — the ``tier=off`` fast path.
+
+The compiled wiring plan of :mod:`repro.core.wiring` removes the
+*instrumentation* from a hop, but even at ``tier=off`` a PDU still pays
+one Python call per sublayer per crossing: the chain walk.  This module
+removes the chain itself.  When every sublayer of a stack can express
+its per-unit data-path work as a *fuse step* — a pure function
+``step(sdu, meta) -> sdu`` — the plan concatenates the steps into one
+generated function per direction, compiles it with :func:`exec`, and
+binds the step closures into its namespace.  A traversal of an 8-deep
+stack then costs one function call instead of ~17.
+
+Two forms are generated per direction:
+
+``push(sdu, **meta)``
+    The scalar entry (installed as ``app_send`` / ``wire_receive``).
+
+``push_batch(sdus, metas=None)``
+    The vector entry: one loop over the batch with every step inlined,
+    feeding the endpoint's batch sink in one call when the stack has
+    one.  This is what amortizes per-crossing overhead across
+    ``batch=64`` (benchmark C11).
+
+A sublayer opts in by returning a step from
+:meth:`~repro.core.sublayer.Sublayer.fuse_down` /
+:meth:`~repro.core.sublayer.Sublayer.fuse_up`:
+
+* ``None`` (the default) — the sublayer opts out; the *whole direction*
+  falls back to the compiled chain walk.  Anything stateful in a way a
+  pure step cannot mirror (ARQ windows, MAC queues, shim expansion)
+  opts out, and correctness is preserved by construction.
+* :data:`IDENTITY` — pure pass-through; the step is eliminated from
+  the generated code entirely.
+* a callable ``step(sdu, meta) -> sdu | DROP`` — must reproduce the
+  sublayer's ``from_above``/``from_below`` *exactly*: same state
+  counter updates, same exceptions, and :data:`DROP` wherever the
+  scalar path silently drops the unit.  A step that writes into
+  ``meta`` (e.g. error detection's ``corrupt`` flag) must carry a
+  ``writes_meta = True`` attribute so the generated code materializes
+  a fresh meta dict per element.
+
+Fusion is only attempted at ``tier=off`` with no taps and no span hook
+(any per-element observer needs the per-hop chain), and can be disabled
+globally with ``REPRO_CODEGEN=0`` or per stack via
+``Stack.codegen_enabled`` — the differential test rig and the CI
+determinism step compare the two paths byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+__all__ = ["DROP", "IDENTITY", "FusedDirection", "compile_fused", "fuse_steps"]
+
+
+class _Sentinel:
+    """A named, unforgeable marker object."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: Step marker: this sublayer passes units through unchanged; the
+#: generated code omits it entirely.
+IDENTITY = _Sentinel("IDENTITY")
+
+#: Step return value: the unit is dropped here, exactly where the
+#: scalar path would silently return without forwarding.
+DROP = _Sentinel("DROP")
+
+#: A fuse step: ``step(sdu, meta) -> transformed sdu | DROP``.
+FuseStep = Callable[[Any, dict], Any]
+
+
+class FusedDirection:
+    """One direction's generated entry points plus their source."""
+
+    __slots__ = ("scalar", "batch", "source")
+
+    def __init__(
+        self,
+        scalar: Callable[..., None],
+        batch: Callable[..., None],
+        source: str,
+    ) -> None:
+        self.scalar = scalar
+        self.batch = batch
+        self.source = source
+
+
+def fuse_steps(sublayers: Sequence[Any], direction: str) -> list[Any] | None:
+    """Collect the fuse steps for one direction, in traversal order.
+
+    ``down`` walks top to bottom (``fuse_down``), ``up`` bottom to top
+    (``fuse_up``).  Returns ``None`` as soon as any sublayer opts out —
+    fusion is all-or-nothing per direction.
+    """
+    ordered = sublayers if direction == "down" else list(reversed(sublayers))
+    steps: list[Any] = []
+    for sublayer in ordered:
+        step = sublayer.fuse_down() if direction == "down" else sublayer.fuse_up()
+        if step is None:
+            return None
+        steps.append(step)
+    return steps
+
+
+def _steps_source(live: int, indent: str, var: str = "sdu") -> list[str]:
+    """The inlined step cascade: call each step, bail on DROP."""
+    lines: list[str] = []
+    for i in range(live):
+        lines.append(f"{indent}{var} = _s{i}({var}, meta)")
+        lines.append(f"{indent}if {var} is _DROP:")
+        lines.append(f"{indent}    {bail(indent)}")
+    return lines
+
+
+def bail(indent: str) -> str:
+    """``return`` at function level, ``continue`` inside the loops."""
+    return "return" if indent == "    " else "continue"
+
+
+def compile_fused(
+    steps: Sequence[Any],
+    direction: str,
+    name: str,
+    sink: Callable[..., None],
+    batch_sink: Callable[..., None] | None = None,
+) -> FusedDirection:
+    """exec-compile one direction's fused ``push``/``push_batch`` pair.
+
+    ``sink`` is the scalar endpoint (``on_transmit``/``on_deliver`` or
+    the plan's raising/lossy closure); ``batch_sink``, when present,
+    receives the whole surviving batch in one call.
+    """
+    live = [step for step in steps if step is not IDENTITY]
+    uses_meta = any(getattr(step, "writes_meta", False) for step in live)
+    namespace: dict[str, Any] = {
+        "_DROP": DROP,
+        "_sink": sink,
+        "_bsink": batch_sink,
+        "_EMPTY": {},
+    }
+    for i, step in enumerate(live):
+        namespace[f"_s{i}"] = step
+
+    lines: list[str] = []
+    # ------------------------------------------------------- scalar
+    lines.append("def push(sdu, **meta):")
+    lines.extend(_steps_source(len(live), "    "))
+    lines.append("    _sink(sdu, **meta)")
+    lines.append("")
+    # -------------------------------------------------------- batch
+    lines.append("def push_batch(sdus, metas=None):")
+    if not live and batch_sink is not None:
+        # Pure pass-through into a batch-aware endpoint: the whole
+        # traversal is one call.
+        lines.append("    _bsink(sdus, metas)")
+    else:
+        lines.append("    if metas is None:")
+        lines.extend(_batch_branch(len(live), uses_meta, batch_sink, metas=False))
+        lines.append("    else:")
+        lines.extend(_batch_branch(len(live), uses_meta, batch_sink, metas=True))
+
+    source = "\n".join(lines) + "\n"
+    exec(compile(source, f"<wiring:{name}:{direction}>", "exec"), namespace)
+    return FusedDirection(namespace["push"], namespace["push_batch"], source)
+
+
+def _batch_branch(
+    live: int,
+    uses_meta: bool,
+    batch_sink: Callable[..., None] | None,
+    metas: bool,
+) -> list[str]:
+    """One branch of ``push_batch`` (with or without caller metas)."""
+    track_metas = uses_meta or metas
+    lines: list[str] = []
+    if batch_sink is not None:
+        lines.append("        out = []")
+        if track_metas:
+            lines.append("        out_metas = []")
+    if metas:
+        lines.append("        for sdu, meta in zip(sdus, metas):")
+        if uses_meta:
+            # Steps write into meta: never mutate the caller's dicts.
+            lines.append("            meta = dict(meta)")
+    elif uses_meta:
+        lines.append("        for sdu in sdus:")
+        lines.append("            meta = {}")
+    else:
+        lines.append("        for sdu in sdus:")
+        if live:
+            lines.append("            meta = _EMPTY")
+    lines.extend(_steps_source(live, "            "))
+    if batch_sink is not None:
+        lines.append("            out.append(sdu)")
+        if track_metas:
+            lines.append("            out_metas.append(meta)")
+        lines.append("        if out:")
+        lines.append(
+            "            _bsink(out, out_metas)" if track_metas
+            else "            _bsink(out, None)"
+        )
+    elif track_metas:
+        lines.append("            _sink(sdu, **meta)")
+    else:
+        lines.append("            _sink(sdu)")
+    return lines

@@ -10,6 +10,7 @@ from .arq import (
     ARQ_HEADER,
     ARQ_SCHEMES,
     GoBackNArq,
+    NullArq,
     SelectiveRepeatArq,
     StopAndWaitArq,
 )
@@ -28,6 +29,7 @@ from .stacks import (
     collect_bytes,
     connect_hdlc_pair,
     send_bytes,
+    send_bytes_batch,
 )
 
 __all__ = [
@@ -47,6 +49,7 @@ __all__ = [
     "DetectionCode",
     "ErrorDetectSublayer",
     "GoBackNArq",
+    "NullArq",
     "InternetChecksum",
     "MAC_HEADER",
     "MAC_SCHEMES",
@@ -59,4 +62,5 @@ __all__ = [
     "collect_bytes",
     "connect_hdlc_pair",
     "send_bytes",
+    "send_bytes_batch",
 ]

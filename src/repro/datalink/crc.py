@@ -36,7 +36,12 @@ class CrcSpec:
     xor_out: int
 
     def compute(self, data: bytes) -> int:
-        """The CRC of ``data`` as an unsigned ``width``-bit integer."""
+        """The CRC of ``data`` as an unsigned ``width``-bit integer.
+
+        ``data`` may be any buffer-protocol object (``bytes``,
+        ``bytearray``, ``memoryview``); it is only ever iterated, never
+        copied.
+        """
         mask = (1 << self.width) - 1
         crc = self.init
         if self.reflect_in:
@@ -58,11 +63,22 @@ class CrcSpec:
         return (crc ^ self.xor_out) & mask
 
     def append(self, data: bytes) -> bytes:
-        """``data`` with the big-endian CRC appended as a trailer."""
-        return data + self.compute(data).to_bytes(self.width // 8, "big")
+        """``data`` with the big-endian CRC appended as a trailer.
+
+        Accepts any buffer-protocol object without an intermediate
+        ``bytes()`` copy of the payload (``join`` reads the buffer
+        directly into the result).
+        """
+        return b"".join(
+            (data, self.compute(data).to_bytes(self.width // 8, "big"))
+        )
 
     def verify(self, framed: bytes) -> bool:
-        """Check a trailer produced by :meth:`append`."""
+        """Check a trailer produced by :meth:`append`.
+
+        A ``memoryview`` argument is sliced as a view, so verification
+        never copies the frame body.
+        """
         trailer_bytes = self.width // 8
         if len(framed) < trailer_bytes:
             return False

@@ -69,10 +69,18 @@ class Histogram:
     # ------------------------------------------------------------------
     # Feeding
     # ------------------------------------------------------------------
-    def observe(self, value: float) -> None:
-        """Add one sample.  This is the hot path — an append, no math."""
+    def observe(self, value: float, count: int = 1) -> None:
+        """Add a sample.  This is the hot path — an append, no math.
+
+        ``count > 1`` records the same value ``count`` times (one call
+        per batch instead of one per element); the single-sample path
+        stays a bare append.
+        """
         pending = self._pending
-        pending.append(value)
+        if count == 1:
+            pending.append(value)
+        else:
+            pending.extend([value] * count)
         if len(pending) >= _FLUSH_AT:
             self._flush()
 

@@ -1,0 +1,57 @@
+"""Static T2 pass: batch hooks must shadow their scalar partner.
+
+The vector protocol (:meth:`Sublayer.from_above_batch` /
+:meth:`from_below_batch`) defaults to looping the scalar hook, so a
+class that overrides only the scalar side stays correct automatically.
+The reverse is not true: a class body that defines ``from_above_batch``
+but inherits ``from_above`` has two implementations of the same
+transform maintained in different classes — the batch path and the
+scalar path can silently diverge, and the differential equivalence rig
+only catches the configurations it happens to run.  This pass rejects
+the pattern statically: whoever owns the batch transform must own the
+scalar one in the same class body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import CorpusModel
+from .report import ERROR, Violation
+
+#: batch hook -> the scalar hook the same class body must also define.
+_PARTNERS = {
+    "from_above_batch": "from_above",
+    "from_below_batch": "from_below",
+}
+
+
+def check_batch_parity(model: CorpusModel) -> list[Violation]:
+    """Flag sublayer classes defining a batch hook without its scalar."""
+    violations: list[Violation] = []
+    for decl in model.sublayer_classes():
+        defined = {
+            node.name: node
+            for node in decl.node.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for batch_name, scalar_name in _PARTNERS.items():
+            batch = defined.get(batch_name)
+            if batch is None or scalar_name in defined:
+                continue
+            violations.append(
+                Violation(
+                    rule="batch-parity",
+                    severity=ERROR,
+                    module=decl.module,
+                    path=decl.path,
+                    line=batch.lineno,
+                    message=(
+                        f"{decl.name}: defines `{batch_name}` without "
+                        f"`{scalar_name}` in the same class body; the batch "
+                        f"and scalar transforms would live in different "
+                        f"classes and can drift apart (T2)"
+                    ),
+                )
+            )
+    return violations

@@ -1,0 +1,133 @@
+"""The vector protocol: ``send_batch``/``receive_batch`` across tiers.
+
+A batch must be *semantically* a loop over the scalar path — same
+payloads, same order, same per-sublayer state — at every tier; what
+changes is only the per-crossing bookkeeping cost (one counter bump per
+batch at the metrics tier, one fused call at off).
+"""
+
+import pytest
+
+from repro.core import PassthroughSublayer, Stack, Sublayer
+
+
+class CountingSublayer(Sublayer):
+    def on_attach(self):
+        self.state.seen = 0
+
+    def from_above(self, sdu, **meta):
+        self.state.seen = self.state.seen + 1
+        self.send_down(sdu, **meta)
+
+    def from_below(self, pdu, **meta):
+        self.state.seen = self.state.seen + 1
+        self.deliver_up(pdu, **meta)
+
+
+def build(tier, depth=3):
+    stack = Stack(
+        "b",
+        [CountingSublayer(f"c{i}") for i in range(depth)],
+        tier=tier,
+    )
+    sent = []
+    stack.on_transmit = lambda sdu, **meta: sent.append((sdu, meta))
+    delivered = []
+    stack.on_deliver = lambda sdu, **meta: delivered.append((sdu, meta))
+    return stack, sent, delivered
+
+
+PAYLOADS = [b"a", b"b", b"c", b"d"]
+
+
+@pytest.mark.parametrize("tier", ["full", "metrics", "off"])
+def test_send_batch_equals_scalar_loop(tier):
+    batch_stack, batch_sent, _ = build(tier)
+    batch_stack.send_batch(PAYLOADS)
+    loop_stack, loop_sent, _ = build(tier)
+    for payload in PAYLOADS:
+        loop_stack.send(payload)
+    assert batch_sent == loop_sent
+    for i in range(3):
+        assert (
+            batch_stack.sublayer(f"c{i}").state.seen
+            == loop_stack.sublayer(f"c{i}").state.seen
+            == len(PAYLOADS)
+        )
+
+
+@pytest.mark.parametrize("tier", ["full", "metrics", "off"])
+def test_receive_batch_equals_scalar_loop(tier):
+    batch_stack, _, batch_delivered = build(tier)
+    batch_stack.receive_batch(PAYLOADS)
+    loop_stack, _, loop_delivered = build(tier)
+    for payload in PAYLOADS:
+        loop_stack.receive(payload)
+    assert batch_delivered == loop_delivered
+
+
+@pytest.mark.parametrize("tier", ["full", "metrics", "off"])
+def test_batch_metas_travel_with_their_units(tier):
+    stack, sent, _ = build(tier)
+    metas = [{"conn": i} for i in range(len(PAYLOADS))]
+    stack.send_batch(PAYLOADS, metas)
+    assert sent == [(p, {"conn": i}) for i, p in enumerate(PAYLOADS)]
+
+
+def test_metrics_tier_counts_batch_crossings():
+    stack, _, _ = build("metrics")
+    stack.send_batch(PAYLOADS)
+    # APP->c0, c0->c1, c1->c2, c2->WIRE: 4 crossings per unit.
+    assert stack.hop_counters.down == 4 * len(PAYLOADS)
+    stack.receive_batch(PAYLOADS)
+    assert stack.hop_counters.up == 4 * len(PAYLOADS)
+
+
+def test_metrics_tier_batch_counts_match_scalar_counts():
+    batch_stack, _, _ = build("metrics")
+    batch_stack.send_batch(PAYLOADS)
+    loop_stack, _, _ = build("metrics")
+    for payload in PAYLOADS:
+        loop_stack.send(payload)
+    assert batch_stack.hop_counters.down == loop_stack.hop_counters.down
+
+
+def test_full_tier_batch_keeps_interface_log():
+    batch_stack, _, _ = build("full")
+    batch_stack.send_batch(PAYLOADS)
+    loop_stack, _, _ = build("full")
+    for payload in PAYLOADS:
+        loop_stack.send(payload)
+    assert (
+        batch_stack.interface_log.records == loop_stack.interface_log.records
+    )
+
+
+def test_hop_latency_observes_batch_element_count():
+    from repro.obs import Histogram
+
+    stack, _, _ = build("metrics")
+    hist = Histogram()
+    stack.hop_latency = hist
+    stack.send_batch(PAYLOADS)
+    assert hist.count == len(PAYLOADS)
+
+
+def test_batch_endpoint_sink_receives_whole_batch_at_off():
+    stack = Stack(
+        "b", [PassthroughSublayer(f"p{i}") for i in range(3)], tier="off"
+    )
+    batches = []
+    stack.on_transmit = lambda sdu, **meta: None
+    stack.on_transmit_batch = lambda units, metas=None: batches.append(
+        (list(units), metas)
+    )
+    stack.send_batch(PAYLOADS)
+    assert batches == [(PAYLOADS, None)]
+
+
+def test_empty_batch_is_a_no_op():
+    stack, sent, _ = build("metrics")
+    stack.send_batch([])
+    assert sent == []
+    assert stack.hop_counters.down == 0

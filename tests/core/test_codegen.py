@@ -1,0 +1,337 @@
+"""The tier=off fused codegen fast path.
+
+Contract under test:
+
+* at ``tier=off`` with no observers, both directions fuse into one
+  exec-compiled function and the plan records the generated source;
+* any per-element observer (tap, span hook), any other tier, or an
+  opted-out sublayer falls the direction back to the chain walk;
+* the fused path is *semantically invisible*: payloads, drops,
+  per-sublayer state counters, and meta handling match the chain walk
+  exactly (the stack-level differential rig extends this to whole
+  profiles);
+* ``REPRO_CODEGEN=0`` and ``Stack.codegen_enabled`` are kill switches.
+"""
+
+import pytest
+
+from repro.core import ConfigurationError, PassthroughSublayer, Stack, Sublayer
+from repro.core.codegen import DROP, IDENTITY, compile_fused, fuse_steps
+
+
+class SuffixSublayer(Sublayer):
+    """Appends a byte downward, strips it upward — stateful transform."""
+
+    def on_attach(self):
+        self.state.down = 0
+        self.state.up = 0
+
+    def from_above(self, sdu, **meta):
+        self.state.down = self.state.down + 1
+        self.send_down(sdu + b"!", **meta)
+
+    def from_below(self, pdu, **meta):
+        self.state.up = self.state.up + 1
+        self.deliver_up(pdu[:-1], **meta)
+
+    def fuse_down(self):
+        state = self.state
+
+        def step(sdu, meta):
+            state.down = state.down + 1
+            return sdu + b"!"
+        return step
+
+    def fuse_up(self):
+        state = self.state
+
+        def step(pdu, meta):
+            state.up = state.up + 1
+            return pdu[:-1]
+        return step
+
+
+class DropOddSublayer(Sublayer):
+    """Silently drops payloads whose first byte is odd (downward)."""
+
+    def from_above(self, sdu, **meta):
+        if sdu[0] % 2:
+            return
+        self.send_down(sdu, **meta)
+
+    def from_below(self, pdu, **meta):
+        self.deliver_up(pdu, **meta)
+
+    def fuse_down(self):
+        def step(sdu, meta):
+            return DROP if sdu[0] % 2 else sdu
+        return step
+
+    def fuse_up(self):
+        return IDENTITY
+
+
+class TagSublayer(Sublayer):
+    """Writes a meta key on the way down — exercises ``writes_meta``."""
+
+    def from_above(self, sdu, **meta):
+        meta["tag"] = "set"
+        self.send_down(sdu, **meta)
+
+    def from_below(self, pdu, **meta):
+        self.deliver_up(pdu, **meta)
+
+    def fuse_down(self):
+        def step(sdu, meta):
+            meta["tag"] = "set"
+            return sdu
+        step.writes_meta = True
+        return step
+
+    def fuse_up(self):
+        return IDENTITY
+
+
+def fused_stack(sublayers=None, tier="off", **kwargs):
+    stack = Stack(
+        "cg",
+        sublayers
+        if sublayers is not None
+        else [PassthroughSublayer(f"p{i}") for i in range(4)],
+        tier=tier,
+        **kwargs,
+    )
+    sent = []
+    stack.on_transmit = lambda sdu, **meta: sent.append((sdu, meta))
+    return stack, sent
+
+
+# ----------------------------------------------------------------------
+# When fusion engages
+# ----------------------------------------------------------------------
+def test_off_tier_fuses_both_directions():
+    stack, _ = fused_stack()
+    assert stack.wiring_plan.fused == {"down": True, "up": True}
+    source = stack.wiring_plan.codegen_source["down"]
+    assert source is not None and "def push" in source
+
+
+@pytest.mark.parametrize("tier", ["full", "metrics"])
+def test_other_tiers_never_fuse(tier):
+    stack, _ = fused_stack(tier=tier)
+    assert stack.wiring_plan.fused == {"down": False, "up": False}
+
+
+def test_opted_out_sublayer_falls_back_per_direction():
+    class UpOnly(PassthroughSublayer):
+        # fuse_down is inherited (guarded IDENTITY); opting out of the
+        # up direction must not disturb the down direction.
+        def fuse_up(self):
+            return None
+
+    stack, sent = fused_stack([PassthroughSublayer("p0"), UpOnly("u")])
+    assert stack.wiring_plan.fused == {"down": True, "up": False}
+    stack.send(b"x")
+    assert [sdu for sdu, _ in sent] == [b"x"]
+
+
+def test_tap_attach_and_detach_recompile():
+    stack, sent = fused_stack()
+    tap_log = []
+    stack.taps.append(lambda *args: tap_log.append(args))
+    assert stack.wiring_plan.fused == {"down": False, "up": False}
+    stack.send(b"x")
+    assert tap_log  # the tap really runs on the fallback path
+    stack.taps.pop()
+    assert stack.wiring_plan.fused == {"down": True, "up": True}
+
+
+def test_span_hook_forces_fallback():
+    stack, _ = fused_stack()
+    stack.span_hook = lambda direction, caller, provider, sdu, meta: None
+    assert stack.wiring_plan.fused == {"down": False, "up": False}
+    stack.span_hook = None
+    assert stack.wiring_plan.fused == {"down": True, "up": True}
+
+
+def test_codegen_enabled_toggle():
+    stack, sent = fused_stack()
+    stack.codegen_enabled = False
+    assert stack.wiring_plan.fused == {"down": False, "up": False}
+    stack.send(b"x")
+    assert [sdu for sdu, _ in sent] == [b"x"]
+    stack.codegen_enabled = True
+    assert stack.wiring_plan.fused == {"down": True, "up": True}
+
+
+def test_repro_codegen_env_kill_switch(monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN", "0")
+    stack, _ = fused_stack()
+    assert not stack.codegen_enabled
+    assert stack.wiring_plan.fused == {"down": False, "up": False}
+
+
+def test_insert_recompiles_and_refuses():
+    stack, _ = fused_stack()
+
+    class OptOut(Sublayer):
+        def from_above(self, sdu, **meta):
+            self.send_down(sdu, **meta)
+
+        def from_below(self, pdu, **meta):
+            self.deliver_up(pdu, **meta)
+
+    stack.insert("p2", OptOut("opt-out"))
+    assert stack.wiring_plan.fused == {"down": False, "up": False}
+
+
+def test_passthrough_subclass_overriding_scalar_opts_out():
+    class Local(PassthroughSublayer):
+        def from_above(self, sdu, **meta):
+            self.send_down(sdu + b"?", **meta)
+
+    stack, sent = fused_stack([Local("l")])
+    # Inheriting IDENTITY here would silently skip the override.
+    assert stack.wiring_plan.fused["down"] is False
+    stack.send(b"x")
+    assert [sdu for sdu, _ in sent] == [b"x?"]
+
+
+# ----------------------------------------------------------------------
+# Semantic equivalence with the chain walk
+# ----------------------------------------------------------------------
+def transform_chain():
+    return [SuffixSublayer("s0"), DropOddSublayer("d"), SuffixSublayer("s1")]
+
+
+def payloads():
+    return [bytes([i, i + 1]) for i in range(8)]
+
+
+def run_down(codegen):
+    stack, sent = fused_stack(transform_chain())
+    stack.codegen_enabled = codegen
+    for payload in payloads():
+        stack.send(payload)
+    counters = {
+        name: (stack.sublayer(name).state.down, stack.sublayer(name).state.up)
+        for name in ("s0", "s1")
+    }
+    return [sdu for sdu, _ in sent], counters
+
+
+def test_fused_down_matches_chain_walk():
+    fused_out, fused_counters = run_down(codegen=True)
+    chain_out, chain_counters = run_down(codegen=False)
+    assert fused_out == chain_out
+    assert fused_counters == chain_counters
+    # the drop really dropped something, so the equality is not vacuous
+    assert len(fused_out) < len(payloads())
+
+
+def test_fused_up_matches_chain_walk():
+    def run(codegen):
+        stack = Stack("cg", transform_chain(), tier="off")
+        stack.codegen_enabled = codegen
+        stack.on_transmit = lambda sdu, **meta: None
+        got = []
+        stack.on_deliver = lambda sdu, **meta: got.append(sdu)
+        for payload in payloads():
+            stack.receive(payload + b"!!")
+        return got
+
+    assert run(codegen=True) == run(codegen=False)
+
+
+def test_batch_form_matches_scalar_form():
+    stack, sent = fused_stack(transform_chain())
+    assert stack.wiring_plan.fused["down"] is True
+    stack.send_batch(payloads())
+    batch_out = [sdu for sdu, _ in sent]
+    scalar_out, _ = run_down(codegen=True)
+    assert batch_out == scalar_out
+
+
+def test_writes_meta_does_not_mutate_caller_dicts():
+    stack, sent = fused_stack([TagSublayer("t")])
+    assert stack.wiring_plan.fused["down"] is True
+    metas = [{"k": 1}, {"k": 2}]
+    stack.send_batch([b"a", b"b"], metas)
+    assert [meta["tag"] for _, meta in sent] == ["set", "set"]
+    assert metas == [{"k": 1}, {"k": 2}]
+
+
+def test_scalar_meta_passes_through_fused_path():
+    stack, sent = fused_stack()
+    stack.send(b"x", conn=7)
+    assert sent == [(b"x", {"conn": 7})]
+
+
+# ----------------------------------------------------------------------
+# The generated code itself
+# ----------------------------------------------------------------------
+def test_identity_steps_are_eliminated():
+    steps = fuse_steps([PassthroughSublayer(f"p{i}") for i in range(3)], "down")
+    assert steps == [IDENTITY, IDENTITY, IDENTITY]
+    fused = compile_fused(steps, "down", "x", sink=lambda sdu, **meta: None)
+    assert "_s0" not in fused.source
+
+
+def test_pure_passthrough_with_batch_sink_is_one_call():
+    batches = []
+    fused = compile_fused(
+        [IDENTITY],
+        "down",
+        "x",
+        sink=lambda sdu, **meta: None,
+        batch_sink=lambda sdus, metas: batches.append((list(sdus), metas)),
+    )
+    assert "for " not in fused.source.split("def push_batch")[1]
+    fused.batch([b"a", b"b"], None)
+    assert batches == [([b"a", b"b"], None)]
+
+
+def test_fuse_steps_all_or_nothing():
+    class OptOut(Sublayer):
+        def from_above(self, sdu, **meta):
+            self.send_down(sdu, **meta)
+
+        def from_below(self, pdu, **meta):
+            self.deliver_up(pdu, **meta)
+
+    assert fuse_steps([PassthroughSublayer("p"), OptOut("o")], "down") is None
+
+
+def test_drop_short_circuits_generated_code():
+    hits = []
+
+    def dropper(sdu, meta):
+        return DROP
+
+    def never(sdu, meta):  # pragma: no cover - must not run
+        hits.append(sdu)
+        return sdu
+
+    fused = compile_fused(
+        [dropper, never], "down", "x", sink=lambda sdu, **meta: hits.append(sdu)
+    )
+    fused.scalar(b"x")
+    fused.batch([b"a", b"b"], None)
+    assert hits == []
+
+
+def test_replace_preserves_codegen_configuration():
+    stack, _ = fused_stack()
+    stack.codegen_enabled = False
+    twin = stack.replace("p1", PassthroughSublayer("p1"))
+    twin.on_transmit = lambda sdu, **meta: None
+    assert not twin.codegen_enabled
+    assert twin.wiring_plan.fused == {"down": False, "up": False}
+
+
+def test_unattached_batch_crossing_raises():
+    orphan = PassthroughSublayer("orphan")
+    with pytest.raises(ConfigurationError):
+        orphan.send_down_batch([b"x"])
+    with pytest.raises(ConfigurationError):
+        orphan.deliver_up_batch([b"x"])

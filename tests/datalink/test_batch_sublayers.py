@@ -1,0 +1,117 @@
+"""Vectorized hot sublayers: batch paths mirror the scalar paths.
+
+Each hot sublayer (line coding, bit stuffing, flags, COBS, error
+detection, ARQ) overrides ``from_above_batch``/``from_below_batch``;
+these tests run each one in a single-sublayer stack at ``tier=full``
+(chain walk, full books) and assert scalar loops and batch calls give
+byte-identical outputs, counters, and drop behaviour — including on
+malformed input.
+"""
+
+import pytest
+
+from repro.core import Stack
+from repro.core.bits import Bits
+from repro.datalink.errordetect import ErrorDetectSublayer, InternetChecksum
+from repro.datalink.framing.cobs import CobsFramingSublayer
+from repro.datalink.framing.sublayers import FlagSublayer, StuffingSublayer
+from repro.phys.encodings import Manchester
+from repro.phys.sublayer import EncodingSublayer
+
+PAYLOADS = [Bits.from_bytes(bytes([i, 0x7E, i ^ 0xFF, 0x00])) for i in range(8)]
+
+
+def harness(sublayer):
+    stack = Stack("one", [sublayer], tier="full")
+    sent, delivered = [], []
+    stack.on_transmit = lambda sdu, **meta: sent.append(sdu)
+    stack.on_deliver = lambda sdu, **meta: delivered.append(sdu)
+    return stack, sent, delivered
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: EncodingSublayer(code=Manchester()),
+        lambda: StuffingSublayer(),
+        lambda: FlagSublayer(),
+        lambda: CobsFramingSublayer(),
+        lambda: ErrorDetectSublayer(code=InternetChecksum()),
+    ],
+    ids=["encoding", "stuffing", "flags", "cobs", "errordetect"],
+)
+def test_down_batch_matches_scalar_loop(factory):
+    scalar_stack, scalar_sent, _ = harness(factory())
+    for payload in PAYLOADS:
+        scalar_stack.send(payload)
+    batch_stack, batch_sent, _ = harness(factory())
+    batch_stack.send_batch(PAYLOADS)
+    assert batch_sent == scalar_sent
+    assert (
+        batch_stack.sublayers[0].state.snapshot()
+        == scalar_stack.sublayers[0].state.snapshot()
+    )
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: EncodingSublayer(code=Manchester()),
+        lambda: StuffingSublayer(),
+        lambda: FlagSublayer(),
+        lambda: CobsFramingSublayer(),
+        lambda: ErrorDetectSublayer(code=InternetChecksum()),
+    ],
+    ids=["encoding", "stuffing", "flags", "cobs", "errordetect"],
+)
+def test_up_batch_matches_scalar_loop(factory):
+    # produce valid wire units with the same sublayer type
+    producer, wire_units, _ = harness(factory())
+    producer.send_batch(PAYLOADS)
+    # corrupt one unit so the error paths run too
+    mangled = list(wire_units)
+    mangled[3] = Bits.from_bytes(b"\x55\x55")
+
+    scalar_stack, _, scalar_up = harness(factory())
+    for unit in mangled:
+        scalar_stack.receive(unit)
+    batch_stack, _, batch_up = harness(factory())
+    batch_stack.receive_batch(mangled)
+    assert batch_up == scalar_up
+    assert (
+        batch_stack.sublayers[0].state.snapshot()
+        == scalar_stack.sublayers[0].state.snapshot()
+    )
+
+
+def test_flag_stream_mode_batch_falls_back_to_scalar_semantics():
+    producer, wire_units, _ = harness(FlagSublayer())
+    producer.send_batch(PAYLOADS[:4])
+    # one Bits unit containing all four frames back to back
+    stream = Bits()
+    for unit in wire_units:
+        stream = stream + unit
+
+    scalar_stack, _, scalar_up = harness(FlagSublayer(stream_mode=True))
+    scalar_stack.receive(stream)
+    for unit in wire_units:
+        scalar_stack.receive(unit)
+
+    batch_stack, _, batch_up = harness(FlagSublayer(stream_mode=True))
+    batch_stack.receive(stream)
+    batch_stack.receive_batch(wire_units)
+    assert batch_up == scalar_up
+
+
+def test_errordetect_batch_marks_corrupt_meta():
+    producer, wire_units, _ = harness(ErrorDetectSublayer(code=InternetChecksum()))
+    producer.send_batch(PAYLOADS[:2])
+    mangled = [wire_units[0], wire_units[1] + Bits([1])]
+
+    got = []
+    stack = Stack("one", [ErrorDetectSublayer(code=InternetChecksum())], tier="full")
+    stack.on_transmit = lambda sdu, **meta: None
+    stack.on_deliver = lambda sdu, **meta: got.append(meta.get("corrupt"))
+    stack.receive_batch(mangled)
+    assert got[0] is False
+    assert got[1] is True

@@ -1,0 +1,148 @@
+"""``Link.send_batch``: scalar-equivalent semantics, grouped delivery.
+
+The contract: a seeded link treats ``send_batch(units)`` exactly like
+``for u in units: send(u)`` — same stats, same rng draws, same arrival
+times, same delivered payloads in the same order.  The only change is
+event shape: consecutive same-instant arrivals become one simulator
+event, handed to the batch sink (when connected) in one call.
+"""
+
+import random
+
+from repro.sim.engine import Simulator
+from repro.sim.link import DuplexLink, Link, LinkConfig
+
+PAYLOADS = [bytes([i]) * 4 for i in range(16)]
+
+
+def run_scalar(seed=7, **config):
+    sim = Simulator()
+    link = Link(sim, LinkConfig(**config), rng=random.Random(seed))
+    received = []
+    link.connect(lambda u, **m: received.append((sim.now, u)))
+    for payload in PAYLOADS:
+        link.send(payload)
+    sim.run_until_idle()
+    return received, link.stats
+
+
+def run_batch(seed=7, batch_sink=True, **config):
+    sim = Simulator()
+    link = Link(sim, LinkConfig(**config), rng=random.Random(seed))
+    received = []
+    sink = lambda u, **m: received.append((sim.now, u))  # noqa: E731
+    if batch_sink:
+        link.connect(
+            sink,
+            lambda units, metas=None: received.extend(
+                (sim.now, u) for u in units
+            ),
+        )
+    else:
+        link.connect(sink)
+    link.send_batch(PAYLOADS)
+    sim.run_until_idle()
+    return received, link.stats
+
+
+def assert_equivalent(scalar, batch):
+    s_recv, s_stats = scalar
+    b_recv, b_stats = batch
+    assert b_recv == s_recv
+    assert b_stats.__dict__ == s_stats.__dict__
+
+
+def test_ideal_link_batch_matches_scalar():
+    assert_equivalent(run_scalar(delay=0.1), run_batch(delay=0.1))
+
+
+def test_batch_without_batch_sink_falls_back_to_scalar_sink():
+    assert_equivalent(
+        run_scalar(delay=0.1), run_batch(delay=0.1, batch_sink=False)
+    )
+
+
+def test_impaired_link_batch_matches_scalar():
+    config = dict(
+        delay=0.05,
+        rate_bps=8000,
+        loss=0.2,
+        duplicate=0.1,
+        reorder_jitter=0.01,
+        bit_error_rate=0.001,
+    )
+    assert_equivalent(run_scalar(**config), run_batch(**config))
+
+
+def test_mtu_and_queue_drops_match_scalar():
+    config = dict(delay=0.01, rate_bps=800, mtu_bits=40, drop_tail_delay=0.1)
+    assert_equivalent(run_scalar(**config), run_batch(**config))
+
+
+def test_same_instant_arrivals_become_one_event():
+    sim = Simulator()
+    link = Link(sim, LinkConfig(delay=0.1), rng=random.Random(7))
+    calls = []
+    link.connect(
+        lambda u, **m: calls.append([u]),
+        lambda units, metas=None: calls.append(list(units)),
+    )
+    link.send_batch(PAYLOADS[:4])
+    sim.run_until_idle()
+    # no rate limit: every unit arrives at t=0.1, in one grouped event
+    assert calls == [PAYLOADS[:4]]
+    assert link.stats.delivered == 4
+
+
+def test_rate_limited_batch_stays_scalar_events():
+    sim = Simulator()
+    link = Link(sim, LinkConfig(delay=0.1, rate_bps=320), rng=random.Random(7))
+    calls = []
+    link.connect(
+        lambda u, **m: calls.append([u]),
+        lambda units, metas=None: calls.append(list(units)),
+    )
+    link.send_batch(PAYLOADS[:3])
+    sim.run_until_idle()
+    # serialization staggers arrivals: three single-delivery events
+    assert calls == [[PAYLOADS[0]], [PAYLOADS[1]], [PAYLOADS[2]]]
+
+
+def test_batch_metas_arrive_with_their_units():
+    sim = Simulator()
+    link = Link(sim, LinkConfig(delay=0.1), rng=random.Random(7))
+    got = []
+    link.connect(
+        lambda u, **m: got.append((u, m)),
+        lambda units, metas=None: got.extend(
+            (u, m) for u, m in zip(units, metas or [{}] * len(units))
+        ),
+    )
+    link.send_batch([b"a", b"b"], metas=[{"conn": 1}, {"conn": 2}])
+    sim.run_until_idle()
+    assert got == [(b"a", {"conn": 1}), (b"b", {"conn": 2})]
+
+
+def test_duplex_wires_batch_endpoints_when_present():
+    class BatchHost:
+        def __init__(self):
+            self.on_transmit = None
+            self.on_transmit_batch = None
+            self.received = []
+
+        def receive(self, unit, **meta):
+            self.received.append([unit])
+
+        def receive_batch(self, units, metas=None):
+            self.received.append(list(units))
+
+    sim = Simulator()
+    a, b = BatchHost(), BatchHost()
+    duplex = DuplexLink(sim, LinkConfig(delay=0.1))
+    duplex.attach(a, b)
+    a.on_transmit_batch([b"x", b"y"])
+    sim.run_until_idle()
+    assert b.received == [[b"x", b"y"]]
+    b.on_transmit(b"z")
+    sim.run_until_idle()
+    assert a.received == [[b"z"]]

@@ -1,0 +1,1 @@
+"""Static-checker fixture package (never imported, only parsed)."""

@@ -1,0 +1,38 @@
+"""Deliberate T2 violation: a batch hook with no scalar partner.
+
+``SkewedFraming`` re-implements the downward transform in
+``from_above_batch`` while inheriting ``from_above`` from its base —
+the two copies of the framing logic live in different classes and
+nothing keeps them in sync.  ``HonestFraming`` shows the accepted
+shape: whoever owns the batch transform owns the scalar one too.
+"""
+
+from typing import Any, Sequence
+
+from repro.core.sublayer import Sublayer
+
+
+class HonestFraming(Sublayer):
+    """Overrides both sides: the pair stays in one class body."""
+
+    def from_above(self, sdu: Any, **meta: Any) -> None:
+        self.send_down(sdu + b"\x7e", **meta)
+
+    def from_above_batch(
+        self, sdus: Sequence[Any], metas: Sequence[dict] | None = None
+    ) -> None:
+        self.send_down_batch([sdu + b"\x7e" for sdu in sdus], metas)
+
+
+class SkewedFraming(HonestFraming):
+    """Overrides only the batch side: the scalar path can drift."""
+
+    def from_above_batch(
+        self, sdus: Sequence[Any], metas: Sequence[dict] | None = None
+    ) -> None:
+        self.send_down_batch([sdu + b"\x7f" for sdu in sdus], metas)
+
+    def from_below_batch(
+        self, pdus: Sequence[Any], metas: Sequence[dict] | None = None
+    ) -> None:
+        self.deliver_up_batch([pdu[:-1] for pdu in pdus], metas)

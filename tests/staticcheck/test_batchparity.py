@@ -1,0 +1,20 @@
+"""The T2 batch-parity rule: batch hooks need their scalar partner."""
+
+from repro.staticcheck import run_staticcheck
+
+
+def test_batch_without_scalar_detected(fixtures):
+    report = run_staticcheck(fixtures / "batchskew")
+    assert not report.passed
+    violations = [v for v in report.violations if v.rule == "batch-parity"]
+    # SkewedFraming trips both directions; HonestFraming trips neither.
+    assert len(violations) == 2
+    assert all("SkewedFraming" in v.message for v in violations)
+    assert any("from_above_batch" in v.message for v in violations)
+    assert any("from_below_batch" in v.message for v in violations)
+    assert all(v.severity == "error" for v in violations)
+
+
+def test_paired_overrides_pass(fixtures):
+    report = run_staticcheck(fixtures / "cleanpkg")
+    assert report.result("batch-parity").passed

@@ -36,7 +36,7 @@ def test_cli_github_output_clean(fixtures, capsys):
     assert main(["--format", "github", str(fixtures / "cleanpkg")]) == 0
     out = capsys.readouterr().out.strip()
     assert out.splitlines() == [
-        "::notice title=staticcheck::6/6 rules passed — 0 error(s), 0 warning(s)"
+        "::notice title=staticcheck::7/7 rules passed — 0 error(s), 0 warning(s)"
     ]
 
 
