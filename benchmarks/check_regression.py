@@ -85,6 +85,14 @@ WATCHED: dict[str, dict[str, str]] = {
         "hist_observe_over_inc_x": "up",
         "hist_hop_over_plain_x": "up",
     },
+    # C13: sharded-fleet speedup over the serial conductor at 1024
+    # nodes (down = regression).  The committed baseline comes from a
+    # 1-CPU container where forked workers time-slice one core, so CI's
+    # multi-core runs only ever improve it — the hard >=2x bound on
+    # >= 4 CPUs lives inside the benchmark itself.
+    "c13_toposcale": {
+        "speedup_sharded_1024_x": "down",
+    },
 }
 
 #: Context shown alongside the gate (never gated: hardware-dependent).
@@ -107,6 +115,16 @@ REPORTED: dict[str, list[str]] = {
         "ns_per_inc",
         "ns_per_observe",
         "ns_per_flush_sample",
+    ],
+    "c13_toposcale": [
+        "pps_serial_64",
+        "pps_sharded_64",
+        "pps_serial_256",
+        "pps_sharded_256",
+        "pps_serial_1024",
+        "pps_sharded_1024",
+        "windows_1024",
+        "cpus",
     ],
 }
 

@@ -9,12 +9,12 @@ F3 benchmark measures convergence time after a failure.
 from __future__ import annotations
 
 import heapq
-import random
 from typing import Any
 
 from ..core.errors import ConfigurationError
 from ..sim.engine import Simulator
 from ..sim.link import Link, LinkConfig
+from ..sim.rng import RngFactory
 from .packets import Address, DataPacket
 from .router import Router
 from .routing.base import RouteComputation
@@ -30,12 +30,25 @@ class ManagedLink:
         a: Router,
         b: Router,
         config: LinkConfig,
-        seed: int,
+        rng: RngFactory,
     ):
         self.a, self.b = a, b
         self.alive = True
-        self.forward = Link(sim, config, random.Random(seed), f"{a.address}->{b.address}")
-        self.reverse = Link(sim, config, random.Random(seed + 1), f"{b.address}->{a.address}")
+        # One named stream per direction (the repo-wide rng discipline):
+        # the labels are pure functions of the endpoints, so adding or
+        # removing any other link never perturbs this one's draws.
+        self.forward = Link(
+            sim,
+            config,
+            rng.stream(f"link:{a.address}->{b.address}"),
+            f"{a.address}->{b.address}",
+        )
+        self.reverse = Link(
+            sim,
+            config,
+            rng.stream(f"link:{b.address}->{a.address}"),
+            f"{b.address}->{a.address}",
+        )
         ifa = a.add_interface()
         ifb = b.add_interface()
         ifa.send = lambda pkt: self.alive and self.forward.send(pkt)
@@ -65,6 +78,7 @@ class Topology:
         self.routing_cls = routing_cls
         self.link_config = link_config or LinkConfig(delay=0.005)
         self.seed = seed
+        self.rng = RngFactory(seed)
         self.routers: dict[Address, Router] = {}
         self.links: dict[tuple[Address, Address], ManagedLink] = {}
         self.delivered: list[DataPacket] = []
@@ -93,7 +107,7 @@ class Topology:
             self.routers[a],
             self.routers[b],
             self.link_config,
-            seed=self.seed + 101 * a + b,
+            rng=self.rng,
         )
         self.links[key] = link
         return link

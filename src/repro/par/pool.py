@@ -26,7 +26,7 @@ never need a platform branch.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
 from ..core.errors import ConfigurationError
@@ -124,6 +124,24 @@ class ForkPool:
             return [self.fn(item) for item in work]
         futures = [self._executor.submit(_call_inherited, item) for item in work]
         return [future.result() for future in futures]
+
+    def submit(self, item: Any) -> "Future[Any]":
+        """Start one item and return its :class:`Future` without waiting.
+
+        The long-lived-worker pattern (one region of the sharded fleet
+        simulator per worker, conversing with the parent over inherited
+        pipes) needs futures it can hold while the work is still
+        running; ``map`` would block.  In the degenerate serial pool
+        the item runs inline and the returned future is already done.
+        """
+        if self._executor is None:
+            future: Future[Any] = Future()
+            try:
+                future.set_result(self.fn(item))
+            except BaseException as exc:  # noqa: BLE001 — mirror executor
+                future.set_exception(exc)
+            return future
+        return self._executor.submit(_call_inherited, item)
 
 
 def fork_map(

@@ -3,11 +3,24 @@
 All protocol experiments in this repository run on this engine instead
 of a real network (see DESIGN.md §1: substitution for the authors'
 testbed).  It is a classic calendar-queue design: events are
-``(time, sequence, callback)`` triples in a heap; :meth:`Simulator.run`
-pops them in order, advancing virtual time.  Determinism is absolute —
-ties break by scheduling order and all randomness flows from seeded
-generators (:mod:`repro.sim.rng`) — so every benchmark number in
-EXPERIMENTS.md is exactly reproducible.
+``(time, rank, sequence, callback)`` entries in a heap;
+:meth:`Simulator.run` pops them in order, advancing virtual time.
+Determinism is absolute — ties break by scheduling order and all
+randomness flows from seeded generators (:mod:`repro.sim.rng`) — so
+every benchmark number in EXPERIMENTS.md is exactly reproducible.
+
+Same-instant ties break by a *rank*.  The default rank is
+``(schedule_time, 1, sequence, 0)``, which orders exactly like the
+historical insertion counter (the counter is monotone in schedule
+time), so ordinary workloads execute bit-identically to every earlier
+release.  Callers that need an insertion-order-*independent* tie-break
+— the sharded fleet simulator (:mod:`repro.topo`) injects link
+deliveries at synchronization-window boundaries, long after a serial
+run would have scheduled the same events — pass an explicit
+``rank=(send_time, 0, stream_id, stream_seq)`` that is a pure function
+of the event's causal source.  Two runs that schedule the same ranked
+events at different wall points then still execute them in the same
+order at a tied timestamp.
 """
 
 from __future__ import annotations
@@ -21,13 +34,20 @@ from ..core.clock import TimerHandle
 from ..core.errors import SimulationError
 from ..core.instrument import current_actor
 
+#: Shape of a tie-break rank: ``(schedule_time, class, id, seq)``.
+#: Class 0 is reserved for source-ranked events (fleet link
+#: deliveries); class 1 is the default insertion-ordered rank.  At a
+#: tied event time, ranks compare first on when the event was causally
+#: produced, then class, then source identity.
+Rank = tuple[float, int, int, int]
+
 
 class Simulator:
     """The event loop: schedule callbacks in virtual time and run them."""
 
     def __init__(self):
         self._now = 0.0
-        self._queue: list[tuple[float, int, TimerHandle]] = []
+        self._queue: list[tuple[float, Rank, int, TimerHandle]] = []
         self._counter = itertools.count()
         self._events_processed = 0
         self._running = False
@@ -56,41 +76,83 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for _, _, h in self._queue if not h.cancelled)
+        return sum(1 for _, _, _, h in self._queue if not h.cancelled)
 
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
-        """Run ``callback`` after ``delay`` seconds of virtual time."""
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        rank: Rank | None = None,
+    ) -> TimerHandle:
+        """Run ``callback`` after ``delay`` seconds of virtual time.
+
+        ``rank`` overrides the same-instant tie-break (see module
+        docstring); the default reproduces pure insertion order.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
         actor = current_actor() if self.profiler is not None else None
         handle = TimerHandle(self._now + delay, callback, actor=actor)
-        heapq.heappush(self._queue, (handle.when, next(self._counter), handle))
+        seq = next(self._counter)
+        if rank is None:
+            rank = (self._now, 1, seq, 0)
+        heapq.heappush(self._queue, (handle.when, rank, seq, handle))
         return handle
 
-    def schedule_at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        rank: Rank | None = None,
+    ) -> TimerHandle:
         """Run ``callback`` at absolute virtual time ``when``."""
-        return self.schedule(when - self._now, callback)
+        return self.schedule(when - self._now, callback, rank=rank)
+
+    def next_event_time(self) -> float:
+        """Timestamp of the earliest live event, or ``inf`` if idle.
+
+        Lazily discards cancelled events at the head of the queue so
+        the answer reflects work that will actually execute — the
+        sharded conductor uses this as each region's contribution to
+        the global lower bound on timestamps.
+        """
+        while self._queue and self._queue[0][3].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
 
     # ------------------------------------------------------------------
     def run(
         self,
         until: float = float("inf"),
         max_events: int = 10_000_000,
+        inclusive: bool = True,
     ) -> float:
         """Process events until the queue empties or ``until`` is reached.
 
         Returns the virtual time at which the run stopped.  ``max_events``
         is a runaway guard; exceeding it raises :class:`SimulationError`
         (a protocol that never quiesces is a bug worth failing loudly on).
+
+        ``inclusive=False`` stops *before* events at exactly ``until``
+        execute — conservative parallel windows are half-open
+        ``[lbts, horizon)`` because an event at exactly the horizon may
+        still be preceded by a not-yet-received cross-shard delivery at
+        that same instant.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
             processed = 0
-            while self._queue and self._queue[0][0] <= until:
-                when, _seq, handle = heapq.heappop(self._queue)
+            while self._queue and (
+                self._queue[0][0] <= until
+                if inclusive
+                else self._queue[0][0] < until
+            ):
+                when, _rank, _seq, handle = heapq.heappop(self._queue)
                 if handle.cancelled:
                     continue
                 self._now = when
@@ -112,8 +174,14 @@ class Simulator:
                     raise SimulationError(
                         f"exceeded {max_events} events without quiescing"
                     )
-            if until != float("inf") and (
-                not self._queue or self._queue[0][0] > until
+            # Inclusive runs advance the clock to ``until`` when the
+            # horizon is quiet; exclusive runs leave ``now`` at the last
+            # executed event so events at exactly ``until`` (still
+            # pending) remain in this clock's future.
+            if (
+                inclusive
+                and until != float("inf")
+                and (not self._queue or self._queue[0][0] > until)
             ):
                 self._now = max(self._now, until)
         finally:

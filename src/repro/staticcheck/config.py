@@ -30,6 +30,10 @@ from ..core.litmus import DEFAULT_MAX_INTERFACE_WIDTH
 #: stacks and reads their telemetry as evidence, so it may import any
 #: layer while nothing may import it back — and its fault *sublayers*
 #: are ``TRANSPARENT``, exempting them from the composition-order rule.
+#: Fleet-scale simulation (``topo``) tops the table: it composes whole
+#: router stacks into networks, partitions them across workers, and
+#: replays faults through the scenario harness, so it may import
+#: compose/network/par/obs/faults — and nothing imports it back.
 DEFAULT_LAYERS: dict[str, int] = {
     "core": 0,
     "par": 0,
@@ -45,6 +49,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "compose": 5,
     "obs": 6,
     "faults": 7,
+    "topo": 8,
 }
 
 #: Deliberate exceptions to the layer-order rule, as

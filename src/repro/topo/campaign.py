@@ -1,0 +1,176 @@
+"""Fleet-wide fault campaigns: link cuts and partitions at scale.
+
+These scenarios plug generated fleet topologies into the
+:mod:`repro.faults` campaign machinery — the dependency arrow points
+downward (topo imports faults, never the reverse).  Each trial builds
+the declared graph as a :class:`~repro.network.topology.Topology`
+(routers joined by impairable :class:`ManagedLink`\\ s), runs LSP
+flooding to convergence, injects the fleet-scale fault — a backbone
+link cut, or a multi-link partition that splits the graph — and
+demands reconvergence plus post-repair delivery, judged by the same
+:class:`~repro.faults.monitors.ReconvergenceMonitor` the host-pair
+scenarios use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..faults.monitors import (
+    Evidence,
+    Monitor,
+    NoEscapeMonitor,
+    ReconvergenceMonitor,
+)
+from ..faults.scenarios import Scenario
+from ..network import LinkState, Topology
+from ..obs import MetricsRegistry
+from ..sim import Simulator
+from .spec import FleetSpec, adjacency, make_spec
+
+
+class FleetScenario(Scenario):
+    """Base for fleet trials: build the spec's graph, converge, fault it."""
+
+    profile = "fleet"
+
+    def __init__(self, spec: FleetSpec, converge_timeout: float = 60.0):
+        """Run over ``spec``'s graph with a per-phase convergence budget."""
+        self.spec = spec
+        self.converge_timeout = converge_timeout
+
+    def monitors(self) -> list[Monitor]:
+        """Reconvergence observations plus the no-escape check."""
+        return [ReconvergenceMonitor(), NoEscapeMonitor()]
+
+    def cut_edges(self) -> list[tuple[int, int]]:
+        """The edges this scenario fails mid-trial."""
+        raise NotImplementedError
+
+    def probe(self) -> tuple[int, int]:
+        """A (src, dst) pair expected to span the faulted part."""
+        a, b = self.cut_edges()[0]
+        return a, b
+
+    def execute(self, seed: int) -> Evidence:
+        """Converge, cut, demand reconvergence, repair, demand it again."""
+        sim = Simulator()
+        registry = MetricsRegistry()
+        self._observe(registry)
+        evidence = Evidence(scenario=self.name, seed=seed, metrics=registry)
+        observations: dict[str, bool] = {}
+        evidence.extras["convergence"] = observations
+        try:
+            topo = Topology.build(
+                sim,
+                list(self.spec.edges),
+                routing_cls=LinkState,
+                seed=seed,
+            )
+            topo.start()
+            observations["initial-convergence"] = (
+                topo.converge(timeout=self.converge_timeout) is not None
+            )
+            src, dst = self.probe()
+            topo.send_data(src, dst, b"before")
+            sim.run(until=sim.now + 2)
+            observations["delivery-before-fault"] = any(
+                (p.src, p.dst) == (src, dst) for p in topo.delivered
+            )
+
+            for a, b in self.cut_edges():
+                topo.fail_link(a, b)
+            observations["reconvergence-after-fault"] = (
+                topo.converge(timeout=self.converge_timeout) is not None
+            )
+            observations["routes-correct-after-fault"] = all(
+                topo.routes_correct(source) for source in topo.routers
+            )
+
+            for a, b in self.cut_edges():
+                topo.restore_link(a, b)
+            observations["reconvergence-after-repair"] = (
+                topo.converge(timeout=self.converge_timeout) is not None
+            )
+            delivered_before = len(topo.delivered)
+            topo.send_data(src, dst, b"after")
+            sim.run(until=sim.now + 2)
+            observations["delivery-after-repair"] = (
+                len(topo.delivered) > delivered_before
+            )
+        except Exception as exc:  # noqa: BLE001 — escapes ARE the finding
+            evidence.errors.append(f"{type(exc).__name__}: {exc}")
+        evidence.extras.setdefault("info", {}).update(
+            {
+                "virtual_time": round(sim.now, 3),
+                "nodes": len(self.spec.nodes),
+                "edges": len(self.spec.edges),
+            }
+        )
+        return evidence
+
+
+class FleetLinkCutScenario(FleetScenario):
+    """Cut the highest-degree node's first link; the mesh must reroute."""
+
+    def __init__(self, spec: FleetSpec, converge_timeout: float = 60.0):
+        """Pick the cut deterministically from the spec's degree table."""
+        super().__init__(spec, converge_timeout)
+        self.name = f"fleet-linkcut-{spec.name}"
+        adj = adjacency(spec.nodes, spec.edges)
+        hub = max(sorted(spec.nodes), key=lambda n: len(adj[n]))
+        peer = adj[hub][0]
+        self._cut = [(min(hub, peer), max(hub, peer))]
+
+    def cut_edges(self) -> list[tuple[int, int]]:
+        """The single hub-adjacent edge chosen at construction."""
+        return self._cut
+
+
+class FleetPartitionScenario(FleetScenario):
+    """Cut every edge between the first region and the rest.
+
+    While partitioned, "correct routes" means *no* routes across the
+    gap (the oracle only credits reachable destinations); after repair
+    the full mesh must converge again and deliver across the healed
+    boundary.
+    """
+
+    def __init__(self, spec: FleetSpec, converge_timeout: float = 60.0):
+        """Derive the partition cut from the spec's own region split."""
+        super().__init__(spec, converge_timeout)
+        self.name = f"fleet-partition-{spec.name}"
+        if spec.shards < 2:
+            spec = spec.with_regions(2)
+        self._island = set(spec.regions[0])
+        self._cut = [
+            (a, b)
+            for a, b in spec.edges
+            if (a in self._island) != (b in self._island)
+        ]
+
+    def cut_edges(self) -> list[tuple[int, int]]:
+        """Every edge crossing the island boundary."""
+        return self._cut
+
+    def probe(self) -> tuple[int, int]:
+        """A pair spanning the island boundary."""
+        a, b = self.cut_edges()[0]
+        return a, b
+
+
+def fleet_matrix(
+    kind: str = "grid", nodes: int = 16, seed: int = 0
+) -> list[Scenario]:
+    """The fleet campaign: one link cut and one partition scenario."""
+    spec = make_spec(kind, nodes, shards=2, seed=seed)
+    return [
+        FleetLinkCutScenario(spec),
+        FleetPartitionScenario(spec),
+    ]
+
+
+MATRICES: dict[str, Callable[[], list[Scenario]]] = {
+    "fleet": fleet_matrix,
+    "fleet-smoke": lambda: fleet_matrix(kind="ring", nodes=8),
+}

@@ -1,0 +1,84 @@
+"""Fleet links: rank-stamped, shard-agnostic packet channels.
+
+A :class:`FleetChannel` is one *direction* of a fleet edge.  Unlike
+:class:`repro.sim.link.Link` it models delay only — fleet-scale
+impairment comes from explicit link cuts, not per-packet loss — and it
+stamps every delivery with a deterministic tie-break rank::
+
+    rank = (send_time, 0, link_id, seq)
+
+a pure function of the delivery's causal source (which channel sent
+it, and when, and in what order).  The sharded conductor injects
+cross-region deliveries at synchronization-window boundaries — much
+later, in insertion-counter terms, than a serial run schedules the
+same events — and this rank is exactly what makes the two executions
+order events identically at a tied timestamp (see
+:mod:`repro.sim.engine`).
+
+The channel does not know whether its destination is local or remote:
+it hands ``(arrival, rank, dst, packet)`` to a sink callback.  The
+region wires the sink to its own simulator for intra-region edges and
+to its cross-region outbox for boundary edges, so the channel itself
+behaves identically under any partition — the invariant behind the
+1/2/4-shard determinism tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim.engine import Rank
+
+#: One in-flight delivery: (arrival_time, rank, dst_address, packet).
+Delivery = tuple[float, Rank, int, Any]
+
+#: Sink signature: receives one Delivery entry.
+ChannelSink = Callable[[Delivery], None]
+
+
+class FleetChannel:
+    """One direction of a fleet edge, delivering after a fixed delay."""
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        delay: float,
+        link_id: int,
+        now: Callable[[], float],
+        sink: ChannelSink,
+        metrics: Any | None = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.delay = delay
+        self.link_id = link_id
+        self.alive = True
+        self._now = now
+        self._sink = sink
+        self._seq = 0
+        self._metrics = metrics
+
+    def send(self, packet: Any) -> None:
+        """Emit ``packet`` toward ``dst``; a dead channel blackholes it."""
+        if not self.alive:
+            if self._metrics is not None:
+                self._metrics.inc(f"fleetlink/{self.src}->{self.dst}/dropped_cut")
+            return
+        sent_at = self._now()
+        seq = self._seq
+        self._seq += 1
+        if self._metrics is not None:
+            self._metrics.inc(f"fleetlink/{self.src}->{self.dst}/sent")
+        self._sink(
+            (
+                sent_at + self.delay,
+                (sent_at, 0, self.link_id, seq),
+                self.dst,
+                packet,
+            )
+        )
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "cut"
+        return f"FleetChannel({self.src}->{self.dst}, {state})"

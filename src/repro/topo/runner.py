@@ -1,0 +1,410 @@
+"""The fleet conductor: serial, in-process sharded, and forked runs.
+
+Three execution modes over the same :class:`~repro.topo.region
+.RegionWorld` regions, producing the same artifacts byte-for-byte:
+
+* **serial** — every region on one simulator; cross-region sends are
+  scheduled straight into the destination region.  The ground truth.
+* **sharded (in-process)** — one simulator per region, advanced in
+  conservative-lookahead windows; cross-region sends travel through
+  outboxes the conductor drains at window boundaries.
+* **sharded (forked)** — the same window algorithm, but each region
+  lives in a forked :class:`~repro.par.ForkPool` worker and converses
+  with the conductor over pre-fork :func:`multiprocessing.Pipe` pairs.
+
+The conservative window rule: with every inter-region link having
+delay Δ (the lookahead) and L the global lower bound on pending event
+times, every region may safely execute the half-open window
+``[L, L + Δ)`` — any cross-region send inside the window departs at
+``t >= L`` and so arrives at ``t + Δ >= L + Δ``, beyond the horizon.
+Events at *exactly* ``L + Δ`` must wait for the next window (the
+classic off-by-one the shard-boundary tests pin), which is why region
+simulators run with ``inclusive=False``.  Each round advances the
+bound by at least Δ, so progress is guaranteed; delivery ranks (see
+:mod:`repro.topo.links`) make same-instant execution order identical
+to the serial run's.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from ..core.errors import ConfigurationError
+from ..obs.export import merge_jsonl, spans_to_jsonl
+from ..obs.metrics import MetricsRegistry
+from ..par.pool import ForkPool, effective_jobs
+from ..sim.engine import Simulator
+from .region import CrossEntry, RegionWorld
+from .spec import FleetSpec, static_fibs
+from .traffic import Flow, plan_traffic
+
+MODES = ("serial", "sharded")
+
+#: Virtual seconds of control-plane warmup before traffic starts in
+#: protocol mode (hello exchange + LSP flooding on fleet diameters).
+PROTOCOL_WARMUP = 30.0
+
+#: How long the parent waits on a region pipe before rechecking the
+#: worker's future for a crash (seconds, wall clock).
+_PIPE_POLL_S = 0.5
+
+
+@dataclass
+class FleetResult:
+    """All artifacts of one fleet run, region-structured and picklable."""
+
+    spec: FleetSpec
+    mode: str
+    routing: str
+    regions: list[dict[str, Any]]
+    converged: bool | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def deliveries(self) -> list[dict[str, Any]]:
+        """All deliveries: per-region execution order, region-major."""
+        return [d for region in self.regions for d in region["deliveries"]]
+
+    @property
+    def events(self) -> int:
+        """Total executed events (conductor-recorded: per-region sim
+        counts double-count the shared serial simulator)."""
+        return int(self.extras.get("events", 0))
+
+    def merged_snapshot(self) -> dict[str, Any]:
+        """Region registries folded in region order (names are unique
+        per node/link, so the fold equals a single shared registry)."""
+        registry = MetricsRegistry()
+        for region in self.regions:
+            registry.merge_snapshot(region["snapshot"])
+        return registry.snapshot()
+
+    def summary(self) -> dict[str, Any]:
+        """Run shape and headline counts (the ``summary.json`` payload)."""
+        return {
+            "spec": self.spec.name,
+            "nodes": len(self.spec.nodes),
+            "edges": len(self.spec.edges),
+            "shards": self.spec.shards,
+            "mode": self.mode,
+            "routing": self.routing,
+            "delivered": len(self.deliveries),
+            "converged": self.converged,
+            "events": self.events,
+        }
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_fleet(
+    spec: FleetSpec,
+    mode: str = "serial",
+    routing: str = "static",
+    flows: int = 8,
+    packets: int = 10,
+    interval: float = 0.01,
+    duration: float | None = None,
+    jobs: int | None = None,
+    link_changes: list[tuple[float, int, int, bool]] | None = None,
+) -> FleetResult:
+    """Run a fleet to quiescence (or ``duration``) and collect artifacts.
+
+    ``mode="sharded"`` uses the spec's region partition; with
+    ``jobs`` >= 2 (or 0 = all CPUs) each region runs in a forked
+    worker, otherwise the window loop interleaves regions in-process.
+    ``link_changes`` are scheduled ``(t, a, b, alive)`` cut/restore
+    events, applied identically in every mode.
+    """
+    if mode not in MODES:
+        raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
+    if routing == "protocol" and duration is None:
+        raise ConfigurationError(
+            "protocol routing never quiesces (periodic hellos); pass duration"
+        )
+    traffic_at = PROTOCOL_WARMUP if routing == "protocol" else 0.0
+    plan = [
+        replace(flow, start=flow.start + traffic_at)
+        for flow in plan_traffic(spec, flows, packets, interval=interval)
+    ]
+    if routing == "static":
+        static_fibs(spec)  # warm the pure cache once (pre-fork)
+    if mode == "serial" or spec.shards == 1:
+        return _run_serial(spec, mode, routing, plan, duration, link_changes)
+    if effective_jobs(jobs) > 1:
+        return _run_forked(spec, routing, plan, duration, link_changes)
+    return _run_windows_inprocess(spec, routing, plan, duration, link_changes)
+
+
+def _prepare(world: RegionWorld, plan: list[Flow], link_changes) -> None:
+    world.start_routing()
+    world.schedule_traffic(plan)
+    for t, a, b, alive in link_changes or []:
+        world.schedule_link_change(t, a, b, alive)
+
+
+def _finish(world: RegionWorld, routing: str) -> dict[str, Any]:
+    result = world.result()
+    result["converged"] = world.routes_correct() if routing == "protocol" else None
+    return result
+
+
+def _assemble(
+    spec: FleetSpec, mode: str, routing: str, regions: list[dict[str, Any]]
+) -> FleetResult:
+    converged: bool | None = None
+    if routing == "protocol":
+        converged = all(region["converged"] for region in regions)
+    return FleetResult(
+        spec=spec, mode=mode, routing=routing, regions=regions, converged=converged
+    )
+
+
+# ----------------------------------------------------------------------
+# Serial
+# ----------------------------------------------------------------------
+def _run_serial(
+    spec: FleetSpec,
+    mode: str,
+    routing: str,
+    plan: list[Flow],
+    duration: float | None,
+    link_changes,
+) -> FleetResult:
+    sim = Simulator()
+    worlds: dict[int, RegionWorld] = {}
+
+    def dispatch(entry: CrossEntry) -> None:
+        worlds[spec.region_of(entry[2])].inject([entry])
+
+    for region_id in range(spec.shards):
+        worlds[region_id] = RegionWorld(
+            spec, region_id, sim, routing=routing, cross_sink=dispatch
+        )
+    for world in worlds.values():
+        _prepare(world, plan, link_changes)
+    if duration is None:
+        sim.run_until_idle()
+    else:
+        sim.run(until=duration)
+    regions = [_finish(worlds[r], routing) for r in range(spec.shards)]
+    result = _assemble(spec, mode, routing, regions)
+    result.extras["events"] = sim.events_processed
+    return result
+
+
+# ----------------------------------------------------------------------
+# Sharded, in-process
+# ----------------------------------------------------------------------
+def _run_windows_inprocess(
+    spec: FleetSpec,
+    routing: str,
+    plan: list[Flow],
+    duration: float | None,
+    link_changes,
+) -> FleetResult:
+    worlds = [
+        RegionWorld(spec, region_id, Simulator(), routing=routing)
+        for region_id in range(spec.shards)
+    ]
+    for world in worlds:
+        _prepare(world, plan, link_changes)
+    delta = spec.link_delay
+    windows = 0
+    while True:
+        for world in worlds:
+            for entry in world.drain_outbox():
+                worlds[spec.region_of(entry[2])].inject([entry])
+        bound = min(world.sim.next_event_time() for world in worlds)
+        if bound == float("inf") or (duration is not None and bound > duration):
+            break
+        windows += 1
+        horizon = bound + delta
+        if duration is not None and horizon > duration:
+            # Final window [bound, duration]: narrower than Δ, so any
+            # cross send inside it still arrives past `duration`.
+            for world in worlds:
+                world.sim.run(until=duration, inclusive=True)
+        else:
+            for world in worlds:
+                world.sim.run(until=horizon, inclusive=False)
+    regions = [_finish(world, routing) for world in worlds]
+    result = _assemble(spec, "sharded", routing, regions)
+    result.extras["events"] = sum(world.sim.events_processed for world in worlds)
+    result.extras["windows"] = windows
+    return result
+
+
+# ----------------------------------------------------------------------
+# Sharded, forked workers
+# ----------------------------------------------------------------------
+#: Context inherited by forked region workers (set pre-fork).  The
+#: usual repro.par pattern: closures and simulators cannot cross a
+#: pickle boundary, so workers rebuild their region from the spec and
+#: converse over inherited pipes.
+_FLEET_CONTEXT: dict[str, Any] | None = None
+
+
+def _region_worker(region_id: int) -> dict[str, Any]:
+    """One forked worker: build the region, then serve window commands."""
+    ctx = _FLEET_CONTEXT
+    if ctx is None:
+        raise ConfigurationError("fleet worker forked without context")
+    for index, (parent_end, child_end) in enumerate(ctx["pipes"]):
+        parent_end.close()
+        if index != region_id:
+            child_end.close()
+    conn = ctx["pipes"][region_id][1]
+    world = RegionWorld(
+        ctx["spec"], region_id, Simulator(), routing=ctx["routing"]
+    )
+    _prepare(world, ctx["plan"], ctx["link_changes"])
+    while True:
+        command = conn.recv()
+        if command[0] == "window":
+            _, until, inclusive, entries = command
+            world.inject(entries)
+            if until is not None:
+                world.sim.run(until=until, inclusive=inclusive)
+            conn.send((world.sim.next_event_time(), world.drain_outbox()))
+        elif command[0] == "finish":
+            conn.close()
+            return _finish(world, ctx["routing"])
+        else:  # pragma: no cover - protocol bug guard
+            raise ConfigurationError(f"unknown fleet command {command[0]!r}")
+
+
+def _recv(conn: Any, future: Any) -> Any:
+    """Receive from a region pipe, failing fast if the worker died."""
+    while not conn.poll(_PIPE_POLL_S):
+        if future.done():
+            future.result()  # raises the worker's exception
+            raise ConfigurationError("fleet worker exited mid-protocol")
+    return conn.recv()
+
+
+def _run_forked(
+    spec: FleetSpec,
+    routing: str,
+    plan: list[Flow],
+    duration: float | None,
+    link_changes,
+) -> FleetResult:
+    global _FLEET_CONTEXT
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    pipes = [context.Pipe() for _ in range(spec.shards)]
+    _FLEET_CONTEXT = {
+        "spec": spec,
+        "routing": routing,
+        "plan": plan,
+        "link_changes": link_changes,
+        "pipes": pipes,
+    }
+    delta = spec.link_delay
+    windows = 0
+    try:
+        # One *blocking* item per region, so the pool must hold exactly
+        # one worker per region — a smaller pool would deadlock.
+        with ForkPool(_region_worker, jobs=spec.shards) as pool:
+            if pool.jobs == 1:  # fork unavailable: same loop, in-process
+                _FLEET_CONTEXT = None
+                return _run_windows_inprocess(
+                    spec, routing, plan, duration, link_changes
+                )
+            futures = [pool.submit(region) for region in range(spec.shards)]
+            conns = [parent_end for parent_end, _ in pipes]
+            next_times = [float("inf")] * spec.shards
+            pending: list[list[CrossEntry]] = [[] for _ in range(spec.shards)]
+
+            def exchange(until: float | None, inclusive: bool) -> None:
+                for region, conn in enumerate(conns):
+                    conn.send(("window", until, inclusive, pending[region]))
+                    pending[region] = []
+                for region, conn in enumerate(conns):
+                    next_times[region], outbox = _recv(conn, futures[region])
+                    for entry in outbox:
+                        pending[spec.region_of(entry[2])].append(entry)
+
+            exchange(None, True)  # probe initial event times
+            while True:
+                bound = min(
+                    next_times
+                    + [entry[0] for queue in pending for entry in queue]
+                )
+                if bound == float("inf") or (
+                    duration is not None and bound > duration
+                ):
+                    break
+                windows += 1
+                horizon = bound + delta
+                if duration is not None and horizon > duration:
+                    exchange(duration, True)
+                else:
+                    exchange(horizon, False)
+            for conn in conns:
+                conn.send(("finish",))
+            regions = [future.result() for future in futures]
+    finally:
+        _FLEET_CONTEXT = None
+        for parent_end, child_end in pipes:
+            parent_end.close()
+            child_end.close()
+    result = _assemble(spec, "sharded", routing, regions)
+    result.extras["events"] = sum(region["events"] for region in regions)
+    result.extras["windows"] = windows
+    result.extras["workers"] = spec.shards
+    return result
+
+
+# ----------------------------------------------------------------------
+# Canonical artifact files
+# ----------------------------------------------------------------------
+def write_artifacts(result: FleetResult, out_dir: Any) -> dict[str, str]:
+    """Write the canonical artifact set; returns {artifact: path}.
+
+    * ``deliveries.jsonl`` — every delivery, region-major in per-region
+      execution order (the byte-for-byte delivery-order witness);
+    * ``spans-r<N>.jsonl`` — each region's trace, virtual-clock spans;
+    * ``spans.jsonl`` — the regions merged via
+      :func:`~repro.obs.export.merge_jsonl` (sids rebased);
+    * ``metrics.json`` — the merged metrics snapshot;
+    * ``summary.json`` — run shape and counts.
+
+    Every file depends only on simulated behavior, so a serial and a
+    sharded run of the same spec must produce identical bytes.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, str] = {}
+
+    deliveries = out / "deliveries.jsonl"
+    with open(deliveries, "w", encoding="utf-8") as fp:
+        for record in result.deliveries:
+            fp.write(json.dumps(record, sort_keys=True) + "\n")
+    paths["deliveries"] = str(deliveries)
+
+    region_files = []
+    for region in result.regions:
+        region_path = out / f"spans-r{region['region']}.jsonl"
+        spans_to_jsonl(region["spans"], region_path)
+        region_files.append(region_path)
+        paths[f"spans-r{region['region']}"] = str(region_path)
+    merged = out / "spans.jsonl"
+    merge_jsonl(region_files, merged)
+    paths["spans"] = str(merged)
+
+    metrics = out / "metrics.json"
+    metrics.write_text(
+        json.dumps(result.merged_snapshot(), sort_keys=True, indent=1) + "\n"
+    )
+    paths["metrics"] = str(metrics)
+
+    summary = out / "summary.json"
+    summary.write_text(json.dumps(result.summary(), sort_keys=True, indent=1) + "\n")
+    paths["summary"] = str(summary)
+    return paths

@@ -1,0 +1,60 @@
+"""Golden values for ManagedLink's named rng streams.
+
+``ManagedLink`` historically seeded its two directions with bare
+``random.Random(seed)`` / ``random.Random(seed + 1)``, outside the
+repo-wide ``derive_seed`` discipline — so adding a link could perturb
+the draws of an unrelated one.  It now draws one named stream per
+direction (``link:{a}->{b}``) from the topology's ``RngFactory``.
+These goldens pin that mapping; if they fail, recorded convergence
+and loss numbers for routed topologies no longer replay.
+"""
+
+import random
+
+from repro.network.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.link import LinkConfig
+from repro.sim.rng import derive_seed
+
+#: (root_seed, stream label) -> derived 64-bit seed.  Computed once
+#: from sha256(f"{root}:{label}") and pinned.
+GOLDEN = {
+    (0, "link:1->2"): 7787878192436224164,
+    (0, "link:2->1"): 6852961718097099281,
+    (7, "link:1->2"): 3271609444875987948,
+    (7, "link:2->1"): 16109239353021707754,
+}
+
+
+def test_managed_link_seed_golden_values():
+    for (root, label), expected in GOLDEN.items():
+        assert derive_seed(root, label) == expected, (
+            f"derive_seed({root}, {label!r}) changed — recorded routed-"
+            "topology results no longer replay"
+        )
+
+
+def test_managed_link_draws_named_streams():
+    sim = Simulator()
+    topo = Topology.build(sim, [(1, 2)], seed=7, link_config=LinkConfig(delay=0.001))
+    link = topo.links[(1, 2)]
+    fwd_ref = random.Random(GOLDEN[(7, "link:1->2")])
+    rev_ref = random.Random(GOLDEN[(7, "link:2->1")])
+    assert [link.forward.rng.random() for _ in range(5)] == [
+        fwd_ref.random() for _ in range(5)
+    ]
+    assert [link.reverse.rng.random() for _ in range(5)] == [
+        rev_ref.random() for _ in range(5)
+    ]
+
+
+def test_link_streams_independent_of_other_links():
+    """Adding an unrelated link must not perturb an existing one's draws."""
+
+    def first_draws(edges):
+        sim = Simulator()
+        topo = Topology.build(sim, edges, seed=3, link_config=LinkConfig(delay=0.001))
+        link = topo.links[(1, 2)]
+        return [link.forward.rng.random() for _ in range(3)]
+
+    assert first_draws([(1, 2)]) == first_draws([(1, 2), (2, 3), (3, 4)])

@@ -1,0 +1,1 @@
+"""Static-checker fixture: a routing layer importing the fleet tier."""

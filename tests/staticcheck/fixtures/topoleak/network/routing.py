@@ -1,0 +1,13 @@
+"""A routing sublayer that (illegally) consults the fleet above it.
+
+The fleet tier composes router stacks into topologies; the moment a
+router sublayer imports fleet state to "shortcut" a routing decision,
+the whole-network view has leaked into a per-node layer and the
+dependency arrow points upward.
+"""
+
+from ..topo.spec import FleetSpec
+
+
+def route_with_global_view() -> object:
+    return FleetSpec()

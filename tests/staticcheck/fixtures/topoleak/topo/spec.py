@@ -1,0 +1,7 @@
+"""Stand-in for repro.topo.spec: fleet state the layers must not see."""
+
+FLEET_KIND = "grid"
+
+
+class FleetSpec:
+    pass

@@ -4,19 +4,21 @@ from repro.staticcheck import DEFAULT_LAYERS, run_staticcheck
 
 
 def test_obs_registered_above_every_protocol_layer():
-    # Only the fault-injection harness (which consumes obs telemetry as
-    # its evidence source) sits above obs; every protocol and substrate
-    # layer stays strictly below.
+    # Only the telemetry consumers — the fault-injection harness and
+    # the fleet tier built on it — sit above obs; every protocol and
+    # substrate layer stays strictly below.
     assert DEFAULT_LAYERS["obs"] > max(
         tier
         for name, tier in DEFAULT_LAYERS.items()
-        if name not in ("obs", "faults")
+        if name not in ("obs", "faults", "topo")
     )
 
 
-def test_faults_registered_above_everything():
+def test_faults_registered_above_every_stack_layer():
     assert DEFAULT_LAYERS["faults"] > max(
-        tier for name, tier in DEFAULT_LAYERS.items() if name != "faults"
+        tier
+        for name, tier in DEFAULT_LAYERS.items()
+        if name not in ("faults", "topo")
     )
 
 

@@ -1,0 +1,26 @@
+"""The fleet tier: composes every layer, imported by none of them."""
+
+from repro.staticcheck import DEFAULT_LAYERS, run_staticcheck
+
+
+def test_topo_registered_above_everything():
+    assert DEFAULT_LAYERS["topo"] > max(
+        tier for name, tier in DEFAULT_LAYERS.items() if name != "topo"
+    )
+
+
+def test_routing_module_importing_topo_is_flagged(fixtures):
+    report = run_staticcheck(fixtures / "topoleak")
+    assert not report.passed
+    [violation] = [v for v in report.violations if v.rule == "layer-order"]
+    assert violation.module == "topoleak.network.routing"
+    assert "topoleak.topo.spec" in violation.message
+    assert violation.line > 0
+
+
+def test_repro_itself_keeps_topo_on_top(src_repro):
+    # The real package must satisfy the rule the fixture violates:
+    # topo imports compose/network/par/obs/faults freely, nothing
+    # below it imports topo back.
+    report = run_staticcheck(src_repro)
+    assert report.passed, [str(v) for v in report.violations]

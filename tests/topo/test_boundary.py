@@ -1,0 +1,85 @@
+"""Shard-boundary cases: the lookahead horizon and same-instant ranks.
+
+The conservative window is half-open ``[L, L + Δ)``.  A packet sent at
+exactly ``L`` arrives at exactly ``L + Δ`` — the horizon itself — and
+must be deferred to the *next* window, not executed early and not
+dropped.  These tests construct that case exactly and check the
+sharded execution still matches the serial ground truth event for
+event.
+"""
+
+from repro.topo.runner import _run_serial, _run_windows_inprocess
+from repro.topo.spec import FleetSpec
+from repro.topo.traffic import Flow
+
+DELAY = 0.005
+
+
+def line(regions):
+    nodes = tuple(sorted(n for region in regions for n in region))
+    edges = tuple((n, n + 1) for n in nodes[:-1])
+    return FleetSpec(
+        name="line",
+        nodes=nodes,
+        edges=edges,
+        regions=regions,
+        link_delay=DELAY,
+    )
+
+
+def run_both(spec, plan):
+    serial = _run_serial(spec, "serial", "static", plan, None, None)
+    sharded = _run_windows_inprocess(spec, "static", plan, None, None)
+    assert serial.deliveries == sharded.deliveries
+    assert serial.merged_snapshot() == sharded.merged_snapshot()
+    return serial, sharded
+
+
+def test_arrival_exactly_at_horizon_is_deferred_not_dropped():
+    # Send at t=0 (the first window's lower bound L): the cross-region
+    # arrival lands at L + Δ, exactly the first horizon.
+    spec = line(((1,), (2,)))
+    plan = [Flow(index=0, src=1, dst=2, start=0.0, packets=1, interval=0.01)]
+    serial, sharded = run_both(spec, plan)
+    assert len(sharded.deliveries) == 1
+    assert sharded.deliveries[0]["t"] == DELAY
+    # Window 1 executed only the send; the horizon event needed window 2.
+    assert sharded.extras["windows"] == 2
+
+
+def test_every_hop_lands_on_a_horizon():
+    # 1 -> 2 -> 3 with the region cut between 2 and 3: the intra-region
+    # hop arrives exactly at window 1's horizon, the cross-region hop
+    # exactly at window 2's.  Three windows, no losses.
+    spec = line(((1, 2), (3,)))
+    plan = [Flow(index=0, src=1, dst=3, start=0.0, packets=1, interval=0.01)]
+    serial, sharded = run_both(spec, plan)
+    assert len(sharded.deliveries) == 1
+    assert sharded.deliveries[0]["t"] == 2 * DELAY
+    assert sharded.extras["windows"] == 3
+
+
+def test_same_instant_arrivals_execute_in_rank_order():
+    # Packets from nodes 1 and 3 arrive at node 2 at the same instant.
+    # The plan deliberately schedules 3->2 *first*, so insertion order
+    # disagrees with rank order: only the (send_time, link) rank keeps
+    # serial and sharded identical.
+    spec = line(((1,), (2,), (3,)))
+    plan = [
+        Flow(index=0, src=3, dst=2, start=0.0, packets=1, interval=0.01),
+        Flow(index=1, src=1, dst=2, start=0.0, packets=1, interval=0.01),
+    ]
+    serial, sharded = run_both(spec, plan)
+    assert [d["src"] for d in serial.deliveries] == [1, 3]
+
+
+def test_stream_of_boundary_packets_keeps_order():
+    # Back-to-back packets with interval == Δ: every send sits on a
+    # window bound and every arrival on a horizon.
+    spec = line(((1,), (2,)))
+    plan = [Flow(index=0, src=1, dst=2, start=0.0, packets=5, interval=DELAY)]
+    serial, sharded = run_both(spec, plan)
+    assert [d["ident"] for d in sharded.deliveries] == list(range(5))
+    assert [d["t"] for d in sharded.deliveries] == [
+        (k + 1) * DELAY for k in range(5)
+    ]

@@ -1,0 +1,111 @@
+"""Topology generators, region partitions, and the FIB oracle."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.topo import (
+    KINDS,
+    FleetSpec,
+    fat_tree,
+    grid,
+    make_spec,
+    random_graph,
+    ring,
+    star,
+    static_fibs,
+)
+from repro.topo.spec import adjacency, bfs_distances, iface_index, link_id
+
+
+def test_star_shape():
+    nodes, edges = star(5)
+    assert len(nodes) == 5
+    assert len(edges) == 4
+    assert all(a == 1 for a, _ in edges)
+
+
+def test_ring_shape():
+    nodes, edges = ring(6)
+    assert len(edges) == 6
+    adj = adjacency(nodes, edges)
+    assert all(len(adj[n]) == 2 for n in nodes)
+
+
+def test_grid_shape():
+    nodes, edges = grid(3, 4)
+    assert len(nodes) == 12
+    # rows*(cols-1) + (rows-1)*cols internal edges
+    assert len(edges) == 3 * 3 + 2 * 4
+
+
+def test_fat_tree_k4():
+    nodes, edges = fat_tree(4)
+    # 4 cores + 4 pods x (2 agg + 2 edge + 4 hosts) = 36
+    assert len(nodes) == 36
+
+
+def test_random_graph_is_seeded_and_connected():
+    a = random_graph(24, 4, seed=9)
+    b = random_graph(24, 4, seed=9)
+    assert a == b
+    assert random_graph(24, 4, seed=10) != a
+    spec = make_spec("random", 24, seed=9)
+    assert len(bfs_distances(spec, spec.nodes[0])) == len(spec.nodes)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_make_spec_every_kind_is_connected(kind):
+    spec = make_spec(kind, 20, shards=2, seed=1)
+    assert len(bfs_distances(spec, spec.nodes[0])) == len(spec.nodes)
+    assert spec.shards == 2
+
+
+def test_regions_partition_the_nodes():
+    spec = make_spec("grid", 16, shards=4)
+    seen = [n for region in spec.regions for n in region]
+    assert sorted(seen) == sorted(spec.nodes)
+    assert len(spec.regions) == 4
+    assert all(spec.region_of(n) is not None for n in spec.nodes)
+
+
+def test_cross_edges_span_regions():
+    spec = make_spec("grid", 16, shards=2)
+    for a, b in spec.cross_edges():
+        assert spec.region_of(a) != spec.region_of(b)
+
+
+def test_static_fibs_follow_shortest_paths():
+    spec = make_spec("grid", 16)
+    fibs = static_fibs(spec)
+    for dst in spec.nodes:
+        dist = bfs_distances(spec, dst)
+        for node in spec.nodes:
+            if node == dst:
+                continue
+            hop = fibs[node][dst]
+            assert dist[hop] == dist[node] - 1
+
+
+def test_iface_index_orders_neighbors_by_address():
+    spec = make_spec("ring", 4)
+    index = iface_index(spec)
+    adj = adjacency(spec.nodes, spec.edges)
+    for node in spec.nodes:
+        assert [index[(node, p)] for p in adj[node]] == list(range(len(adj[node])))
+
+
+def test_link_id_is_direction_distinct():
+    spec = make_spec("ring", 4)
+    ids = {link_id(spec, a, b) for a, b in spec.edges}
+    ids |= {link_id(spec, b, a) for a, b in spec.edges}
+    assert len(ids) == 2 * len(spec.edges)
+
+
+def test_spec_validates_unknown_region_node():
+    with pytest.raises(ConfigurationError):
+        FleetSpec(
+            name="bad",
+            nodes=(1, 2),
+            edges=((1, 2),),
+            regions=((1,), (3,)),
+        )
