@@ -93,6 +93,14 @@ WATCHED: dict[str, dict[str, str]] = {
     "c13_toposcale": {
         "speedup_sharded_1024_x": "down",
     },
+    # C14: the live-runtime delivery contract.  echo_ratio_x is bytes
+    # echoed back over bytes sent through real localhost UDP sockets —
+    # 1.0 by construction (the benchmark asserts losslessness inline),
+    # gated with direction "down" so any loss is a hard failure while
+    # throughput/latency stay informational (hardware-dependent).
+    "c14_netload": {
+        "echo_ratio_x": "down",
+    },
 }
 
 #: Context shown alongside the gate (never gated: hardware-dependent).
@@ -125,6 +133,12 @@ REPORTED: dict[str, list[str]] = {
         "pps_sharded_1024",
         "windows_1024",
         "cpus",
+    ],
+    "c14_netload": [
+        "throughput_mbps",
+        "msgs_per_sec",
+        "rtt_p50_ms",
+        "rtt_p99_ms",
     ],
 }
 

@@ -1,0 +1,103 @@
+"""C14 — live-runtime load: real UDP sockets, real clocks, zero loss.
+
+The C-series so far measures the sublayered stacks inside the
+deterministic simulator.  This benchmark measures the *other* runtime:
+an in-process :class:`repro.net.server.NetServer` (echo mode) and a
+:class:`repro.net.load.LoadGenerator` driving concurrent client stacks
+at it over localhost UDP, timers on the asyncio wall clock, every unit
+encoded to datagram bytes and back by the wire codec.
+
+Throughput and round-trip latency are hardware- and kernel-dependent,
+so they are reported, never gated.  What *is* gated is the delivery
+contract the two-runtime story rests on (docs/RUNTIME.md): the echoed
+byte ratio must stay 1.0 — every byte every client sent comes back
+intact through real sockets — and the RTT histogram must hold exactly
+one sample per message.
+"""
+
+import asyncio
+import time
+
+from _util import table, write_bench_json, write_result
+
+from repro.net import LoadGenerator, NetServer
+
+CLIENTS = 4
+MESSAGES = 16
+SIZE = 2048
+
+
+def run_loopback() -> dict:
+    """One server + load run on a single loop; returns measurements."""
+    server = NetServer(tcp_port=80, mode="echo")
+
+    async def scenario():
+        endpoint = await server.start()
+        generator = LoadGenerator(
+            endpoint.local_address,
+            clients=CLIENTS,
+            messages=MESSAGES,
+            size=SIZE,
+            timeout=120.0,
+            include_metrics=False,
+        )
+        try:
+            return await generator.run()
+        finally:
+            server.close()
+
+    start = time.perf_counter()
+    report = asyncio.run(scenario())
+    wall_s = time.perf_counter() - start
+
+    assert report.ok, report.errors
+    assert report.lossless
+    assert report.latency["count"] == CLIENTS * MESSAGES
+    return {
+        "wall_s": wall_s,
+        "report": report,
+        "echo_ratio": report.bytes_echoed / report.bytes_sent,
+    }
+
+
+def test_c14_netload(benchmark):
+    result = benchmark.pedantic(run_loopback, rounds=1, iterations=1)
+    report = result["report"]
+
+    rows = [
+        {
+            "clients": CLIENTS,
+            "msgs/client": MESSAGES,
+            "msg bytes": SIZE,
+            "echoed": report.bytes_echoed,
+            "Mbit/s": round(report.throughput_bps / 1e6, 2),
+            "msgs/s": round(report.msgs_per_sec, 1),
+            "rtt p50 ms": round(report.latency["p50"] * 1000, 3),
+            "rtt p99 ms": round(report.latency["p99"] * 1000, 3),
+        }
+    ]
+    lines = table(rows)
+    lines.append("")
+    lines.append(
+        "localhost UDP, asyncio loop, wall clock; every byte verified "
+        "against the sent pattern (asserted inline)"
+    )
+    write_result("c14_netload", lines)
+
+    write_bench_json(
+        "c14_netload",
+        wall_s=result["wall_s"],
+        extra={
+            "clients": CLIENTS,
+            "messages": MESSAGES,
+            "size": SIZE,
+            "bytes_echoed": report.bytes_echoed,
+            "throughput_mbps": round(report.throughput_bps / 1e6, 3),
+            "msgs_per_sec": round(report.msgs_per_sec, 1),
+            "rtt_p50_ms": round(report.latency["p50"] * 1000, 3),
+            "rtt_p99_ms": round(report.latency["p99"] * 1000, 3),
+            "echo_ratio_x": round(result["echo_ratio"], 6),
+        },
+    )
+
+    assert result["echo_ratio"] == 1.0

@@ -18,6 +18,15 @@ sublayer above a higher-tier one fails at build time, which is the T1
 discipline applied to composition rather than to imports.
 """
 
+from .backends import (
+    Backend,
+    TransferResult,
+    TransferSpec,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_transfer,
+)
 from .builder import (
     SlotSpec,
     StackBuilder,
@@ -30,11 +39,18 @@ from .builder import (
 from . import profiles  # noqa: F401  (registers the built-in profiles)
 
 __all__ = [
+    "Backend",
     "SlotSpec",
     "StackBuilder",
     "StackProfile",
+    "TransferResult",
+    "TransferSpec",
+    "available_backends",
     "available_profiles",
+    "get_backend",
     "get_profile",
+    "register_backend",
     "register_profile",
+    "run_transfer",
     "validate_layer_order",
 ]

@@ -1,0 +1,185 @@
+"""Runtime backend selection: the same stack, two host environments.
+
+A *profile* declares what a stack is; a *backend* declares where it
+runs.  The repository has exactly two: the deterministic discrete-event
+simulator (``"sim"``, the twin every experiment is reproducible on)
+and the live asyncio/UDP runtime (``"net"``, :mod:`repro.net`).  A
+:class:`TransferSpec` describes one scenario — which profile, how many
+payload bytes, which ports, how long it may take — independently of
+the runtime, and :func:`run_transfer` executes it on whichever backend
+is named, returning a :class:`TransferResult` with identical structure
+either way.  The parity tests (``tests/net/test_scenario_twin.py``)
+hold the two backends to matching delivery semantics: same payload in,
+same bytes delivered, losslessly.
+
+Backends self-register: ``"sim"`` is built in (the simulator sits at
+the same tier as ``compose``), while ``"net"`` lives above this tier
+and registers itself when :mod:`repro.net` is imported —
+:func:`get_backend` lazily imports it by module name on first use, the
+standard plugin seam that keeps the layer order acyclic.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One runtime-agnostic transfer scenario: client sends, server gets.
+
+    ``link_delay``/``link_rate_bps`` only shape the simulated wire (a
+    real localhost socket has whatever latency the kernel gives it);
+    ``time_limit`` bounds both runtimes — virtual seconds on ``sim``,
+    wall seconds on ``net``.
+    """
+
+    profile: str = "tcp"
+    payload_bytes: int = 30_000
+    mss: int = 1000
+    lport: int = 12345
+    rport: int = 80
+    link_delay: float = 0.005
+    link_rate_bps: float = 8_000_000
+    time_limit: float = 60.0
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """What a backend reports back from one :class:`TransferSpec` run."""
+
+    backend: str
+    sent: bytes
+    received: bytes
+    duration_s: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the server received exactly what the client sent."""
+        return self.received == self.sent
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (byte payloads reduced to counts)."""
+        return {
+            "backend": self.backend,
+            "ok": self.ok,
+            "bytes_sent": len(self.sent),
+            "bytes_received": len(self.received),
+            "duration_s": self.duration_s,
+            "details": self.details,
+        }
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered runtime: a name, a blurb, and a transfer runner."""
+
+    name: str
+    description: str
+    run_transfer: Callable[[TransferSpec], TransferResult]
+
+
+_BACKENDS: dict[str, Backend] = {}
+
+#: Backends that live above the compose tier register themselves on
+#: import; this maps their names to the module that does so.
+_LAZY_BACKENDS: dict[str, str] = {"net": "repro.net"}
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Add a runtime backend to the registry (``replace=True`` overwrites)."""
+    if backend.name in _BACKENDS and not replace:
+        raise ConfigurationError(
+            f"backend {backend.name!r} already registered "
+            "(pass replace=True to overwrite)"
+        )
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend, lazily importing self-registering ones."""
+    if name not in _BACKENDS and name in _LAZY_BACKENDS:
+        importlib.import_module(_LAZY_BACKENDS[name])
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown runtime backend {name!r}; "
+            f"available: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    """Names of every known backend (registered or lazily importable)."""
+    return sorted(set(_BACKENDS) | set(_LAZY_BACKENDS))
+
+
+def run_transfer(spec: TransferSpec, backend: str = "sim") -> TransferResult:
+    """Run one scenario spec on the named backend."""
+    return get_backend(backend).run_transfer(spec)
+
+
+# ----------------------------------------------------------------------
+# The built-in deterministic backend
+# ----------------------------------------------------------------------
+def _run_sim_transfer(spec: TransferSpec) -> TransferResult:
+    """The deterministic twin: the spec on a Simulator + DuplexLink."""
+    # Deferred imports: the TCP host imports ``repro.compose`` back up
+    # (an allowlisted construction-site exception), so importing it at
+    # module level here would close an import cycle.
+    from ..sim import DuplexLink, LinkConfig, Simulator
+    from ..transport.config import TcpConfig
+    from ..transport.sublayered.host import SublayeredTcpHost
+
+    if spec.profile != "tcp":
+        raise ConfigurationError(
+            f"the transfer scenario runs the 'tcp' profile; "
+            f"got {spec.profile!r}"
+        )
+    sim = Simulator()
+    config = TcpConfig(mss=spec.mss)
+    client = SublayeredTcpHost("client", sim.clock(), config)
+    server = SublayeredTcpHost("server", sim.clock(), config)
+    link = DuplexLink(
+        sim,
+        LinkConfig(delay=spec.link_delay, rate_bps=spec.link_rate_bps),
+    )
+    link.attach(client, server)
+
+    server.listen(spec.rport)
+    payload = bytes(i % 251 for i in range(spec.payload_bytes))
+    sock = client.connect(spec.lport, spec.rport)
+
+    def go() -> None:
+        sock.send(payload)
+        sock.close()
+
+    sock.on_connect = go
+    sim.run(until=spec.time_limit)
+    peer = server.socket_for(spec.rport, spec.lport)
+    received = peer.bytes_received() if peer is not None else b""
+    return TransferResult(
+        backend="sim",
+        sent=payload,
+        received=received,
+        duration_s=sim.now,
+        details={
+            "events_processed": sim.events_processed,
+            "link": link.forward.stats.as_dict(),
+        },
+    )
+
+
+register_backend(
+    Backend(
+        name="sim",
+        description="deterministic discrete-event simulator (virtual time)",
+        run_transfer=_run_sim_transfer,
+    )
+)

@@ -53,10 +53,12 @@ class TimerHandle:
         self._cancelled = False
 
     def cancel(self) -> None:
+        """Mark the timer dead; a cancelled callback never fires."""
         self._cancelled = True
 
     @property
     def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
         return self._cancelled
 
 
@@ -74,9 +76,11 @@ class ManualClock:
         self._counter = itertools.count()
 
     def now(self) -> float:
+        """Current manual time in seconds."""
         return self._now
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule ``callback`` at ``now() + delay``; returns its handle."""
         if delay < 0:
             raise ValueError("delay must be non-negative")
         handle = TimerHandle(self._now + delay, callback)
@@ -105,4 +109,5 @@ class ManualClock:
 
     @property
     def pending(self) -> int:
+        """How many scheduled callbacks are still live (not cancelled)."""
         return sum(1 for _, _, h in self._queue if not h.cancelled)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from typing import Any
 
-from ..compose import StackBuilder
+from ..compose.builder import StackBuilder
 from ..core.bits import Bits
 from ..core.stack import Stack
 from ..core.wiring import TIER_FULL

@@ -1,0 +1,56 @@
+"""`repro.net` — the live-UDP asyncio runtime for sublayer stacks.
+
+Every profile the :class:`~repro.compose.builder.StackBuilder` knows
+(hdlc/wireless/tcp/quic) composes runtime-agnostic sublayers: each one
+sees only the data path, the service port below it, and the narrow
+:class:`~repro.core.clock.Clock` protocol.  The deterministic simulator
+(:mod:`repro.sim`) is one host environment for those compositions; this
+package is the other — the *same* stacks driven by an asyncio event
+loop, wall-clock timers, and real UDP sockets, so two OS processes (or
+hosts) interoperate using the identical sublayered TCP profile.
+
+The pieces mirror the simulator's, one for one:
+
+========================  =======================================
+ simulator (virtual)       net (wall clock)
+========================  =======================================
+ ``Simulator`` heap        the asyncio event loop
+ ``SimClock``              :class:`~repro.net.clock.LoopClock`
+ ``DuplexLink``            :class:`~repro.net.endpoint.UDPEndpoint`
+ structured ``Pdu`` units  :class:`~repro.net.codec.WireCodec` bytes
+ ``sim.run(until=...)``    ``loop.run_until_complete(...)``
+========================  =======================================
+
+The simulator remains the deterministic twin: the same
+:class:`~repro.net.scenario.TransferSpec` runs on either backend
+(``backend="sim"`` / ``backend="net"``) with matching delivery
+semantics, and ``python -m repro.net {serve,load,twin}`` exposes a
+server, a concurrent load generator reporting latency percentiles from
+:mod:`repro.obs` histograms, and the twin-run comparison.  See
+docs/RUNTIME.md for the architecture.
+"""
+
+from __future__ import annotations
+
+from .clock import LoopClock, LoopTimerHandle
+from .codec import CodecError, WireCodec, codec_for_profile, tcp_codec
+from .endpoint import UDPEndpoint
+from .load import LoadGenerator, LoadReport
+from .scenario import TransferResult, TransferSpec, run_transfer
+from .server import NetServer
+
+__all__ = [
+    "CodecError",
+    "LoadGenerator",
+    "LoadReport",
+    "LoopClock",
+    "LoopTimerHandle",
+    "NetServer",
+    "TransferResult",
+    "TransferSpec",
+    "UDPEndpoint",
+    "WireCodec",
+    "codec_for_profile",
+    "run_transfer",
+    "tcp_codec",
+]

@@ -1,0 +1,307 @@
+"""Live-runtime CLI: ``python -m repro.net``.
+
+Three subcommands:
+
+* ``serve`` — host one listening sublayered TCP stack on a UDP socket
+  and serve accepted connections (echo or sink) until the duration
+  elapses or the process is interrupted.  Prints the bound address as
+  the first output line so scripts can scrape an ephemeral port.
+* ``load`` — run N concurrent client stacks against a running server
+  and write a JSON report with throughput and p50/p95/p99 round-trip
+  latency from the :mod:`repro.obs` histograms.  CI's loopback smoke
+  step asserts zero data loss on it.
+* ``twin`` — run the same :class:`~repro.compose.backends.TransferSpec`
+  on the deterministic simulator and on the live runtime and compare
+  delivered bytes (the two-runtime parity check from docs/RUNTIME.md).
+
+Examples::
+
+    python -m repro.net serve --udp-port 9000 --duration 30
+    python -m repro.net load --server 127.0.0.1:9000 --clients 8 \\
+        --messages 32 --size 2048 --out report.json
+    python -m repro.net twin --payload-bytes 30000 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from ..core.errors import ReproError
+from .load import LoadGenerator
+from .server import MODES, NetServer
+
+
+def _parse_address(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` into an address tuple."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(f"expected HOST:PORT, got {text!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net",
+        description="Live asyncio/UDP runtime for the sublayered stacks.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = sub.add_parser("serve", help="host a listening stack over UDP")
+    serve_p.add_argument(
+        "--bind",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="UDP bind address (default: 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--udp-port",
+        type=int,
+        default=0,
+        help="UDP port to bind (default: 0 = ephemeral, printed on start)",
+    )
+    serve_p.add_argument(
+        "--tcp-port",
+        type=int,
+        default=80,
+        help="stack listening port clients connect to (default: 80)",
+    )
+    serve_p.add_argument(
+        "--mode",
+        choices=MODES,
+        default="echo",
+        help="echo chunks back or sink them (default: echo)",
+    )
+    serve_p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for this long then exit (default: until interrupted)",
+    )
+    serve_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print final server stats as JSON on exit",
+    )
+
+    load_p = sub.add_parser("load", help="drive client stacks at a server")
+    load_p.add_argument(
+        "--server",
+        default="127.0.0.1:9000",
+        metavar="HOST:PORT",
+        help="server UDP address (default: 127.0.0.1:9000)",
+    )
+    load_p.add_argument(
+        "--tcp-port",
+        type=int,
+        default=80,
+        help="server stack listening port (default: 80)",
+    )
+    load_p.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent client stacks (default: 4)",
+    )
+    load_p.add_argument(
+        "--messages",
+        type=int,
+        default=16,
+        metavar="N",
+        help="ping-pong messages per client (default: 16)",
+    )
+    load_p.add_argument(
+        "--size",
+        type=int,
+        default=1024,
+        metavar="BYTES",
+        help="payload bytes per message (default: 1024)",
+    )
+    load_p.add_argument(
+        "--base-port",
+        type=int,
+        default=40000,
+        help="first client stack port; client i uses base+i (default: 40000)",
+    )
+    load_p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-client completion deadline (default: 60)",
+    )
+    load_p.add_argument(
+        "--out",
+        metavar="FILE.json",
+        help="write the full JSON report here",
+    )
+    load_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full JSON report to stdout instead of a summary",
+    )
+    load_p.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="omit the raw metrics snapshot from the report",
+    )
+
+    twin_p = sub.add_parser("twin", help="run one spec on both runtimes")
+    twin_p.add_argument(
+        "--backend",
+        choices=("sim", "net", "both"),
+        default="both",
+        help="which runtime(s) to run the spec on (default: both)",
+    )
+    twin_p.add_argument(
+        "--payload-bytes",
+        type=int,
+        default=30_000,
+        help="client payload size (default: 30000)",
+    )
+    twin_p.add_argument(
+        "--mss",
+        type=int,
+        default=1000,
+        help="stack segment size (default: 1000)",
+    )
+    twin_p.add_argument(
+        "--time-limit",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="transfer deadline, virtual or wall (default: 60)",
+    )
+    twin_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print per-backend results as JSON",
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "load":
+            return _cmd_load(args)
+        return _cmd_twin(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = NetServer(tcp_port=args.tcp_port, mode=args.mode)
+
+    async def serve() -> None:
+        endpoint = await server.start(
+            bind_host=args.bind, udp_port=args.udp_port
+        )
+        host, port = endpoint.local_address
+        # First line of output; scripts scrape the ephemeral port here.
+        print(f"listening {host}:{port} tcp-port {args.tcp_port}", flush=True)
+        try:
+            await server.run(args.duration)
+        finally:
+            # Close while the loop is still alive; the datagram
+            # transport cannot be released after asyncio.run returns.
+            server.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    if args.json:
+        print(json.dumps(server.stats(), indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    generator = LoadGenerator(
+        _parse_address(args.server),
+        tcp_port=args.tcp_port,
+        clients=args.clients,
+        messages=args.messages,
+        size=args.size,
+        base_port=args.base_port,
+        timeout=args.timeout,
+        include_metrics=not args.no_metrics,
+    )
+    report = asyncio.run(generator.run())
+    document = report.as_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            json.dump(document, fp, indent=1, sort_keys=True)
+            fp.write("\n")
+    if args.json:
+        print(json.dumps(document, indent=1, sort_keys=True))
+    else:
+        latency = report.latency
+        print(
+            f"{report.clients} clients x {report.messages} msgs x "
+            f"{report.size}B: {'lossless' if report.lossless else 'LOSSY'} "
+            f"in {report.duration_s:.3f}s"
+        )
+        print(
+            f"  throughput {report.throughput_bps / 1e6:.2f} Mbit/s, "
+            f"{report.msgs_per_sec:.1f} msg/s"
+        )
+        print(
+            f"  rtt p50 {latency['p50'] * 1e3:.2f}ms "
+            f"p95 {latency['p95'] * 1e3:.2f}ms "
+            f"p99 {latency['p99'] * 1e3:.2f}ms "
+            f"(n={latency['count']})"
+            if latency["count"]
+            else "  rtt: no samples"
+        )
+        for error in report.errors:
+            print(f"  error: {error}")
+        if args.out:
+            print(f"  report: {args.out}")
+    return 0 if report.ok else 1
+
+
+def _cmd_twin(args: argparse.Namespace) -> int:
+    from ..compose.backends import TransferSpec, run_transfer
+
+    spec = TransferSpec(
+        payload_bytes=args.payload_bytes,
+        mss=args.mss,
+        time_limit=args.time_limit,
+    )
+    backends = ("sim", "net") if args.backend == "both" else (args.backend,)
+    results = [run_transfer(spec, backend=name) for name in backends]
+    ok = all(result.ok for result in results)
+    if len(results) == 2:
+        ok = ok and results[0].received == results[1].received
+    if args.json:
+        document = {
+            "ok": ok,
+            "spec": {
+                "payload_bytes": spec.payload_bytes,
+                "mss": spec.mss,
+                "time_limit": spec.time_limit,
+            },
+            "results": [result.as_dict() for result in results],
+        }
+        print(json.dumps(document, indent=1, sort_keys=True))
+    else:
+        for result in results:
+            print(
+                f"{result.backend}: "
+                f"{'ok' if result.ok else 'INCOMPLETE'} — "
+                f"{len(result.received)}/{len(result.sent)} bytes "
+                f"in {result.duration_s:.3f}s "
+                f"({'virtual' if result.backend == 'sim' else 'wall'})"
+            )
+        print("parity: ok" if ok else "parity: MISMATCH")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

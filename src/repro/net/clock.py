@@ -1,0 +1,87 @@
+"""Wall-clock timers for stacks: the asyncio face of the Clock protocol.
+
+Sublayers that retransmit (ARQ, RD, CM) arm timers exclusively through
+the :class:`~repro.core.clock.Clock` protocol — ``now()`` plus
+``call_later()`` returning a cancelable handle.  Inside the simulator
+that protocol is backed by the event heap
+(:class:`~repro.sim.engine.SimClock`); here it is backed by a live
+asyncio event loop, so the *same* sublayer code schedules its
+retransmissions on wall-clock time.  Nothing in ``datalink`` or
+``transport`` can tell the difference — which is the point, and what
+``tests/net/test_clock_parametrized.py`` and the ``netleak``
+static-check fixture hold true.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+
+class LoopTimerHandle:
+    """Cancelable handle for a callback scheduled on an asyncio loop.
+
+    Mirrors :class:`repro.core.clock.TimerHandle`'s surface (``when``,
+    ``cancel()``, ``cancelled``) over an :class:`asyncio.TimerHandle`,
+    so sublayer code that stores and cancels timers works unchanged on
+    either runtime.
+    """
+
+    __slots__ = ("when", "callback", "_handle", "_cancelled")
+
+    def __init__(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        handle: asyncio.TimerHandle,
+    ):
+        """Wrap an asyncio timer (``when`` is in loop-time seconds)."""
+        self.when = when
+        self.callback = callback
+        self._handle = handle
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the scheduled callback (idempotent)."""
+        self._cancelled = True
+        self._handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
+
+
+class LoopClock:
+    """The :class:`~repro.core.clock.Clock` protocol over an asyncio loop.
+
+    ``now()`` is the loop's monotonic clock (``loop.time()``), and
+    ``call_later`` lands on ``loop.call_later`` — so ARQ/CM/RD timers
+    that the simulator would put on its event heap fire as real
+    wall-clock callbacks instead.  One ``LoopClock`` may serve any
+    number of stacks on the same loop.
+    """
+
+    __slots__ = ("_loop",)
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None):
+        """Bind to ``loop`` (default: the currently running loop)."""
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The event loop timers schedule on."""
+        return self._loop
+
+    def now(self) -> float:
+        """Current loop time in seconds (monotonic, not wall epoch)."""
+        return self._loop.time()
+
+    def call_later(
+        self, delay: float, callback: Callable[[], None]
+    ) -> LoopTimerHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        handle = self._loop.call_later(delay, callback)
+        return LoopTimerHandle(self._loop.time() + delay, callback, handle)

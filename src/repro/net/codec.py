@@ -1,0 +1,199 @@
+"""Serializing structured PDUs to UDP datagrams and back.
+
+Inside the simulator, units in flight stay structured
+:class:`~repro.core.pdu.Pdu` trees — headers as dicts, typed by their
+:class:`~repro.core.header.HeaderFormat` — because the litmus checker
+wants to see which sublayer attached which bits.  A real socket wants
+bytes.  The bridge is already declared: every sublayer header is a
+bit-exact :class:`HeaderFormat`, so a profile's wire format is just the
+concatenation of its packed subheaders (the right-hand side of the
+paper's Fig 2/Fig 6), and a :class:`WireCodec` needs only the ordered
+``(owner, format)`` list to flatten a PDU into a datagram on one host
+and rebuild the identical structure on another.
+
+Frame layout (all byte-aligned)::
+
+    [magic:1] [present:1] [payload?:1] [header 0] ... [header n-1] [payload]
+
+``magic`` names the profile (so a stray datagram for the wrong stack
+is dropped, not misparsed), ``present`` is how many leading layers of
+the declared order carry a header (a TCP handshake is DM|CM, a pure
+ack DM|CM|RD, data DM|CM|RD|OSR), and ``payload?`` distinguishes an
+absent inner SDU (``None``) from an empty one (``b""`` — OSR window
+updates and probes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import ReproError
+from ..core.header import HeaderFormat
+from ..core.pdu import Pdu
+
+
+class CodecError(ReproError):
+    """A unit (or datagram) does not match the codec's wire format."""
+
+
+class WireCodec:
+    """Bidirectional PDU <-> datagram translation for one profile.
+
+    ``layers`` is the profile's header order, outermost first; every
+    format must be byte-aligned (they all are — the Fig 6 subheaders
+    pad to byte boundaries).  Encoding walks the PDU's header chain and
+    requires it to be a prefix of the declared order; decoding rebuilds
+    the nested :class:`Pdu` structure a native stack would have built.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        magic: int,
+        layers: Sequence[tuple[str, HeaderFormat]],
+    ):
+        """Declare a codec: profile ``name``, one-byte ``magic``, layers."""
+        if not 0 <= magic <= 0xFF:
+            raise CodecError(f"magic must be one byte, got {magic}")
+        if not layers:
+            raise CodecError(f"codec {name!r} declares no layers")
+        if len(layers) > 0x7F:
+            raise CodecError(f"codec {name!r} declares too many layers")
+        self.name = name
+        self.magic = magic
+        self.layers: tuple[tuple[str, HeaderFormat], ...] = tuple(layers)
+        for owner, fmt in self.layers:
+            # byte_width raises HeaderError for unaligned formats —
+            # surface that at declaration time, not per packet.
+            fmt.byte_width
+        self._owners = [owner for owner, _ in self.layers]
+
+    # ------------------------------------------------------------------
+    def encode(self, unit: Pdu) -> bytes:
+        """Flatten one wire unit into a datagram."""
+        if not isinstance(unit, Pdu):
+            raise CodecError(
+                f"codec {self.name!r} can only encode Pdu units, "
+                f"got {type(unit).__name__}"
+            )
+        chain = list(unit.header_chain())
+        if len(chain) > len(self.layers):
+            raise CodecError(
+                f"unit has {len(chain)} headers; codec {self.name!r} "
+                f"declares {len(self.layers)} layers"
+            )
+        parts = [bytes((self.magic, len(chain), 0))]
+        for index, pdu in enumerate(chain):
+            owner, fmt = self.layers[index]
+            if pdu.owner != owner:
+                raise CodecError(
+                    f"header {index} belongs to {pdu.owner!r}; codec "
+                    f"{self.name!r} expects {owner!r} there"
+                )
+            parts.append(fmt.pack_bytes(pdu.header))
+        payload = chain[-1].inner
+        if payload is None:
+            pass
+        elif isinstance(payload, (bytes, bytearray, memoryview)):
+            parts[0] = bytes((self.magic, len(chain), 1))
+            parts.append(bytes(payload))
+        else:
+            raise CodecError(
+                f"innermost SDU must be bytes or None to cross a socket, "
+                f"got {type(payload).__name__}"
+            )
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> Pdu:
+        """Rebuild the nested PDU structure from one datagram."""
+        if len(data) < 3:
+            raise CodecError(f"datagram too short ({len(data)} bytes)")
+        if data[0] != self.magic:
+            raise CodecError(
+                f"magic {data[0]:#04x} is not codec {self.name!r} "
+                f"({self.magic:#04x})"
+            )
+        present = data[1]
+        has_payload = data[2]
+        if not 1 <= present <= len(self.layers):
+            raise CodecError(
+                f"datagram claims {present} headers; codec {self.name!r} "
+                f"declares {len(self.layers)}"
+            )
+        if has_payload not in (0, 1):
+            raise CodecError(f"bad payload flag {has_payload}")
+        offset = 3
+        headers: list[dict[str, int]] = []
+        for index in range(present):
+            _owner, fmt = self.layers[index]
+            width = fmt.byte_width
+            if len(data) < offset + width:
+                raise CodecError(
+                    f"datagram truncated inside header {index} "
+                    f"({len(data)} bytes)"
+                )
+            headers.append(fmt.unpack_bytes(data[offset : offset + width]))
+            offset += width
+        inner = bytes(data[offset:]) if has_payload else None
+        if not has_payload and len(data) != offset:
+            raise CodecError(
+                f"{len(data) - offset} trailing bytes on a payload-less "
+                "datagram"
+            )
+        unit: Pdu | bytes | None = inner
+        for index in range(present - 1, -1, -1):
+            owner, fmt = self.layers[index]
+            unit = Pdu(owner, fmt, headers[index], unit)
+        return unit  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"WireCodec({self.name!r}, {' | '.join(self._owners)})"
+
+
+# ----------------------------------------------------------------------
+# Profile codecs
+# ----------------------------------------------------------------------
+def tcp_codec() -> WireCodec:
+    """The wire codec for the Fig 5/Fig 6 sublayered TCP profile.
+
+    DM | CM | RD | OSR, exactly the native header concatenation of
+    :mod:`repro.transport.sublayered.headers`.  (Import is deferred so
+    ``repro.net`` stays importable without pulling the transport tier
+    until a TCP codec is actually needed.)
+    """
+    from ..transport.sublayered.headers import (
+        CM_HEADER,
+        DM_HEADER,
+        OSR_HEADER,
+        RD_HEADER,
+    )
+
+    return WireCodec(
+        "tcp",
+        magic=0x54,  # 'T'
+        layers=(
+            ("dm", DM_HEADER),
+            ("cm", CM_HEADER),
+            ("rd", RD_HEADER),
+            ("osr", OSR_HEADER),
+        ),
+    )
+
+
+#: Profile name -> codec factory.  Only profiles whose wire units are
+#: pure header-chains over byte payloads can cross a socket today; the
+#: datalink profiles emit :class:`~repro.core.bits.Bits` frames and get
+#: their codec when the phys boundary grows one.
+CODECS = {"tcp": tcp_codec}
+
+
+def codec_for_profile(profile: str) -> WireCodec:
+    """The :class:`WireCodec` for a stack profile (CodecError if none)."""
+    try:
+        factory = CODECS[profile]
+    except KeyError:
+        raise CodecError(
+            f"no wire codec for profile {profile!r}; "
+            f"available: {sorted(CODECS)}"
+        ) from None
+    return factory()

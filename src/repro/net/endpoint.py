@@ -1,0 +1,182 @@
+"""UDP datagram endpoints: the wire a live stack transmits into.
+
+Where the simulator wires a stack's ``on_transmit`` into a
+:class:`~repro.sim.link.DuplexLink` and schedules ``receive`` calls on
+the event heap, a :class:`UDPEndpoint` wires the same two hooks onto a
+datagram socket: ``on_transmit`` encodes the unit with the profile's
+:class:`~repro.net.codec.WireCodec` and ``sendto``-s it, and each
+datagram received feeds the decoded unit straight into the stack's
+``from_below`` path via ``host.receive``.
+
+Addressing rides on the profile's own demultiplexing header — the DM
+sublayer is "essentially UDP" (ports only), so the endpoint reads the
+outermost header's source port to learn which socket address a peer
+port lives at, and routes replies by destination port.  A *client*
+endpoint skips the table: its socket is connected to one remote
+address.  Malformed or foreign datagrams are counted and dropped, never
+raised into the loop — a real socket receives whatever the network
+feels like delivering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from ..core.metrics import MetricsSink, scoped
+from .codec import CodecError, WireCodec
+
+#: Socket address (host, port) as asyncio hands it to datagram callbacks.
+Address = tuple[str, int]
+
+
+class UDPEndpoint(asyncio.DatagramProtocol):
+    """Bridge one stack-bearing host onto one UDP socket.
+
+    ``host`` is anything with a ``receive(unit)`` method and a settable
+    ``on_transmit`` attribute — a :class:`~repro.core.stack.Stack`, a
+    :class:`~repro.transport.sublayered.host.SublayeredTcpHost`, or a
+    test double.  ``route_fields`` names the (source, destination)
+    fields of the outermost header used for peer-address learning and
+    reply routing; the default matches the DM subheader.
+    """
+
+    def __init__(
+        self,
+        host: Any,
+        codec: WireCodec,
+        name: str = "udp",
+        metrics: MetricsSink | None = None,
+        route_fields: tuple[str, str] = ("sport", "dport"),
+    ):
+        """Prepare the bridge; call :func:`open_endpoint` to go live."""
+        self.host = host
+        self.codec = codec
+        self.name = name
+        self.metrics = scoped(metrics, f"net/{name}")
+        self._source_field, self._dest_field = route_fields
+        self.transport: asyncio.DatagramTransport | None = None
+        self._connected = False  # socket bound to one remote address
+        #: peer port (the outermost header's source field) -> last
+        #: socket address it was seen at.  NAT-rebinding style address
+        #: changes simply overwrite the entry.
+        self.peers: dict[int, Address] = {}
+        self.datagrams_in = 0
+        self.datagrams_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.decode_errors = 0
+        self.unroutable = 0
+        self.on_error: Callable[[Exception], None] | None = None
+        host.on_transmit = self._transmit
+
+    # ------------------------------------------------------------------
+    # asyncio.DatagramProtocol
+    # ------------------------------------------------------------------
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        """Capture the datagram transport once the socket is up."""
+        self.transport = transport  # type: ignore[assignment]
+        self._connected = transport.get_extra_info("peername") is not None
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        """Decode one datagram and feed it up the stack."""
+        self.datagrams_in += 1
+        self.bytes_in += len(data)
+        try:
+            unit = self.codec.decode(data)
+        except CodecError:
+            self.decode_errors += 1
+            self.metrics.inc("decode_errors")
+            return
+        source = unit.header.get(self._source_field)
+        if source is not None:
+            self.peers[source] = addr
+        self.host.receive(unit)
+
+    def error_received(self, exc: Exception) -> None:
+        """Surface socket-level errors (e.g. ICMP port unreachable)."""
+        self.metrics.inc("socket_errors")
+        if self.on_error is not None:
+            self.on_error(exc)
+
+    def connection_lost(self, exc: Exception | None) -> None:
+        """Drop the transport reference once the socket closes."""
+        self.transport = None
+
+    # ------------------------------------------------------------------
+    # The stack's wire sink
+    # ------------------------------------------------------------------
+    def _transmit(self, unit: Any, **meta: Any) -> None:
+        if self.transport is None:
+            self.unroutable += 1
+            self.metrics.inc("unroutable")
+            return
+        data = self.codec.encode(unit)
+        if self._connected:
+            self.transport.sendto(data)
+        else:
+            dest = unit.header.get(self._dest_field)
+            addr = self.peers.get(dest) if dest is not None else None
+            if addr is None:
+                # No datagram from that peer port yet: nowhere to send.
+                self.unroutable += 1
+                self.metrics.inc("unroutable")
+                return
+            self.transport.sendto(data, addr)
+        self.datagrams_out += 1
+        self.bytes_out += len(data)
+
+    # ------------------------------------------------------------------
+    @property
+    def local_address(self) -> Address:
+        """The socket's bound (host, port)."""
+        if self.transport is None:
+            raise CodecError(f"endpoint {self.name!r} is not open")
+        return self.transport.get_extra_info("sockname")[:2]
+
+    def close(self) -> None:
+        """Close the socket (idempotent, safe after the loop is gone)."""
+        if self.transport is not None:
+            try:
+                self.transport.close()
+            except RuntimeError:
+                # The event loop already closed under the transport;
+                # the socket died with it, nothing left to release.
+                pass
+            self.transport = None
+
+    def stats(self) -> dict[str, int]:
+        """Datagram/byte/error counters as a JSON-ready dict."""
+        return {
+            "datagrams_in": self.datagrams_in,
+            "datagrams_out": self.datagrams_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "decode_errors": self.decode_errors,
+            "unroutable": self.unroutable,
+        }
+
+    def __repr__(self) -> str:
+        state = "open" if self.transport is not None else "closed"
+        return f"UDPEndpoint({self.name!r}, {state})"
+
+
+async def open_endpoint(
+    endpoint: UDPEndpoint,
+    local_addr: Address | None = None,
+    remote_addr: Address | None = None,
+) -> UDPEndpoint:
+    """Bind an endpoint's socket and return it once live.
+
+    Servers pass ``local_addr`` (port 0 picks a free port — read it
+    back from :attr:`UDPEndpoint.local_address`); clients pass
+    ``remote_addr`` to get a connected socket that needs no routing
+    table.
+    """
+    if local_addr is None and remote_addr is None:
+        raise CodecError("open_endpoint needs local_addr and/or remote_addr")
+    loop = asyncio.get_running_loop()
+    await loop.create_datagram_endpoint(
+        lambda: endpoint, local_addr=local_addr, remote_addr=remote_addr
+    )
+    return endpoint

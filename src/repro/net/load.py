@@ -1,0 +1,262 @@
+"""The load generator: N concurrent client stacks against one server.
+
+This is the "heavy traffic from real users" workload from ROADMAP item
+2: every client is a full sublayered TCP stack on its own connected
+UDP socket, all sharing one asyncio loop in the load process, all
+hammering a single :class:`~repro.net.server.NetServer` (usually in
+another OS process).  Each client plays ping-pong with the echo
+server — send one ``size``-byte message, wait for the full echo,
+record the round trip — so the report's latency percentiles come
+straight out of a :class:`repro.obs.Histogram` fed one sample per
+message, and losslessness is checked by comparing the echoed byte
+stream against the sent pattern.
+
+``python -m repro.net load`` wraps this class and writes the JSON
+report; the CI loopback smoke step asserts zero data loss and a
+non-empty latency histogram on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..obs import MetricsRegistry
+from .clock import LoopClock
+from .codec import codec_for_profile
+from .endpoint import Address, UDPEndpoint, open_endpoint
+
+#: Histogram name every client's round trips feed (one per message).
+RTT_HIST = "net/load/rtt"
+
+
+def pattern(nbytes: int) -> bytes:
+    """The deterministic payload pattern (same as the sim test suites)."""
+    return bytes(i % 251 for i in range(nbytes))
+
+
+@dataclass
+class LoadReport:
+    """The load generator's JSON-ready result."""
+
+    clients: int
+    messages: int
+    size: int
+    duration_s: float
+    bytes_sent: int
+    bytes_echoed: int
+    lossless: bool
+    throughput_bps: float
+    msgs_per_sec: float
+    latency: dict[str, Any]
+    per_client: list[dict[str, Any]] = field(default_factory=list)
+    endpoint: dict[str, int] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every byte came back and no client errored."""
+        return self.lossless and not self.errors
+
+    def as_dict(self) -> dict[str, Any]:
+        """The report as one JSON-serializable dict."""
+        return {
+            "ok": self.ok,
+            "clients": self.clients,
+            "messages": self.messages,
+            "size": self.size,
+            "duration_s": self.duration_s,
+            "bytes_sent": self.bytes_sent,
+            "bytes_echoed": self.bytes_echoed,
+            "lossless": self.lossless,
+            "throughput_bps": self.throughput_bps,
+            "msgs_per_sec": self.msgs_per_sec,
+            "latency": self.latency,
+            "per_client": self.per_client,
+            "endpoint": self.endpoint,
+            "errors": self.errors,
+            "metrics": self.metrics,
+        }
+
+
+class LoadGenerator:
+    """Drive N concurrent client stacks at one server and measure."""
+
+    def __init__(
+        self,
+        server_addr: Address,
+        tcp_port: int = 80,
+        clients: int = 4,
+        messages: int = 16,
+        size: int = 1024,
+        base_port: int = 40000,
+        profile: str = "tcp",
+        config: Any | None = None,
+        metrics: MetricsRegistry | None = None,
+        tier: str = "metrics",
+        timeout: float = 60.0,
+        include_metrics: bool = True,
+    ):
+        """Configure the run; :meth:`run` executes it on a live loop.
+
+        Each client binds stack port ``base_port + i`` — unique per
+        client so the server's DM sublayer can demultiplex them; two
+        concurrent load processes against one server must use disjoint
+        ``base_port`` ranges.
+        """
+        self.server_addr = server_addr
+        self.tcp_port = tcp_port
+        self.clients = clients
+        self.messages = messages
+        self.size = size
+        self.base_port = base_port
+        self.profile = profile
+        self.config = config
+        self.tier = tier
+        self.timeout = timeout
+        self.include_metrics = include_metrics
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    async def run(self) -> LoadReport:
+        """Run every client to completion and assemble the report."""
+        from ..transport.sublayered.host import SublayeredTcpHost
+
+        loop = asyncio.get_running_loop()
+        clock = LoopClock(loop)
+        payload = pattern(self.size)
+        endpoints: list[UDPEndpoint] = []
+        errors: list[str] = []
+        per_client: list[dict[str, Any]] = []
+
+        async def one_client(index: int) -> dict[str, Any]:
+            host = SublayeredTcpHost(
+                f"client{index}",
+                clock,
+                self.config,
+                metrics=self.registry.scoped(f"net/client{index}"),
+                tier=self.tier,
+            )
+            endpoint = UDPEndpoint(
+                host,
+                codec_for_profile(self.profile),
+                name=f"client{index}",
+                metrics=self.registry,
+            )
+            await open_endpoint(endpoint, remote_addr=self.server_addr)
+            endpoints.append(endpoint)
+
+            connected: asyncio.Future = loop.create_future()
+            closed: asyncio.Future = loop.create_future()
+            progress = {"echoed": 0, "target": 0, "waiter": None}
+
+            def on_connect() -> None:
+                if not connected.done():
+                    connected.set_result(True)
+
+            def on_error(reason: str) -> None:
+                for future in (connected, closed):
+                    if not future.done():
+                        future.set_exception(
+                            ConnectionError(f"client{index}: {reason}")
+                        )
+
+            def on_data(chunk: bytes) -> None:
+                progress["echoed"] += len(chunk)
+                waiter = progress["waiter"]
+                if (
+                    waiter is not None
+                    and not waiter.done()
+                    and progress["echoed"] >= progress["target"]
+                ):
+                    waiter.set_result(True)
+
+            def on_close() -> None:
+                if not closed.done():
+                    closed.set_result(True)
+
+            sock = host.connect(self.base_port + index, self.tcp_port)
+            sock.on_connect = on_connect
+            sock.on_error = on_error
+            sock.on_data = on_data
+            sock.on_close = on_close
+            await connected
+
+            rtts = self.registry  # shorthand; one hist feeds all clients
+            for message in range(self.messages):
+                progress["target"] = self.size * (message + 1)
+                waiter: asyncio.Future = loop.create_future()
+                progress["waiter"] = waiter
+                started = clock.now()
+                sock.send(payload)
+                if progress["echoed"] < progress["target"]:
+                    await waiter
+                elapsed = clock.now() - started
+                rtts.observe_hist(RTT_HIST, elapsed)
+                rtts.observe_hist(f"net/client{index}/rtt", elapsed)
+
+            sock.close()
+            try:
+                await asyncio.wait_for(closed, timeout=5.0)
+            except asyncio.TimeoutError:
+                # The FIN handshake straggling does not affect the
+                # measured transfer; note it and move on.
+                errors.append(f"client{index}: close handshake timed out")
+            echoed = sock.bytes_received()
+            return {
+                "client": index,
+                "port": self.base_port + index,
+                "bytes_echoed": len(echoed),
+                "intact": echoed == payload * self.messages,
+            }
+
+        started_at = loop.time()
+        results = await asyncio.gather(
+            *(
+                asyncio.wait_for(one_client(i), timeout=self.timeout)
+                for i in range(self.clients)
+            ),
+            return_exceptions=True,
+        )
+        duration = loop.time() - started_at
+        for index, result in enumerate(results):
+            if isinstance(result, BaseException):
+                errors.append(f"client{index}: {result!r}")
+            else:
+                per_client.append(result)
+        for endpoint in endpoints:
+            endpoint.close()
+
+        bytes_sent = self.clients * self.messages * self.size
+        bytes_echoed = sum(c["bytes_echoed"] for c in per_client)
+        lossless = (
+            len(per_client) == self.clients
+            and bytes_echoed == bytes_sent
+            and all(c["intact"] for c in per_client)
+        )
+        endpoint_totals: dict[str, int] = {}
+        for endpoint in endpoints:
+            for key, value in endpoint.stats().items():
+                endpoint_totals[key] = endpoint_totals.get(key, 0) + value
+        return LoadReport(
+            clients=self.clients,
+            messages=self.messages,
+            size=self.size,
+            duration_s=duration,
+            bytes_sent=bytes_sent,
+            bytes_echoed=bytes_echoed,
+            lossless=lossless,
+            throughput_bps=8 * bytes_echoed / duration if duration > 0 else 0.0,
+            msgs_per_sec=(
+                sum(1 for _ in per_client) * self.messages / duration
+                if duration > 0
+                else 0.0
+            ),
+            latency=self.registry.hist_summary(RTT_HIST),
+            per_client=per_client,
+            endpoint=endpoint_totals,
+            errors=errors,
+            metrics=self.registry.snapshot() if self.include_metrics else {},
+        )

@@ -1,0 +1,148 @@
+"""A live server process hosting one sublayered TCP stack over UDP.
+
+One :class:`NetServer` is one OS process's worth of the paper's Fig 5
+stack: a :class:`~repro.transport.sublayered.host.SublayeredTcpHost`
+(built through the unmodified ``tcp`` profile) whose timers run on a
+:class:`~repro.net.clock.LoopClock` and whose wire is a
+:class:`~repro.net.endpoint.UDPEndpoint`.  Any number of remote client
+stacks connect to its listening port; each accepted connection is
+served in ``echo`` mode (every chunk sent straight back — what the
+load generator measures round trips against) or ``sink`` mode (bytes
+counted and discarded).
+
+``python -m repro.net serve`` wraps this class; see docs/RUNTIME.md
+for the two-runtime architecture.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from ..core.errors import ConfigurationError
+from ..obs import MetricsRegistry
+from .clock import LoopClock
+from .codec import codec_for_profile
+from .endpoint import UDPEndpoint, open_endpoint
+
+#: Accepted-connection handling modes.
+MODES = ("echo", "sink")
+
+
+class NetServer:
+    """Serve one listening sublayered TCP stack on a UDP socket."""
+
+    def __init__(
+        self,
+        tcp_port: int = 80,
+        mode: str = "echo",
+        profile: str = "tcp",
+        config: Any | None = None,
+        metrics: MetricsRegistry | None = None,
+        tier: str = "metrics",
+        name: str = "server",
+    ):
+        """Configure a server; :meth:`start` binds the socket.
+
+        ``tcp_port`` is the *stack's* listening port (the DM subheader
+        port clients connect to), independent of the UDP port the
+        socket binds.  ``tier`` is the stack instrumentation tier —
+        ``metrics`` keeps the :mod:`repro.obs` counters and latency
+        histograms live at wire speed.
+        """
+        if mode not in MODES:
+            raise ConfigurationError(
+                f"unknown serve mode {mode!r}; choose from {MODES}"
+            )
+        self.tcp_port = tcp_port
+        self.mode = mode
+        self.profile = profile
+        self.config = config
+        self.name = name
+        self.tier = tier
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        self.host: Any = None
+        self.endpoint: UDPEndpoint | None = None
+        self.accepted = 0
+        self.closed = 0
+        self.bytes_echoed = 0
+        self.bytes_sunk = 0
+
+    # ------------------------------------------------------------------
+    async def start(
+        self, bind_host: str = "127.0.0.1", udp_port: int = 0
+    ) -> UDPEndpoint:
+        """Build the stack, bind the UDP socket, and start listening.
+
+        Returns the live endpoint; ``udp_port=0`` binds an ephemeral
+        port (read it back from ``endpoint.local_address``).
+        """
+        from ..transport.sublayered.host import SublayeredTcpHost
+
+        if self.profile != "tcp":
+            raise ConfigurationError(
+                f"NetServer hosts the 'tcp' profile; got {self.profile!r}"
+            )
+        clock = LoopClock(asyncio.get_running_loop())
+        self.host = SublayeredTcpHost(
+            self.name,
+            clock,
+            self.config,
+            metrics=self.registry.scoped(f"net/{self.name}"),
+            tier=self.tier,
+        )
+        self.host.on_accept = self._accepted
+        self.endpoint = UDPEndpoint(
+            self.host,
+            codec_for_profile(self.profile),
+            name=self.name,
+            metrics=self.registry,
+        )
+        await open_endpoint(self.endpoint, local_addr=(bind_host, udp_port))
+        self.host.listen(self.tcp_port)
+        return self.endpoint
+
+    def _accepted(self, sock: Any) -> None:
+        self.accepted += 1
+
+        def on_data(chunk: bytes) -> None:
+            if self.mode == "echo":
+                self.bytes_echoed += len(chunk)
+                sock.send(chunk)
+            else:
+                self.bytes_sunk += len(chunk)
+
+        def on_peer_close() -> None:
+            # The client finished; close our half so both stacks quiesce.
+            self.closed += 1
+            sock.close()
+
+        sock.on_data = on_data
+        sock.on_peer_close = on_peer_close
+
+    # ------------------------------------------------------------------
+    async def run(self, duration: float | None = None) -> None:
+        """Serve for ``duration`` seconds (``None``/0 = until cancelled)."""
+        if duration:
+            await asyncio.sleep(duration)
+        else:
+            await asyncio.Event().wait()
+
+    def stats(self) -> dict[str, Any]:
+        """Connection and byte counters plus the endpoint's, JSON-ready."""
+        out: dict[str, Any] = {
+            "mode": self.mode,
+            "tcp_port": self.tcp_port,
+            "accepted": self.accepted,
+            "closed": self.closed,
+            "bytes_echoed": self.bytes_echoed,
+            "bytes_sunk": self.bytes_sunk,
+        }
+        if self.endpoint is not None:
+            out["endpoint"] = self.endpoint.stats()
+        return out
+
+    def close(self) -> None:
+        """Close the UDP socket."""
+        if self.endpoint is not None:
+            self.endpoint.close()

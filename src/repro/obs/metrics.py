@@ -84,6 +84,29 @@ class MetricsRegistry:
             hist = self.hists[name] = Histogram()
         return hist
 
+    def hist_summary(
+        self, name: str, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[str, Any]:
+        """A JSON-ready latency summary of one log-bucket histogram.
+
+        This is the wall-clock export path the live runtime
+        (:mod:`repro.net`) reports through: count, mean, min/max, and
+        the requested quantiles (``p50``/``p95``/``p99`` by default),
+        all computed from the histogram buckets so a report built from
+        merged worker snapshots is identical to a single-process one.
+        """
+        hist = self.hist(name)
+        count = hist.count
+        out: dict[str, Any] = {
+            "count": count,
+            "mean": hist.mean,
+            "min": hist.minimum if count else None,
+            "max": hist.maximum if count else None,
+        }
+        for q in quantiles:
+            out[f"p{q * 100:g}"] = hist.quantile(q)
+        return out
+
     def names(self, pattern: str = "*") -> list[str]:
         """All metric names matching a glob pattern, sorted."""
         everything = (

@@ -30,10 +30,16 @@ from ..core.litmus import DEFAULT_MAX_INTERFACE_WIDTH
 #: stacks and reads their telemetry as evidence, so it may import any
 #: layer while nothing may import it back — and its fault *sublayers*
 #: are ``TRANSPARENT``, exempting them from the composition-order rule.
-#: Fleet-scale simulation (``topo``) tops the table: it composes whole
-#: router stacks into networks, partitions them across workers, and
-#: replays faults through the scenario harness, so it may import
-#: compose/network/par/obs/faults — and nothing imports it back.
+#: Two runtime orchestrators share the top tier: fleet-scale
+#: simulation (``topo``) composes whole router stacks into networks,
+#: partitions them across workers, and replays faults through the
+#: scenario harness; the live runtime (``net``) hosts the same stacks
+#: on an asyncio loop behind real UDP sockets and reports through obs
+#: histograms.  Both may import everything below them — profiles,
+#: hosts, obs, faults — and nothing imports either back: the sublayers
+#: stay runtime-agnostic (a stack reaches its runtime only through the
+#: ``core`` clock protocol and the ``on_transmit`` hook, never by
+#: importing ``sim`` or ``net``).
 DEFAULT_LAYERS: dict[str, int] = {
     "core": 0,
     "par": 0,
@@ -50,6 +56,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "obs": 6,
     "faults": 7,
     "topo": 8,
+    "net": 8,
 }
 
 #: Deliberate exceptions to the layer-order rule, as

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from ...compose import StackBuilder
+from ...compose.builder import StackBuilder
 from ...core.clock import Clock
 from ...core.instrument import AccessLog, acting_as
 from ...core.interface import InterfaceLog

@@ -1,4 +1,4 @@
-"""Golden ``--help`` tests for the six CLIs, plus a docs-drift check.
+"""Golden ``--help`` tests for the seven CLIs, plus a docs-drift check.
 
 The golden files pin each CLI's flag surface; ``docs/CLI.md`` must
 mention every long flag the help output advertises.  Adding or
@@ -21,7 +21,7 @@ import pytest
 
 REPO = Path(__file__).resolve().parents[2]
 GOLDEN = Path(__file__).parent / "golden"
-CLIS = ["verify", "faults", "obs", "staticcheck", "flow", "topo"]
+CLIS = ["verify", "faults", "obs", "staticcheck", "flow", "topo", "net"]
 
 
 def run_help(module, *subcommand):
@@ -67,6 +67,10 @@ def test_docs_mention_every_flag(module, help_texts):
         text += "".join(
             run_help("topo", sub) for sub in ("run", "campaign", "flow")
         )
+    if module == "net":  # flags live on the subcommands
+        text += "".join(
+            run_help("net", sub) for sub in ("serve", "load", "twin")
+        )
     flags = set(re.findall(r"--[a-z][a-z-]*", text)) - {"--help"}
     assert flags, f"no flags parsed from repro.{module} --help"
     missing = sorted(flag for flag in flags if flag not in docs)
@@ -91,3 +95,9 @@ def test_topo_subcommands_documented():
     docs = (REPO / "docs" / "CLI.md").read_text()
     for sub in ("run", "campaign", "flow"):
         assert f"repro.topo {sub}" in docs
+
+
+def test_net_subcommands_documented():
+    docs = (REPO / "docs" / "CLI.md").read_text()
+    for sub in ("serve", "load", "twin"):
+        assert f"repro.net {sub}" in docs

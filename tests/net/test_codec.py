@@ -1,0 +1,121 @@
+"""WireCodec: structured PDU trees to datagrams and back, bit-exactly."""
+
+import pytest
+
+from repro.core.header import Field, HeaderFormat
+from repro.core.pdu import Pdu
+from repro.net import CodecError, WireCodec, codec_for_profile, tcp_codec
+
+from ..transport.helpers import make_pair, pattern
+
+
+def captured_wire_units(payload_bytes: int = 12_000):
+    """Every unit both hosts of a clean sim transfer put on the wire."""
+    sim, a, b, _link = make_pair()
+    units = []
+    for host in (a, b):
+        forward = host.on_transmit
+
+        def tap(unit, _forward=forward, **meta):
+            units.append(unit)
+            _forward(unit, **meta)
+
+        host.on_transmit = tap
+    b.listen(80)
+    payload = pattern(payload_bytes)
+    received = []
+    sock = a.connect(1234, 80)
+    sock.on_connect = lambda: (sock.send(payload), sock.close())
+    b.on_accept = lambda s: setattr(s, "on_data", received.append)
+    sim.run(until=30)
+    assert b"".join(received) == payload
+    return units
+
+
+def test_every_wire_shape_round_trips():
+    codec = tcp_codec()
+    units = captured_wire_units()
+    # The transfer exercises all three shapes: handshake (dm|cm),
+    # pure ack (dm|cm|rd), data (dm|cm|rd|osr + payload).
+    depths = {len(list(u.header_chain())) for u in units}
+    assert depths == {2, 3, 4}
+    for unit in units:
+        wire = codec.encode(unit)
+        back = codec.decode(wire)
+        assert [p.owner for p in back.header_chain()] == [
+            p.owner for p in unit.header_chain()
+        ]
+        # Unpacking materializes declared padding fields the native
+        # stack leaves implicit, so compare field-by-field on the
+        # fields the sender actually set …
+        for sent, got in zip(unit.header_chain(), back.header_chain()):
+            for field, value in sent.header.items():
+                assert got.header[field] == value
+        assert list(back.header_chain())[-1].inner == (
+            list(unit.header_chain())[-1].inner
+        )
+        # … and prove nothing was lost: re-encoding the rebuilt
+        # structure is byte-identical.
+        assert codec.encode(back) == wire
+
+
+def test_empty_payload_distinct_from_absent():
+    codec = tcp_codec()
+    units = captured_wire_units()
+    data_unit = next(
+        u for u in units if isinstance(list(u.header_chain())[-1].inner, bytes)
+    )
+    # Rebuild the same header chain around an *empty* SDU (an OSR
+    # control unit) and around an absent one; the payload flag must
+    # keep them distinct through the round trip.
+    for inner in (b"", None):
+        unit = inner
+        for pdu in reversed(list(data_unit.header_chain())):
+            unit = Pdu(pdu.owner, pdu.format, dict(pdu.header), unit)
+        back = codec.decode(codec.encode(unit))
+        assert list(back.header_chain())[-1].inner == inner
+
+
+def test_decode_rejects_garbage():
+    codec = tcp_codec()
+    with pytest.raises(CodecError):
+        codec.decode(b"")
+    with pytest.raises(CodecError):
+        codec.decode(b"\x00\x01\x00")  # wrong magic
+    with pytest.raises(CodecError):
+        codec.decode(bytes((codec.magic, 9, 0)))  # too many headers
+    with pytest.raises(CodecError):
+        codec.decode(bytes((codec.magic, 1, 2)))  # bad payload flag
+    with pytest.raises(CodecError):
+        codec.decode(bytes((codec.magic, 1, 0)) + b"\x00")  # truncated/trailing
+
+
+def test_decode_rejects_truncated_real_datagram():
+    codec = tcp_codec()
+    unit = captured_wire_units()[0]
+    wire = codec.encode(unit)
+    with pytest.raises(CodecError):
+        codec.decode(wire[: len(wire) - 1 - (0 if len(wire) > 4 else 0)][:4])
+
+
+def test_encode_rejects_foreign_units():
+    codec = tcp_codec()
+    with pytest.raises(CodecError):
+        codec.encode(b"raw bytes are not a wire unit")
+    fmt = HeaderFormat("x", [Field("f", 8)])
+    with pytest.raises(CodecError):
+        codec.encode(Pdu("stranger", fmt, {"f": 1}, None))
+
+
+def test_declaration_validates_magic_and_layers():
+    fmt = HeaderFormat("x", [Field("f", 8)])
+    with pytest.raises(CodecError):
+        WireCodec("bad", magic=300, layers=(("x", fmt),))
+    with pytest.raises(CodecError):
+        WireCodec("bad", magic=1, layers=())
+
+
+def test_codec_for_profile():
+    assert codec_for_profile("tcp").name == "tcp"
+    with pytest.raises(CodecError):
+        codec_for_profile("hdlc")

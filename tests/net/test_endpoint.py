@@ -1,0 +1,115 @@
+"""UDPEndpoint: real datagram sockets bridging stack hooks."""
+
+import asyncio
+
+from repro.net import UDPEndpoint, tcp_codec
+from repro.net.endpoint import open_endpoint
+from repro.obs import MetricsRegistry
+
+from .test_codec import captured_wire_units
+
+
+class FakeHost:
+    """The minimal host surface an endpoint bridges: receive + transmit."""
+
+    def __init__(self):
+        self.received = []
+        self.on_transmit = None
+
+    def receive(self, unit):
+        self.received.append(unit)
+
+
+def first_toward(units, dport):
+    """The first captured wire unit addressed to stack port ``dport``."""
+    return next(u for u in units if u.header["dport"] == dport)
+
+
+def test_connected_client_to_bound_server_and_back():
+    units = captured_wire_units()
+    client_syn = first_toward(units, 80)  # dm|cm handshake, sport=1234
+
+    async def scenario():
+        codec = tcp_codec()
+        server_host, client_host = FakeHost(), FakeHost()
+        server = UDPEndpoint(server_host, codec, name="server")
+        await open_endpoint(server, local_addr=("127.0.0.1", 0))
+        client = UDPEndpoint(client_host, codec, name="client")
+        await open_endpoint(client, remote_addr=server.local_address)
+
+        # Client -> server: the server learns which UDP address the
+        # stack port 1234 lives at from the outermost sport field.
+        client_host.on_transmit(client_syn)
+        await asyncio.sleep(0.05)
+        assert len(server_host.received) == 1
+        sport = client_syn.header["sport"]
+        assert sport in server.peers
+
+        # Server -> client: routed by dport through the learned table.
+        reply = first_toward(units, sport)
+        assert reply.header["dport"] == sport
+        server_host.on_transmit(reply)
+        await asyncio.sleep(0.05)
+        assert len(client_host.received) == 1
+        assert client.stats()["datagrams_in"] == 1
+        assert server.stats()["datagrams_in"] == 1
+        assert server.stats()["datagrams_out"] == 1
+        client.close()
+        server.close()
+
+    asyncio.run(scenario())
+
+
+def test_malformed_datagrams_are_counted_and_dropped():
+    async def scenario():
+        codec = tcp_codec()
+        host = FakeHost()
+        registry = MetricsRegistry()
+        server = UDPEndpoint(host, codec, name="server", metrics=registry)
+        await open_endpoint(server, local_addr=("127.0.0.1", 0))
+
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            asyncio.DatagramProtocol, remote_addr=server.local_address
+        )
+        transport.sendto(b"\xffgarbage that is no wire unit")
+        await asyncio.sleep(0.05)
+        assert host.received == []
+        assert server.stats()["decode_errors"] == 1
+        assert registry.counter("net/server/decode_errors") == 1
+        transport.close()
+        server.close()
+
+    asyncio.run(scenario())
+
+
+def test_transmit_to_unknown_peer_is_unroutable():
+    reply = first_toward(captured_wire_units(), 1234)
+
+    async def scenario():
+        host = FakeHost()
+        server = UDPEndpoint(host, tcp_codec(), name="server")
+        await open_endpoint(server, local_addr=("127.0.0.1", 0))
+        # No datagram has arrived, so no peer address is known for the
+        # reply's destination port: counted, not raised.
+        host.on_transmit(reply)
+        assert server.stats()["unroutable"] == 1
+        assert server.stats()["datagrams_out"] == 0
+        server.close()
+        # After close the endpoint has no transport at all.
+        host.on_transmit(reply)
+        assert server.stats()["unroutable"] == 2
+
+    asyncio.run(scenario())
+
+
+def test_close_is_idempotent():
+    async def scenario():
+        host = FakeHost()
+        endpoint = UDPEndpoint(host, tcp_codec())
+        await open_endpoint(endpoint, local_addr=("127.0.0.1", 0))
+        endpoint.close()
+        endpoint.close()
+        assert "closed" in repr(endpoint)
+
+    asyncio.run(scenario())

@@ -1,0 +1,65 @@
+"""LoopClock: the core Clock protocol backed by a live asyncio loop."""
+
+import asyncio
+
+import pytest
+
+from repro.core.clock import Clock
+from repro.net import LoopClock
+
+
+def test_loop_clock_satisfies_the_core_protocol():
+    async def check():
+        clock = LoopClock(asyncio.get_running_loop())
+        assert isinstance(clock, Clock)
+
+    asyncio.run(check())
+
+
+def test_now_tracks_loop_time():
+    async def check():
+        loop = asyncio.get_running_loop()
+        clock = LoopClock(loop)
+        before = clock.now()
+        await asyncio.sleep(0.02)
+        after = clock.now()
+        assert after > before
+        assert abs(after - loop.time()) < 0.05
+
+    asyncio.run(check())
+
+
+def test_call_later_fires_on_the_loop():
+    async def check():
+        clock = LoopClock(asyncio.get_running_loop())
+        fired = []
+        handle = clock.call_later(0.01, lambda: fired.append(clock.now()))
+        assert not handle.cancelled
+        await asyncio.sleep(0.05)
+        assert len(fired) == 1
+        assert fired[0] >= handle.when - 0.01
+
+    asyncio.run(check())
+
+
+def test_cancel_prevents_the_callback():
+    async def check():
+        clock = LoopClock(asyncio.get_running_loop())
+        fired = []
+        handle = clock.call_later(0.01, lambda: fired.append(True))
+        handle.cancel()
+        assert handle.cancelled
+        handle.cancel()  # idempotent
+        await asyncio.sleep(0.03)
+        assert fired == []
+
+    asyncio.run(check())
+
+
+def test_negative_delay_rejected():
+    async def check():
+        clock = LoopClock(asyncio.get_running_loop())
+        with pytest.raises(ValueError):
+            clock.call_later(-0.5, lambda: None)
+
+    asyncio.run(check())

@@ -1,0 +1,114 @@
+"""NetServer + LoadGenerator: live echo traffic measured end to end."""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.net import LoadGenerator, NetServer
+from repro.net.load import RTT_HIST, pattern
+
+
+def run_load(server, **kwargs):
+    """One in-process server + load run on a single loop."""
+
+    async def scenario():
+        endpoint = await server.start()
+        generator = LoadGenerator(endpoint.local_address, **kwargs)
+        try:
+            return generator, await generator.run()
+        finally:
+            server.close()
+
+    return asyncio.run(scenario())
+
+
+def test_echo_load_is_lossless_with_latency_histogram():
+    server = NetServer(tcp_port=80, mode="echo")
+    generator, report = run_load(
+        server, clients=3, messages=5, size=512, timeout=30.0
+    )
+    assert report.ok, report.as_dict()
+    assert report.lossless
+    assert report.bytes_sent == report.bytes_echoed == 3 * 5 * 512
+    # One RTT sample per message, from the shared obs histogram.
+    assert report.latency["count"] == 3 * 5
+    assert report.latency["p50"] > 0
+    assert report.latency["p50"] <= report.latency["p95"]
+    assert report.latency["p95"] <= report.latency["p99"]
+    assert generator.registry.hist(RTT_HIST).count == 3 * 5
+    # Each client connected on its own stack port and came back intact.
+    assert [c["port"] for c in report.per_client] == [40000, 40001, 40002]
+    assert all(c["intact"] for c in report.per_client)
+    assert server.accepted == 3
+    assert server.bytes_echoed == report.bytes_echoed
+
+
+def test_report_dict_is_json_shaped():
+    import json
+
+    server = NetServer(tcp_port=80, mode="echo")
+    _, report = run_load(server, clients=1, messages=2, size=128)
+    doc = report.as_dict()
+    json.dumps(doc)  # must not raise
+    assert doc["ok"] is True
+    assert doc["latency"]["count"] == 2
+    assert doc["endpoint"]["decode_errors"] == 0
+    # The full obs snapshot rides along by default (CI artifact).
+    assert RTT_HIST in doc["metrics"]["hists"]
+
+
+def test_metrics_snapshot_can_be_omitted():
+    server = NetServer(tcp_port=80, mode="echo")
+    _, report = run_load(
+        server, clients=1, messages=1, size=64, include_metrics=False
+    )
+    assert report.ok
+    assert report.metrics == {}
+
+
+def test_sink_mode_counts_without_echoing():
+    server = NetServer(tcp_port=80, mode="sink")
+
+    async def scenario():
+        endpoint = await server.start()
+        from repro.net.clock import LoopClock
+        from repro.net.codec import codec_for_profile
+        from repro.net.endpoint import UDPEndpoint, open_endpoint
+        from repro.transport.sublayered.host import SublayeredTcpHost
+
+        loop = asyncio.get_running_loop()
+        host = SublayeredTcpHost("client", LoopClock(loop), None)
+        client = UDPEndpoint(host, codec_for_profile("tcp"), name="client")
+        await open_endpoint(client, remote_addr=endpoint.local_address)
+        connected = loop.create_future()
+        closed = loop.create_future()
+        sock = host.connect(2000, 80)
+        sock.on_connect = lambda: connected.set_result(True)
+        sock.on_close = lambda: closed.set_result(True)
+        await asyncio.wait_for(connected, timeout=10)
+        sock.send(pattern(4096))
+        sock.close()
+        await asyncio.wait_for(closed, timeout=10)
+        client.close()
+        server.close()
+
+    asyncio.run(scenario())
+    assert server.bytes_sunk == 4096
+    assert server.bytes_echoed == 0
+
+
+def test_unknown_serve_mode_rejected():
+    with pytest.raises(ConfigurationError):
+        NetServer(mode="mirror")
+
+
+def test_server_stats_shape():
+    server = NetServer(tcp_port=80, mode="echo")
+    _, report = run_load(server, clients=2, messages=2, size=256)
+    stats = server.stats()
+    assert stats["accepted"] == 2
+    assert stats["closed"] == 2
+    assert stats["mode"] == "echo"
+    assert stats["endpoint"]["datagrams_in"] > 0
+    assert report.ok

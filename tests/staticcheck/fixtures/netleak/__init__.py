@@ -1,0 +1,1 @@
+"""Static-checker fixture: a transport sublayer importing the live runtime."""

@@ -1,0 +1,5 @@
+"""Stand-in for repro.net.clock: loop state the sublayers must not see."""
+
+
+class LoopClock:
+    pass

@@ -1,0 +1,14 @@
+"""An ARQ timer path that (illegally) schedules on the live loop.
+
+Sublayer timers go through the ``core`` clock protocol precisely so
+the same retransmission logic runs on the simulator heap and on an
+asyncio loop; the moment a transport sublayer imports the live
+runtime's clock to "schedule directly", the stack is welded to one
+runtime and the dependency arrow points upward.
+"""
+
+from ..net.clock import LoopClock
+
+
+def arm_retransmit_timer() -> object:
+    return LoopClock()

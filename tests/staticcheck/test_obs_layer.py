@@ -5,12 +5,12 @@ from repro.staticcheck import DEFAULT_LAYERS, run_staticcheck
 
 def test_obs_registered_above_every_protocol_layer():
     # Only the telemetry consumers — the fault-injection harness and
-    # the fleet tier built on it — sit above obs; every protocol and
-    # substrate layer stays strictly below.
+    # the runtime orchestrators built on it (topo, net) — sit above
+    # obs; every protocol and substrate layer stays strictly below.
     assert DEFAULT_LAYERS["obs"] > max(
         tier
         for name, tier in DEFAULT_LAYERS.items()
-        if name not in ("obs", "faults", "topo")
+        if name not in ("obs", "faults", "topo", "net")
     )
 
 
@@ -18,7 +18,7 @@ def test_faults_registered_above_every_stack_layer():
     assert DEFAULT_LAYERS["faults"] > max(
         tier
         for name, tier in DEFAULT_LAYERS.items()
-        if name not in ("faults", "topo")
+        if name not in ("faults", "topo", "net")
     )
 
 

@@ -4,8 +4,13 @@ from repro.staticcheck import DEFAULT_LAYERS, run_staticcheck
 
 
 def test_topo_registered_above_everything():
+    # The live runtime (net) is topo's peer: both orchestrate whole
+    # stacks and sit together on the top tier.
+    assert DEFAULT_LAYERS["topo"] == DEFAULT_LAYERS["net"]
     assert DEFAULT_LAYERS["topo"] > max(
-        tier for name, tier in DEFAULT_LAYERS.items() if name != "topo"
+        tier
+        for name, tier in DEFAULT_LAYERS.items()
+        if name not in ("topo", "net")
     )
 
 
